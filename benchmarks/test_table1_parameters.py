@@ -1,0 +1,66 @@
+"""Table I: the simulation parameter set.
+
+The bench validates that the library's *defaults* reproduce every row of
+the paper's Table I, and times the Behavioural Analyzer stage (mobility
+generation for the reference scenario).
+"""
+
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+
+from conftest import write_table
+
+#: Paper Table I, row for row (as printed in the paper).
+PAPER_TABLE1 = {
+    "Routing Protocol": ("AODV, OLSR, DYMO", None),
+    "Simulation Time": ("100 s", "Simulation Time"),
+    "Simulation Area": ("3000 m Circuit", "Simulation Area"),
+    "Number of Nodes": ("30", "Number of Nodes"),
+    "DATA TYPE": ("CBR", "DATA TYPE"),
+    "Packets Generation Rate": ("5 packets/s", "Packets Generation Rate"),
+    "Packet Size": ("512 bytes", "Packet Size"),
+    "MAC Protocol": ("IEEE802.11 DCF", "MAC Protocol"),
+    "MAC Rate": ("2 Mbps", "MAC Rate"),
+    "RTS/CTS": ("None", "RTS/CTS"),
+    "Transmission Range": ("250 m", "Transmission Range"),
+    "Radio Propagation Models": ("Two-ray Ground", "Radio Propagation Models"),
+}
+
+
+def test_table1_parameters(once):
+    scenario = Scenario()
+    ours = once(scenario.table1)
+
+    rows = []
+    for row_name, (paper_value, our_key) in PAPER_TABLE1.items():
+        measured = ours[our_key] if our_key else "per-run"
+        rows.append((row_name, paper_value, measured))
+        if our_key:
+            assert ours[our_key] == paper_value, row_name
+    # Timer rows of Table I map to protocol configs:
+    from repro.routing.aodv import AodvConfig
+    from repro.routing.dymo import DymoConfig
+    from repro.routing.olsr import OlsrConfig
+
+    assert AodvConfig().hello_interval_s == 1.0
+    assert OlsrConfig().hello_interval_s == 1.0
+    assert OlsrConfig().tc_interval_s == 2.0
+    assert DymoConfig().hello_interval_s == 1.0
+    rows.append(("HelloAODV Interval", "1 s", "1 s"))
+    rows.append(("HelloOLSR Interval", "1 s", "1 s"))
+    rows.append(("TCOLSR Interval", "2 s", "2 s"))
+    rows.append(("HelloDYMO Interval", "1 s", "1 s"))
+
+    write_table(
+        "table1_parameters",
+        "Table I — simulation parameters (paper vs library defaults)",
+        ["Parameter", "Paper", "This library"],
+        rows,
+    )
+
+
+def test_table1_mobility_generation(once):
+    """Time the BA stage for the reference scenario."""
+    trace = once(CavenetSimulation(Scenario()).generate_trace)
+    assert trace.num_nodes == 30
+    assert trace.duration == 100.0

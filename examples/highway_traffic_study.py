@@ -1,0 +1,88 @@
+"""Behavioural-Analyzer study: the traffic physics of the NaS model.
+
+Reproduces, at survey scale, the mobility-side analyses of the paper's
+Section IV: the fundamental diagram, the two traffic regimes in
+space-time, transient times, and the SRD/LRD spectral classification.
+Everything prints as text (this library has no plotting dependency); the
+space-time plot is rendered as ASCII art.
+
+Run:  python examples/highway_traffic_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    fundamental_diagram,
+    jam_fraction_series,
+    render_spacetime,
+    render_sparkline,
+    spectral_slope_at_origin,
+    transient_time,
+    wave_speed_estimate,
+)
+from repro.ca import NagelSchreckenberg, evolve
+from repro.util.rng import RngStreams
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. Fundamental diagram (L=400, 10 trials x 300 steps)")
+    print("=" * 70)
+    densities = [0.05, 0.1, 1 / 6, 0.25, 0.35, 0.5]
+    for p in (0.0, 0.5):
+        fd = fundamental_diagram(
+            densities, p=p, num_cells=400, trials=10, steps=300,
+            rng=RngStreams(1),
+        )
+        series = "  ".join(
+            f"rho={rho:.2f}:J={flow:.2f}" for rho, flow in zip(densities, fd.flows)
+        )
+        print(f"p={p}:  {series}")
+        print(f"        J(rho) {render_sparkline(fd.flows, width=24)}")
+        rho_star, j_star = fd.peak()
+        print(f"        peak flow {j_star:.2f} at rho={rho_star:.2f}")
+
+    print()
+    print("=" * 70)
+    print("2. Space-time regimes (100 steps shown, time flows downward)")
+    print("=" * 70)
+    for rho, label in ((0.08, "laminar"), (0.45, "jammed")):
+        model = NagelSchreckenberg.from_density(
+            400, rho, random_start=True, rng=np.random.default_rng(2), p=0.3
+        )
+        history = evolve(model, 100, warmup=100)
+        jam = jam_fraction_series(history).mean()
+        wave = wave_speed_estimate(history)
+        print(f"\nrho={rho} ({label}): jam fraction {jam:.2f}, "
+              f"wave drift {wave if not np.isnan(wave) else 0:+.2f} cells/step")
+        print(render_spacetime(history, max_rows=20, max_cols=78))
+
+    print()
+    print("=" * 70)
+    print("3. Transient time of v(t) (p=0, tolerance 2%)")
+    print("=" * 70)
+    for rho in (0.05, 0.15, 0.45):
+        model = NagelSchreckenberg.from_density(
+            400, rho, random_start=True, rng=np.random.default_rng(3)
+        )
+        tau = transient_time(
+            evolve(model, 600).mean_velocity_series(), tolerance=0.02
+        )
+        print(f"rho={rho:.2f}: tau = {tau} steps")
+
+    print()
+    print("=" * 70)
+    print("4. SRD/LRD classification via the periodogram slope")
+    print("=" * 70)
+    for p, rho in ((0.0, 0.1), (0.5, 0.1)):
+        model = NagelSchreckenberg.from_density(
+            400, rho, random_start=True, rng=np.random.default_rng(4), p=p
+        )
+        series = evolve(model, 4096, warmup=500).mean_velocity_series()
+        slope = spectral_slope_at_origin(series)
+        kind = "LRD (1/f noise)" if slope < -0.5 else "SRD"
+        print(f"p={p}, rho={rho}: low-frequency slope {slope:+.2f} -> {kind}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Intersection study: the crosspoint as a bottleneck.
+
+The paper's Section III names the intersection of lanes as the second
+mobility parameter ("the crosspoint is the bottleneck for the lane") but
+leaves it out of CAVENET; this library implements it as an extension.
+Two cyclic roads cross at one shared cell; road A has priority and road B
+yields.  This example measures how the shared cell throttles both roads
+compared with isolated rings, across densities.
+
+Run:  python examples/intersection_bottleneck.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_sparkline
+from repro.ca import CrossingRoads, NagelSchreckenberg
+
+NUM_CELLS = 100
+WARMUP = 200
+MEASURE = 400
+
+
+def isolated_flow(count: int) -> float:
+    model = NagelSchreckenberg(NUM_CELLS, count, p=0.0)
+    model.run(WARMUP)
+    flows = []
+    for _ in range(MEASURE):
+        model.step()
+        flows.append(model.flow())
+    return float(np.mean(flows))
+
+
+def crossing_flows(count: int) -> tuple:
+    roads = CrossingRoads(
+        NUM_CELLS, count, count, p=0.0, rng=np.random.default_rng(1)
+    )
+    roads.run(WARMUP)
+    priority, yielding = [], []
+    for _ in range(MEASURE):
+        roads.step()
+        priority.append(roads.flow(0))
+        yielding.append(roads.flow(1))
+    return float(np.mean(priority)), float(np.mean(yielding)), roads
+
+
+def main() -> None:
+    densities = [0.02, 0.05, 0.10, 0.15, 0.20, 0.30]
+    print(f"Two {NUM_CELLS}-cell rings crossing at one shared cell "
+          f"(road A priority, road B yields)\n")
+    print(f"{'rho':>6} {'isolated':>10} {'priority A':>11} "
+          f"{'yielding B':>11} {'B/isolated':>11}")
+    ratios = []
+    for rho in densities:
+        count = int(rho * NUM_CELLS)
+        base = isolated_flow(count)
+        priority, yielding, roads = crossing_flows(count)
+        ratio = yielding / base if base > 0 else 1.0
+        ratios.append(ratio)
+        print(f"{rho:>6.2f} {base:>10.3f} {priority:>11.3f} "
+              f"{yielding:>11.3f} {ratio:>11.2f}")
+    print(f"\nB/isolated across densities: {render_sparkline(ratios, 24)}")
+    print("\nReading: at low density the crossing is rarely contested; as")
+    print("density grows, the single shared cell caps both roads' flow —")
+    print("the bottleneck the paper describes, now measurable.")
+
+
+if __name__ == "__main__":
+    main()

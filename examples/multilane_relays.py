@@ -1,0 +1,74 @@
+"""Multi-lane connectivity study (paper Fig. 1-a).
+
+A sparse lane of vehicles develops gaps wider than the 250 m radio range;
+vehicles on a parallel lane fill those gaps as relays.  This example
+simulates a two-lane ring road with lane changing and measures how the
+second lane transforms network connectivity.
+
+Run:  python examples/multilane_relays.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    connectivity_graph,
+    connectivity_series,
+    largest_component_fraction,
+    pair_connectivity_series,
+)
+from repro.ca import MultiLaneRoad, NagelSchreckenberg
+from repro.geometry import RoadLayout
+from repro.mobility import CaMobility
+
+TX_RANGE_M = 250.0
+ROAD_M = 3000.0
+DURATION_S = 300.0
+
+
+def study(label, mobility, source, target):
+    trace = mobility.sample(DURATION_S)
+    lcf = connectivity_series(trace, TX_RANGE_M)
+    pair = pair_connectivity_series(trace, TX_RANGE_M, source, target)
+    final = connectivity_graph(trace.positions[-1], TX_RANGE_M)
+    print(f"{label}:")
+    print(f"  vehicles                      : {trace.num_nodes}")
+    print(f"  largest component (mean/min)  : {lcf.mean():.2f} / {lcf.min():.2f}")
+    print(f"  node {source} <-> node {target} reachable : "
+          f"{pair.mean() * 100:.0f}% of samples")
+    print(f"  radio links at the end        : {final.number_of_edges()}")
+    print()
+
+
+def main() -> None:
+    print(f"Two experiments on a {ROAD_M:.0f} m ring, "
+          f"radio range {TX_RANGE_M:.0f} m, {DURATION_S:.0f} s\n")
+
+    # Single sparse lane: 12 vehicles, stochastic dawdling opens gaps.
+    single = NagelSchreckenberg.from_density(
+        400, 12 / 400, random_start=True,
+        rng=np.random.default_rng(11), p=0.5,
+    )
+    study(
+        "Single sparse lane (12 vehicles)",
+        CaMobility(single, RoadLayout.single_circuit(ROAD_M)),
+        source=0,
+        target=6,
+    )
+
+    # The same sparse population plus a relay lane (Fig. 1-a).
+    road = MultiLaneRoad(
+        400, 2, [12, 12], p=0.5, rng=np.random.default_rng(11)
+    )
+    study(
+        "Two lanes (12 + 12 vehicles, lane changing active)",
+        CaMobility(road, RoadLayout.multi_lane_circuit(ROAD_M, 2)),
+        source=0,
+        target=6,
+    )
+
+    print("Reading: the relay lane bridges the gaps the sparse lane's own")
+    print("jams open — the connectivity effect of paper Fig. 1-a.")
+
+
+if __name__ == "__main__":
+    main()

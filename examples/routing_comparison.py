@@ -1,0 +1,78 @@
+"""Protocol shoot-out: AODV vs OLSR vs DYMO on the Table I scenario.
+
+Runs the paper's evaluation (Section IV-C) at reduced scale — the same
+mobility trace under each routing protocol — and prints the Fig. 11-style
+PDR table plus the goodput/delay/overhead summary behind the paper's
+conclusion that "DYMO has a better performance than AODV and OLSR".
+
+Run:  python examples/routing_comparison.py          (about a minute)
+      python examples/routing_comparison.py --full   (the full Table I run)
+"""
+
+import sys
+
+from repro.core import Scenario, compare_protocols
+
+
+def main(full: bool = False) -> None:
+    if full:
+        scenario = Scenario()  # the paper's exact Table I
+    else:
+        scenario = Scenario(
+            num_nodes=20,
+            road_length_m=2000.0,
+            sim_time_s=60.0,
+            senders=(1, 2, 3, 4, 5),
+            traffic_stop_s=55.0,
+            seed=4,
+        )
+    print(f"Scenario: {scenario.num_nodes} nodes, "
+          f"{scenario.road_length_m:.0f} m circuit, "
+          f"{scenario.sim_time_s:.0f} s, senders {scenario.senders}")
+    print("Running AODV, OLSR, DYMO over the same mobility trace...\n")
+
+    comparison = compare_protocols(scenario, ("AODV", "OLSR", "DYMO"))
+
+    print("Packet delivery ratio per sender (Fig. 11):")
+    print(comparison.format_pdr_table())
+
+    print("\nSummary:")
+    header = f"{'metric':<26}" + "".join(
+        f"{name:>10}" for name in comparison.results
+    )
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("mean PDR", {k: f"{v:.3f}" for k, v in comparison.mean_pdr().items()}),
+        (
+            "mean delay (ms)",
+            {k: f"{v * 1000:.1f}" for k, v in comparison.mean_delay().items()},
+        ),
+        (
+            "control packets",
+            {k: str(v) for k, v in comparison.overhead_table().items()},
+        ),
+        (
+            "ctrl pkts / delivered",
+            {
+                k: f"{r.normalized_routing_load():.2f}"
+                for k, r in comparison.results.items()
+            },
+        ),
+    ]
+    for label, values in rows:
+        print(
+            f"{label:<26}"
+            + "".join(f"{values[name]:>10}" for name in comparison.results)
+        )
+
+    print(
+        "\nPaper's reading: reactive protocols (AODV, DYMO) out-deliver "
+        "OLSR;\nAODV tops raw delivery, DYMO combines near-AODV delivery "
+        "with low\nroute-search delay — hence the paper's overall verdict "
+        "for DYMO."
+    )
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv[1:])

@@ -1,0 +1,51 @@
+"""CAVENET reproduction: a VANET simulation toolkit.
+
+This package reproduces the system described in *"Improvement and Performance
+Evaluation of CAVENET: A Network Simulation Tool for Vehicular Networks"*
+(Barolli et al., ICDCS Workshops 2010).  It provides the two blocks of the
+CAVENET architecture:
+
+* the **Behavioural Analyzer** — a Nagel-Schreckenberg cellular-automaton
+  mobility model with lane geometry, trace generation, and statistical
+  analysis tools (:mod:`repro.ca`, :mod:`repro.mobility`,
+  :mod:`repro.geometry`, :mod:`repro.tracegen`, :mod:`repro.analysis`); and
+* the **Communication Protocol Simulator** — a discrete-event wireless
+  network simulator with an IEEE 802.11 DCF MAC, two-ray-ground propagation
+  and the AODV, OLSR and DYMO routing protocols (:mod:`repro.des`,
+  :mod:`repro.phy`, :mod:`repro.mac`, :mod:`repro.net`, :mod:`repro.routing`,
+  :mod:`repro.traffic`, :mod:`repro.metrics`).
+
+The high-level entry points live in :mod:`repro.core`:
+
+>>> from repro.core import Scenario, CavenetSimulation
+>>> scenario = Scenario(num_nodes=10, road_length_m=1000.0,
+...                     sim_time_s=20.0, senders=(1, 2),
+...                     traffic_start_s=5.0, traffic_stop_s=18.0)
+>>> result = CavenetSimulation(scenario).run()
+>>> 0.0 <= result.pdr(1) <= 1.0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["Scenario", "CavenetSimulation", "__version__"]
+
+_LAZY_EXPORTS = {
+    "Scenario": ("repro.core.config", "Scenario"),
+    "CavenetSimulation": ("repro.core.simulation", "CavenetSimulation"),
+}
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API (PEP 562).
+
+    Importing :mod:`repro` stays cheap for consumers that only need one
+    subsystem (e.g. just the CA model); the facade classes pull in the whole
+    network stack only when actually referenced.
+    """
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attribute = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

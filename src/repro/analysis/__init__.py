@@ -1,0 +1,83 @@
+"""Statistical analysis of mobility processes (the BA's "Tools" block).
+
+Everything paper Section IV-A/B measures lives here: the fundamental
+diagram (Fig. 4), space-time jam structure (Fig. 5), average-velocity
+realisations (Fig. 6), spectral SRD/LRD classification (Fig. 7), transient
+time estimation, and radio-connectivity analysis of traces (Fig. 1).
+"""
+
+from repro.analysis.correlation import autocorrelation, hurst_aggregated_variance, hurst_rescaled_range
+from repro.analysis.connectivity import (
+    connectivity_graph,
+    connectivity_series,
+    largest_component_fraction,
+    pair_connectivity_series,
+    path_exists,
+)
+from repro.analysis.fundamental import FundamentalDiagram, fundamental_diagram
+from repro.analysis.headways import (
+    HeadwaySummary,
+    headway_distribution,
+    headway_summary,
+    headways,
+)
+from repro.analysis.montecarlo import MonteCarloResult, monte_carlo
+from repro.analysis.render import (
+    render_bars,
+    render_heatmap,
+    render_sparkline,
+    render_spacetime,
+)
+from repro.analysis.spacetime import jam_fraction_series, spacetime_matrix, wave_speed_estimate
+from repro.analysis.stationary import (
+    StationarityResult,
+    recommended_discard,
+    stationarity_test,
+)
+from repro.analysis.spectral import periodogram, spectral_slope_at_origin
+from repro.analysis.topology import (
+    TopologyChangeSummary,
+    link_change_series,
+    link_lifetimes,
+    topology_change_summary,
+)
+from repro.analysis.transient import transient_time
+from repro.analysis.velocity import ensemble_mean_velocity, time_average_velocity
+
+__all__ = [
+    "FundamentalDiagram",
+    "fundamental_diagram",
+    "HeadwaySummary",
+    "headways",
+    "headway_distribution",
+    "headway_summary",
+    "MonteCarloResult",
+    "monte_carlo",
+    "spacetime_matrix",
+    "jam_fraction_series",
+    "wave_speed_estimate",
+    "periodogram",
+    "render_bars",
+    "render_heatmap",
+    "render_sparkline",
+    "render_spacetime",
+    "spectral_slope_at_origin",
+    "StationarityResult",
+    "stationarity_test",
+    "recommended_discard",
+    "autocorrelation",
+    "hurst_aggregated_variance",
+    "hurst_rescaled_range",
+    "TopologyChangeSummary",
+    "link_change_series",
+    "link_lifetimes",
+    "topology_change_summary",
+    "transient_time",
+    "time_average_velocity",
+    "ensemble_mean_velocity",
+    "connectivity_graph",
+    "connectivity_series",
+    "largest_component_fraction",
+    "pair_connectivity_series",
+    "path_exists",
+]

@@ -1,0 +1,83 @@
+"""Radio-connectivity analysis of node placements (paper Fig. 1).
+
+The mobility model feeds a *network*: what ultimately matters is whether
+nodes are within radio range of each other.  These helpers build the
+unit-disk connectivity graph of a placement and quantify the effects the
+paper illustrates in Fig. 1 — relay nodes on a parallel lane filling
+connectivity gaps, and the head/tail disconnection of the pre-improvement
+straight-line road.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import networkx as nx
+import numpy as np
+
+from repro.mobility.trace import MobilityTrace
+
+
+def connectivity_graph(positions: np.ndarray, tx_range: float) -> nx.Graph:
+    """Unit-disk graph: an edge wherever two nodes are within ``tx_range``.
+
+    ``positions`` is an ``(N, 2)`` array of plane coordinates in metres.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(
+            f"positions must have shape (N, 2), got {positions.shape}"
+        )
+    if tx_range <= 0:
+        raise ValueError(f"tx_range must be > 0, got {tx_range}")
+    n = len(positions)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    if n > 1:
+        deltas = positions[:, None, :] - positions[None, :, :]
+        distances = np.linalg.norm(deltas, axis=2)
+        rows, cols = np.nonzero(np.triu(distances <= tx_range, k=1))
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return graph
+
+
+def largest_component_fraction(graph: nx.Graph) -> float:
+    """Fraction of nodes in the largest connected component."""
+    if graph.number_of_nodes() == 0:
+        raise ValueError("graph has no nodes")
+    largest = max(nx.connected_components(graph), key=len)
+    return len(largest) / graph.number_of_nodes()
+
+
+def path_exists(graph: nx.Graph, source: int, target: int) -> bool:
+    """True when a multi-hop path connects ``source`` and ``target``."""
+    return nx.has_path(graph, source, target)
+
+
+def connectivity_series(trace: MobilityTrace, tx_range: float) -> np.ndarray:
+    """Largest-component fraction at every trace sample, shape ``(T,)``."""
+    return np.array(
+        [
+            largest_component_fraction(
+                connectivity_graph(trace.positions[row], tx_range)
+            )
+            for row in range(trace.num_samples)
+        ]
+    )
+
+
+def pair_connectivity_series(
+    trace: MobilityTrace, tx_range: float, source: int, target: int
+) -> np.ndarray:
+    """Boolean series: does a path from ``source`` to ``target`` exist at
+    each sample?  Used to quantify the line-vs-circle ablation."""
+    return np.array(
+        [
+            path_exists(
+                connectivity_graph(trace.positions[row], tx_range),
+                source,
+                target,
+            )
+            for row in range(trace.num_samples)
+        ]
+    )

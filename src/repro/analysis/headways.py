@@ -1,0 +1,69 @@
+"""Headway (inter-vehicle gap) statistics of NaS runs.
+
+The headway distribution is the microscopic fingerprint of the two
+traffic regimes: in free flow the gaps are broad and bounded away from
+zero; in the jammed regime a heavy spike of zero-gap (bumper-to-bumper)
+vehicles appears.  These helpers extract it from a recorded history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.ca.history import CaHistory
+
+
+@dataclasses.dataclass(frozen=True)
+class HeadwaySummary:
+    """Aggregate gap statistics over a history.
+
+    Attributes:
+        mean_cells: average gap in cells.
+        std_cells: gap standard deviation.
+        zero_fraction: fraction of observations with gap 0
+            (bumper-to-bumper — the jam signature).
+        p95_cells: 95th-percentile gap.
+    """
+
+    mean_cells: float
+    std_cells: float
+    zero_fraction: float
+    p95_cells: float
+
+
+def headways(history: CaHistory) -> np.ndarray:
+    """All per-step per-vehicle gaps of a history, shape ``(T+1, N)``.
+
+    On the ring, vehicle ``i``'s leader is the next vehicle in ring order
+    (ring order is invariant — no overtaking).
+    """
+    positions = history.positions
+    leader = np.roll(positions, -1, axis=1)
+    return (leader - positions - 1) % history.num_cells
+
+
+def headway_distribution(
+    history: CaHistory, max_gap: int = 20
+) -> np.ndarray:
+    """Empirical gap distribution: ``P(gap = k)`` for ``k = 0..max_gap``.
+
+    Gaps above ``max_gap`` are folded into the last bin.
+    """
+    if max_gap < 1:
+        raise ValueError(f"max_gap must be >= 1, got {max_gap}")
+    gaps = np.minimum(headways(history).ravel(), max_gap)
+    counts = np.bincount(gaps, minlength=max_gap + 1)
+    return counts / counts.sum()
+
+
+def headway_summary(history: CaHistory) -> HeadwaySummary:
+    """Summary statistics of the gaps in a history."""
+    gaps = headways(history).ravel()
+    return HeadwaySummary(
+        mean_cells=float(gaps.mean()),
+        std_cells=float(gaps.std()),
+        zero_fraction=float((gaps == 0).mean()),
+        p95_cells=float(np.percentile(gaps, 95)),
+    )

@@ -1,0 +1,148 @@
+"""Text rendering of analysis results.
+
+CAVENET's original MATLAB block plotted figures; this library is
+plot-library-free, so the equivalents are terminal renderings: space-time
+diagrams as character rasters, time series as sparklines, goodput
+surfaces as heat rasters and PDR comparisons as bar charts.  Every
+renderer returns a plain string.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ca.history import CaHistory
+
+#: Sparkline glyphs from low to high.
+_SPARKS = "▁▂▃▄▅▆▇█"
+#: Heat glyphs from empty to dense.
+_HEAT = " .:-=+*#%@"
+
+
+def render_spacetime(
+    history: CaHistory, max_rows: int = 24, max_cols: int = 78
+) -> str:
+    """Space-time diagram: time flows downward, road extends rightward.
+
+    ``.`` empty road, ``o`` a moving vehicle, ``#`` a stopped (jammed)
+    vehicle — the textual cousin of paper Fig. 5.
+    """
+    if max_rows < 1 or max_cols < 1:
+        raise ValueError("max_rows and max_cols must be >= 1")
+    matrix = history.occupancy_matrix()
+    step_t = max(1, int(np.ceil(matrix.shape[0] / max_rows)))
+    step_x = max(1, int(np.ceil(matrix.shape[1] / max_cols)))
+    lines = []
+    for t in range(0, matrix.shape[0], step_t):
+        chars = []
+        for x in range(0, matrix.shape[1], step_x):
+            block = matrix[t, x : x + step_x]
+            occupied = block[block >= 0]
+            if occupied.size == 0:
+                chars.append(".")
+            elif (occupied == 0).any():
+                chars.append("#")
+            else:
+                chars.append("o")
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line sparkline of a series, resampled to ``width`` glyphs.
+
+    NaNs render as spaces; a constant series renders at mid height.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    series = np.asarray(values, dtype=float)
+    if series.size == 0:
+        return ""
+    if series.size > width:
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        series = np.array(
+            [
+                np.nanmean(series[a:b]) if b > a else np.nan
+                for a, b in zip(edges[:-1], edges[1:])
+            ]
+        )
+    finite = series[np.isfinite(series)]
+    if finite.size == 0:
+        return " " * len(series)
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    chars = []
+    for value in series:
+        if not np.isfinite(value):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARKS[len(_SPARKS) // 2])
+        else:
+            index = int((value - low) / span * (len(_SPARKS) - 1))
+            chars.append(_SPARKS[index])
+    return "".join(chars)
+
+
+def render_heatmap(
+    matrix: np.ndarray,
+    max_rows: int = 16,
+    max_cols: int = 78,
+) -> str:
+    """A character raster of a 2-D non-negative matrix (e.g. the goodput
+    surface of Figs. 8-10: senders x time)."""
+    grid = np.asarray(matrix, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {grid.shape}")
+    if max_rows < 1 or max_cols < 1:
+        raise ValueError("max_rows and max_cols must be >= 1")
+    step_r = max(1, int(np.ceil(grid.shape[0] / max_rows)))
+    step_c = max(1, int(np.ceil(grid.shape[1] / max_cols)))
+    peak = np.nanmax(grid) if grid.size else 0.0
+    lines = []
+    for r in range(0, grid.shape[0], step_r):
+        chars = []
+        for c in range(0, grid.shape[1], step_c):
+            block = grid[r : r + step_r, c : c + step_c]
+            value = float(np.nanmean(block))
+            if peak <= 0 or not np.isfinite(value):
+                chars.append(_HEAT[0])
+            else:
+                index = int(value / peak * (len(_HEAT) - 1))
+                chars.append(_HEAT[index])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """A horizontal bar chart (the textual Fig. 11).
+
+    Bars scale to ``max_value`` (default: the largest value present).
+
+    >>> print(render_bars({"AODV": 0.7, "OLSR": 0.3}, width=10,
+    ...                   max_value=1.0))
+    AODV  ███████    0.700
+    OLSR  ███        0.300
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not values:
+        return ""
+    top = max_value if max_value is not None else max(values.values())
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(min(value, top) / top * width))
+        bar = "█" * filled + " " * (width - filled)
+        lines.append(
+            f"{str(label):<{label_width}}  {bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)

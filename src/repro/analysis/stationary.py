@@ -1,0 +1,88 @@
+"""Stationarity checking of simulation series (paper Section IV-B).
+
+The paper's stationary-distribution discussion asks two practical
+questions: does a steady-state distribution exist, and from which sample
+onward may one treat the series as drawn from it?  These helpers answer
+empirically: split the (transient-trimmed) series in two and compare the
+halves' empirical distributions with a two-sample Kolmogorov-Smirnov
+test.  A process still in its transient (or with a drifting mean) fails;
+a relaxed one passes.
+
+Caveat, stated once: KS p-values assume independent samples, and v(t) is
+autocorrelated — for LRD settings (0 < p < 1, the paper's point exactly)
+expect rejection even in "steady state", because very distant samples
+remain dependent.  The test is a diagnostic, not a proof.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.transient import transient_time
+
+
+@dataclasses.dataclass(frozen=True)
+class StationarityResult:
+    """Outcome of the split-half distribution comparison.
+
+    Attributes:
+        ks_statistic: the two-sample KS statistic between the halves.
+        p_value: its p-value (see module caveat on autocorrelation).
+        stationary: True when the halves are statistically compatible at
+            the chosen significance level.
+        discarded: samples trimmed from the front before splitting.
+    """
+
+    ks_statistic: float
+    p_value: float
+    stationary: bool
+    discarded: int
+
+
+def stationarity_test(
+    series: np.ndarray,
+    discard: int = 0,
+    alpha: float = 0.01,
+    thin: int = 1,
+) -> StationarityResult:
+    """Split-half KS test for distributional stationarity.
+
+    ``discard`` trims the known transient; ``thin`` keeps every k-th
+    sample (a crude decorrelation that makes the KS assumptions less
+    wrong for short-memory series).
+    """
+    series = np.asarray(series, dtype=float)
+    if discard < 0 or len(series) - discard < 8:
+        raise ValueError(
+            f"need >= 8 samples after discarding, got "
+            f"{len(series) - discard}"
+        )
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if thin < 1:
+        raise ValueError(f"thin must be >= 1, got {thin}")
+    trimmed = series[discard:][::thin]
+    half = len(trimmed) // 2
+    first, second = trimmed[:half], trimmed[half:]
+    if np.array_equal(
+        np.unique(first), np.unique(second)
+    ) and len(np.unique(trimmed)) == 1:
+        # A constant series is trivially stationary; KS would emit NaNs.
+        return StationarityResult(0.0, 1.0, True, discard)
+    statistic, p_value = stats.ks_2samp(first, second)
+    return StationarityResult(
+        ks_statistic=float(statistic),
+        p_value=float(p_value),
+        stationary=bool(p_value >= alpha),
+        discarded=discard,
+    )
+
+
+def recommended_discard(series: np.ndarray, tolerance: float = 0.02) -> int:
+    """How many leading samples to drop before sampling the stationary
+    regime — the paper's "how many samples should be removed from the
+    starting point" question, answered via the transient estimator."""
+    return transient_time(np.asarray(series, dtype=float), tolerance)

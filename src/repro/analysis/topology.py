@@ -1,0 +1,116 @@
+"""Topology-change analysis of mobility traces.
+
+The paper's conclusion names "topology change" as a metric to consider in
+future work; this module implements it.  The radio topology at each trace
+sample is the unit-disk graph of the node positions; the change rate is
+how many links appear/disappear per second, and link lifetimes say how
+long a route over those links could possibly survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.connectivity import connectivity_graph
+from repro.mobility.trace import MobilityTrace
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyChangeSummary:
+    """Aggregated topology dynamics of a trace.
+
+    Attributes:
+        mean_links: average number of radio links present.
+        changes_per_second: links appearing + disappearing, per second.
+        mean_link_lifetime_s: average contiguous lifetime of a link
+            (censored links — alive at either trace edge — included at
+            their observed length, so this is a lower bound).
+        num_link_births: how many times any link (re)appeared.
+    """
+
+    mean_links: float
+    changes_per_second: float
+    mean_link_lifetime_s: float
+    num_link_births: int
+
+
+def _edge_sets(trace: MobilityTrace, tx_range: float) -> List[Set[Tuple[int, int]]]:
+    return [
+        set(
+            tuple(sorted(edge))
+            for edge in connectivity_graph(
+                trace.positions[row], tx_range
+            ).edges()
+        )
+        for row in range(trace.num_samples)
+    ]
+
+
+def link_change_series(
+    trace: MobilityTrace, tx_range: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-interval topology churn.
+
+    Returns ``(interval_end_times, changes)`` where ``changes[k]`` is the
+    number of links that appeared plus disappeared between samples ``k``
+    and ``k+1``.
+    """
+    edges = _edge_sets(trace, tx_range)
+    changes = np.array(
+        [
+            len(edges[k] ^ edges[k + 1])
+            for k in range(len(edges) - 1)
+        ]
+    )
+    return trace.times[1:].copy(), changes
+
+
+def link_lifetimes(trace: MobilityTrace, tx_range: float) -> np.ndarray:
+    """Observed contiguous lifetime (seconds) of every link episode.
+
+    A link that flaps contributes one entry per contiguous episode.
+    Episodes still alive at the end of the trace are included at their
+    observed (censored) length.
+    """
+    edges = _edge_sets(trace, tx_range)
+    times = trace.times
+    alive = {}  # edge -> start time
+    lifetimes: List[float] = []
+    for k, current in enumerate(edges):
+        now = float(times[k])
+        for edge in list(alive):
+            if edge not in current:
+                lifetimes.append(now - alive.pop(edge))
+        for edge in current:
+            if edge not in alive:
+                alive[edge] = now
+    end = float(times[-1])
+    lifetimes.extend(end - start for start in alive.values())
+    return np.array(lifetimes)
+
+
+def topology_change_summary(
+    trace: MobilityTrace, tx_range: float
+) -> TopologyChangeSummary:
+    """One-stop summary of a trace's topology dynamics."""
+    if trace.num_samples < 2:
+        raise ValueError("need at least two samples to observe change")
+    edges = _edge_sets(trace, tx_range)
+    _times, changes = link_change_series(trace, tx_range)
+    lifetimes = link_lifetimes(trace, tx_range)
+    births = 0
+    for k in range(len(edges) - 1):
+        births += len(edges[k + 1] - edges[k])
+    births += len(edges[0])
+    duration = float(trace.times[-1] - trace.times[0])
+    return TopologyChangeSummary(
+        mean_links=float(np.mean([len(e) for e in edges])),
+        changes_per_second=float(changes.sum() / duration),
+        mean_link_lifetime_s=(
+            float(lifetimes.mean()) if len(lifetimes) else 0.0
+        ),
+        num_link_births=births,
+    )

@@ -1,0 +1,51 @@
+"""Transient-time estimation (paper Section IV-B).
+
+Before sampling a process "in its stationary regime" one must know how many
+initial samples to discard.  For the deterministic NaS model the paper
+measures the transient time tau directly; this module implements that
+measurement for any recorded series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def transient_time(
+    series: np.ndarray,
+    tolerance: float = 0.01,
+    tail_fraction: float = 0.25,
+) -> int:
+    """First index after which the series stays near its stationary value.
+
+    The stationary value is estimated as the mean of the last
+    ``tail_fraction`` of the series; the transient time is the smallest
+    index ``tau`` such that every later sample lies within
+    ``tolerance * max(|stationary|, 1)`` of it.  Returns ``len(series)``
+    when the series never settles (within the recorded window).
+
+    The strict stay-inside-forever criterion suits deterministic or
+    low-noise series (the paper's p = 0 measurement); for a noisy series
+    whose stationary fluctuations brush the band, smooth (e.g. moving
+    average) before estimating, or widen ``tolerance``.
+    """
+    series = np.asarray(series, dtype=float)
+    n = len(series)
+    if n < 4:
+        raise ValueError(f"series too short: {n}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+    tail_start = n - max(int(n * tail_fraction), 2)
+    stationary = series[tail_start:].mean()
+    band = tolerance * max(abs(stationary), 1.0)
+    outside = np.abs(series - stationary) > band
+    if not outside.any():
+        return 0
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside == n - 1:
+        return n  # never settled within the window
+    return last_outside + 1

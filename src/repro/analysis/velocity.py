@@ -1,0 +1,37 @@
+"""Average-velocity statistics of NaS runs (paper Fig. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ca.history import CaHistory
+
+
+def time_average_velocity(history: CaHistory, discard: int = 0) -> float:
+    """Time average of v(t), optionally discarding the first ``discard``
+    recorded steps as transient (paper Section IV-B's sample-removal).
+    """
+    series = history.mean_velocity_series()
+    if discard < 0 or discard >= len(series):
+        raise ValueError(
+            f"discard must be in [0, {len(series) - 1}], got {discard}"
+        )
+    return float(series[discard:].mean())
+
+
+def ensemble_mean_velocity(
+    histories: list, discard: int = 0
+) -> np.ndarray:
+    """Pointwise ensemble average of v(t) over several runs.
+
+    All histories must record the same number of steps.  Returns the mean
+    series with the first ``discard`` samples removed.
+    """
+    if not histories:
+        raise ValueError("need at least one history")
+    series = np.stack([h.mean_velocity_series() for h in histories])
+    if discard < 0 or discard >= series.shape[1]:
+        raise ValueError(
+            f"discard must be in [0, {series.shape[1] - 1}], got {discard}"
+        )
+    return series[:, discard:].mean(axis=0)

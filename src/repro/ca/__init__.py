@@ -1,0 +1,24 @@
+"""The Nagel-Schreckenberg cellular-automaton traffic model.
+
+This is the microscopic mobility core of CAVENET (paper Section III-A): a
+1-dimensional CA whose three rules (accelerate, brake to the gap, move — plus
+the stochastic dawdling rule 2') reproduce the laminar and jammed regimes of
+real highway traffic.
+"""
+
+from repro.ca.boundary import Boundary
+from repro.ca.history import CaHistory, evolve
+from repro.ca.intersection import CrossingRoads
+from repro.ca.nasch import NagelSchreckenberg
+from repro.ca.multilane import MultiLaneRoad
+from repro.ca.vehicle import VehicleState
+
+__all__ = [
+    "Boundary",
+    "NagelSchreckenberg",
+    "MultiLaneRoad",
+    "CrossingRoads",
+    "VehicleState",
+    "CaHistory",
+    "evolve",
+]

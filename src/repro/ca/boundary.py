@@ -1,0 +1,48 @@
+"""Boundary conditions for the 1-D lane.
+
+The paper's "improvement" of CAVENET is exactly a boundary-condition change:
+the first version moved vehicles on a straight line and *shifted* a vehicle
+back to the start when it reached the end, which teleports it across the
+plane and breaks radio connectivity between the head and tail of the column.
+The improved version closes the lane into a circle, so the same periodic cell
+dynamics correspond to continuous movement in the plane.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Boundary(enum.Enum):
+    """How the ends of the lane are treated.
+
+    PERIODIC
+        Closed circuit (improved CAVENET): cell ``L-1`` is adjacent to cell
+        ``0`` and the plane geometry is continuous.  Density is conserved.
+
+    WRAP_SHIFT
+        The original CAVENET straight line: the cell dynamics are the same
+        periodic dynamics, but geometrically a wrapping vehicle teleports
+        from the end of the line back to the start.  The CA evolution is
+        identical to PERIODIC — only the mobility mapping (and therefore
+        connectivity) differs.
+
+    OPEN
+        True open road (extension): vehicles leave the lane at the end and
+        new vehicles are injected at cell 0 with a configurable rate.
+        Density is *not* conserved.
+    """
+
+    PERIODIC = "periodic"
+    WRAP_SHIFT = "wrap_shift"
+    OPEN = "open"
+
+    @property
+    def cyclic_cells(self) -> bool:
+        """True when the cell dynamics wrap around (gap computed mod L)."""
+        return self in (Boundary.PERIODIC, Boundary.WRAP_SHIFT)
+
+    @property
+    def geometrically_closed(self) -> bool:
+        """True when a wrap is continuous in the plane (no teleport)."""
+        return self is Boundary.PERIODIC

@@ -1,0 +1,129 @@
+"""Recording CA evolutions for later analysis.
+
+The analysis tools of paper Section IV-A/B (fundamental diagram, space-time
+plots, periodograms, transient detection) all operate on a recorded history
+of the automaton rather than on its live state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.ca.boundary import Boundary
+from repro.ca.nasch import NagelSchreckenberg
+
+
+@dataclasses.dataclass(frozen=True)
+class CaHistory:
+    """The trajectory of a fixed-population NaS run.
+
+    Arrays are indexed ``[step, vehicle]`` with step 0 the initial state, so
+    a run of ``T`` steps yields ``T + 1`` rows.
+
+    Attributes:
+        positions: cell index per step and vehicle.
+        velocities: velocity per step and vehicle.
+        wraps: cumulative wrap count per step and vehicle.
+        num_cells: lane length L.
+        p: dawdling probability of the generating model.
+        v_max: maximum velocity of the generating model.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    wraps: np.ndarray
+    num_cells: int
+    p: float
+    v_max: int
+
+    def __post_init__(self) -> None:
+        if self.positions.shape != self.velocities.shape:
+            raise ValueError("positions and velocities shapes differ")
+        if self.positions.shape != self.wraps.shape:
+            raise ValueError("positions and wraps shapes differ")
+
+    @property
+    def num_steps(self) -> int:
+        """Number of steps recorded (rows minus the initial state)."""
+        return self.positions.shape[0] - 1
+
+    @property
+    def num_vehicles(self) -> int:
+        """Vehicle count N."""
+        return self.positions.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Vehicle density rho = N / L."""
+        return self.num_vehicles / self.num_cells
+
+    def mean_velocity_series(self) -> np.ndarray:
+        """The paper's simulation variable v(t): per-step average velocity."""
+        return self.velocities.mean(axis=1)
+
+    def flow_series(self) -> np.ndarray:
+        """Per-step traffic flow J(t) = rho * v(t)."""
+        return self.density * self.mean_velocity_series()
+
+    def unwrapped_positions(self) -> np.ndarray:
+        """Positions accumulated across wraps (monotone per vehicle)."""
+        return self.positions + self.wraps * self.num_cells
+
+    def occupancy_matrix(self) -> np.ndarray:
+        """A ``(steps+1, L)`` site matrix: velocity at occupied sites, -1
+        elsewhere — the raw material of the paper's Fig. 5 space-time plots."""
+        steps = self.positions.shape[0]
+        matrix = np.full((steps, self.num_cells), -1, dtype=np.int64)
+        rows = np.repeat(np.arange(steps), self.num_vehicles)
+        matrix[rows, self.positions.ravel()] = self.velocities.ravel()
+        return matrix
+
+
+def evolve(
+    model: NagelSchreckenberg,
+    steps: int,
+    record_every: int = 1,
+    warmup: int = 0,
+) -> CaHistory:
+    """Run ``model`` for ``warmup + steps`` steps, recording the last part.
+
+    ``warmup`` steps are executed but not recorded (used to discard the
+    transient, paper Section IV-B).  ``record_every`` thins the recording.
+    Only fixed-population boundaries are supported; OPEN lanes change their
+    vehicle count and cannot be stored in rectangular arrays.
+    """
+    if model.boundary is Boundary.OPEN:
+        raise ValueError("evolve() requires a fixed vehicle population; "
+                         "OPEN-boundary lanes vary N over time")
+    if steps < 0 or warmup < 0:
+        raise ValueError("steps and warmup must be >= 0")
+    if record_every < 1:
+        raise ValueError(f"record_every must be >= 1, got {record_every}")
+
+    model.run(warmup)
+    num_records = steps // record_every + 1
+    positions = np.empty((num_records, model.num_vehicles), dtype=np.int64)
+    velocities = np.empty_like(positions)
+    wraps = np.empty_like(positions)
+    row = 0
+    positions[row] = model.positions
+    velocities[row] = model.velocities
+    wraps[row] = model.wraps
+    for step in range(1, steps + 1):
+        model.step()
+        if step % record_every == 0:
+            row += 1
+            positions[row] = model.positions
+            velocities[row] = model.velocities
+            wraps[row] = model.wraps
+    return CaHistory(
+        positions=positions[: row + 1],
+        velocities=velocities[: row + 1],
+        wraps=wraps[: row + 1],
+        num_cells=model.num_cells,
+        p=model.p,
+        v_max=model.v_max,
+    )

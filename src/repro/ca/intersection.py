@@ -1,0 +1,244 @@
+"""Two crossing roads sharing one cell — the paper's unimplemented
+second mobility parameter.
+
+Paper Section III: "The intersection of lanes ... affect[s] the traffic
+behaviour on the whole lane, because the crosspoint is the bottleneck for
+the lane.  Here, we take into account only the first parameter [lane
+count]."  This module supplies the missing piece: two cyclic NaS lanes
+crossing at a single shared site, with a fixed priority rule.
+
+Model (a standard CA intersection scheme):
+
+* Road A has priority: its vehicles treat the crosspoint as blocked only
+  while a road-B vehicle physically occupies it.
+* Road B yields: its vehicles treat the crosspoint as blocked while a
+  road-A vehicle occupies it *or swept over it during the current step*
+  (A moves first within a step).
+* A blocked crosspoint acts exactly like a parked vehicle: the NaS gap
+  rule makes approaching vehicles brake and queue behind it — the
+  bottleneck the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ca.vehicle import VehicleState
+from repro.util.validate import check_positive, check_probability
+
+
+class _Road:
+    """One cyclic lane's mutable vehicle arrays (ring order)."""
+
+    __slots__ = ("positions", "velocities", "ids", "wraps", "crossings")
+
+    def __init__(self, positions: np.ndarray, ids: np.ndarray) -> None:
+        self.positions = positions
+        self.velocities = np.zeros_like(positions)
+        self.ids = ids
+        self.wraps = np.zeros_like(positions)
+        self.crossings = 0  # vehicles that traversed the crosspoint
+
+
+class CrossingRoads:
+    """Two cyclic NaS lanes sharing one cell.
+
+    Args:
+        num_cells: length of each road, in cells.
+        vehicles_a / vehicles_b: vehicle counts (evenly spaced, avoiding
+            the crosspoint initially).
+        cross_a / cross_b: cell index of the shared site on each road.
+        p: dawdling probability (both roads).
+        v_max: maximum velocity.
+        rng: generator for the dawdling draws.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        vehicles_a: int,
+        vehicles_b: int,
+        cross_a: Optional[int] = None,
+        cross_b: Optional[int] = None,
+        *,
+        p: float = 0.0,
+        v_max: int = 5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        check_positive("num_cells", num_cells)
+        check_probability("p", p)
+        if v_max < 1:
+            raise ValueError(f"v_max must be >= 1, got {v_max}")
+        self._num_cells = int(num_cells)
+        self._p = float(p)
+        self._v_max = int(v_max)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._cross = (
+            int(cross_a) if cross_a is not None else num_cells // 2,
+            int(cross_b) if cross_b is not None else num_cells // 2,
+        )
+        for index, cross in enumerate(self._cross):
+            if not 0 <= cross < num_cells:
+                raise ValueError(
+                    f"crosspoint {cross} outside [0, {num_cells}) on road "
+                    f"{'AB'[index]}"
+                )
+        self._time = 0
+        self._roads = (
+            self._build_road(vehicles_a, self._cross[0], id_base=0),
+            self._build_road(
+                vehicles_b, self._cross[1], id_base=vehicles_a
+            ),
+        )
+
+    def _build_road(self, count: int, cross: int, id_base: int) -> _Road:
+        if not 0 <= count < self._num_cells:
+            raise ValueError(
+                f"{count} vehicles do not fit on {self._num_cells} cells "
+                "(one cell is the crosspoint)"
+            )
+        free = [c for c in range(self._num_cells) if c != cross]
+        step = len(free) / max(count, 1)
+        cells = np.array(
+            sorted(free[int(i * step)] for i in range(count)), dtype=np.int64
+        )
+        ids = np.arange(id_base, id_base + count, dtype=np.int64)
+        return _Road(cells, ids)
+
+    # -- read-only state ---------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        """Length of each road in cells."""
+        return self._num_cells
+
+    @property
+    def time(self) -> int:
+        """Steps executed."""
+        return self._time
+
+    @property
+    def crosspoints(self) -> Tuple[int, int]:
+        """The shared cell's index on road A and road B."""
+        return self._cross
+
+    def positions(self, road: int) -> np.ndarray:
+        """Sorted cells of one road's vehicles (copy)."""
+        return self._roads[road].positions.copy()
+
+    def velocities(self, road: int) -> np.ndarray:
+        """Velocities of one road's vehicles (copy)."""
+        return self._roads[road].velocities.copy()
+
+    def crossings(self, road: int) -> int:
+        """How many times vehicles of this road traversed the crosspoint."""
+        return self._roads[road].crossings
+
+    def mean_velocity(self, road: int) -> float:
+        """Average velocity on one road (NaN when empty)."""
+        velocities = self._roads[road].velocities
+        if len(velocities) == 0:
+            return float("nan")
+        return float(velocities.mean())
+
+    def flow(self, road: int) -> float:
+        """rho * v of one road."""
+        road_state = self._roads[road]
+        if len(road_state.velocities) == 0:
+            return 0.0
+        return len(road_state.positions) / self._num_cells * self.mean_velocity(road)
+
+    def crosspoint_occupied_by(self, road: int) -> bool:
+        """Is this road's vehicle physically on the crosspoint now?"""
+        return bool(
+            (self._roads[road].positions == self._cross[road]).any()
+        )
+
+    def vehicles(self) -> List[VehicleState]:
+        """Per-vehicle records; ``lane`` is the road index (0 = priority)."""
+        result = []
+        for index, road in enumerate(self._roads):
+            gaps = self._gaps(road.positions)
+            for i in range(len(road.positions)):
+                result.append(
+                    VehicleState(
+                        vehicle_id=int(road.ids[i]),
+                        cell=int(road.positions[i]),
+                        velocity=int(road.velocities[i]),
+                        gap=int(gaps[i]),
+                        lane=index,
+                        wraps=int(road.wraps[i]),
+                    )
+                )
+        return result
+
+    # -- dynamics ----------------------------------------------------------
+
+    def step(self) -> None:
+        """One parallel-within-road step; road A moves before road B."""
+        road_a, road_b = self._roads
+        cross_a, cross_b = self._cross
+        # Road A yields only to a B vehicle sitting on the shared site.
+        blocked_a = (road_b.positions == cross_b).any()
+        swept_a = self._move(road_a, cross_a, blocked_a)
+        # Road B yields to A occupancy or an A sweep this step.
+        blocked_b = (road_a.positions == cross_a).any() or swept_a
+        self._move(road_b, cross_b, blocked_b)
+        self._time += 1
+
+    def run(self, steps: int) -> None:
+        """Advance both roads by ``steps`` steps."""
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            self.step()
+
+    # -- internals ---------------------------------------------------------
+
+    def _gaps(self, positions: np.ndarray) -> np.ndarray:
+        n = len(positions)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if n == 1:
+            return np.array([self._num_cells - 1], dtype=np.int64)
+        leader = np.roll(positions, -1)
+        return (leader - positions - 1) % self._num_cells
+
+    def _move(self, road: _Road, cross: int, cross_blocked: bool) -> bool:
+        """Apply the NaS rules to one road; returns True if any vehicle
+        swept over (or onto) the crosspoint."""
+        n = len(road.positions)
+        if n == 0:
+            return False
+        gaps = self._gaps(road.positions)
+        if cross_blocked:
+            # The crosspoint acts as a parked vehicle: cap each gap by the
+            # distance to it (when it lies within that gap).
+            to_cross = (cross - road.positions - 1) % self._num_cells
+            gaps = np.where(to_cross < gaps, to_cross, gaps)
+        velocities = np.minimum(road.velocities + 1, self._v_max)
+        velocities = np.minimum(velocities, gaps)
+        if self._p > 0.0:
+            dawdle = self._rng.random(n) < self._p
+            velocities = np.where(
+                dawdle, np.maximum(velocities - 1, 0), velocities
+            )
+        new_positions = road.positions + velocities
+        # Sweep detection: the movement covered cells pos+1 .. pos+v; the
+        # crosspoint was entered iff its forward offset falls in there.
+        offset = (cross - road.positions) % self._num_cells
+        swept = (offset >= 1) & (offset <= velocities)
+        road.crossings += int(swept.sum())
+        wrapped = new_positions >= self._num_cells
+        road.positions = new_positions % self._num_cells
+        road.velocities = velocities
+        road.wraps = road.wraps + wrapped
+        if wrapped.any():
+            order = np.argsort(road.positions, kind="stable")
+            road.positions = road.positions[order]
+            road.velocities = road.velocities[order]
+            road.ids = road.ids[order]
+            road.wraps = road.wraps[order]
+        return bool(swept.any())

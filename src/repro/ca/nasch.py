@@ -1,0 +1,420 @@
+"""The single-lane Nagel-Schreckenberg (NaS) automaton.
+
+Paper Section III-A.  Time advances in steps of ``dt`` (1 s); the lane is a
+vector of ``L`` sites of ``s`` metres (7.5 m); each vehicle ``i`` has a
+velocity ``v_i`` in ``{0 .. v_max}`` cells/step.  Each step applies, in
+parallel to every vehicle:
+
+1. acceleration:  ``v_i <- min(v_i + 1, v_max)``
+2. braking:       ``v_i <- min(v_i, gap_i)`` where ``gap_i`` is the number
+   of free cells to the vehicle ahead
+2'. dawdling (stochastic version): with probability ``p``,
+   ``v_i <- max(v_i - 1, 0)``
+3. movement:      ``x_i <- x_i + v_i``
+
+With ``p = 0`` the model is deterministic and the average velocity is a
+short-range-dependent (SRD) process; with ``0 < p < 1`` the average velocity
+exhibits the long-range-dependent (LRD) 1/f behaviour studied in paper
+Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ca.boundary import Boundary
+from repro.ca.vehicle import VehicleState
+from repro.util.validate import check_positive, check_probability
+
+#: Paper default: v_max = 135 km/h at 7.5 m cells and 1 s steps = 5 cells/step.
+DEFAULT_V_MAX = 5
+
+
+class NagelSchreckenberg:
+    """One lane of NaS traffic.
+
+    Vehicles are stored in ring order: the leader of vehicle index ``i`` is
+    index ``(i + 1) % N``.  Since vehicles cannot overtake on a single lane,
+    this order is invariant, which lets every rule be applied as a vectorised
+    numpy operation.
+
+    Args:
+        num_cells: lane length ``L`` in cells.
+        num_vehicles: how many vehicles to place (ignored when ``positions``
+            is given).  Vehicles start evenly spaced with velocity 0 unless
+            overridden.
+        p: dawdling probability (rule 2'); ``0`` gives the deterministic
+            model.
+        v_max: maximum velocity in cells/step.
+        boundary: cell-space boundary condition; see :class:`Boundary`.
+        positions: explicit initial cells, strictly increasing, in
+            ``[0, num_cells)``.
+        velocities: explicit initial velocities aligned with ``positions``.
+        rng: generator for the dawdling (and injection) draws; defaults to a
+            fresh seeded generator so runs are reproducible by default.
+        injection_rate: for :attr:`Boundary.OPEN` only — probability per step
+            that a new vehicle enters at cell 0 when it is free.
+    """
+
+    def __init__(
+        self,
+        num_cells: int,
+        num_vehicles: Optional[int] = None,
+        *,
+        p: float = 0.0,
+        v_max: int = DEFAULT_V_MAX,
+        boundary: Boundary = Boundary.PERIODIC,
+        positions: Optional[Sequence[int]] = None,
+        velocities: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        injection_rate: float = 0.0,
+        lane: int = 0,
+    ) -> None:
+        check_positive("num_cells", num_cells)
+        check_probability("p", p)
+        check_probability("injection_rate", injection_rate)
+        if v_max < 1:
+            raise ValueError(f"v_max must be >= 1, got {v_max}")
+        self._num_cells = int(num_cells)
+        self._p = float(p)
+        self._v_max = int(v_max)
+        self._boundary = boundary
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._injection_rate = float(injection_rate)
+        self._lane = int(lane)
+        self._time = 0
+        self._next_id = 0
+
+        if positions is not None:
+            pos = np.asarray(positions, dtype=np.int64)
+        elif num_vehicles is not None:
+            if not 0 <= num_vehicles <= self._num_cells:
+                raise ValueError(
+                    f"num_vehicles must be in [0, {self._num_cells}], "
+                    f"got {num_vehicles}"
+                )
+            pos = np.floor(
+                np.arange(num_vehicles) * self._num_cells / max(num_vehicles, 1)
+            ).astype(np.int64)
+        elif boundary is Boundary.OPEN:
+            pos = np.empty(0, dtype=np.int64)
+        else:
+            raise ValueError(
+                "closed-boundary lanes need num_vehicles or positions"
+            )
+        self._validate_positions(pos)
+
+        if velocities is not None:
+            vel = np.asarray(velocities, dtype=np.int64)
+            if vel.shape != pos.shape:
+                raise ValueError(
+                    f"velocities shape {vel.shape} != positions shape {pos.shape}"
+                )
+            if np.any(vel < 0) or np.any(vel > self._v_max):
+                raise ValueError(f"velocities must be in [0, {self._v_max}]")
+        else:
+            vel = np.zeros_like(pos)
+
+        self._positions = pos
+        self._velocities = vel
+        self._ids = np.arange(len(pos), dtype=np.int64)
+        self._next_id = len(pos)
+        self._wraps = np.zeros(len(pos), dtype=np.int64)
+        self._shifted = np.zeros(len(pos), dtype=bool)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_density(
+        cls,
+        num_cells: int,
+        density: float,
+        *,
+        random_start: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> "NagelSchreckenberg":
+        """Place ``round(density * num_cells)`` vehicles on the lane.
+
+        With ``random_start`` the cells are drawn uniformly without
+        replacement (using ``rng``); otherwise vehicles start evenly spaced.
+        """
+        check_probability("density", density)
+        n = int(round(density * num_cells))
+        if random_start:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            cells = np.sort(rng.choice(num_cells, size=n, replace=False))
+            return cls(num_cells, positions=cells, rng=rng, **kwargs)
+        return cls(num_cells, n, rng=rng, **kwargs)
+
+    # -- read-only state ---------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        """Lane length L in cells."""
+        return self._num_cells
+
+    @property
+    def num_vehicles(self) -> int:
+        """Current number of vehicles (constant unless boundary is OPEN)."""
+        return len(self._positions)
+
+    @property
+    def v_max(self) -> int:
+        """Maximum velocity in cells/step."""
+        return self._v_max
+
+    @property
+    def p(self) -> float:
+        """Dawdling probability."""
+        return self._p
+
+    @property
+    def boundary(self) -> Boundary:
+        """The lane's boundary condition."""
+        return self._boundary
+
+    @property
+    def time(self) -> int:
+        """Number of steps executed so far."""
+        return self._time
+
+    @property
+    def density(self) -> float:
+        """Vehicle density rho = N / L."""
+        return self.num_vehicles / self._num_cells
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current cell of each vehicle, in ring order (copy)."""
+        return self._positions.copy()
+
+    @property
+    def velocities(self) -> np.ndarray:
+        """Current velocity of each vehicle, aligned with positions (copy)."""
+        return self._velocities.copy()
+
+    @property
+    def vehicle_ids(self) -> np.ndarray:
+        """Stable vehicle ids aligned with :attr:`positions` (copy)."""
+        return self._ids.copy()
+
+    @property
+    def wraps(self) -> np.ndarray:
+        """Cumulative wrap count per vehicle (copy)."""
+        return self._wraps.copy()
+
+    @property
+    def shifted(self) -> np.ndarray:
+        """Per-vehicle flag: wrapped during the most recent step (copy)."""
+        return self._shifted.copy()
+
+    def mean_velocity(self) -> float:
+        """Average velocity v(t) = (1/N) sum_i v_i — the paper's main
+        simulation variable.  NaN when the lane is empty."""
+        if len(self._velocities) == 0:
+            return float("nan")
+        return float(self._velocities.mean())
+
+    def flow(self) -> float:
+        """Traffic flow J = rho * v (paper Fig. 4's y axis)."""
+        if len(self._velocities) == 0:
+            return 0.0
+        return self.density * self.mean_velocity()
+
+    def gaps(self) -> np.ndarray:
+        """Free cells ahead of each vehicle.
+
+        On cyclic lanes the gap wraps around; a single vehicle sees
+        ``L - 1`` free cells.  On OPEN lanes the front-most vehicle sees an
+        unobstructed road, represented as ``v_max`` (the largest gap the
+        dynamics can use).
+        """
+        pos = self._positions
+        n = len(pos)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._boundary.cyclic_cells:
+            if n == 1:
+                return np.array([self._num_cells - 1], dtype=np.int64)
+            leader = np.roll(pos, -1)
+            return (leader - pos - 1) % self._num_cells
+        gaps = np.empty(n, dtype=np.int64)
+        gaps[:-1] = pos[1:] - pos[:-1] - 1
+        gaps[-1] = self._v_max
+        return gaps
+
+    def occupancy_vector(self) -> np.ndarray:
+        """The paper's site representation: a length-L vector with the
+        vehicle's velocity at occupied sites and -1 at empty sites."""
+        lane = np.full(self._num_cells, -1, dtype=np.int64)
+        lane[self._positions] = self._velocities
+        return lane
+
+    def odometer_cells(self) -> np.ndarray:
+        """Total distance travelled per vehicle, in cells, across wraps."""
+        return self._positions + self._wraps * self._num_cells
+
+    def vehicles(self) -> List[VehicleState]:
+        """Current per-vehicle records (paper's ``VE_i`` structures)."""
+        gaps = self.gaps()
+        return [
+            VehicleState(
+                vehicle_id=int(self._ids[i]),
+                cell=int(self._positions[i]),
+                velocity=int(self._velocities[i]),
+                gap=int(gaps[i]),
+                lane=self._lane,
+                wraps=int(self._wraps[i]),
+                shifted=bool(self._shifted[i]),
+            )
+            for i in range(len(self._positions))
+        ]
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """A JSON-serialisable snapshot of the automaton's full state.
+
+        The dawdling generator's state is included, so a restored model
+        continues the *exact* trajectory — checkpointing long Monte-Carlo
+        studies without replaying the prefix.
+        """
+        return {
+            "num_cells": self._num_cells,
+            "p": self._p,
+            "v_max": self._v_max,
+            "boundary": self._boundary.value,
+            "injection_rate": self._injection_rate,
+            "lane": self._lane,
+            "time": self._time,
+            "next_id": self._next_id,
+            "positions": self._positions.tolist(),
+            "velocities": self._velocities.tolist(),
+            "ids": self._ids.tolist(),
+            "wraps": self._wraps.tolist(),
+            "shifted": self._shifted.tolist(),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NagelSchreckenberg":
+        """Rebuild an automaton from :meth:`state_dict` output."""
+        model = cls.__new__(cls)
+        model._num_cells = int(state["num_cells"])
+        model._p = float(state["p"])
+        model._v_max = int(state["v_max"])
+        model._boundary = Boundary(state["boundary"])
+        model._injection_rate = float(state["injection_rate"])
+        model._lane = int(state["lane"])
+        model._time = int(state["time"])
+        model._next_id = int(state["next_id"])
+        model._positions = np.asarray(state["positions"], dtype=np.int64)
+        model._velocities = np.asarray(state["velocities"], dtype=np.int64)
+        model._ids = np.asarray(state["ids"], dtype=np.int64)
+        model._wraps = np.asarray(state["wraps"], dtype=np.int64)
+        model._shifted = np.asarray(state["shifted"], dtype=bool)
+        model._rng = np.random.default_rng()
+        model._rng.bit_generator.state = state["rng_state"]
+        # Positions of a running model are in *ring order* (rotated, not
+        # sorted): validate bounds, uniqueness and at most one wrap point.
+        pos = model._positions
+        if len(pos) > 0:
+            if pos.min() < 0 or pos.max() >= model._num_cells:
+                raise ValueError(f"positions out of range: {pos}")
+            if len(np.unique(pos)) != len(pos):
+                raise ValueError(f"duplicate positions: {pos}")
+            wrap_points = int((np.diff(pos) < 0).sum())
+            if wrap_points > 1 or (
+                wrap_points == 1 and pos[-1] >= pos[0]
+            ):
+                raise ValueError(f"positions not in ring order: {pos}")
+        return model
+
+    # -- dynamics ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the automaton by one time step (parallel update)."""
+        pos, vel = self._positions, self._velocities
+        n = len(pos)
+        if n == 0:
+            self._inject_if_open()
+            self._time += 1
+            return
+        gaps = self.gaps()
+        # Rule 1: accelerate towards v_max.
+        vel = np.minimum(vel + 1, self._v_max)
+        # Rule 2: brake to the gap.
+        vel = np.minimum(vel, gaps)
+        # Rule 2': dawdle with probability p.
+        if self._p > 0.0:
+            dawdle = self._rng.random(n) < self._p
+            vel = np.where(dawdle, np.maximum(vel - 1, 0), vel)
+        # Rule 3: move.
+        new_pos = pos + vel
+        if self._boundary.cyclic_cells:
+            wrapped = new_pos >= self._num_cells
+            self._positions = new_pos % self._num_cells
+            self._velocities = vel
+            self._wraps = self._wraps + wrapped
+            self._shifted = wrapped
+        else:
+            keep = new_pos < self._num_cells
+            self._positions = new_pos[keep]
+            self._velocities = vel[keep]
+            self._ids = self._ids[keep]
+            self._wraps = self._wraps[keep]
+            self._shifted = np.zeros(keep.sum(), dtype=bool)
+            self._inject_if_open()
+        self._time += 1
+
+    def run(self, steps: int) -> None:
+        """Advance the automaton by ``steps`` steps."""
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            self.step()
+
+    # -- internals ---------------------------------------------------------
+
+    def _inject_if_open(self) -> None:
+        if self._boundary is not Boundary.OPEN or self._injection_rate <= 0:
+            return
+        if self._rng.random() >= self._injection_rate:
+            return
+        pos = self._positions
+        if len(pos) > 0 and pos[0] == 0:
+            return  # entry cell occupied
+        entry_gap = int(pos[0]) - 1 if len(pos) > 0 else self._v_max
+        velocity = min(self._v_max, max(entry_gap, 0))
+        self._positions = np.concatenate([[0], pos])
+        self._velocities = np.concatenate([[velocity], self._velocities])
+        self._ids = np.concatenate([[self._next_id], self._ids])
+        self._next_id += 1
+        self._wraps = np.concatenate([[0], self._wraps])
+        self._shifted = np.concatenate([[False], self._shifted])
+
+    def _validate_positions(self, pos: np.ndarray) -> None:
+        if pos.ndim != 1:
+            raise ValueError(f"positions must be 1-D, got shape {pos.shape}")
+        if len(pos) > self._num_cells:
+            raise ValueError(
+                f"{len(pos)} vehicles do not fit on {self._num_cells} cells"
+            )
+        if len(pos) == 0:
+            return
+        if np.any(pos < 0) or np.any(pos >= self._num_cells):
+            raise ValueError(
+                f"positions must be in [0, {self._num_cells}), got {pos}"
+            )
+        if np.any(np.diff(pos) <= 0):
+            raise ValueError(f"positions must be strictly increasing, got {pos}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NagelSchreckenberg(L={self._num_cells}, N={self.num_vehicles}, "
+            f"p={self._p}, v_max={self._v_max}, t={self._time}, "
+            f"boundary={self._boundary.value})"
+        )

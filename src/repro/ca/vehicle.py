@@ -1,0 +1,39 @@
+"""Per-vehicle state record.
+
+Paper Section III-C: every vehicle is a data structure ``VE_i`` storing the
+gap, the velocity and the current lane position; additionally, for closed
+boundaries, a flag recording whether a wrap ("shift") has taken place during
+the last step, which the trace generator needs in order to emit a correct
+ns-2 movement segment instead of a spurious high-speed jump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class VehicleState:
+    """Snapshot of one vehicle on a lane.
+
+    Attributes:
+        vehicle_id: stable identifier, assigned at construction in order of
+            initial position (vehicles never overtake within a lane, but may
+            change lanes on multi-lane roads).
+        cell: current cell index on the lane, in ``[0, num_cells)``.
+        velocity: current velocity in cells per step.
+        gap: free cells to the vehicle ahead (after the last update).
+        lane: lane index the vehicle is on.
+        wraps: how many times the vehicle has wrapped past the end of the
+            lane since the start of the simulation.
+        shifted: True if the vehicle wrapped during the most recent step —
+            the paper's "shift has taken place" flag.
+    """
+
+    vehicle_id: int
+    cell: int
+    velocity: int
+    gap: int
+    lane: int = 0
+    wraps: int = 0
+    shifted: bool = False

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the everyday uses of the tool:
+
+* ``run``         — one network scenario, printed metrics;
+* ``compare``     — several protocols over the same mobility (Fig. 11);
+* ``trace``       — generate a mobility trace and export it (ns-2/CSV/JSON);
+* ``fundamental`` — the flow-density diagram (Fig. 4);
+* ``spacetime``   — an ASCII space-time diagram (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _int_list(text: str) -> tuple:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAVENET reproduction: CA mobility + VANET protocol "
+        "simulation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one network scenario")
+    _add_scenario_arguments(run)
+
+    compare = commands.add_parser(
+        "compare", help="compare protocols over the same mobility"
+    )
+    _add_scenario_arguments(compare)
+    compare.add_argument(
+        "--protocols",
+        default="AODV,OLSR,DYMO",
+        help="comma-separated protocol list (default: AODV,OLSR,DYMO)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="generate a mobility trace and export it"
+    )
+    _add_scenario_arguments(trace)
+    trace.add_argument(
+        "--format",
+        choices=("ns2", "csv", "json"),
+        default="ns2",
+        help="output format (default ns2)",
+    )
+    trace.add_argument(
+        "--output", default="-", help="output file, '-' for stdout"
+    )
+
+    fundamental = commands.add_parser(
+        "fundamental", help="flow-density (fundamental) diagram"
+    )
+    fundamental.add_argument(
+        "--densities",
+        type=_float_list,
+        default=[0.05, 0.1, 1 / 6, 0.25, 0.35, 0.5],
+        help="comma-separated densities",
+    )
+    fundamental.add_argument("--p", type=float, default=0.0)
+    fundamental.add_argument("--cells", type=int, default=400)
+    fundamental.add_argument("--trials", type=int, default=10)
+    fundamental.add_argument("--steps", type=int, default=300)
+    fundamental.add_argument("--seed", type=int, default=0)
+
+    spacetime = commands.add_parser(
+        "spacetime", help="ASCII space-time diagram"
+    )
+    spacetime.add_argument("--density", type=float, default=0.3)
+    spacetime.add_argument("--p", type=float, default=0.3)
+    spacetime.add_argument("--cells", type=int, default=400)
+    spacetime.add_argument("--steps", type=int, default=80)
+    spacetime.add_argument("--warmup", type=int, default=100)
+    spacetime.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", default="AODV")
+    parser.add_argument("--nodes", type=int, default=30)
+    parser.add_argument("--road", type=float, default=3000.0,
+                        help="road length in metres")
+    parser.add_argument(
+        "--boundary", choices=("circuit", "line"), default="circuit"
+    )
+    parser.add_argument("--time", type=float, default=100.0,
+                        help="simulated seconds")
+    parser.add_argument(
+        "--senders", type=_int_list, default=(1, 2, 3, 4, 5, 6, 7, 8)
+    )
+    parser.add_argument("--receiver", type=int, default=0)
+    parser.add_argument("--p", type=float, default=0.5,
+                        help="NaS dawdling probability")
+    parser.add_argument("--seed", type=int, default=4)
+    parser.add_argument(
+        "--propagation",
+        choices=("two_ray", "free_space", "shadowing", "nakagami"),
+        default="two_ray",
+    )
+
+
+def _scenario_from(args: argparse.Namespace):
+    from repro.core.config import Scenario
+
+    stop = min(args.time * 0.9, args.time)
+    return Scenario(
+        num_nodes=args.nodes,
+        road_length_m=args.road,
+        boundary=args.boundary,
+        sim_time_s=args.time,
+        protocol=args.protocol,
+        senders=args.senders,
+        receiver=args.receiver,
+        dawdle_p=args.p,
+        traffic_start_s=args.time * 0.1,
+        traffic_stop_s=stop,
+        propagation=args.propagation,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.simulation import CavenetSimulation
+
+    scenario = _scenario_from(args)
+    result = CavenetSimulation(scenario).run()
+    print(f"protocol          : {scenario.protocol}")
+    print(f"originated        : {result.collector.num_originated}")
+    print(f"delivered         : {result.collector.num_delivered}")
+    print(f"PDR               : {result.pdr():.3f}")
+    delay = result.delay_stats()
+    print(f"mean delay        : {delay.mean_s * 1000:.2f} ms")
+    overhead = result.control_overhead()
+    print(f"control packets   : {overhead.packets}")
+    for sender in scenario.senders:
+        print(
+            f"  sender {sender:>2}: PDR {result.pdr(sender):.3f}  "
+            f"goodput {result.mean_goodput_bps(sender):>9,.0f} bps"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_bars
+    from repro.core.experiment import compare_protocols
+
+    scenario = _scenario_from(args)
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    comparison = compare_protocols(scenario, protocols)
+    print(comparison.format_pdr_table())
+    print()
+    print("mean PDR:")
+    print(render_bars(comparison.mean_pdr(), max_value=1.0))
+    print()
+    print("control packets:")
+    print(render_bars(
+        {k: float(v) for k, v in comparison.overhead_table().items()},
+        fmt="{:.0f}",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.simulation import CavenetSimulation
+    from repro.tracegen import Ns2TraceWriter, trace_to_csv, trace_to_json
+
+    scenario = _scenario_from(args)
+    trace = CavenetSimulation(scenario).generate_trace()
+    if args.format == "ns2":
+        text = Ns2TraceWriter().render(trace)
+    elif args.format == "csv":
+        text = trace_to_csv(trace)
+    else:
+        text = trace_to_json(trace, indent=2)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text):,} characters to {args.output}")
+    return 0
+
+
+def _cmd_fundamental(args: argparse.Namespace) -> int:
+    from repro.analysis.fundamental import fundamental_diagram
+    from repro.analysis.render import render_sparkline
+    from repro.util.rng import RngStreams
+
+    diagram = fundamental_diagram(
+        args.densities,
+        p=args.p,
+        num_cells=args.cells,
+        trials=args.trials,
+        steps=args.steps,
+        rng=RngStreams(args.seed),
+    )
+    print(f"fundamental diagram: p={args.p}, L={args.cells}, "
+          f"{args.trials} trials x {args.steps} steps")
+    print(f"{'rho':>8}  {'J':>8}  {'std':>8}")
+    for rho, flow, std in zip(
+        diagram.densities, diagram.flows, diagram.flow_std
+    ):
+        print(f"{rho:>8.3f}  {flow:>8.4f}  {std:>8.4f}")
+    print(f"\nJ(rho): {render_sparkline(diagram.flows)}")
+    rho_star, j_star = diagram.peak()
+    print(f"peak: J={j_star:.3f} at rho={rho_star:.3f}")
+    return 0
+
+
+def _cmd_spacetime(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_spacetime
+    from repro.ca.history import evolve
+    from repro.ca.nasch import NagelSchreckenberg
+
+    model = NagelSchreckenberg.from_density(
+        args.cells,
+        args.density,
+        random_start=True,
+        rng=np.random.default_rng(args.seed),
+        p=args.p,
+    )
+    history = evolve(model, args.steps, warmup=args.warmup)
+    print(f"rho={args.density} p={args.p} L={args.cells} "
+          f"({args.steps} steps; time flows downward)")
+    print(render_spacetime(history))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "trace": _cmd_trace,
+    "fundamental": _cmd_fundamental,
+    "spacetime": _cmd_spacetime,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

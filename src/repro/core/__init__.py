@@ -1,0 +1,30 @@
+"""High-level CAVENET API: scenarios, the simulation facade, experiments.
+
+This package glues the Behavioural Analyzer to the Communication Protocol
+Simulator exactly the way paper Fig. 2 draws it: a :class:`Scenario`
+describes the road, traffic and protocol; :class:`CavenetSimulation` runs
+the CA mobility, turns it into a trace, replays the trace under the network
+stack and returns a :class:`SimulationResult`; :mod:`repro.core.experiment`
+sweeps protocols and parameters for the evaluation figures.
+"""
+
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation, SimulationResult
+from repro.core.experiment import (
+    ProtocolComparison,
+    compare_protocols,
+    goodput_surface,
+)
+from repro.core.sweep import SweepPoint, SweepResult, sweep_scenario
+
+__all__ = [
+    "Scenario",
+    "CavenetSimulation",
+    "SimulationResult",
+    "ProtocolComparison",
+    "compare_protocols",
+    "goodput_surface",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_scenario",
+]

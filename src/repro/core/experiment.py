@@ -1,0 +1,105 @@
+"""Evaluation experiments: protocol comparison and goodput surfaces.
+
+These helpers regenerate the data behind the paper's Figs. 8-11: run the
+same scenario (same mobility pattern, same traffic) under each routing
+protocol and tabulate goodput and PDR per sender.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation, SimulationResult
+from repro.mobility.trace import MobilityTrace
+
+
+@dataclasses.dataclass
+class ProtocolComparison:
+    """Per-protocol results over the same mobility trace."""
+
+    scenario: Scenario
+    results: Dict[str, SimulationResult]
+
+    def pdr_table(self) -> Dict[str, Dict[int, float]]:
+        """PDR per sender for each protocol — the rows of Fig. 11."""
+        return {
+            name: result.pdr_per_sender()
+            for name, result in self.results.items()
+        }
+
+    def mean_pdr(self) -> Dict[str, float]:
+        """Overall PDR per protocol."""
+        return {name: r.pdr() for name, r in self.results.items()}
+
+    def mean_delay(self) -> Dict[str, float]:
+        """Mean end-to-end delay per protocol (route-search cost shows up
+        here: the paper's conclusion ranks DYMO ahead of AODV on delay)."""
+        return {
+            name: r.delay_stats().mean_s for name, r in self.results.items()
+        }
+
+    def overhead_table(self) -> Dict[str, int]:
+        """Control transmissions per protocol."""
+        return {
+            name: r.control_overhead().packets
+            for name, r in self.results.items()
+        }
+
+    def format_pdr_table(self) -> str:
+        """Human-readable Fig. 11 table."""
+        senders = sorted(self.scenario.senders)
+        names = list(self.results)
+        width = max(len(n) for n in names) + 2
+        lines = [
+            "Sender ".ljust(10) + "".join(n.ljust(width) for n in names)
+        ]
+        table = self.pdr_table()
+        for sender in senders:
+            row = f"{sender:<10d}" + "".join(
+                f"{table[name].get(sender, 0.0):<{width}.3f}" for name in names
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def compare_protocols(
+    scenario: Scenario,
+    protocols: Iterable[str] = ("AODV", "OLSR", "DYMO"),
+    trace: Optional[MobilityTrace] = None,
+) -> ProtocolComparison:
+    """Run ``scenario`` once per protocol over the *same* mobility trace.
+
+    "The mobility pattern for all scenarios is the same" (paper Section
+    IV-C): the trace is generated once and shared.
+    """
+    if trace is None:
+        trace = CavenetSimulation(scenario).generate_trace()
+    results: Dict[str, SimulationResult] = {}
+    for protocol in protocols:
+        run_scenario = scenario.with_protocol(protocol)
+        results[protocol] = CavenetSimulation(run_scenario).run(trace=trace)
+    return ProtocolComparison(scenario=scenario, results=results)
+
+
+def goodput_surface(
+    result: SimulationResult, bin_s: float = 1.0
+) -> Tuple[np.ndarray, List[int], np.ndarray]:
+    """The (flow x time) goodput surface of Figs. 8-10.
+
+    Returns ``(bin_centers_s, flow_ids, surface)`` where ``surface[i, j]``
+    is flow ``flow_ids[i]``'s goodput (bps) in time bin ``j``.  With the
+    default many-to-one traffic pattern, flow ids are the sender ids.
+    """
+    flow_ids = sorted(
+        flow_id for flow_id, _src, _dst in result.scenario.traffic_flows()
+    )
+    rows = []
+    centers = None
+    for flow_id in flow_ids:
+        centers, series = result.goodput_series(flow_id, bin_s)
+        rows.append(series)
+    return centers, flow_ids, np.vstack(rows)

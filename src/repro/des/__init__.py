@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate under the Communication Protocol Simulator: a classic
+event-heap scheduler with cancellable events and periodic timers, playing the
+role ns-2's scheduler plays in the original CAVENET tool chain.
+"""
+
+from repro.des.engine import Simulator
+from repro.des.event import Event
+from repro.des.timer import PeriodicTimer
+
+__all__ = ["Simulator", "Event", "PeriodicTimer"]

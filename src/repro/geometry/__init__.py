@@ -1,0 +1,27 @@
+"""Lane geometry: affine transformations and lane shapes.
+
+The paper (Section III-D) places each lane in the plane with an affine
+transformation of the vehicle's relative coordinate vector ``(X, Y, 1)``.
+This package provides those transforms plus parametric lane shapes —
+straight lines, polylines and the closed circuit introduced by the paper's
+"improvement" of CAVENET (Section III-B).
+"""
+
+from repro.geometry.affine import AffineTransform2D
+from repro.geometry.shapes import (
+    CircularShape,
+    LaneShape,
+    PolylineShape,
+    StraightShape,
+)
+from repro.geometry.layout import Lane, RoadLayout
+
+__all__ = [
+    "AffineTransform2D",
+    "LaneShape",
+    "StraightShape",
+    "CircularShape",
+    "PolylineShape",
+    "Lane",
+    "RoadLayout",
+]

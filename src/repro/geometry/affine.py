@@ -1,0 +1,112 @@
+"""2-D affine transformations in homogeneous coordinates.
+
+The paper represents the pose of lane ``k`` as a 3x3 matrix ``A(k)`` applied
+to the relative coordinate vector ``(X, Y, 1)`` of each vehicle:
+``X~ = A(k) X``.  For example, the third lane of paper Fig. 3 uses a swap of
+axes plus a translation.  This module implements exactly that algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+class AffineTransform2D:
+    """An affine map of the plane, stored as a 3x3 homogeneous matrix.
+
+    Instances are immutable; composition returns a new transform.
+
+    >>> t = AffineTransform2D.translation(10.0, 0.0)
+    >>> t.apply(1.0, 2.0)
+    (11.0, 2.0)
+    """
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: Iterable[Iterable[float]]) -> None:
+        mat = np.asarray(matrix, dtype=float)
+        if mat.shape != (3, 3):
+            raise ValueError(f"affine matrix must be 3x3, got shape {mat.shape}")
+        if not np.allclose(mat[2], [0.0, 0.0, 1.0]):
+            raise ValueError(
+                f"bottom row of an affine matrix must be [0, 0, 1], got {mat[2]}"
+            )
+        mat.setflags(write=False)
+        self._matrix = mat
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "AffineTransform2D":
+        """The identity transform."""
+        return cls(np.eye(3))
+
+    @classmethod
+    def translation(cls, dx: float, dy: float) -> "AffineTransform2D":
+        """Translate by ``(dx, dy)``."""
+        return cls([[1.0, 0.0, dx], [0.0, 1.0, dy], [0.0, 0.0, 1.0]])
+
+    @classmethod
+    def rotation(cls, angle_rad: float) -> "AffineTransform2D":
+        """Rotate counter-clockwise about the origin by ``angle_rad``."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return cls([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+    @classmethod
+    def scaling(cls, sx: float, sy: float) -> "AffineTransform2D":
+        """Scale by ``sx`` along x and ``sy`` along y."""
+        return cls([[sx, 0.0, 0.0], [0.0, sy, 0.0], [0.0, 0.0, 1.0]])
+
+    @classmethod
+    def axis_swap(cls) -> "AffineTransform2D":
+        """Swap x and y axes — the transform of lane 3 in paper Fig. 3."""
+        return cls([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+
+    # -- operations --------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only 3x3 matrix."""
+        return self._matrix
+
+    def apply(self, x: float, y: float) -> Tuple[float, float]:
+        """Map a single point ``(x, y)``."""
+        vec = self._matrix @ np.array([x, y, 1.0])
+        return float(vec[0]), float(vec[1])
+
+    def apply_many(self, points: np.ndarray) -> np.ndarray:
+        """Map an ``(N, 2)`` array of points, returning an ``(N, 2)`` array."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (N, 2), got {pts.shape}")
+        homogeneous = np.column_stack([pts, np.ones(len(pts))])
+        return (homogeneous @ self._matrix.T)[:, :2]
+
+    def compose(self, other: "AffineTransform2D") -> "AffineTransform2D":
+        """Return ``self ∘ other`` (``other`` applied first)."""
+        return AffineTransform2D(self._matrix @ other._matrix)
+
+    def inverse(self) -> "AffineTransform2D":
+        """Return the inverse transform.
+
+        Raises :class:`numpy.linalg.LinAlgError` if the transform is singular
+        (e.g. a degenerate scaling by zero).
+        """
+        return AffineTransform2D(np.linalg.inv(self._matrix))
+
+    def __matmul__(self, other: "AffineTransform2D") -> "AffineTransform2D":
+        return self.compose(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineTransform2D):
+            return NotImplemented
+        return np.allclose(self._matrix, other._matrix)
+
+    def __hash__(self) -> int:
+        return hash(self._matrix.tobytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AffineTransform2D({self._matrix.tolist()})"

@@ -1,0 +1,133 @@
+"""Road layouts: named lanes with shapes, directions and cell grids.
+
+A :class:`RoadLayout` bundles the lanes of a scenario: the single 3000 m
+circuit of the paper's Table I, or multi-lane roads for the connectivity
+study of paper Fig. 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Tuple
+
+from repro.geometry.shapes import CircularShape, LaneShape, StraightShape
+from repro.util.units import CELL_LENGTH_M
+
+
+@dataclasses.dataclass(frozen=True)
+class Lane:
+    """One lane of a road.
+
+    Attributes:
+        lane_id: index of the lane within the layout.
+        shape: the arc-length parametrised geometry.
+        direction: +1 for travel in the direction of increasing arc length,
+            -1 for the opposite (used for opposite-direction lanes in the
+            interference study of paper Fig. 1-b).
+        cell_length: metres per CA cell on this lane.
+    """
+
+    lane_id: int
+    shape: LaneShape
+    direction: int = 1
+    cell_length: float = CELL_LENGTH_M
+
+    def __post_init__(self) -> None:
+        if self.direction not in (-1, 1):
+            raise ValueError(f"direction must be +1 or -1, got {self.direction}")
+        if self.cell_length <= 0:
+            raise ValueError(f"cell_length must be > 0, got {self.cell_length}")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of CA cells that fit on the lane."""
+        return int(self.shape.length // self.cell_length)
+
+    def cell_to_plane(self, cell: float) -> Tuple[float, float]:
+        """Map a (possibly fractional) cell index to plane coordinates.
+
+        Respects the lane direction: on a ``direction == -1`` lane cell 0 is
+        at arc length 0 but increasing cells move towards decreasing arc
+        length (i.e. the vehicles flow the other way around).
+        """
+        s = cell * self.cell_length
+        if self.direction < 0:
+            s = self.shape.length - s
+            if not self.shape.closed:
+                s = max(0.0, min(s, self.shape.length))
+        return self.shape.to_plane(s)
+
+
+class RoadLayout:
+    """An ordered collection of lanes forming the simulated road."""
+
+    def __init__(self, lanes: List[Lane]) -> None:
+        if not lanes:
+            raise ValueError("a road layout needs at least one lane")
+        ids = [lane.lane_id for lane in lanes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate lane ids in layout: {ids}")
+        self._lanes: Dict[int, Lane] = {lane.lane_id: lane for lane in lanes}
+        self._order = list(ids)
+
+    @classmethod
+    def single_circuit(
+        cls, length_m: float, cell_length: float = CELL_LENGTH_M
+    ) -> "RoadLayout":
+        """The paper's Table I road: one closed circuit of ``length_m``."""
+        return cls([Lane(0, CircularShape(length_m), 1, cell_length)])
+
+    @classmethod
+    def single_line(
+        cls, length_m: float, cell_length: float = CELL_LENGTH_M
+    ) -> "RoadLayout":
+        """The original (pre-improvement) CAVENET road: one straight lane."""
+        return cls([Lane(0, StraightShape(length_m), 1, cell_length)])
+
+    @classmethod
+    def multi_lane_circuit(
+        cls,
+        length_m: float,
+        num_lanes: int,
+        lane_spacing_m: float = 3.75,
+        opposite: Tuple[int, ...] = (),
+        cell_length: float = CELL_LENGTH_M,
+    ) -> "RoadLayout":
+        """Concentric circular lanes, for the Fig. 1 multi-lane studies.
+
+        ``opposite`` lists lane indices that carry traffic in the reverse
+        direction (the interferer lane of Fig. 1-b).  All lanes share the
+        same circumference parametrisation, offset radially.
+        """
+        if num_lanes < 1:
+            raise ValueError(f"num_lanes must be >= 1, got {num_lanes}")
+        lanes = [
+            Lane(
+                k,
+                CircularShape(length_m, radius_offset=k * lane_spacing_m),
+                -1 if k in opposite else 1,
+                cell_length,
+            )
+            for k in range(num_lanes)
+        ]
+        return cls(lanes)
+
+    @property
+    def num_lanes(self) -> int:
+        """Number of lanes in the layout."""
+        return len(self._lanes)
+
+    @property
+    def lane_ids(self) -> List[int]:
+        """Lane ids in declaration order."""
+        return list(self._order)
+
+    def lane(self, lane_id: int) -> Lane:
+        """Return the lane with the given id (KeyError if absent)."""
+        return self._lanes[lane_id]
+
+    def __iter__(self) -> Iterator[Lane]:
+        return (self._lanes[i] for i in self._order)
+
+    def __len__(self) -> int:
+        return len(self._lanes)

@@ -1,0 +1,200 @@
+"""Parametric lane shapes: map distance-along-lane to plane coordinates.
+
+A lane shape is an arc-length parametrised curve ``to_plane(s) -> (x, y)``.
+The original CAVENET laid lanes out as straight segments positioned by affine
+transforms; the improved CAVENET (paper Section III-B) bends the lane into a
+closed circle so that vehicles wrap without teleporting across the plane.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.affine import AffineTransform2D
+
+
+class LaneShape(abc.ABC):
+    """Abstract arc-length parametrised curve of a given total length."""
+
+    def __init__(self, length: float) -> None:
+        if length <= 0:
+            raise ValueError(f"lane length must be > 0, got {length}")
+        self._length = float(length)
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the lane in metres."""
+        return self._length
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        """True if the ends of the lane are joined (a circuit)."""
+
+    @abc.abstractmethod
+    def to_plane(self, s: float) -> Tuple[float, float]:
+        """Map arc-length position ``s`` (metres) to plane coordinates.
+
+        For closed shapes, ``s`` is taken modulo :attr:`length`.  For open
+        shapes, ``s`` outside ``[0, length]`` raises :class:`ValueError`.
+        """
+
+    def to_plane_many(self, positions: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`to_plane`, returning an ``(N, 2)`` array."""
+        return np.array([self.to_plane(float(s)) for s in positions])
+
+    def _check_open_range(self, s: float) -> float:
+        if not 0.0 <= s <= self._length:
+            raise ValueError(
+                f"position {s} outside open lane of length {self._length}"
+            )
+        return s
+
+
+class StraightShape(LaneShape):
+    """A straight lane along the x axis, positioned by an affine transform.
+
+    This is the original CAVENET lane construction (paper Fig. 3): the
+    vehicle's relative coordinate ``(X, 0, 1)`` is mapped through the lane's
+    transformation matrix.
+    """
+
+    def __init__(
+        self,
+        length: float,
+        transform: AffineTransform2D = None,
+    ) -> None:
+        super().__init__(length)
+        self._transform = (
+            transform if transform is not None else AffineTransform2D.identity()
+        )
+
+    @property
+    def closed(self) -> bool:
+        return False
+
+    @property
+    def transform(self) -> AffineTransform2D:
+        """The lane transformation matrix A(k) of the paper."""
+        return self._transform
+
+    def to_plane(self, s: float) -> Tuple[float, float]:
+        self._check_open_range(s)
+        return self._transform.apply(s, 0.0)
+
+
+class CircularShape(LaneShape):
+    """A closed circular lane — the improved CAVENET movement pattern.
+
+    The circle has circumference ``length`` and is centred at ``center``;
+    vehicles travel counter-clockwise starting from angle 0 (east).  A lane
+    at a different radius (e.g. the outer lane of a two-lane ring road) keeps
+    the *same* circumference parametrisation so that cell indices stay
+    aligned between lanes, and differs only in ``radius_offset``.
+    """
+
+    def __init__(
+        self,
+        length: float,
+        center: Tuple[float, float] = (0.0, 0.0),
+        radius_offset: float = 0.0,
+    ) -> None:
+        super().__init__(length)
+        self._center = (float(center[0]), float(center[1]))
+        self._radius = length / (2.0 * math.pi) + radius_offset
+        if self._radius <= 0:
+            raise ValueError(
+                f"radius_offset {radius_offset} collapses the circle"
+            )
+
+    @property
+    def closed(self) -> bool:
+        return True
+
+    @property
+    def radius(self) -> float:
+        """Radius of the circle in metres."""
+        return self._radius
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        """Centre of the circle."""
+        return self._center
+
+    def to_plane(self, s: float) -> Tuple[float, float]:
+        angle = (s % self._length) / self._length * 2.0 * math.pi
+        return (
+            self._center[0] + self._radius * math.cos(angle),
+            self._center[1] + self._radius * math.sin(angle),
+        )
+
+
+class PolylineShape(LaneShape):
+    """A lane following a sequence of straight segments.
+
+    Useful for grid or ring-road layouts that are not perfect circles.  If
+    the last vertex equals the first the shape is closed.
+    """
+
+    def __init__(self, vertices: Sequence[Tuple[float, float]]) -> None:
+        if len(vertices) < 2:
+            raise ValueError("a polyline needs at least two vertices")
+        self._vertices = [(float(x), float(y)) for x, y in vertices]
+        self._seg_lengths: List[float] = []
+        for (x0, y0), (x1, y1) in zip(self._vertices, self._vertices[1:]):
+            seg = math.hypot(x1 - x0, y1 - y0)
+            if seg <= 0:
+                raise ValueError("polyline contains a zero-length segment")
+            self._seg_lengths.append(seg)
+        self._cumulative = np.concatenate([[0.0], np.cumsum(self._seg_lengths)])
+        self._closed = self._vertices[0] == self._vertices[-1]
+        super().__init__(float(self._cumulative[-1]))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def vertices(self) -> List[Tuple[float, float]]:
+        """The polyline's vertices (copy)."""
+        return list(self._vertices)
+
+    def to_plane(self, s: float) -> Tuple[float, float]:
+        if self._closed:
+            s = s % self._length
+        else:
+            self._check_open_range(s)
+        # Find the segment containing s; side='right' puts a vertex position
+        # at the start of the following segment.
+        index = int(np.searchsorted(self._cumulative, s, side="right")) - 1
+        index = min(index, len(self._seg_lengths) - 1)
+        frac = (s - self._cumulative[index]) / self._seg_lengths[index]
+        x0, y0 = self._vertices[index]
+        x1, y1 = self._vertices[index + 1]
+        return (x0 + frac * (x1 - x0), y0 + frac * (y1 - y0))
+
+
+def regular_polygon_circuit(
+    length: float, sides: int = 8, center: Tuple[float, float] = (0.0, 0.0)
+) -> PolylineShape:
+    """Build a closed regular-polygon circuit of total perimeter ``length``.
+
+    A convenience for layouts where a piecewise-linear circuit is preferred
+    over a smooth circle (e.g. matching an ns-2 setdest trace exactly).
+    """
+    if sides < 3:
+        raise ValueError(f"a polygon circuit needs >= 3 sides, got {sides}")
+    circumradius = (length / sides) / (2.0 * math.sin(math.pi / sides))
+    vertices = [
+        (
+            center[0] + circumradius * math.cos(2.0 * math.pi * k / sides),
+            center[1] + circumradius * math.sin(2.0 * math.pi * k / sides),
+        )
+        for k in range(sides)
+    ]
+    vertices.append(vertices[0])
+    return PolylineShape(vertices)

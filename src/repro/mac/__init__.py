@@ -1,0 +1,7 @@
+"""IEEE 802.11 DCF medium access control (Table I's MAC protocol)."""
+
+from repro.mac.frames import Frame, FrameType
+from repro.mac.params import Mac80211Params
+from repro.mac.dcf import Mac80211
+
+__all__ = ["Frame", "FrameType", "Mac80211Params", "Mac80211"]

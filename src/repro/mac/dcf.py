@@ -1,0 +1,430 @@
+"""The 802.11 Distributed Coordination Function.
+
+Implements the CSMA/CA access procedure the paper's Table I configures:
+physical + virtual (NAV) carrier sense, DIFS deferral, binary-exponential
+backoff with freeze-and-resume slot counting, positive ACKs with
+retransmission for unicast frames, and the optional RTS/CTS exchange
+(disabled by default, as in Table I).
+
+Simplifications relative to the full standard, none of which affect the
+contention behaviour the evaluation depends on: no EIFS, no fragmentation,
+and the backoff counter is realised as a single timer that freezes when the
+medium goes busy instead of per-slot events.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.des.engine import Simulator
+from repro.des.event import Event
+from repro.mac.frames import Frame, FrameType
+from repro.mac.params import Mac80211Params
+from repro.net.address import BROADCAST
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+
+
+class MacStats:
+    """Per-MAC counters surfaced to the metrics layer."""
+
+    def __init__(self) -> None:
+        self.data_tx = 0
+        self.ack_tx = 0
+        self.rts_tx = 0
+        self.cts_tx = 0
+        self.retransmissions = 0
+        self.retry_drops = 0
+        self.duplicates_suppressed = 0
+
+    def frames_tx(self) -> int:
+        """All frames transmitted by this MAC."""
+        return self.data_tx + self.ack_tx + self.rts_tx + self.cts_tx
+
+
+class _TxContext:
+    """The unicast/broadcast exchange currently being served."""
+
+    __slots__ = ("packet", "next_hop", "retries", "use_rts", "phase", "seq")
+
+    def __init__(
+        self, packet: Packet, next_hop: int, use_rts: bool, seq: int
+    ) -> None:
+        self.packet = packet
+        self.next_hop = next_hop
+        self.retries = 0
+        self.use_rts = use_rts
+        self.phase = "rts" if use_rts else "data"
+        self.seq = seq
+
+
+class Mac80211:
+    """One node's DCF entity, between the network layer and its radio."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio: "Radio",
+        params: Mac80211Params,
+        rng: Optional[np.random.Generator] = None,
+        queue_capacity: int = 50,
+    ) -> None:
+        self._sim = sim
+        self._radio = radio
+        self._params = params
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._queue = DropTailQueue(queue_capacity)
+        self.stats = MacStats()
+
+        self._current: Optional[_TxContext] = None
+        self._outgoing: Optional[Frame] = None
+        self._cw = params.cw_min
+        self._backoff_slots: Optional[int] = None
+        self._need_backoff = False
+        self._timer: Optional[Event] = None
+        self._timer_kind = ""
+        self._backoff_started = 0.0
+        self._nav_until = 0.0
+        self._nav_wakeup: Optional[Event] = None
+        self._response_timer: Optional[Event] = None
+        self._seq_counter = 0
+        self._dup_cache: Deque[Tuple[int, int]] = collections.deque(maxlen=128)
+
+        self._on_receive: Callable[[Packet, int], None] = lambda p, h: None
+        self._on_failure: Callable[[Packet, int], None] = lambda p, h: None
+        radio.attach_mac(self)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_upper(
+        self,
+        on_receive: Callable[[Packet, int], None],
+        on_failure: Callable[[Packet, int], None],
+    ) -> None:
+        """Connect the network layer.
+
+        ``on_receive(packet, prev_hop)`` fires for every decoded DATA frame
+        addressed to this node or to broadcast; ``on_failure(packet,
+        next_hop)`` fires when a unicast frame exhausts its retry budget
+        (the routing layer's link-breakage signal).
+        """
+        self._on_receive = on_receive
+        self._on_failure = on_failure
+
+    @property
+    def address(self) -> int:
+        """The MAC address (= node id)."""
+        return self._radio.node_id
+
+    @property
+    def queue(self) -> DropTailQueue:
+        """The interface queue."""
+        return self._queue
+
+    # -- network-layer entry points -----------------------------------------
+
+    def enqueue(
+        self, packet: Packet, next_hop: int, priority: bool = False
+    ) -> bool:
+        """Queue a packet for transmission to ``next_hop`` (or BROADCAST).
+
+        ``priority`` packets (routing control, per ns-2's PriQueue) go to
+        the head of the interface queue.  Returns False when the queue
+        dropped the packet.
+        """
+        accepted = self._queue.enqueue(packet, next_hop, priority)
+        if accepted:
+            self._serve()
+        return accepted
+
+    def flush_next_hop(self, next_hop: int) -> int:
+        """Drop queued packets bound for a hop routing declared dead."""
+        return self._queue.remove_for_next_hop(next_hop)
+
+    # -- serving the queue ---------------------------------------------------
+
+    def _serve(self) -> None:
+        if self._current is not None:
+            return
+        head = self._queue.dequeue()
+        if head is None:
+            return
+        packet, next_hop = head
+        use_rts = next_hop != BROADCAST and self._params.uses_rts(
+            packet.size_bytes
+        )
+        self._seq_counter += 1
+        self._current = _TxContext(packet, next_hop, use_rts, self._seq_counter)
+        self._begin_access()
+
+    def _begin_access(self) -> None:
+        if self._current is None:
+            return
+        if self._timer is not None or self._response_timer is not None:
+            return
+        if self._outgoing is not None:
+            return  # mid-transmission; on_tx_done resumes
+        if not self._medium_free():
+            self._need_backoff = True
+            return
+        if self._need_backoff and self._backoff_slots is None:
+            self._backoff_slots = int(self._rng.integers(0, self._cw + 1))
+        self._timer_kind = "difs"
+        self._timer = self._sim.schedule(self._params.difs_s, self._difs_done)
+
+    def _difs_done(self) -> None:
+        self._timer = None
+        if not self._medium_free():
+            return
+        if self._backoff_slots:
+            self._timer_kind = "backoff"
+            self._backoff_started = self._sim.now
+            self._timer = self._sim.schedule(
+                self._backoff_slots * self._params.slot_s, self._backoff_done
+            )
+        else:
+            self._backoff_slots = None
+            self._need_backoff = False
+            self._transmit_current()
+
+    def _backoff_done(self) -> None:
+        self._timer = None
+        self._backoff_slots = None
+        self._need_backoff = False
+        self._transmit_current()
+
+    def _medium_free(self) -> bool:
+        return not self._radio.medium_busy() and self._sim.now >= self._nav_until
+
+    # -- radio callbacks ------------------------------------------------------
+
+    def on_medium_busy(self) -> None:
+        """Physical carrier went busy: freeze any pending access timers."""
+        self._need_backoff = True
+        if self._timer is not None:
+            if self._timer_kind == "backoff" and self._backoff_slots:
+                elapsed = self._sim.now - self._backoff_started
+                consumed = int(elapsed / self._params.slot_s)
+                self._backoff_slots = max(self._backoff_slots - consumed, 0)
+            self._timer.cancel()
+            self._timer = None
+
+    def on_medium_idle(self) -> None:
+        """Physical carrier went idle: resume the access procedure."""
+        self._begin_access()
+
+    def on_tx_done(self) -> None:
+        """Our own frame left the air; arm response timers if needed."""
+        frame = self._outgoing
+        self._outgoing = None
+        if frame is None:
+            return
+        ctx = self._current
+        if ctx is None:
+            return
+        if frame.frame_type is FrameType.DATA and frame.seq == ctx.seq:
+            if ctx.next_hop == BROADCAST:
+                self._complete()
+            else:
+                self._response_timer = self._sim.schedule(
+                    self._params.ack_timeout(), self._response_timeout
+                )
+        elif frame.frame_type is FrameType.RTS:
+            self._response_timer = self._sim.schedule(
+                self._params.cts_timeout(), self._response_timeout
+            )
+
+    def on_frame_received(self, frame: Frame, rx_power_w: float) -> None:
+        """A frame decoded successfully at our radio."""
+        me = self.address
+        if frame.rx_addr == BROADCAST:
+            if frame.frame_type is FrameType.DATA:
+                self._on_receive(frame.packet, frame.tx_addr)
+            return
+        if frame.rx_addr != me:
+            # Virtual carrier sense: honour the Duration field.
+            self._update_nav(self._sim.now + frame.duration_s)
+            return
+        if frame.frame_type is FrameType.DATA:
+            self._sim.schedule(
+                self._params.sifs_s, self._send_response, FrameType.ACK,
+                frame.tx_addr,
+            )
+            key = (frame.tx_addr, frame.seq)
+            if key in self._dup_cache:
+                self.stats.duplicates_suppressed += 1
+                return
+            self._dup_cache.append(key)
+            self._on_receive(frame.packet, frame.tx_addr)
+        elif frame.frame_type is FrameType.ACK:
+            self._on_response(FrameType.ACK)
+        elif frame.frame_type is FrameType.RTS:
+            if self._sim.now >= self._nav_until:
+                self._sim.schedule(
+                    self._params.sifs_s, self._send_response, FrameType.CTS,
+                    frame.tx_addr,
+                )
+        elif frame.frame_type is FrameType.CTS:
+            self._on_response(FrameType.CTS)
+
+    # -- transmission ---------------------------------------------------------
+
+    def _transmit_current(self) -> None:
+        ctx = self._current
+        if ctx is None or not self._medium_free():
+            return
+        if ctx.use_rts and ctx.phase == "rts":
+            self._transmit_rts(ctx)
+        else:
+            self._transmit_data(ctx)
+
+    def _transmit_data(self, ctx: _TxContext) -> None:
+        size = self._params.frame_size(FrameType.DATA, ctx.packet.size_bytes)
+        duration = (
+            0.0
+            if ctx.next_hop == BROADCAST
+            else self._params.sifs_s + self._params.ack_tx_time()
+        )
+        frame = Frame(
+            frame_type=FrameType.DATA,
+            tx_addr=self.address,
+            rx_addr=ctx.next_hop,
+            size_bytes=size,
+            duration_s=duration,
+            packet=ctx.packet,
+            seq=ctx.seq,
+        )
+        self._outgoing = frame
+        self.stats.data_tx += 1
+        self._radio.transmit(frame, self._params.tx_time(size, FrameType.DATA))
+
+    def _transmit_rts(self, ctx: _TxContext) -> None:
+        size = self._params.frame_size(FrameType.RTS)
+        data_size = self._params.frame_size(
+            FrameType.DATA, ctx.packet.size_bytes
+        )
+        # Reserve through CTS + DATA + ACK.
+        duration = (
+            3 * self._params.sifs_s
+            + self._params.cts_tx_time()
+            + self._params.tx_time(data_size, FrameType.DATA)
+            + self._params.ack_tx_time()
+        )
+        frame = Frame(
+            frame_type=FrameType.RTS,
+            tx_addr=self.address,
+            rx_addr=ctx.next_hop,
+            size_bytes=size,
+            duration_s=duration,
+            seq=ctx.seq,
+        )
+        self._outgoing = frame
+        self.stats.rts_tx += 1
+        self._radio.transmit(frame, self._params.tx_time(size, FrameType.RTS))
+
+    def _send_response(self, frame_type: FrameType, to: int) -> None:
+        # SIFS responses (ACK/CTS) preempt contention, but a half-duplex
+        # radio that started talking in the meantime cannot send one.
+        if self._radio.state.value == "tx":
+            return
+        size = self._params.frame_size(frame_type)
+        duration = 0.0
+        if frame_type is FrameType.CTS:
+            # Reserve through DATA + ACK (conservatively for a max frame is
+            # not possible — we do not know the size — so reserve SIFS+ACK
+            # beyond a typical data frame the way ns-2 does via the RTS
+            # duration; third parties already hold the RTS reservation).
+            duration = 2 * self._params.sifs_s + self._params.ack_tx_time()
+        frame = Frame(
+            frame_type=frame_type,
+            tx_addr=self.address,
+            rx_addr=to,
+            size_bytes=size,
+            duration_s=duration,
+        )
+        if frame_type is FrameType.ACK:
+            self.stats.ack_tx += 1
+        else:
+            self.stats.cts_tx += 1
+        self._radio.transmit(
+            frame, self._params.tx_time(size, frame_type)
+        )
+
+    # -- responses and retries --------------------------------------------------
+
+    def _on_response(self, frame_type: FrameType) -> None:
+        ctx = self._current
+        if ctx is None or self._response_timer is None:
+            return
+        if frame_type is FrameType.ACK and ctx.phase == "data":
+            self._response_timer.cancel()
+            self._response_timer = None
+            self._complete()
+        elif frame_type is FrameType.CTS and ctx.phase == "rts":
+            self._response_timer.cancel()
+            self._response_timer = None
+            ctx.phase = "data"
+            self._sim.schedule(self._params.sifs_s, self._transmit_after_cts)
+
+    def _transmit_after_cts(self) -> None:
+        ctx = self._current
+        if ctx is None or ctx.phase != "data":
+            return
+        if self._radio.state.value == "tx":
+            return
+        self._transmit_data(ctx)
+
+    def _response_timeout(self) -> None:
+        self._response_timer = None
+        ctx = self._current
+        if ctx is None:
+            return
+        limit = (
+            self._params.long_retry_limit
+            if ctx.use_rts
+            else self._params.short_retry_limit
+        )
+        ctx.retries += 1
+        if ctx.retries >= limit:
+            self.stats.retry_drops += 1
+            packet, next_hop = ctx.packet, ctx.next_hop
+            self._complete()
+            self._on_failure(packet, next_hop)
+            return
+        self.stats.retransmissions += 1
+        if ctx.use_rts:
+            ctx.phase = "rts"
+        self._cw = min(2 * (self._cw + 1) - 1, self._params.cw_max)
+        self._backoff_slots = int(self._rng.integers(0, self._cw + 1))
+        self._need_backoff = True
+        self._begin_access()
+
+    def _complete(self) -> None:
+        """Finish the current exchange (success or final drop) and move on."""
+        self._current = None
+        self._cw = self._params.cw_min
+        # Post-transmission backoff: the standard requires a fresh backoff
+        # before the next frame, which also de-synchronises flooding storms.
+        self._need_backoff = True
+        self._backoff_slots = None
+        self._serve()
+
+    # -- NAV -----------------------------------------------------------------
+
+    def _update_nav(self, until: float) -> None:
+        if until <= self._nav_until:
+            return
+        self._nav_until = until
+        if self._nav_wakeup is not None:
+            self._nav_wakeup.cancel()
+        self._nav_wakeup = self._sim.schedule(
+            until - self._sim.now, self._nav_expired
+        )
+
+    def _nav_expired(self) -> None:
+        self._nav_wakeup = None
+        if not self._radio.medium_busy():
+            self._begin_access()

@@ -1,0 +1,61 @@
+"""MAC frames: what actually travels over the radio."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class FrameType(enum.Enum):
+    """802.11 frame types used by the DCF."""
+
+    DATA = "data"
+    ACK = "ack"
+    RTS = "rts"
+    CTS = "cts"
+
+
+#: MAC overhead in bytes per frame type (header + FCS, 802.11-1999 figures).
+FRAME_OVERHEAD_BYTES = {
+    FrameType.DATA: 28,
+    FrameType.ACK: 14,
+    FrameType.RTS: 20,
+    FrameType.CTS: 14,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One frame on the air.
+
+    Attributes:
+        frame_type: DATA / ACK / RTS / CTS.
+        tx_addr: transmitter MAC address (node id).
+        rx_addr: receiver MAC address, or BROADCAST.
+        size_bytes: total size on air including MAC overhead.
+        duration_s: the 802.11 Duration field — how long, after this frame
+            ends, the medium remains reserved for the ongoing exchange.
+            Third-party stations load this value into their NAV.
+        packet: the network-layer payload (DATA frames only).
+        seq: per-transmitter sequence number for duplicate detection
+            (retransmissions reuse the number).
+    """
+
+    frame_type: FrameType
+    tx_addr: int
+    rx_addr: int
+    size_bytes: int
+    duration_s: float = 0.0
+    packet: Optional[Packet] = None
+    seq: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0, got {self.size_bytes}")
+        if self.duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {self.duration_s}")
+        if self.frame_type is FrameType.DATA and self.packet is None:
+            raise ValueError("DATA frames must carry a packet")

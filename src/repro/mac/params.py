@@ -1,0 +1,94 @@
+"""802.11 DCF parameters (DSSS PHY defaults, as in ns-2 and Table I)."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.mac.frames import FRAME_OVERHEAD_BYTES, FrameType
+
+
+@dataclasses.dataclass(frozen=True)
+class Mac80211Params:
+    """Timing and retry configuration of the DCF.
+
+    Defaults are the 802.11 DSSS values with Table I's rates: 2 Mbps data
+    and 1 Mbps basic (control) rate, no RTS/CTS.
+
+    Attributes:
+        data_rate_bps: payload transmission rate.
+        basic_rate_bps: rate for ACK/RTS/CTS and broadcast frames.
+        slot_s: slot time.
+        sifs_s: short interframe space.
+        difs_s: DCF interframe space (= SIFS + 2 slots).
+        plcp_s: PLCP preamble+header time, spent per frame at 1 Mbps.
+        cw_min: initial contention window (slots - 1).
+        cw_max: maximum contention window.
+        short_retry_limit: retries for frames sent without RTS.
+        long_retry_limit: retries for RTS-protected frames.
+        rts_threshold_bytes: packets at least this large use RTS/CTS;
+            ``None`` disables RTS/CTS entirely (Table I's setting).
+    """
+
+    data_rate_bps: float = 2e6
+    basic_rate_bps: float = 1e6
+    slot_s: float = 20e-6
+    sifs_s: float = 10e-6
+    difs_s: float = 50e-6
+    plcp_s: float = 192e-6
+    cw_min: int = 31
+    cw_max: int = 1023
+    short_retry_limit: int = 7
+    long_retry_limit: int = 4
+    rts_threshold_bytes: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0 or self.basic_rate_bps <= 0:
+            raise ValueError("rates must be > 0")
+        if min(self.slot_s, self.sifs_s, self.difs_s, self.plcp_s) <= 0:
+            raise ValueError("timing parameters must be > 0")
+        if not 0 < self.cw_min <= self.cw_max:
+            raise ValueError(
+                f"need 0 < cw_min <= cw_max, got {self.cw_min}, {self.cw_max}"
+            )
+        if self.short_retry_limit < 1 or self.long_retry_limit < 1:
+            raise ValueError("retry limits must be >= 1")
+
+    def tx_time(self, size_bytes: int, frame_type: FrameType) -> float:
+        """Air time of a frame: PLCP plus bits at the appropriate rate.
+
+        DATA bits go at ``data_rate_bps``; control frames at the basic rate.
+        """
+        rate = (
+            self.data_rate_bps
+            if frame_type is FrameType.DATA
+            else self.basic_rate_bps
+        )
+        return self.plcp_s + size_bytes * 8.0 / rate
+
+    def frame_size(self, frame_type: FrameType, payload_bytes: int = 0) -> int:
+        """On-air size: payload plus the MAC overhead for the type."""
+        return FRAME_OVERHEAD_BYTES[frame_type] + payload_bytes
+
+    def ack_tx_time(self) -> float:
+        """Air time of an ACK frame."""
+        return self.tx_time(self.frame_size(FrameType.ACK), FrameType.ACK)
+
+    def cts_tx_time(self) -> float:
+        """Air time of a CTS frame."""
+        return self.tx_time(self.frame_size(FrameType.CTS), FrameType.CTS)
+
+    def ack_timeout(self) -> float:
+        """How long a transmitter waits for an ACK before retrying."""
+        return self.sifs_s + self.ack_tx_time() + 2 * self.slot_s
+
+    def cts_timeout(self) -> float:
+        """How long an RTS sender waits for the CTS."""
+        return self.sifs_s + self.cts_tx_time() + 2 * self.slot_s
+
+    def uses_rts(self, payload_bytes: int) -> bool:
+        """Does a packet of this size go through the RTS/CTS exchange?"""
+        return (
+            self.rts_threshold_bytes is not None
+            and payload_bytes >= self.rts_threshold_bytes
+        )

@@ -1,0 +1,33 @@
+"""Evaluation metrics: goodput, PDR, delay, routing overhead.
+
+The collector records raw per-packet events during a run; the metric
+functions aggregate them afterwards into exactly the quantities paper
+Section IV-C reports (goodput time-series per sender, PDR per sender) plus
+the future-work metrics the conclusion names (routing overhead, delay).
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.goodput import goodput_series, total_goodput_bps
+from repro.metrics.pdr import packet_delivery_ratio, pdr_by_flow
+from repro.metrics.delay import delay_stats, mean_delay
+from repro.metrics.overhead import control_overhead, normalized_routing_load
+from repro.metrics.tracefile import (
+    TraceEvent,
+    parse_packet_trace,
+    render_packet_trace,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "goodput_series",
+    "total_goodput_bps",
+    "packet_delivery_ratio",
+    "pdr_by_flow",
+    "delay_stats",
+    "mean_delay",
+    "control_overhead",
+    "normalized_routing_load",
+    "TraceEvent",
+    "render_packet_trace",
+    "parse_packet_trace",
+]

@@ -1,0 +1,130 @@
+"""Raw event recording during a network simulation."""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.des.engine import Simulator
+from repro.net.packet import Packet
+
+
+@dataclasses.dataclass(frozen=True)
+class OriginatedEvent:
+    """A data packet handed to the network by its application."""
+
+    uid: int
+    flow_id: Optional[int]
+    src: int
+    dst: int
+    time: float
+    size_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveredEvent:
+    """A data packet arriving at its final destination."""
+
+    uid: int
+    flow_id: Optional[int]
+    time: float
+    size_bytes: int
+    delay_s: float
+    hops: int
+    node: int = -1  # where it was delivered (-1 when unknown)
+
+
+@dataclasses.dataclass(frozen=True)
+class TransmissionEvent:
+    """Any packet handed to a MAC for (one hop of) transmission."""
+
+    uid: int
+    kind: str
+    node: int
+    next_hop: int
+    time: float
+    size_bytes: int
+
+
+class MetricsCollector:
+    """Accumulates packet events; aggregation happens post-run."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self.originated: List[OriginatedEvent] = []
+        self.delivered: List[DeliveredEvent] = []
+        self.transmissions: List[TransmissionEvent] = []
+        self.drops: Dict[str, int] = collections.defaultdict(int)
+        self._delivered_uids = set()
+
+    # -- recording hooks ----------------------------------------------------
+
+    def data_originated(self, packet: Packet) -> None:
+        """An application injected a data packet."""
+        self.originated.append(
+            OriginatedEvent(
+                uid=packet.uid,
+                flow_id=packet.flow_id,
+                src=packet.src,
+                dst=packet.dst,
+                time=self._sim.now,
+                size_bytes=packet.size_bytes,
+            )
+        )
+
+    def data_delivered(self, packet: Packet, node: int = -1) -> None:
+        """A data packet reached its destination (duplicates ignored)."""
+        if packet.uid in self._delivered_uids:
+            return
+        self._delivered_uids.add(packet.uid)
+        self.delivered.append(
+            DeliveredEvent(
+                uid=packet.uid,
+                flow_id=packet.flow_id,
+                time=self._sim.now,
+                size_bytes=packet.size_bytes,
+                delay_s=self._sim.now - packet.created_at,
+                # packet.hops counts forwards; the final link makes one more.
+                hops=packet.hops + 1,
+                node=node,
+            )
+        )
+
+    def transmission(self, packet: Packet, node: int, next_hop: int) -> None:
+        """A packet (data or control) was handed to a MAC."""
+        self.transmissions.append(
+            TransmissionEvent(
+                uid=packet.uid,
+                kind=packet.kind,
+                node=node,
+                next_hop=next_hop,
+                time=self._sim.now,
+                size_bytes=packet.size_bytes,
+            )
+        )
+
+    def packet_dropped(self, packet: Packet, node: int, reason: str) -> None:
+        """A packet was discarded (reason examples: ``no_route``,
+        ``ttl_expired``, ``ifq_full``, ``retry_limit``, ``buffer_timeout``)."""
+        self.drops[reason] += 1
+
+    # -- simple summaries -----------------------------------------------------
+
+    @property
+    def num_originated(self) -> int:
+        """Data packets injected by applications."""
+        return len(self.originated)
+
+    @property
+    def num_delivered(self) -> int:
+        """Distinct data packets that reached their destinations."""
+        return len(self.delivered)
+
+    def control_transmissions(self) -> List[TransmissionEvent]:
+        """Transmission events for routing-control packets."""
+        return [t for t in self.transmissions if t.kind != "DATA"]
+
+    def data_transmissions(self) -> List[TransmissionEvent]:
+        """Per-hop transmission events for data packets."""
+        return [t for t in self.transmissions if t.kind == "DATA"]

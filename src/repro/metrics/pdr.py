@@ -1,0 +1,38 @@
+"""Packet Delivery Ratio (paper Fig. 11)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.metrics.collector import MetricsCollector
+
+
+def packet_delivery_ratio(
+    collector: MetricsCollector, flow_id: Optional[int] = None
+) -> float:
+    """Delivered / originated for one flow (or overall with ``None``).
+
+    Returns 0.0 when the flow originated nothing (an empty flow delivered
+    nothing, and reporting NaN would poison downstream aggregation).
+    """
+    sent = sum(
+        1
+        for e in collector.originated
+        if flow_id is None or e.flow_id == flow_id
+    )
+    if sent == 0:
+        return 0.0
+    received = sum(
+        1
+        for e in collector.delivered
+        if flow_id is None or e.flow_id == flow_id
+    )
+    return received / sent
+
+
+def pdr_by_flow(collector: MetricsCollector) -> Dict[int, float]:
+    """PDR of every flow that originated at least one packet."""
+    flows = sorted(
+        {e.flow_id for e in collector.originated if e.flow_id is not None}
+    )
+    return {flow: packet_delivery_ratio(collector, flow) for flow in flows}

@@ -1,0 +1,22 @@
+"""Mobility models and movement traces.
+
+This package adapts the cell-space cellular automaton (:mod:`repro.ca`) into
+plane-space movement traces consumable by the network simulator and the
+trace exporters, and provides the Random Waypoint baseline whose velocity
+decay problem motivates the paper's Section IV-B discussion.
+"""
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.ca_mobility import CaMobility
+from repro.mobility.freeway import Freeway
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace import MobilityTrace, TracePlayer
+
+__all__ = [
+    "MobilityModel",
+    "CaMobility",
+    "Freeway",
+    "RandomWaypoint",
+    "MobilityTrace",
+    "TracePlayer",
+]

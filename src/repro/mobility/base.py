@@ -1,0 +1,30 @@
+"""Abstract mobility-model interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.mobility.trace import MobilityTrace
+
+
+class MobilityModel(abc.ABC):
+    """Anything that can produce a sampled movement trace.
+
+    Concrete models: :class:`repro.mobility.CaMobility` (the CAVENET
+    cellular-automaton model) and :class:`repro.mobility.RandomWaypoint`
+    (the MANET baseline the paper contrasts against).
+    """
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of mobile nodes the model simulates."""
+
+    @abc.abstractmethod
+    def sample(self, duration_s: float, interval_s: float = 1.0) -> MobilityTrace:
+        """Simulate ``duration_s`` seconds and return the sampled trace.
+
+        The trace includes the state at time 0, so it has
+        ``floor(duration_s / interval_s) + 1`` samples.  Calling ``sample``
+        again continues from the model's current state.
+        """

@@ -1,0 +1,169 @@
+"""The Freeway mobility model of the IMPORTANT framework.
+
+Paper Section II discusses the IMPORTANT framework (Bai, Sadagopan &
+Helmy, INFOCOM 2003) and remarks that "their Freeway model is not as
+realistic as the model we study here".  Implementing it makes that claim
+testable: Freeway vehicles move in continuous space with random
+accelerations, clamped speeds and a no-overtaking safety rule — but the
+model has no stop-and-go dynamics, so it produces neither jam waves nor
+the long-range-dependent velocity process of the NaS automaton
+(see ``benchmarks/test_ext_freeway_comparison.py``).
+
+Model rules, per 1 s step (following the IMPORTANT description, on a
+circular lane for comparability with the NaS circuit):
+
+1. ``v_i += uniform(-a, a)``, clamped to ``[v_min, v_max]``;
+2. if the gap to the leader is below the safety distance, the follower's
+   speed is capped at the leader's;
+3. positions advance by ``v_i``; a follower may never pass its leader.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.shapes import CircularShape
+from repro.mobility.base import MobilityModel
+from repro.mobility.trace import MobilityTrace
+from repro.util.validate import check_positive
+
+
+class Freeway(MobilityModel):
+    """Single circular freeway lane of randomly accelerating vehicles.
+
+    Args:
+        num_vehicles: vehicles on the lane.
+        lane_length_m: circumference of the circuit.
+        v_min / v_max: speed clamp, m/s.  ``v_min > 0``: Freeway vehicles
+            never stop — one of the model's unrealistic traits.
+        accel_max: maximum acceleration magnitude per step, m/s^2.
+        safety_distance_m: below this gap the follower matches the leader.
+        rng: generator for placements and accelerations.
+        time_step_s: seconds per movement step.
+    """
+
+    def __init__(
+        self,
+        num_vehicles: int,
+        lane_length_m: float,
+        v_min: float = 5.0,
+        v_max: float = 37.5,
+        accel_max: float = 2.0,
+        safety_distance_m: float = 50.0,
+        rng: Optional[np.random.Generator] = None,
+        time_step_s: float = 1.0,
+    ) -> None:
+        if num_vehicles < 1:
+            raise ValueError(f"num_vehicles must be >= 1, got {num_vehicles}")
+        check_positive("lane_length_m", lane_length_m)
+        check_positive("v_min", v_min)
+        check_positive("accel_max", accel_max)
+        check_positive("safety_distance_m", safety_distance_m)
+        check_positive("time_step_s", time_step_s)
+        if v_max < v_min:
+            raise ValueError(f"v_max ({v_max}) < v_min ({v_min})")
+        if num_vehicles * 1.0 > lane_length_m:
+            raise ValueError("vehicles do not fit on the lane")
+        self._n = int(num_vehicles)
+        self._length = float(lane_length_m)
+        self._v_min = float(v_min)
+        self._v_max = float(v_max)
+        self._accel = float(accel_max)
+        self._sd = float(safety_distance_m)
+        self._dt = float(time_step_s)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._shape = CircularShape(self._length)
+        self._time = 0.0
+        # Ring-ordered positions (ascending); order is invariant (rule 3).
+        self._pos = np.sort(
+            self._rng.uniform(0.0, self._length, self._n)
+        )
+        self._vel = self._rng.uniform(self._v_min, self._v_max, self._n)
+
+    # -- read-only state ---------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of vehicles (= network nodes)."""
+        return self._n
+
+    @property
+    def time(self) -> float:
+        """Simulated seconds elapsed."""
+        return self._time
+
+    @property
+    def shape(self) -> CircularShape:
+        """The circuit the lane is bent into."""
+        return self._shape
+
+    def positions_m(self) -> np.ndarray:
+        """Arc-length positions along the lane (copy)."""
+        return self._pos.copy()
+
+    def velocities(self) -> np.ndarray:
+        """Current speeds, m/s (copy)."""
+        return self._vel.copy()
+
+    def mean_velocity(self) -> float:
+        """Average speed over all vehicles."""
+        return float(self._vel.mean())
+
+    def gaps_m(self) -> np.ndarray:
+        """Distance to the leader per vehicle (cyclic)."""
+        if self._n == 1:
+            return np.array([self._length])
+        leader = np.roll(self._pos, -1)
+        return (leader - self._pos) % self._length
+
+    # -- dynamics ----------------------------------------------------------
+
+    def step(self) -> None:
+        """One movement step (the three Freeway rules)."""
+        dt = self._dt
+        # Rule 1: random acceleration, clamped speed.
+        self._vel = np.clip(
+            self._vel + self._rng.uniform(-self._accel, self._accel, self._n) * dt,
+            self._v_min,
+            self._v_max,
+        )
+        # Rule 2: inside the safety distance, never faster than the leader.
+        if self._n > 1:
+            gaps = self.gaps_m()
+            leader_vel = np.roll(self._vel, -1)
+            close = gaps < self._sd
+            self._vel = np.where(
+                close, np.minimum(self._vel, leader_vel), self._vel
+            )
+        # Rule 3: advance, never passing the leader.  Headroom is the
+        # current gap minus a 1 m standoff — conservatively ignoring the
+        # leader's own (possibly clamped) movement, so a parallel update
+        # can never interleave a pile-up into an overtake.
+        advance = self._vel * dt
+        if self._n > 1:
+            gaps = self.gaps_m()
+            headroom = np.maximum(gaps - 1.0, 0.0)
+            advance = np.minimum(advance, headroom)
+        self._pos = (self._pos + advance) % self._length
+        order = np.argsort(self._pos, kind="stable")
+        self._pos = self._pos[order]
+        self._vel = self._vel[order]
+        self._time += dt
+
+    def sample(self, duration_s: float, interval_s: float = 1.0) -> MobilityTrace:
+        """Advance the model, recording plane positions on the circuit."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        check_positive("interval_s", interval_s)
+        steps_per_sample = max(int(round(interval_s / self._dt)), 1)
+        num_samples = int(duration_s // interval_s) + 1
+        times = self._time + interval_s * np.arange(num_samples)
+        positions = np.empty((num_samples, self._n, 2))
+        positions[0] = self._shape.to_plane_many(self._pos)
+        for row in range(1, num_samples):
+            for _ in range(steps_per_sample):
+                self.step()
+            positions[row] = self._shape.to_plane_many(self._pos)
+        return MobilityTrace(times=times, positions=positions)

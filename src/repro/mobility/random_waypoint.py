@@ -1,0 +1,157 @@
+"""The Random Waypoint (RW) baseline mobility model.
+
+The paper's introduction contrasts CAVENET's CA model with the RW model that
+dominates MANET simulation: in RW every node independently picks a random
+destination and speed at each waypoint.  Sampling speeds uniformly from
+``[v_min, v_max]`` with ``v_min`` near zero produces the well-known
+*velocity decay*: long trips get assigned slow speeds, so over time slow
+trips dominate and the average instantaneous speed drifts downward instead
+of stabilising (Le Boudec & Vojnovic 2006; Yoon, Liu & Noble 2006).
+
+This implementation exposes the decay deliberately (for the comparison bench)
+and offers the standard fix — speed sampled so the *stationary* distribution
+is uniform — as ``stationary_fix=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.trace import MobilityTrace
+from repro.util.validate import check_positive
+
+
+class RandomWaypoint(MobilityModel):
+    """Nodes bouncing between uniform random waypoints in a rectangle.
+
+    Args:
+        num_nodes: number of mobile nodes.
+        area: ``(width, height)`` of the simulation rectangle in metres.
+        v_min: minimum trip speed, m/s.  Must be > 0 (a zero minimum makes
+            the model degenerate: mean speed decays to zero).
+        v_max: maximum trip speed, m/s.
+        pause_s: pause duration at each waypoint, seconds.
+        stationary_fix: start the process in its stationary regime by
+            sampling the *initial* trip speed of every node from the
+            time-stationary distribution (density proportional to 1/v on
+            ``[v_min, v_max]``); later waypoint speeds stay uniform.  This
+            is the "perfect simulation" initialisation of Le Boudec &
+            Vojnovic / Yoon, Liu & Noble that the paper cites as the
+            solution to the decay problem.
+        rng: random generator.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        area: Tuple[float, float],
+        v_min: float = 0.1,
+        v_max: float = 20.0,
+        pause_s: float = 0.0,
+        stationary_fix: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        check_positive("area width", area[0])
+        check_positive("area height", area[1])
+        check_positive("v_min", v_min)
+        if v_max < v_min:
+            raise ValueError(f"v_max ({v_max}) < v_min ({v_min})")
+        if pause_s < 0:
+            raise ValueError(f"pause_s must be >= 0, got {pause_s}")
+        self._num_nodes = int(num_nodes)
+        self._area = (float(area[0]), float(area[1]))
+        self._v_min = float(v_min)
+        self._v_max = float(v_max)
+        self._pause = float(pause_s)
+        self._stationary_fix = bool(stationary_fix)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._time = 0.0
+
+        self._pos = np.column_stack(
+            [
+                self._rng.uniform(0, self._area[0], num_nodes),
+                self._rng.uniform(0, self._area[1], num_nodes),
+            ]
+        )
+        self._dest = np.empty_like(self._pos)
+        self._speed = np.empty(num_nodes)
+        self._pause_left = np.zeros(num_nodes)
+        for node in range(num_nodes):
+            self._pick_waypoint(node, initial=True)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of mobile nodes."""
+        return self._num_nodes
+
+    @property
+    def time(self) -> float:
+        """Simulated seconds elapsed."""
+        return self._time
+
+    def current_positions(self) -> np.ndarray:
+        """Current ``(N, 2)`` positions (copy)."""
+        return self._pos.copy()
+
+    def current_speeds(self) -> np.ndarray:
+        """Instantaneous speed per node (0 while pausing)."""
+        return np.where(self._pause_left > 0, 0.0, self._speed)
+
+    def sample(self, duration_s: float, interval_s: float = 1.0) -> MobilityTrace:
+        """Advance the model and record positions every ``interval_s``."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        check_positive("interval_s", interval_s)
+        num_samples = int(duration_s // interval_s) + 1
+        times = self._time + interval_s * np.arange(num_samples)
+        positions = np.empty((num_samples, self._num_nodes, 2))
+        positions[0] = self._pos
+        for row in range(1, num_samples):
+            self._advance(interval_s)
+            positions[row] = self._pos
+        return MobilityTrace(times=times, positions=positions)
+
+    # -- internals ---------------------------------------------------------
+
+    def _pick_waypoint(self, node: int, initial: bool = False) -> None:
+        self._dest[node, 0] = self._rng.uniform(0, self._area[0])
+        self._dest[node, 1] = self._rng.uniform(0, self._area[1])
+        if initial and self._stationary_fix:
+            # Stationary (time-weighted) speed density f(v) ~ 1/v on
+            # [v_min, v_max]: inverse-CDF sampling.  Only the first trip
+            # uses it; drawing every trip this way would over-correct.
+            u = self._rng.random()
+            self._speed[node] = self._v_min * math.exp(
+                u * math.log(self._v_max / self._v_min)
+            )
+        else:
+            self._speed[node] = self._rng.uniform(self._v_min, self._v_max)
+
+    def _advance(self, dt: float) -> None:
+        for node in range(self._num_nodes):
+            remaining = dt
+            while remaining > 1e-12:
+                if self._pause_left[node] > 0:
+                    waited = min(self._pause_left[node], remaining)
+                    self._pause_left[node] -= waited
+                    remaining -= waited
+                    continue
+                to_dest = self._dest[node] - self._pos[node]
+                dist = float(np.linalg.norm(to_dest))
+                travel_time = dist / self._speed[node] if dist > 0 else 0.0
+                if travel_time <= remaining:
+                    self._pos[node] = self._dest[node]
+                    remaining -= travel_time
+                    self._pause_left[node] = self._pause
+                    self._pick_waypoint(node)
+                else:
+                    frac = remaining / travel_time
+                    self._pos[node] = self._pos[node] + frac * to_dest
+                    remaining = 0.0
+        self._time += dt

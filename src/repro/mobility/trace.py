@@ -1,0 +1,151 @@
+"""Movement traces: sampled node positions over time.
+
+A :class:`MobilityTrace` is the interchange format between CAVENET's two
+blocks (paper Fig. 2): the Behavioural Analyzer produces one, and both the
+ns-2 exporter (:mod:`repro.tracegen`) and our own Communication Protocol
+Simulator (via :class:`TracePlayer`) consume it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class MobilityTrace:
+    """Node positions sampled at regular instants.
+
+    Attributes:
+        times: sample instants in seconds, shape ``(T,)``, strictly
+            increasing, uniformly spaced.
+        positions: plane coordinates in metres, shape ``(T, N, 2)``.
+        teleported: optional boolean array of shape ``(T, N)``;
+            ``teleported[t, i]`` marks that node ``i``'s movement *into*
+            sample ``t`` was discontinuous (the original CAVENET's
+            end-of-line shift).  ``None`` means no teleports anywhere.
+    """
+
+    times: np.ndarray
+    positions: np.ndarray
+    teleported: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.times.ndim != 1:
+            raise ValueError(f"times must be 1-D, got shape {self.times.shape}")
+        if self.positions.ndim != 3 or self.positions.shape[2] != 2:
+            raise ValueError(
+                f"positions must have shape (T, N, 2), got {self.positions.shape}"
+            )
+        if len(self.times) != self.positions.shape[0]:
+            raise ValueError(
+                f"{len(self.times)} sample times but "
+                f"{self.positions.shape[0]} position rows"
+            )
+        if len(self.times) < 1:
+            raise ValueError("a trace needs at least one sample")
+        if len(self.times) > 1 and np.any(np.diff(self.times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if self.teleported is not None and self.teleported.shape != (
+            self.positions.shape[0],
+            self.positions.shape[1],
+        ):
+            raise ValueError(
+                f"teleported must have shape (T, N), got {self.teleported.shape}"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples T."""
+        return len(self.times)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes N."""
+        return self.positions.shape[1]
+
+    @property
+    def duration(self) -> float:
+        """Seconds between first and last sample."""
+        return float(self.times[-1] - self.times[0])
+
+    def node_path(self, node: int) -> np.ndarray:
+        """The ``(T, 2)`` path of one node (copy)."""
+        return self.positions[:, node, :].copy()
+
+    def speeds(self) -> np.ndarray:
+        """Per-segment speeds, shape ``(T-1, N)``, in m/s.
+
+        Teleport segments (flagged in :attr:`teleported`) are reported as
+        NaN: the jump is an artefact of the open boundary, not a physical
+        speed.
+        """
+        if self.num_samples < 2:
+            return np.empty((0, self.num_nodes))
+        deltas = np.diff(self.positions, axis=0)
+        dt = np.diff(self.times)[:, None]
+        speeds = np.linalg.norm(deltas, axis=2) / dt
+        if self.teleported is not None:
+            speeds = np.where(self.teleported[1:], np.nan, speeds)
+        return speeds
+
+    def mean_speed_series(self) -> np.ndarray:
+        """Average over nodes of per-segment speed — the plane-space analogue
+        of the CA's v(t), used for the Random-Waypoint decay study."""
+        speeds = self.speeds()
+        if speeds.size == 0:
+            return np.empty(0)
+        return np.nanmean(speeds, axis=1)
+
+
+class TracePlayer:
+    """Continuous-time position lookup over a sampled trace.
+
+    Mirrors what ns-2 does with ``setdest`` lines: between samples a node
+    moves in a straight line at constant speed.  Teleport segments hold the
+    node at its old position and jump at the end of the segment, which is
+    how the pre-improvement CAVENET's shift manifested.  Queries outside the
+    trace clamp to the first/last sample.
+    """
+
+    def __init__(self, trace: MobilityTrace) -> None:
+        self._trace = trace
+
+    @property
+    def trace(self) -> MobilityTrace:
+        """The underlying trace."""
+        return self._trace
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the trace."""
+        return self._trace.num_nodes
+
+    def position(self, node: int, t: float) -> Tuple[float, float]:
+        """Interpolated position of ``node`` at time ``t``."""
+        trace = self._trace
+        times = trace.times
+        if t <= times[0]:
+            x, y = trace.positions[0, node]
+            return float(x), float(y)
+        if t >= times[-1]:
+            x, y = trace.positions[-1, node]
+            return float(x), float(y)
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        t0, t1 = times[idx], times[idx + 1]
+        p0 = trace.positions[idx, node]
+        p1 = trace.positions[idx + 1, node]
+        if trace.teleported is not None and trace.teleported[idx + 1, node]:
+            return float(p0[0]), float(p0[1])
+        frac = (t - t0) / (t1 - t0)
+        x = p0[0] + frac * (p1[0] - p0[0])
+        y = p0[1] + frac * (p1[1] - p0[1])
+        return float(x), float(y)
+
+    def positions_at(self, t: float) -> np.ndarray:
+        """Positions of every node at time ``t``, shape ``(N, 2)``."""
+        return np.array(
+            [self.position(i, t) for i in range(self.num_nodes)]
+        )

@@ -1,0 +1,21 @@
+"""Network layer: packets, queues, addressing and node composition."""
+
+from repro.net.address import BROADCAST
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+
+__all__ = ["BROADCAST", "Packet", "DropTailQueue", "Node"]
+
+
+def __getattr__(name):
+    """Lazily expose :class:`Node` (PEP 562).
+
+    ``Node`` pulls in the MAC, whose frames in turn carry network packets;
+    loading it on first reference instead of at package import breaks that
+    import cycle without hiding it from the public API.
+    """
+    if name == "Node":
+        from repro.net.node import Node
+
+        return Node
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

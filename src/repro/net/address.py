@@ -1,0 +1,8 @@
+"""Addressing constants.
+
+Node ids double as network- and MAC-layer addresses (the simulator has one
+interface per node, so an ARP layer would be pure overhead).
+"""
+
+#: The link- and network-layer broadcast address.
+BROADCAST = -1

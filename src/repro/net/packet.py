@@ -1,0 +1,70 @@
+"""Network-layer packets.
+
+A :class:`Packet` is what routing protocols and applications exchange; the
+MAC wraps it in a :class:`~repro.mac.frames.Frame` for the air.  Protocol
+specific contents (RREQ fields, OLSR HELLO neighbour lists ...) ride in
+``header``, an arbitrary dataclass owned by the protocol that created the
+packet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Optional
+
+#: Data packets use this kind; every routing protocol defines its own kinds.
+DATA = "DATA"
+
+_uid_counter = itertools.count()
+
+
+@dataclasses.dataclass
+class Packet:
+    """One network-layer packet.
+
+    Attributes:
+        kind: ``"DATA"`` or a protocol control kind (e.g. ``"AODV_RREQ"``).
+        src: originating node id.
+        dst: final destination node id, or :data:`~repro.net.address.BROADCAST`.
+        size_bytes: payload size used for transmission timing (the MAC adds
+            its own header on the air).
+        created_at: origination time (for end-to-end delay).
+        ttl: remaining hop budget; decremented per forward, dropped at 0.
+        hops: hops traversed so far.
+        flow_id: traffic-flow identifier for data packets.
+        seq: application or protocol sequence number.
+        header: protocol-specific header payload.
+        uid: globally unique id, assigned automatically.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    size_bytes: int
+    created_at: float
+    ttl: int = 64
+    hops: int = 0
+    flow_id: Optional[int] = None
+    seq: Optional[int] = None
+    header: Any = None
+    uid: int = dataclasses.field(default_factory=lambda: next(_uid_counter))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+        if self.ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {self.ttl}")
+
+    def copy_for_forwarding(self) -> "Packet":
+        """A forwarded copy: same uid and contents, ttl/hops updated.
+
+        Keeping the uid lets duplicate-suppression and metrics track the
+        packet across hops.
+        """
+        return dataclasses.replace(self, ttl=self.ttl - 1, hops=self.hops + 1)
+
+    @property
+    def is_data(self) -> bool:
+        """True for application data packets."""
+        return self.kind == DATA

@@ -1,0 +1,34 @@
+"""Wireless physical layer: propagation, radios and the shared channel.
+
+Implements the PHY of the Communication Protocol Simulator with ns-2's
+default constants: 914 MHz WaveLAN-like radios, two-ray-ground propagation,
+reception/carrier-sense thresholds set for 250 m / 550 m ranges (paper
+Table I), and a 10 dB capture threshold.
+"""
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogNormalShadowing,
+    NakagamiFading,
+    PropagationModel,
+    TwoRayGround,
+)
+from repro.phy.radio import Radio, RadioState
+from repro.phy.channel import Channel, CachedPositionProvider
+from repro.phy.energy import EnergyMeter, EnergyParams
+from repro.phy.params import PhyParams
+
+__all__ = [
+    "PropagationModel",
+    "FreeSpace",
+    "TwoRayGround",
+    "LogNormalShadowing",
+    "NakagamiFading",
+    "PhyParams",
+    "Radio",
+    "RadioState",
+    "Channel",
+    "CachedPositionProvider",
+    "EnergyMeter",
+    "EnergyParams",
+]

@@ -1,0 +1,115 @@
+"""The shared wireless channel.
+
+The channel connects every radio: on each transmission it evaluates the
+propagation model against the current node positions and delivers the frame
+(with its received power) to every radio that can at least *detect* it.
+Signals below a radio's carrier-sense threshold are dropped here — they can
+neither be decoded nor defer the MAC, so simulating them would only burn
+events.
+
+Positions come from a provider callable; :class:`CachedPositionProvider`
+adapts a :class:`~repro.mobility.trace.TracePlayer` and caches the whole
+position matrix on a coarse time grid (vehicles move ~10 m/s while frames
+last ~1 ms, so per-frame exactness is noise).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.des.engine import Simulator
+from repro.mac.frames import Frame
+from repro.mobility.trace import TracePlayer
+from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel
+
+
+class CachedPositionProvider:
+    """Positions of all nodes at the simulator's current time, cached.
+
+    Args:
+        player: interpolating trace reader.
+        sim: the simulator whose clock drives the lookup.
+        cache_dt: positions are recomputed when the clock advances past the
+            current quantised cache slot; 0 disables caching.
+    """
+
+    def __init__(
+        self, player: TracePlayer, sim: Simulator, cache_dt: float = 0.1
+    ) -> None:
+        if cache_dt < 0:
+            raise ValueError(f"cache_dt must be >= 0, got {cache_dt}")
+        self._player = player
+        self._sim = sim
+        self._cache_dt = cache_dt
+        self._cached_slot: Optional[int] = None
+        self._cached: Optional[np.ndarray] = None
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes covered by the trace."""
+        return self._player.num_nodes
+
+    def positions(self) -> np.ndarray:
+        """The ``(N, 2)`` position matrix at (approximately) now."""
+        now = self._sim.now
+        if self._cache_dt == 0:
+            return self._player.positions_at(now)
+        slot = int(now / self._cache_dt)
+        if slot != self._cached_slot:
+            self._cached = self._player.positions_at(slot * self._cache_dt)
+            self._cached_slot = slot
+        return self._cached
+
+    def position(self, node: int) -> np.ndarray:
+        """Position of one node (shares the cache)."""
+        return self.positions()[node]
+
+
+class Channel:
+    """Broadcast medium shared by all registered radios."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: PropagationModel,
+        positions: Callable[[], np.ndarray],
+        propagation_delay: bool = True,
+    ) -> None:
+        self._sim = sim
+        self._propagation = propagation
+        self._positions = positions
+        self._prop_delay = propagation_delay
+        self._radios: Dict[int, "Radio"] = {}
+        self.frames_transmitted = 0
+
+    def register(self, radio: "Radio") -> None:
+        """Add a radio; each node id may register exactly once."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"radio for node {radio.node_id} already registered")
+        self._radios[radio.node_id] = radio
+
+    @property
+    def num_radios(self) -> int:
+        """Number of registered radios."""
+        return len(self._radios)
+
+    def transmit(self, sender_id: int, frame: Frame, duration_s: float) -> None:
+        """Fan a transmission out to every radio that can detect it."""
+        self.frames_transmitted += 1
+        positions = self._positions()
+        sender_pos = positions[sender_id]
+        tx_power = self._radios[sender_id].params.tx_power_w
+        for node_id, radio in self._radios.items():
+            if node_id == sender_id:
+                continue
+            delta = positions[node_id] - sender_pos
+            distance = float(np.hypot(delta[0], delta[1]))
+            power = self._propagation.rx_power(tx_power, distance)
+            if power < radio.params.cs_threshold_w:
+                continue
+            delay = distance / SPEED_OF_LIGHT if self._prop_delay else 0.0
+            self._sim.schedule(
+                delay, radio.signal_start, frame, power, duration_s
+            )

@@ -1,0 +1,82 @@
+"""PHY parameter set with ns-2 WaveLAN defaults.
+
+The thresholds reproduce the classic ns-2 values: with 0.28183815 W transmit
+power and two-ray-ground propagation at 1.5 m antenna height, the receive
+threshold of 3.652e-10 W corresponds to a 250 m transmission range and the
+carrier-sense threshold of 1.559e-11 W to a 550 m sensing range — the
+ranges of paper Table I.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.phy.propagation import PropagationModel, TwoRayGround
+
+
+@dataclasses.dataclass(frozen=True)
+class PhyParams:
+    """Radio-front-end parameters.
+
+    Attributes:
+        tx_power_w: transmit power (ns-2 default 0.28183815 W).
+        rx_threshold_w: minimum power for successful decoding.
+        cs_threshold_w: minimum power for carrier sensing (medium busy).
+        capture_ratio: power ratio (linear) above which the stronger of two
+            overlapping frames survives (ns-2 CPThresh = 10 dB -> 10.0).
+        frequency_hz: carrier frequency.
+    """
+
+    tx_power_w: float = 0.28183815
+    rx_threshold_w: float = 3.652e-10
+    cs_threshold_w: float = 1.559e-11
+    capture_ratio: float = 10.0
+    frequency_hz: float = 914e6
+
+    def __post_init__(self) -> None:
+        if self.tx_power_w <= 0:
+            raise ValueError(f"tx_power_w must be > 0, got {self.tx_power_w}")
+        if not 0 < self.rx_threshold_w:
+            raise ValueError("rx_threshold_w must be > 0")
+        if not 0 < self.cs_threshold_w <= self.rx_threshold_w:
+            raise ValueError(
+                "cs_threshold_w must be in (0, rx_threshold_w]: carrier "
+                "sensing is more sensitive than decoding"
+            )
+        if self.capture_ratio < 1.0:
+            raise ValueError(
+                f"capture_ratio must be >= 1, got {self.capture_ratio}"
+            )
+
+    @classmethod
+    def for_ranges(
+        cls,
+        model: PropagationModel,
+        tx_range_m: float = 250.0,
+        cs_range_m: float = 550.0,
+        tx_power_w: float = 0.28183815,
+        capture_ratio: float = 10.0,
+    ) -> "PhyParams":
+        """Derive thresholds so the given model yields the given ranges.
+
+        This is how ns-2 users tune RXThresh with the ``threshold`` utility;
+        it keeps Table I's "transmission range 250 m" true under any
+        propagation model (used by the propagation-model ablation).
+        """
+        if cs_range_m < tx_range_m:
+            raise ValueError(
+                f"cs_range_m ({cs_range_m}) must be >= tx_range_m ({tx_range_m})"
+            )
+        rx_threshold = model.rx_power(tx_power_w, tx_range_m)
+        cs_threshold = model.rx_power(tx_power_w, cs_range_m)
+        return cls(
+            tx_power_w=tx_power_w,
+            rx_threshold_w=rx_threshold,
+            cs_threshold_w=cs_threshold,
+            capture_ratio=capture_ratio,
+        )
+
+
+def default_phy() -> PhyParams:
+    """Table I defaults: two-ray ground, 250 m TX / 550 m CS ranges."""
+    return PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)

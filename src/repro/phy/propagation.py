@@ -1,0 +1,218 @@
+"""Radio propagation models.
+
+The paper's Table I uses ns-2's two-ray-ground model; its future-work
+section points at shadowing models [18, 19], so the log-normal shadowing
+model is implemented as well.  All models answer one question: given a
+transmit power and a distance, what power arrives at the receiver?
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+#: Speed of light, m/s.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+class PropagationModel(abc.ABC):
+    """Deterministic or stochastic large-scale path loss."""
+
+    @abc.abstractmethod
+    def rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        """Received power in watts at ``distance_m`` metres.
+
+        ``distance_m`` of 0 returns ``tx_power_w`` (co-located radios).
+        """
+
+    def range_for_threshold(
+        self, tx_power_w: float, threshold_w: float, max_range_m: float = 1e5
+    ) -> float:
+        """Distance at which the received power falls to ``threshold_w``.
+
+        Solved by bisection so it works for any monotone model; stochastic
+        models answer for their *median* loss.
+        """
+        if self.rx_power(tx_power_w, max_range_m) > threshold_w:
+            return max_range_m
+        low, high = 0.1, max_range_m
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if self.rx_power(tx_power_w, mid) >= threshold_w:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+
+class FreeSpace(PropagationModel):
+    """Friis free-space model: ``Pr = Pt Gt Gr lambda^2 / ((4 pi d)^2 L)``."""
+
+    def __init__(
+        self,
+        frequency_hz: float = 914e6,
+        gain_tx: float = 1.0,
+        gain_rx: float = 1.0,
+        system_loss: float = 1.0,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be > 0, got {frequency_hz}")
+        if system_loss < 1.0:
+            raise ValueError(f"system_loss must be >= 1, got {system_loss}")
+        self._wavelength = SPEED_OF_LIGHT / frequency_hz
+        self._gain_tx = float(gain_tx)
+        self._gain_rx = float(gain_rx)
+        self._loss = float(system_loss)
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength in metres."""
+        return self._wavelength
+
+    def rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        if distance_m <= 0:
+            return tx_power_w
+        numerator = (
+            tx_power_w * self._gain_tx * self._gain_rx * self._wavelength**2
+        )
+        return numerator / ((4.0 * math.pi * distance_m) ** 2 * self._loss)
+
+
+class TwoRayGround(PropagationModel):
+    """ns-2's two-ray-ground model (Table I's propagation model).
+
+    Below the crossover distance ``dc = 4 pi ht hr / lambda`` the direct ray
+    dominates and Friis applies; beyond it the ground reflection gives
+    ``Pr = Pt Gt Gr ht^2 hr^2 / (d^4 L)`` — a steeper d^-4 falloff.
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float = 914e6,
+        gain_tx: float = 1.0,
+        gain_rx: float = 1.0,
+        height_tx_m: float = 1.5,
+        height_rx_m: float = 1.5,
+        system_loss: float = 1.0,
+    ) -> None:
+        self._friis = FreeSpace(frequency_hz, gain_tx, gain_rx, system_loss)
+        if height_tx_m <= 0 or height_rx_m <= 0:
+            raise ValueError("antenna heights must be > 0")
+        self._gain_tx = float(gain_tx)
+        self._gain_rx = float(gain_rx)
+        self._ht = float(height_tx_m)
+        self._hr = float(height_rx_m)
+        self._loss = float(system_loss)
+        self._crossover = (
+            4.0 * math.pi * self._ht * self._hr / self._friis.wavelength_m
+        )
+
+    @property
+    def crossover_distance_m(self) -> float:
+        """Distance where the model switches from Friis to d^-4."""
+        return self._crossover
+
+    def rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        if distance_m <= 0:
+            return tx_power_w
+        if distance_m < self._crossover:
+            return self._friis.rx_power(tx_power_w, distance_m)
+        numerator = (
+            tx_power_w
+            * self._gain_tx
+            * self._gain_rx
+            * self._ht**2
+            * self._hr**2
+        )
+        return numerator / (distance_m**4 * self._loss)
+
+
+class NakagamiFading(PropagationModel):
+    """Nakagami-m small-scale fading over a deterministic mean path loss.
+
+    The received *power* is gamma-distributed with shape ``m`` around the
+    mean given by the underlying large-scale model (two-ray ground by
+    default); ``m = 1`` is Rayleigh fading, larger ``m`` approaches the
+    deterministic limit.  This is the standard VANET fading model of the
+    propagation studies the paper cites as future work (e.g. Dhoutaut et
+    al., VANET 2006).  Each call draws fresh fading (per-frame, ns-2
+    semantics).
+    """
+
+    def __init__(
+        self,
+        m: float = 3.0,
+        mean_model: Optional[PropagationModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if m < 0.5:
+            raise ValueError(f"Nakagami shape m must be >= 0.5, got {m}")
+        self._m = float(m)
+        self._mean_model = (
+            mean_model if mean_model is not None else TwoRayGround()
+        )
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def m(self) -> float:
+        """The fading shape parameter."""
+        return self._m
+
+    def mean_rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        """The large-scale (fading-free) received power."""
+        return self._mean_model.rx_power(tx_power_w, distance_m)
+
+    def rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        mean = self.mean_rx_power(tx_power_w, distance_m)
+        if distance_m <= 0:
+            return mean
+        return float(self._rng.gamma(self._m, mean / self._m))
+
+
+class LogNormalShadowing(PropagationModel):
+    """Log-normal shadowing: path-loss exponent plus Gaussian dB noise.
+
+    ``Pr(d)[dB] = Pr(d0)[dB] - 10 beta log10(d / d0) + X`` with
+    ``X ~ N(0, sigma_db^2)``.  The reference power ``Pr(d0)`` comes from
+    Friis.  Each call draws fresh shadowing (ns-2 semantics); pass
+    ``sigma_db = 0`` for the deterministic pure-exponent model.
+    """
+
+    def __init__(
+        self,
+        path_loss_exponent: float = 2.7,
+        sigma_db: float = 4.0,
+        reference_distance_m: float = 1.0,
+        frequency_hz: float = 914e6,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if path_loss_exponent <= 0:
+            raise ValueError(
+                f"path_loss_exponent must be > 0, got {path_loss_exponent}"
+            )
+        if sigma_db < 0:
+            raise ValueError(f"sigma_db must be >= 0, got {sigma_db}")
+        if reference_distance_m <= 0:
+            raise ValueError(
+                f"reference_distance_m must be > 0, got {reference_distance_m}"
+            )
+        self._beta = float(path_loss_exponent)
+        self._sigma = float(sigma_db)
+        self._d0 = float(reference_distance_m)
+        self._friis = FreeSpace(frequency_hz)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        if distance_m <= self._d0:
+            return self._friis.rx_power(tx_power_w, distance_m)
+        reference_db = 10.0 * math.log10(
+            self._friis.rx_power(tx_power_w, self._d0)
+        )
+        loss_db = 10.0 * self._beta * math.log10(distance_m / self._d0)
+        shadow_db = (
+            float(self._rng.normal(0.0, self._sigma)) if self._sigma > 0 else 0.0
+        )
+        return 10.0 ** ((reference_db - loss_db + shadow_db) / 10.0)

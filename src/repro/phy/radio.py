@@ -1,0 +1,177 @@
+"""Half-duplex radio transceiver with interference and capture.
+
+Reception semantics follow ns-2's WirelessPhy/Mac-802.11 pair:
+
+* a frame is *detectable* when it arrives above the carrier-sense threshold
+  (the channel only delivers detectable frames);
+* it is *decodable* when it arrives above the receive threshold, does not
+  overlap the radio's own transmissions, and is stronger than every
+  overlapping signal by at least the capture ratio (10 dB by default) —
+  otherwise the overlap is a collision and the frame is dropped;
+* the medium is *busy* while any detectable signal is in the air or the
+  radio itself is transmitting.
+
+The MAC attaches through four callbacks: ``on_medium_busy``,
+``on_medium_idle``, ``on_frame_received(frame, rx_power)`` and
+``on_tx_done``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Protocol
+
+from repro.des.engine import Simulator
+from repro.mac.frames import Frame
+from repro.phy.params import PhyParams
+
+
+class RadioState(enum.Enum):
+    """Transceiver activity."""
+
+    IDLE = "idle"
+    RX = "rx"
+    TX = "tx"
+
+
+class MacCallbacks(Protocol):
+    """What the radio needs from its MAC."""
+
+    def on_medium_busy(self) -> None: ...
+
+    def on_medium_idle(self) -> None: ...
+
+    def on_frame_received(self, frame: Frame, rx_power_w: float) -> None: ...
+
+    def on_tx_done(self) -> None: ...
+
+
+class _Signal:
+    """One in-flight arriving transmission at this radio."""
+
+    __slots__ = ("frame", "power", "end_time", "corrupted", "max_interference")
+
+    def __init__(self, frame: Frame, power: float, end_time: float) -> None:
+        self.frame = frame
+        self.power = power
+        self.end_time = end_time
+        self.corrupted = False
+        self.max_interference = 0.0
+
+
+class Radio:
+    """One node's transceiver, attached to the shared :class:`Channel`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: PhyParams,
+        channel: "Channel",
+    ) -> None:
+        self._sim = sim
+        self._node_id = node_id
+        self._params = params
+        self._channel = channel
+        self._mac: Optional[MacCallbacks] = None
+        self._signals: List[_Signal] = []
+        self._transmitting = False
+        self._tx_end = 0.0
+        #: Cumulative seconds spent transmitting (energy accounting).
+        self.airtime_tx_s = 0.0
+        #: Cumulative seconds of arriving signals heard while not
+        #: transmitting (energy accounting; overlapping arrivals each
+        #: count — the front end is demodulating throughout).
+        self.airtime_rx_s = 0.0
+        channel.register(self)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_mac(self, mac: MacCallbacks) -> None:
+        """Connect the MAC that receives this radio's callbacks."""
+        self._mac = mac
+
+    @property
+    def node_id(self) -> int:
+        """The owning node's identifier (also the MAC address)."""
+        return self._node_id
+
+    @property
+    def params(self) -> PhyParams:
+        """The radio's PHY parameter set."""
+        return self._params
+
+    @property
+    def state(self) -> RadioState:
+        """Current transceiver state."""
+        if self._transmitting:
+            return RadioState.TX
+        if self._signals:
+            return RadioState.RX
+        return RadioState.IDLE
+
+    def medium_busy(self) -> bool:
+        """Physical carrier sense: any detectable signal, or own TX."""
+        return self._transmitting or bool(self._signals)
+
+    # -- transmit path -----------------------------------------------------
+
+    def transmit(self, frame: Frame, duration_s: float) -> None:
+        """Put ``frame`` on the air for ``duration_s`` seconds.
+
+        Half-duplex: any reception in progress is corrupted.  Raises if the
+        radio is already transmitting (a MAC logic error).
+        """
+        if self._transmitting:
+            raise RuntimeError(
+                f"radio {self._node_id} is already transmitting"
+            )
+        was_busy = self.medium_busy()
+        self._transmitting = True
+        self._tx_end = self._sim.now + duration_s
+        self.airtime_tx_s += duration_s
+        for signal in self._signals:
+            signal.corrupted = True
+        if not was_busy and self._mac is not None:
+            self._mac.on_medium_busy()
+        self._channel.transmit(self._node_id, frame, duration_s)
+        self._sim.schedule(duration_s, self._tx_done)
+
+    def _tx_done(self) -> None:
+        self._transmitting = False
+        if self._mac is not None:
+            self._mac.on_tx_done()
+            if not self.medium_busy():
+                self._mac.on_medium_idle()
+
+    # -- receive path (driven by the channel) ------------------------------
+
+    def signal_start(self, frame: Frame, power_w: float, duration_s: float) -> None:
+        """The channel announces an arriving signal (already above CS)."""
+        was_busy = self.medium_busy()
+        signal = _Signal(frame, power_w, self._sim.now + duration_s)
+        if self._transmitting:
+            signal.corrupted = True
+        else:
+            self.airtime_rx_s += duration_s
+        # Mutual interference bookkeeping with every overlapping signal.
+        for other in self._signals:
+            other.max_interference = max(other.max_interference, power_w)
+            signal.max_interference = max(signal.max_interference, other.power)
+        self._signals.append(signal)
+        if not was_busy and self._mac is not None:
+            self._mac.on_medium_busy()
+        self._sim.schedule(duration_s, self._signal_end, signal)
+
+    def _signal_end(self, signal: _Signal) -> None:
+        self._signals.remove(signal)
+        decodable = (
+            not signal.corrupted
+            and signal.power >= self._params.rx_threshold_w
+            and signal.power
+            >= self._params.capture_ratio * signal.max_interference
+        )
+        if decodable and not self._transmitting and self._mac is not None:
+            self._mac.on_frame_received(signal.frame, signal.power)
+        if not self.medium_busy() and self._mac is not None:
+            self._mac.on_medium_idle()

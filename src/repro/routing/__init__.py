@@ -1,0 +1,57 @@
+"""Ad-hoc routing protocols: AODV, OLSR, DYMO (plus DSDV and flooding).
+
+The three protocols the paper evaluates (Section III-B) are implemented
+against a common interface so the evaluation harness can swap them by name:
+
+* :class:`Aodv` — reactive, RFC 3561-style route discovery.
+* :class:`Olsr` — proactive link-state with MPR flooding (RFC 3626 core),
+  optionally using the ETX/LQ metric extension.
+* :class:`Dymo` — reactive with path accumulation
+  (draft-ietf-manet-dymo style).
+* :class:`Dsdv` and :class:`Flooding` — extension baselines.
+"""
+
+from repro.routing.audit import RoutingAudit, audit_all, audit_destination, next_hop_map
+from repro.routing.base import RoutingProtocol
+from repro.routing.table import RouteEntry, RouteTable
+from repro.routing.aodv import Aodv
+from repro.routing.olsr import Olsr
+from repro.routing.dymo import Dymo
+from repro.routing.dsdv import Dsdv
+from repro.routing.flooding import Flooding
+
+PROTOCOLS = {
+    "AODV": Aodv,
+    "OLSR": Olsr,
+    "DYMO": Dymo,
+    "DSDV": Dsdv,
+    "FLOODING": Flooding,
+}
+
+
+def make_protocol(name: str, node, rng, **kwargs) -> RoutingProtocol:
+    """Instantiate a protocol by its (case-insensitive) name."""
+    key = name.upper()
+    if key not in PROTOCOLS:
+        raise ValueError(
+            f"unknown routing protocol {name!r}; known: {sorted(PROTOCOLS)}"
+        )
+    return PROTOCOLS[key](node, rng, **kwargs)
+
+
+__all__ = [
+    "RoutingProtocol",
+    "RouteTable",
+    "RouteEntry",
+    "RoutingAudit",
+    "audit_all",
+    "audit_destination",
+    "next_hop_map",
+    "Aodv",
+    "Olsr",
+    "Dymo",
+    "Dsdv",
+    "Flooding",
+    "PROTOCOLS",
+    "make_protocol",
+]

@@ -1,0 +1,109 @@
+"""Routing-state auditing: loop detection across a running network.
+
+Sequence numbers exist to "enforce loop freedom" (paper Section III-B.3);
+this module checks the property directly: for a destination, follow each
+node's current next hop and report any cycle that does not reach the
+destination.  Useful both as a test oracle and as a debugging tool on a
+live simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.routing.base import RoutingProtocol
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingAudit:
+    """Outcome of a loop audit for one destination.
+
+    Attributes:
+        dst: the audited destination.
+        loops: node cycles found (each a list of node ids, cycle order).
+        reaching: nodes whose next-hop chain reaches ``dst``.
+        dead_ends: nodes whose chain hits a node with no route.
+    """
+
+    dst: int
+    loops: List[List[int]]
+    reaching: List[int]
+    dead_ends: List[int]
+
+    @property
+    def loop_free(self) -> bool:
+        """True when no routing cycle exists for this destination."""
+        return not self.loops
+
+
+def next_hop_map(
+    protocols: Dict[int, RoutingProtocol], dst: int
+) -> Dict[int, Optional[int]]:
+    """Each node's current next hop towards ``dst`` (None = no route)."""
+    return {
+        node_id: protocol.next_hop_for(dst)
+        for node_id, protocol in protocols.items()
+    }
+
+
+def audit_destination(
+    protocols: Dict[int, RoutingProtocol], dst: int
+) -> RoutingAudit:
+    """Follow every node's next-hop chain towards ``dst``.
+
+    A chain terminates by reaching ``dst``, hitting a node without a
+    route (dead end — legitimate during convergence), or revisiting a
+    node (a loop — the failure sequence numbers exist to prevent).
+    """
+    hops = next_hop_map(protocols, dst)
+    loops: List[List[int]] = []
+    reaching: List[int] = []
+    dead_ends: List[int] = []
+    seen_loops = set()
+    for start in protocols:
+        if start == dst:
+            continue
+        path = [start]
+        visited = {start}
+        outcome = "dead_end"
+        node = start
+        while True:
+            next_hop = hops.get(node)
+            if next_hop is None:
+                outcome = "dead_end"
+                break
+            if next_hop == dst:
+                outcome = "reaching"
+                break
+            if next_hop in visited:
+                cycle_start = path.index(next_hop)
+                cycle = path[cycle_start:]
+                key = frozenset(cycle)
+                if key not in seen_loops:
+                    seen_loops.add(key)
+                    loops.append(cycle)
+                outcome = "loop"
+                break
+            if next_hop not in hops:
+                outcome = "dead_end"
+                break
+            visited.add(next_hop)
+            path.append(next_hop)
+            node = next_hop
+        if outcome == "reaching":
+            reaching.append(start)
+        elif outcome == "dead_end":
+            dead_ends.append(start)
+    return RoutingAudit(
+        dst=dst, loops=loops, reaching=reaching, dead_ends=dead_ends
+    )
+
+
+def audit_all(
+    protocols: Dict[int, RoutingProtocol],
+    destinations: Optional[Sequence[int]] = None,
+) -> Dict[int, RoutingAudit]:
+    """Audit every destination (default: every node)."""
+    targets = destinations if destinations is not None else list(protocols)
+    return {dst: audit_destination(protocols, dst) for dst in targets}

@@ -1,0 +1,29 @@
+"""Movement-trace exporters and parsers.
+
+CAVENET's Behavioural Analyzer hands movement patterns to the protocol
+simulator through trace files (paper Fig. 2 and Fig. 3-b).  The primary
+format is the ns-2 movement file; CSV and JSON exporters are provided for
+other consumers, and every format round-trips through a parser.
+"""
+
+from repro.tracegen.ns2 import (
+    Ns2TraceWriter,
+    parse_ns2_trace,
+    trace_from_ns2,
+)
+from repro.tracegen.tabular import (
+    trace_from_csv,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_json,
+)
+
+__all__ = [
+    "Ns2TraceWriter",
+    "parse_ns2_trace",
+    "trace_from_ns2",
+    "trace_to_csv",
+    "trace_from_csv",
+    "trace_to_json",
+    "trace_from_json",
+]

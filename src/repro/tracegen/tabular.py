@@ -1,0 +1,108 @@
+"""CSV and JSON trace exporters.
+
+The paper notes that "extending the BA block in order to export to other
+formats is straightforward" — these are the two obvious other formats, each
+with a matching parser so traces round-trip losslessly (up to float text
+precision for CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Union
+
+import numpy as np
+
+from repro.mobility.trace import MobilityTrace
+
+_CSV_HEADER = ["time", "node", "x", "y", "teleported"]
+
+
+def trace_to_csv(trace: MobilityTrace) -> str:
+    """Render a trace as CSV with columns time,node,x,y,teleported."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_HEADER)
+    for row in range(trace.num_samples):
+        for node in range(trace.num_nodes):
+            teleported = (
+                bool(trace.teleported[row, node])
+                if trace.teleported is not None
+                else False
+            )
+            writer.writerow(
+                [
+                    repr(float(trace.times[row])),
+                    node,
+                    repr(float(trace.positions[row, node, 0])),
+                    repr(float(trace.positions[row, node, 1])),
+                    int(teleported),
+                ]
+            )
+    return buffer.getvalue()
+
+
+def trace_from_csv(text: str) -> MobilityTrace:
+    """Parse a CSV produced by :func:`trace_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header != _CSV_HEADER:
+        raise ValueError(f"unexpected CSV header: {header}")
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError("CSV trace contains no samples")
+    times = sorted({float(row[0]) for row in rows})
+    nodes = sorted({int(row[1]) for row in rows})
+    if nodes != list(range(len(nodes))):
+        raise ValueError(f"node ids must be contiguous from 0, got {nodes}")
+    time_index = {t: i for i, t in enumerate(times)}
+    positions = np.full((len(times), len(nodes), 2), np.nan)
+    teleported = np.zeros((len(times), len(nodes)), dtype=bool)
+    any_teleport = False
+    for row in rows:
+        t, node = time_index[float(row[0])], int(row[1])
+        positions[t, node] = (float(row[2]), float(row[3]))
+        if int(row[4]):
+            teleported[t, node] = True
+            any_teleport = True
+    if np.isnan(positions).any():
+        raise ValueError("CSV trace is missing some (time, node) samples")
+    return MobilityTrace(
+        times=np.array(times),
+        positions=positions,
+        teleported=teleported if any_teleport else None,
+    )
+
+
+def trace_to_json(trace: MobilityTrace, indent: Union[int, None] = None) -> str:
+    """Render a trace as a JSON document."""
+    document = {
+        "format": "cavenet-trace",
+        "version": 1,
+        "num_nodes": trace.num_nodes,
+        "times": [float(t) for t in trace.times],
+        "positions": trace.positions.tolist(),
+        "teleported": (
+            trace.teleported.tolist() if trace.teleported is not None else None
+        ),
+    }
+    return json.dumps(document, indent=indent)
+
+
+def trace_from_json(text: str) -> MobilityTrace:
+    """Parse a JSON document produced by :func:`trace_to_json`."""
+    document = json.loads(text)
+    if document.get("format") != "cavenet-trace":
+        raise ValueError(
+            f"not a cavenet-trace document: format={document.get('format')!r}"
+        )
+    teleported = document.get("teleported")
+    return MobilityTrace(
+        times=np.array(document["times"], dtype=float),
+        positions=np.array(document["positions"], dtype=float),
+        teleported=(
+            np.array(teleported, dtype=bool) if teleported is not None else None
+        ),
+    )

@@ -1,0 +1,6 @@
+"""Application-layer traffic: CBR sources and sinks (paper Table I)."""
+
+from repro.traffic.cbr import CbrSource
+from repro.traffic.sink import Sink
+
+__all__ = ["CbrSource", "Sink"]

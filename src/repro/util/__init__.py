@@ -1,0 +1,31 @@
+"""Shared utilities: seeded random streams, unit conversions, validation."""
+
+from repro.util.rng import RngStreams
+from repro.util.units import (
+    CELL_LENGTH_M,
+    TIME_STEP_S,
+    cells_to_meters,
+    cells_per_step_to_kmh,
+    cells_per_step_to_mps,
+    dbm_to_watts,
+    kmh_to_cells_per_step,
+    meters_to_cells,
+    watts_to_dbm,
+)
+from repro.util.validate import check_positive, check_probability, check_range
+
+__all__ = [
+    "RngStreams",
+    "CELL_LENGTH_M",
+    "TIME_STEP_S",
+    "cells_to_meters",
+    "meters_to_cells",
+    "cells_per_step_to_mps",
+    "cells_per_step_to_kmh",
+    "kmh_to_cells_per_step",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "check_positive",
+    "check_probability",
+    "check_range",
+]

@@ -1,0 +1,75 @@
+"""Unit conversions used across the Behavioural Analyzer and the CPS.
+
+The Nagel-Schreckenberg automaton works in *cells per time step*; the network
+simulator works in metres, seconds and watts.  The paper fixes the mapping
+(Section III-A): with ``v_max = 135 km/h`` and ``dt = 1 s`` each cell is
+``s = 7.5 m`` long, so one cell/step equals 7.5 m/s = 27 km/h.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Length of one cellular-automaton site, in metres (paper Section III-A).
+CELL_LENGTH_M = 7.5
+
+#: Duration of one cellular-automaton time step, in seconds.
+TIME_STEP_S = 1.0
+
+
+def cells_to_meters(cells: float, cell_length: float = CELL_LENGTH_M) -> float:
+    """Convert a distance expressed in CA cells to metres."""
+    return cells * cell_length
+
+
+def meters_to_cells(meters: float, cell_length: float = CELL_LENGTH_M) -> int:
+    """Convert a distance in metres to a whole number of CA cells.
+
+    Rounds to the nearest cell; raises :class:`ValueError` for negative input.
+    """
+    if meters < 0:
+        raise ValueError(f"distance must be non-negative, got {meters}")
+    return int(round(meters / cell_length))
+
+
+def cells_per_step_to_mps(
+    velocity: float,
+    cell_length: float = CELL_LENGTH_M,
+    time_step: float = TIME_STEP_S,
+) -> float:
+    """Convert a CA velocity (cells per step) to metres per second."""
+    return velocity * cell_length / time_step
+
+
+def cells_per_step_to_kmh(
+    velocity: float,
+    cell_length: float = CELL_LENGTH_M,
+    time_step: float = TIME_STEP_S,
+) -> float:
+    """Convert a CA velocity (cells per step) to kilometres per hour."""
+    return cells_per_step_to_mps(velocity, cell_length, time_step) * 3.6
+
+
+def kmh_to_cells_per_step(
+    kmh: float,
+    cell_length: float = CELL_LENGTH_M,
+    time_step: float = TIME_STEP_S,
+) -> int:
+    """Convert a speed in km/h to whole CA cells per step (nearest)."""
+    return int(round(kmh / 3.6 * time_step / cell_length))
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** (dbm / 10.0) / 1000.0
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises :class:`ValueError` for non-positive power, which has no dBm
+    representation.
+    """
+    if watts <= 0:
+        raise ValueError(f"power must be positive, got {watts}")
+    return 10.0 * math.log10(watts * 1000.0)

@@ -1,0 +1,24 @@
+"""Small argument-validation helpers with informative error messages."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise :class:`ValueError`."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if in ``[0, 1]``, else raise :class:`ValueError`."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_range(name: str, value: float, low: float, high: float) -> float:
+    """Return ``value`` if in ``[low, high]``, else raise :class:`ValueError`."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

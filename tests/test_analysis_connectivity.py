@@ -1,0 +1,90 @@
+"""Radio-connectivity analysis tests (paper Fig. 1 effects)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.connectivity import (
+    connectivity_graph,
+    connectivity_series,
+    largest_component_fraction,
+    pair_connectivity_series,
+    path_exists,
+)
+from repro.mobility.trace import MobilityTrace
+
+
+def test_edges_within_range_only():
+    positions = np.array([[0.0, 0.0], [200.0, 0.0], [600.0, 0.0]])
+    graph = connectivity_graph(positions, 250.0)
+    assert graph.has_edge(0, 1)
+    assert not graph.has_edge(1, 2)
+    assert not graph.has_edge(0, 2)
+
+
+def test_range_boundary_inclusive():
+    positions = np.array([[0.0, 0.0], [250.0, 0.0]])
+    graph = connectivity_graph(positions, 250.0)
+    assert graph.has_edge(0, 1)
+
+
+def test_largest_component_fraction():
+    positions = np.array(
+        [[0.0, 0.0], [100.0, 0.0], [200.0, 0.0], [1000.0, 0.0]]
+    )
+    graph = connectivity_graph(positions, 250.0)
+    assert largest_component_fraction(graph) == pytest.approx(0.75)
+
+
+def test_path_exists_multi_hop():
+    positions = np.array([[0.0, 0.0], [200.0, 0.0], [400.0, 0.0]])
+    graph = connectivity_graph(positions, 250.0)
+    assert path_exists(graph, 0, 2)
+
+
+def test_relay_lane_fills_gap():
+    """Paper Fig. 1-a: a relay on a parallel lane bridges a gap."""
+    gap_only = np.array([[0.0, 0.0], [450.0, 0.0]])
+    assert not path_exists(connectivity_graph(gap_only, 250.0), 0, 1)
+    with_relay = np.array([[0.0, 0.0], [450.0, 0.0], [225.0, 3.75]])
+    assert path_exists(connectivity_graph(with_relay, 250.0), 0, 1)
+
+
+def test_connectivity_series_over_trace():
+    times = np.array([0.0, 1.0])
+    positions = np.array(
+        [
+            [[0.0, 0.0], [100.0, 0.0]],  # connected
+            [[0.0, 0.0], [900.0, 0.0]],  # split
+        ]
+    )
+    trace = MobilityTrace(times, positions)
+    series = connectivity_series(trace, 250.0)
+    assert series.tolist() == [1.0, 0.5]
+
+
+def test_pair_connectivity_series():
+    times = np.array([0.0, 1.0])
+    positions = np.array(
+        [
+            [[0.0, 0.0], [100.0, 0.0]],
+            [[0.0, 0.0], [900.0, 0.0]],
+        ]
+    )
+    trace = MobilityTrace(times, positions)
+    series = pair_connectivity_series(trace, 250.0, 0, 1)
+    assert series.tolist() == [True, False]
+
+
+def test_single_node_graph():
+    graph = connectivity_graph(np.array([[5.0, 5.0]]), 100.0)
+    assert graph.number_of_nodes() == 1
+    assert largest_component_fraction(graph) == 1.0
+
+
+def test_validates_inputs():
+    with pytest.raises(ValueError):
+        connectivity_graph(np.zeros((2, 3)), 100.0)
+    with pytest.raises(ValueError):
+        connectivity_graph(np.zeros((2, 2)), 0.0)
+    with pytest.raises(ValueError):
+        largest_component_fraction(connectivity_graph(np.zeros((0, 2)), 1.0))

@@ -1,0 +1,87 @@
+"""Autocorrelation and Hurst-estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    autocorrelation,
+    hurst_aggregated_variance,
+    hurst_rescaled_range,
+)
+
+
+def _fgn_like(hurst, n, seed):
+    """Synthesise a long-memory series via spectral shaping (power-law
+    spectrum f^(1-2H))."""
+    rng = np.random.default_rng(seed)
+    freqs = np.fft.rfftfreq(n)
+    freqs[0] = 1.0
+    amplitude = freqs ** ((1 - 2 * hurst) / 2)
+    spectrum = amplitude * np.exp(1j * rng.uniform(0, 2 * np.pi, len(freqs)))
+    return np.fft.irfft(spectrum)
+
+
+def test_autocorrelation_lag_zero_is_one():
+    series = np.random.default_rng(0).normal(size=500)
+    assert autocorrelation(series, 10)[0] == 1.0
+
+
+def test_white_noise_correlations_small():
+    series = np.random.default_rng(1).normal(size=5000)
+    r = autocorrelation(series, 20)
+    assert np.all(np.abs(r[1:]) < 0.05)
+
+
+def test_ar1_autocorrelation_decays_geometrically():
+    rng = np.random.default_rng(2)
+    phi = 0.8
+    x = np.zeros(20000)
+    for i in range(1, len(x)):
+        x[i] = phi * x[i - 1] + rng.normal()
+    r = autocorrelation(x, 5)
+    for lag in range(1, 6):
+        assert r[lag] == pytest.approx(phi**lag, abs=0.05)
+
+
+def test_constant_series_autocorrelation():
+    r = autocorrelation(np.ones(100), 5)
+    assert r[0] == 1.0
+    assert np.all(r[1:] == 0.0)
+
+
+def test_autocorrelation_validates_args():
+    with pytest.raises(ValueError):
+        autocorrelation(np.ones(1), 0)
+    with pytest.raises(ValueError):
+        autocorrelation(np.ones(10), 10)
+
+
+def test_hurst_white_noise_near_half():
+    noise = np.random.default_rng(3).normal(size=16384)
+    assert hurst_aggregated_variance(noise) == pytest.approx(0.5, abs=0.1)
+    assert hurst_rescaled_range(noise) == pytest.approx(0.55, abs=0.12)
+
+
+def test_hurst_long_memory_above_half():
+    series = _fgn_like(0.85, 16384, seed=4)
+    assert hurst_aggregated_variance(series) > 0.65
+    assert hurst_rescaled_range(series) > 0.65
+
+
+def test_hurst_estimators_rank_series_consistently():
+    weak = _fgn_like(0.55, 8192, seed=5)
+    strong = _fgn_like(0.9, 8192, seed=5)
+    assert hurst_aggregated_variance(strong) > hurst_aggregated_variance(weak)
+    assert hurst_rescaled_range(strong) > hurst_rescaled_range(weak)
+
+
+def test_hurst_constant_series_degenerates_to_half():
+    assert hurst_aggregated_variance(np.ones(1000)) == 0.5
+    assert hurst_rescaled_range(np.ones(1000)) == 0.5
+
+
+def test_hurst_rejects_short_series():
+    with pytest.raises(ValueError):
+        hurst_aggregated_variance(np.ones(10))
+    with pytest.raises(ValueError):
+        hurst_rescaled_range(np.ones(10))

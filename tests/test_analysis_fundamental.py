@@ -1,0 +1,83 @@
+"""Fundamental-diagram tests (paper Fig. 4 physics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fundamental import fundamental_diagram
+from repro.util.rng import RngStreams
+
+
+def test_deterministic_peak_near_critical_density():
+    """For p=0 the flow peaks at rho* = 1/(v_max+1) with J* = v_max/(v_max+1)."""
+    densities = [0.05, 0.1, 1 / 6, 0.25, 0.4]
+    fd = fundamental_diagram(
+        densities, p=0.0, num_cells=300, trials=5, steps=300, warmup=200,
+        rng=RngStreams(0),
+    )
+    rho_star, j_star = fd.peak()
+    assert rho_star == pytest.approx(1 / 6)
+    assert j_star == pytest.approx(5 / 6, abs=0.05)
+
+
+def test_free_flow_branch_linear():
+    """Below the critical density, J = v_max * rho."""
+    densities = [0.02, 0.05, 0.1]
+    fd = fundamental_diagram(
+        densities, p=0.0, num_cells=400, trials=3, steps=200, warmup=400,
+        rng=RngStreams(1),
+    )
+    assert np.allclose(fd.flows, 5 * np.asarray(densities), rtol=0.02)
+
+
+def test_stochastic_flow_below_deterministic():
+    """Paper Fig. 4: the p=0.5 curve lies strictly below the p=0 curve."""
+    densities = [0.1, 1 / 6, 0.3]
+    streams = RngStreams(2)
+    det = fundamental_diagram(
+        densities, p=0.0, num_cells=200, trials=5, steps=200, warmup=200,
+        rng=streams,
+    )
+    sto = fundamental_diagram(
+        densities, p=0.5, num_cells=200, trials=5, steps=200, warmup=200,
+        rng=streams,
+    )
+    assert np.all(sto.flows < det.flows)
+
+
+def test_congested_branch_decreases():
+    densities = [0.3, 0.5, 0.7, 0.9]
+    fd = fundamental_diagram(
+        densities, p=0.0, num_cells=200, trials=3, steps=200, warmup=300,
+        rng=RngStreams(3),
+    )
+    assert np.all(np.diff(fd.flows) < 0)
+
+
+def test_flow_std_reported():
+    fd = fundamental_diagram(
+        [0.2], p=0.5, num_cells=100, trials=4, steps=100, rng=RngStreams(4)
+    )
+    assert fd.flow_std.shape == (1,)
+    assert fd.flow_std[0] > 0  # stochastic trials differ
+
+
+def test_single_trial_has_zero_std():
+    fd = fundamental_diagram(
+        [0.2], p=0.0, num_cells=100, trials=1, steps=50, rng=RngStreams(5)
+    )
+    assert fd.flow_std[0] == 0.0
+
+
+def test_reproducible_with_same_streams():
+    a = fundamental_diagram(
+        [0.2], p=0.5, num_cells=100, trials=3, steps=100, rng=RngStreams(6)
+    )
+    b = fundamental_diagram(
+        [0.2], p=0.5, num_cells=100, trials=3, steps=100, rng=RngStreams(6)
+    )
+    assert np.array_equal(a.flows, b.flows)
+
+
+def test_rejects_zero_trials():
+    with pytest.raises(ValueError):
+        fundamental_diagram([0.2], p=0.0, trials=0)

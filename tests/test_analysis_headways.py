@@ -1,0 +1,64 @@
+"""Headway-distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.headways import (
+    headway_distribution,
+    headway_summary,
+    headways,
+)
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def _history(density, p=0.0, steps=100, seed=0):
+    rng = np.random.default_rng(seed)
+    model = NagelSchreckenberg.from_density(
+        200, density, random_start=True, rng=rng, p=p
+    )
+    return evolve(model, steps, warmup=200)
+
+
+def test_headways_sum_to_free_cells():
+    history = _history(0.25)
+    gaps = headways(history)
+    n = history.num_vehicles
+    # Per step: gaps + vehicles cover the ring exactly.
+    assert np.all(gaps.sum(axis=1) + n == history.num_cells)
+
+
+def test_distribution_normalised():
+    dist = headway_distribution(_history(0.3, p=0.3))
+    assert dist.sum() == pytest.approx(1.0)
+    assert np.all(dist >= 0)
+
+
+def test_free_flow_has_no_zero_gaps():
+    """Relaxed deterministic free flow: every gap >= v_max."""
+    summary = headway_summary(_history(0.05))
+    assert summary.zero_fraction == 0.0
+    assert summary.mean_cells > 5
+
+
+def test_jammed_regime_spikes_at_zero():
+    summary = headway_summary(_history(0.6))
+    assert summary.zero_fraction > 0.3
+    assert summary.mean_cells < 2.0
+
+
+def test_dawdling_broadens_distribution():
+    calm = headway_summary(_history(0.15, p=0.0))
+    noisy = headway_summary(_history(0.15, p=0.5, seed=1))
+    assert noisy.std_cells > calm.std_cells
+
+
+def test_max_gap_folding():
+    dist = headway_distribution(_history(0.05), max_gap=5)
+    assert len(dist) == 6
+    assert dist[5] > 0  # sparse traffic has gaps above 5, folded in
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        headway_distribution(_history(0.2), max_gap=0)

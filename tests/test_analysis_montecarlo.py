@@ -1,0 +1,51 @@
+"""Monte-Carlo ensemble runner tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo
+from repro.util.rng import RngStreams
+
+
+def test_scalar_experiment_aggregates():
+    result = monte_carlo(lambda rng: rng.normal(), trials=100, rng=RngStreams(0))
+    assert result.num_trials == 100
+    assert result.samples.shape == (100,)
+    assert abs(result.mean) < 0.3
+    assert result.std == pytest.approx(1.0, abs=0.3)
+
+
+def test_array_experiment_aggregates_elementwise():
+    result = monte_carlo(
+        lambda rng: rng.normal(size=5), trials=50, rng=RngStreams(1)
+    )
+    assert result.samples.shape == (50, 5)
+    assert result.mean.shape == (5,)
+    assert result.std.shape == (5,)
+
+
+def test_reproducible():
+    a = monte_carlo(lambda rng: rng.random(), trials=10, rng=RngStreams(2))
+    b = monte_carlo(lambda rng: rng.random(), trials=10, rng=RngStreams(2))
+    assert np.array_equal(a.samples, b.samples)
+
+
+def test_trials_use_independent_streams():
+    result = monte_carlo(lambda rng: rng.random(), trials=10, rng=RngStreams(3))
+    assert len(np.unique(result.samples)) == 10
+
+
+def test_single_trial_zero_std():
+    result = monte_carlo(lambda rng: rng.random(), trials=1, rng=RngStreams(4))
+    assert result.std == 0.0
+
+
+def test_deterministic_experiment():
+    result = monte_carlo(lambda rng: 7.0, trials=5)
+    assert np.all(result.samples == 7.0)
+    assert result.std == 0.0
+
+
+def test_rejects_zero_trials():
+    with pytest.raises(ValueError):
+        monte_carlo(lambda rng: 1.0, trials=0)

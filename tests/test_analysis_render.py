@@ -1,0 +1,122 @@
+"""Text-rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import (
+    render_bars,
+    render_heatmap,
+    render_sparkline,
+    render_spacetime,
+)
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+class TestSpacetime:
+    def _history(self, density, p=0.0, steps=50):
+        rng = np.random.default_rng(1)
+        model = NagelSchreckenberg.from_density(
+            200, density, random_start=True, rng=rng, p=p
+        )
+        return evolve(model, steps, warmup=100)
+
+    def test_dimensions_respected(self):
+        text = render_spacetime(self._history(0.3), max_rows=10, max_cols=40)
+        lines = text.splitlines()
+        assert len(lines) <= 10
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_laminar_has_no_jam_glyphs(self):
+        text = render_spacetime(self._history(0.05))
+        assert "#" not in text
+        assert "o" in text
+
+    def test_jammed_shows_jam_glyphs(self):
+        text = render_spacetime(self._history(0.5))
+        assert "#" in text
+
+    def test_charset(self):
+        text = render_spacetime(self._history(0.3, p=0.3))
+        assert set(text) <= set(".o#\n")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_spacetime(self._history(0.3), max_rows=0)
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        line = render_sparkline(np.arange(1000), width=50)
+        assert len(line) == 50
+
+    def test_short_series_uncompressed(self):
+        line = render_sparkline([1.0, 2.0, 3.0], width=50)
+        assert len(line) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = render_sparkline([0, 1, 2, 3, 4, 5, 6, 7], width=10)
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_mid_height(self):
+        line = render_sparkline([5.0] * 10, width=10)
+        assert len(set(line)) == 1
+
+    def test_nan_rendered_as_space(self):
+        line = render_sparkline([1.0, float("nan"), 2.0], width=10)
+        assert line[1] == " "
+
+    def test_empty_series(self):
+        assert render_sparkline([]) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_sparkline([1.0], width=0)
+
+
+class TestHeatmap:
+    def test_dimensions(self):
+        grid = np.random.default_rng(0).random((40, 200))
+        text = render_heatmap(grid, max_rows=8, max_cols=50)
+        lines = text.splitlines()
+        assert len(lines) <= 8
+        assert all(len(line) <= 50 for line in lines)
+
+    def test_zero_matrix_renders_blank(self):
+        text = render_heatmap(np.zeros((3, 5)))
+        assert set(text) <= {" ", "\n"}
+
+    def test_peak_renders_densest_glyph(self):
+        grid = np.zeros((2, 2))
+        grid[0, 0] = 10.0
+        text = render_heatmap(grid)
+        assert "@" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2)), max_rows=0)
+
+
+class TestBars:
+    def test_labels_and_values_present(self):
+        text = render_bars({"AODV": 0.7, "OLSR": 0.3})
+        assert "AODV" in text and "0.700" in text
+        assert "OLSR" in text and "0.300" in text
+
+    def test_bar_lengths_proportional(self):
+        text = render_bars({"a": 1.0, "b": 0.5}, width=20)
+        line_a, line_b = text.splitlines()
+        assert line_a.count("█") == 2 * line_b.count("█")
+
+    def test_max_value_scaling(self):
+        text = render_bars({"a": 0.5}, width=10, max_value=1.0)
+        assert text.count("█") == 5
+
+    def test_empty_mapping(self):
+        assert render_bars({}) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bars({"a": 1.0}, width=0)

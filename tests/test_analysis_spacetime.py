@@ -1,0 +1,77 @@
+"""Space-time structure tests (paper Fig. 5 regimes)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spacetime import (
+    jam_fraction_series,
+    spacetime_matrix,
+    wave_speed_estimate,
+)
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def _history(density, p, steps=100, num_cells=400, warmup=50, seed=0):
+    rng = np.random.default_rng(seed)
+    model = NagelSchreckenberg.from_density(
+        num_cells, density, random_start=True, rng=rng, p=p
+    )
+    return evolve(model, steps, warmup=warmup)
+
+
+def test_laminar_regime_no_jams():
+    """Fig. 5-c: rho=0.1, p=0 — free flow, nobody stopped after warmup."""
+    history = _history(0.1, 0.0, warmup=400)
+    assert jam_fraction_series(history).max() == 0.0
+
+
+def test_congested_regime_has_jams():
+    """Fig. 5-d: rho=0.5, p=0 — about half the vehicles are stopped."""
+    history = _history(0.5, 0.0, warmup=400)
+    assert jam_fraction_series(history).mean() > 0.3
+
+
+def test_stochastic_congested_regime_has_jams():
+    """Fig. 5-b: rho=0.5, p=0.3."""
+    history = _history(0.5, 0.3)
+    assert jam_fraction_series(history).mean() > 0.3
+
+
+def test_jam_wave_travels_backwards():
+    """The signature of Fig. 5: jam structures drift against traffic."""
+    history = _history(0.5, 0.0, warmup=400)
+    speed = wave_speed_estimate(history)
+    assert speed < -0.2
+
+
+def test_stochastic_jam_wave_backwards():
+    history = _history(0.5, 0.3, steps=200)
+    speed = wave_speed_estimate(history)
+    assert speed < -0.2
+
+
+def test_wave_speed_nan_when_no_jams():
+    history = _history(0.05, 0.0, warmup=400)
+    assert np.isnan(wave_speed_estimate(history))
+
+
+def test_spacetime_matrix_velocity_encoding():
+    history = _history(0.3, 0.0, steps=10)
+    matrix = spacetime_matrix(history)
+    assert matrix.shape == (11, 400)
+    assert matrix.min() == -1
+    assert matrix.max() <= 5
+
+
+def test_spacetime_matrix_binary():
+    history = _history(0.3, 0.0, steps=10)
+    binary = spacetime_matrix(history, binary=True)
+    assert set(np.unique(binary)) <= {0, 1}
+    assert binary.sum(axis=1).tolist() == [history.num_vehicles] * 11
+
+
+def test_wave_speed_rejects_bad_max_shift():
+    history = _history(0.5, 0.0, steps=10)
+    with pytest.raises(ValueError):
+        wave_speed_estimate(history, max_shift=0)

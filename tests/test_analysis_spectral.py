@@ -1,0 +1,75 @@
+"""Spectral SRD/LRD tests (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import periodogram, spectral_slope_at_origin
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def test_periodogram_finds_a_pure_tone():
+    t = np.arange(4096)
+    series = np.sin(2 * np.pi * 0.1 * t)
+    freqs, power = periodogram(series)
+    assert freqs[np.argmax(power)] == pytest.approx(0.1, abs=1e-3)
+
+
+def test_periodogram_drops_zero_frequency():
+    freqs, _ = periodogram(np.random.default_rng(0).normal(size=256))
+    assert freqs[0] > 0
+
+
+def test_white_noise_slope_near_zero():
+    noise = np.random.default_rng(1).normal(size=8192)
+    slope = spectral_slope_at_origin(noise)
+    assert abs(slope) < 0.5
+
+
+def test_deterministic_nasch_is_srd():
+    """Fig. 7-a: for p=0 the spectrum does not diverge at the origin."""
+    model = NagelSchreckenberg(400, 40, p=0.0)
+    history = evolve(model, 4000, warmup=500)
+    slope = spectral_slope_at_origin(history.mean_velocity_series())
+    assert slope > -0.5
+
+
+def test_stochastic_nasch_is_lrd():
+    """Fig. 7-b: for p=0.5 the spectrum diverges like 1/f at the origin."""
+    rng = np.random.default_rng(2)
+    model = NagelSchreckenberg.from_density(
+        400, 0.12, random_start=True, rng=rng, p=0.5
+    )
+    history = evolve(model, 4000, warmup=500)
+    slope = spectral_slope_at_origin(history.mean_velocity_series())
+    assert slope < -0.5
+
+
+def test_lrd_process_slope_matches_synthetic_1_over_f():
+    """Sanity on the estimator itself: synthesise 1/f noise and recover
+    a clearly negative slope."""
+    rng = np.random.default_rng(3)
+    n = 8192
+    freqs = np.fft.rfftfreq(n)
+    freqs[0] = 1.0
+    spectrum = (1.0 / np.sqrt(freqs)) * np.exp(
+        1j * rng.uniform(0, 2 * np.pi, len(freqs))
+    )
+    series = np.fft.irfft(spectrum)
+    slope = spectral_slope_at_origin(series)
+    assert slope < -0.6
+
+
+def test_rejects_short_series():
+    with pytest.raises(ValueError):
+        periodogram(np.ones(4))
+
+
+def test_rejects_bad_low_fraction():
+    with pytest.raises(ValueError):
+        spectral_slope_at_origin(np.ones(100), low_fraction=0.0)
+
+
+def test_constant_series_slope_zero():
+    # All power bins are zero after detrending; the guard returns 0.
+    assert spectral_slope_at_origin(np.ones(256)) == 0.0

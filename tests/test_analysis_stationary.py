@@ -1,0 +1,69 @@
+"""Stationarity-test tests (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stationary import recommended_discard, stationarity_test
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def test_white_noise_is_stationary():
+    series = np.random.default_rng(0).normal(size=4000)
+    result = stationarity_test(series)
+    assert result.stationary
+    assert result.p_value > 0.01
+
+
+def test_drifting_mean_rejected():
+    rng = np.random.default_rng(1)
+    series = np.linspace(0, 5, 4000) + rng.normal(size=4000)
+    result = stationarity_test(series)
+    assert not result.stationary
+
+
+def test_constant_series_trivially_stationary():
+    result = stationarity_test(np.ones(100))
+    assert result.stationary
+    assert result.p_value == 1.0
+
+
+def test_transient_then_flat_detected_and_cured_by_discard():
+    rng = np.random.default_rng(2)
+    transient = np.linspace(0.0, 5.0, 300)
+    steady = 5.0 + 0.1 * rng.normal(size=3000)
+    series = np.concatenate([transient, steady])
+    assert not stationarity_test(series).stationary
+    cured = stationarity_test(series, discard=320)
+    assert cured.stationary
+
+
+def test_recommended_discard_finds_the_transient():
+    # Noise well inside the 2% tolerance band: the estimator requires the
+    # series to *stay* within the band, so steady-state noise must not
+    # brush against it (for noisier series, smooth before estimating).
+    rng = np.random.default_rng(3)
+    transient = np.linspace(0.0, 5.0, 200)
+    steady = 5.0 + 0.015 * rng.normal(size=2000)
+    series = np.concatenate([transient, steady])
+    discard = recommended_discard(series)
+    assert 150 <= discard <= 400
+
+
+def test_deterministic_nasch_stationary_after_warmup():
+    """The paper's setting: the deterministic model's v(t) pins to its
+    steady state; after discarding the transient the halves agree."""
+    model = NagelSchreckenberg(400, 30)
+    series = evolve(model, 1000).mean_velocity_series()
+    discard = recommended_discard(series)
+    result = stationarity_test(series, discard=discard)
+    assert result.stationary
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        stationarity_test(np.ones(10), discard=5)
+    with pytest.raises(ValueError):
+        stationarity_test(np.ones(100), alpha=0.0)
+    with pytest.raises(ValueError):
+        stationarity_test(np.ones(100), thin=0)

@@ -1,0 +1,96 @@
+"""Topology-change analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.topology import (
+    link_change_series,
+    link_lifetimes,
+    topology_change_summary,
+)
+from repro.ca.nasch import NagelSchreckenberg
+from repro.geometry.layout import RoadLayout
+from repro.mobility.ca_mobility import CaMobility
+from repro.mobility.trace import MobilityTrace
+
+
+def _trace(position_rows):
+    times = np.arange(len(position_rows), dtype=float)
+    return MobilityTrace(times, np.array(position_rows, dtype=float))
+
+
+def test_static_topology_has_no_changes():
+    rows = [[[0.0, 0.0], [100.0, 0.0]]] * 5
+    trace = _trace(rows)
+    _, changes = link_change_series(trace, 250.0)
+    assert changes.tolist() == [0, 0, 0, 0]
+
+
+def test_link_break_counts_one_change():
+    rows = [
+        [[0.0, 0.0], [100.0, 0.0]],
+        [[0.0, 0.0], [100.0, 0.0]],
+        [[0.0, 0.0], [900.0, 0.0]],  # link breaks here
+    ]
+    _, changes = link_change_series(_trace(rows), 250.0)
+    assert changes.tolist() == [0, 1]
+
+
+def test_flapping_link_counts_each_transition():
+    near = [[0.0, 0.0], [100.0, 0.0]]
+    far = [[0.0, 0.0], [900.0, 0.0]]
+    _, changes = link_change_series(_trace([near, far, near, far]), 250.0)
+    assert changes.tolist() == [1, 1, 1]
+
+
+def test_link_lifetimes_contiguous_episodes():
+    near = [[0.0, 0.0], [100.0, 0.0]]
+    far = [[0.0, 0.0], [900.0, 0.0]]
+    # Alive t=0..1 (episode 1, length 1), dead t=2, alive t=3..4
+    # (episode 2, censored at length 1).
+    lifetimes = link_lifetimes(_trace([near, near, far, near, near]), 250.0)
+    assert sorted(lifetimes.tolist()) == [1.0, 2.0]
+
+
+def test_always_alive_link_censored_at_duration():
+    rows = [[[0.0, 0.0], [100.0, 0.0]]] * 4
+    lifetimes = link_lifetimes(_trace(rows), 250.0)
+    assert lifetimes.tolist() == [3.0]
+
+
+def test_summary_static():
+    rows = [[[0.0, 0.0], [100.0, 0.0], [200.0, 0.0]]] * 5
+    summary = topology_change_summary(_trace(rows), 250.0)
+    assert summary.mean_links == 3.0  # 0-1, 1-2, 0-2 all within 250
+    assert summary.changes_per_second == 0.0
+    assert summary.num_link_births == 3
+
+
+def test_summary_requires_two_samples():
+    rows = [[[0.0, 0.0], [100.0, 0.0]]]
+    with pytest.raises(ValueError):
+        topology_change_summary(_trace(rows), 250.0)
+
+
+def test_stochastic_ca_churns_more_than_deterministic():
+    """The conclusion's metric, demonstrated: dawdling increases topology
+    change; the deterministic ring (after relaxation) is almost static."""
+
+    def churn(p):
+        model = NagelSchreckenberg.from_density(
+            200, 0.15, random_start=True, rng=np.random.default_rng(3), p=p
+        )
+        model.run(100)
+        trace = CaMobility(model, RoadLayout.single_circuit(1500.0)).sample(
+            100.0
+        )
+        return topology_change_summary(trace, 250.0).changes_per_second
+
+    assert churn(0.5) > churn(0.0) + 0.05
+
+
+def test_empty_graph_lifetimes():
+    rows = [[[0.0, 0.0], [5000.0, 0.0]]] * 3
+    assert len(link_lifetimes(_trace(rows), 250.0)) == 0
+    summary = topology_change_summary(_trace(rows), 250.0)
+    assert summary.mean_link_lifetime_s == 0.0

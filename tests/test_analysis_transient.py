@@ -1,0 +1,65 @@
+"""Transient-time estimation tests (paper Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transient import transient_time
+from repro.ca.history import evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def test_step_function_transient():
+    series = np.concatenate([np.zeros(30), np.ones(170)])
+    assert transient_time(series) == 30
+
+
+def test_already_stationary_is_zero():
+    assert transient_time(np.ones(100)) == 0
+
+
+def test_exponential_approach():
+    t = np.arange(500)
+    series = 5.0 * (1 - np.exp(-t / 50.0))
+    tau = transient_time(series, tolerance=0.02)
+    # 2% band around 5.0 is reached at t = 50*ln(50) ~ 196.
+    assert 150 < tau < 250
+
+
+def test_never_settles_returns_length():
+    series = np.linspace(0.0, 10.0, 200)  # drifts forever
+    assert transient_time(series, tolerance=0.001) == 200
+
+
+def test_deterministic_nasch_free_flow_transient():
+    """Paper IV-B: for p=0 at low density the transient is short — every
+    vehicle reaches v_max quickly and v(t) pins there."""
+    model = NagelSchreckenberg(400, 30)
+    history = evolve(model, 400)
+    tau = transient_time(history.mean_velocity_series(), tolerance=0.01)
+    assert tau < 30
+
+
+def test_deterministic_transient_peaks_near_critical_density():
+    """Paper IV-B: "the transient state depends on the density of the
+    vehicles."  For p=0 the slow settling happens near the critical
+    density rho* = 1/(v_max+1), where jams take longest to sort out
+    (critical slowing down); deep free flow settles almost immediately."""
+    def tau_at(rho):
+        rng = np.random.default_rng(0)
+        model = NagelSchreckenberg.from_density(
+            400, rho, random_start=True, rng=rng
+        )
+        return transient_time(
+            evolve(model, 800).mean_velocity_series(), tolerance=0.02
+        )
+
+    assert tau_at(0.05) < tau_at(0.15)
+
+
+def test_validates_arguments():
+    with pytest.raises(ValueError):
+        transient_time(np.ones(3))
+    with pytest.raises(ValueError):
+        transient_time(np.ones(100), tolerance=0.0)
+    with pytest.raises(ValueError):
+        transient_time(np.ones(100), tail_fraction=0.0)

@@ -1,0 +1,90 @@
+"""CA checkpoint (state_dict/from_state) tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ca.boundary import Boundary
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def test_roundtrip_preserves_configuration_and_state():
+    model = NagelSchreckenberg(
+        100, 20, p=0.4, v_max=4, rng=np.random.default_rng(5)
+    )
+    model.run(37)
+    restored = NagelSchreckenberg.from_state(model.state_dict())
+    assert restored.num_cells == 100
+    assert restored.p == 0.4
+    assert restored.v_max == 4
+    assert restored.time == 37
+    assert np.array_equal(restored.positions, model.positions)
+    assert np.array_equal(restored.velocities, model.velocities)
+    assert np.array_equal(restored.wraps, model.wraps)
+
+
+def test_restored_model_continues_exact_trajectory():
+    """Checkpoint mid-run: the restored copy's future equals the
+    original's — including the stochastic dawdling draws."""
+    model = NagelSchreckenberg(
+        200, 60, p=0.5, rng=np.random.default_rng(9)
+    )
+    model.run(100)
+    checkpoint = model.state_dict()
+    model.run(200)
+    restored = NagelSchreckenberg.from_state(checkpoint)
+    restored.run(200)
+    assert np.array_equal(restored.positions, model.positions)
+    assert np.array_equal(restored.velocities, model.velocities)
+
+
+def test_state_is_json_serialisable():
+    model = NagelSchreckenberg(50, 10, p=0.3, rng=np.random.default_rng(1))
+    model.run(10)
+    text = json.dumps(model.state_dict())
+    restored = NagelSchreckenberg.from_state(json.loads(text))
+    restored.step()
+    model.step()
+    assert np.array_equal(restored.positions, model.positions)
+
+
+def test_checkpoint_of_open_boundary_lane():
+    model = NagelSchreckenberg(
+        30,
+        boundary=Boundary.OPEN,
+        injection_rate=0.8,
+        rng=np.random.default_rng(2),
+    )
+    model.run(40)
+    restored = NagelSchreckenberg.from_state(model.state_dict())
+    restored.run(20)
+    model.run(20)
+    assert np.array_equal(restored.positions, model.positions)
+    assert np.array_equal(restored.vehicle_ids, model.vehicle_ids)
+
+
+def test_rotated_ring_order_accepted():
+    """A running model's arrays are rotated, not sorted: [5, 3, 4] is the
+    valid ring order starting at the vehicle on cell 5."""
+    model = NagelSchreckenberg(20, 3)
+    state = model.state_dict()
+    state["positions"] = [5, 8, 2]
+    restored = NagelSchreckenberg.from_state(state)
+    assert restored.positions.tolist() == [5, 8, 2]
+
+
+@pytest.mark.parametrize(
+    "positions",
+    [
+        [3, 5, 4],  # not a rotation of a sorted sequence
+        [3, 3, 4],  # duplicate cell
+        [3, 25, 4],  # out of range
+    ],
+)
+def test_corrupt_state_rejected(positions):
+    model = NagelSchreckenberg(20, 3)
+    state = model.state_dict()
+    state["positions"] = positions
+    with pytest.raises(ValueError):
+        NagelSchreckenberg.from_state(state)

@@ -1,0 +1,100 @@
+"""CA history-recording tests."""
+
+import numpy as np
+import pytest
+
+from repro.ca.boundary import Boundary
+from repro.ca.history import CaHistory, evolve
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def test_evolve_records_initial_state_plus_steps():
+    model = NagelSchreckenberg(50, 5)
+    history = evolve(model, 20)
+    assert history.num_steps == 20
+    assert history.positions.shape == (21, 5)
+    assert history.num_vehicles == 5
+    assert history.density == pytest.approx(0.1)
+
+
+def test_first_row_is_initial_state():
+    model = NagelSchreckenberg(50, 5)
+    initial = model.positions
+    history = evolve(model, 3)
+    assert np.array_equal(history.positions[0], initial)
+
+
+def test_warmup_discards_transient():
+    model_a = NagelSchreckenberg(50, 5)
+    history_a = evolve(model_a, 5, warmup=10)
+    model_b = NagelSchreckenberg(50, 5)
+    model_b.run(10)
+    history_b = evolve(model_b, 5)
+    assert np.array_equal(history_a.positions, history_b.positions)
+
+
+def test_record_every_thins_history():
+    model = NagelSchreckenberg(50, 5)
+    history = evolve(model, 10, record_every=2)
+    assert history.positions.shape[0] == 6  # t=0,2,4,6,8,10
+
+
+def test_mean_velocity_series_matches_manual():
+    model = NagelSchreckenberg(30, positions=[0, 10], v_max=3)
+    history = evolve(model, 4)
+    series = history.mean_velocity_series()
+    # Both vehicles free: velocities 0,1,2,3,3 -> means equal.
+    assert series.tolist() == [0.0, 1.0, 2.0, 3.0, 3.0]
+
+
+def test_flow_series_is_density_times_velocity():
+    model = NagelSchreckenberg(40, 4)
+    history = evolve(model, 10)
+    assert np.allclose(
+        history.flow_series(), 0.1 * history.mean_velocity_series()
+    )
+
+
+def test_unwrapped_positions_monotone():
+    model = NagelSchreckenberg(20, 4, p=0.3, rng=np.random.default_rng(0))
+    history = evolve(model, 100)
+    unwrapped = history.unwrapped_positions()
+    assert np.all(np.diff(unwrapped, axis=0) >= 0)
+
+
+def test_occupancy_matrix_shape_and_content():
+    model = NagelSchreckenberg(25, 3)
+    history = evolve(model, 7)
+    matrix = history.occupancy_matrix()
+    assert matrix.shape == (8, 25)
+    assert np.all((matrix >= 0).sum(axis=1) == 3)
+
+
+def test_evolve_rejects_open_boundary():
+    model = NagelSchreckenberg(
+        20, boundary=Boundary.OPEN, injection_rate=0.5
+    )
+    with pytest.raises(ValueError, match="OPEN"):
+        evolve(model, 10)
+
+
+def test_evolve_rejects_bad_arguments():
+    model = NagelSchreckenberg(20, 2)
+    with pytest.raises(ValueError):
+        evolve(model, -1)
+    with pytest.raises(ValueError):
+        evolve(model, 5, record_every=0)
+    with pytest.raises(ValueError):
+        evolve(model, 5, warmup=-2)
+
+
+def test_history_validates_shapes():
+    with pytest.raises(ValueError):
+        CaHistory(
+            positions=np.zeros((3, 2), dtype=np.int64),
+            velocities=np.zeros((3, 3), dtype=np.int64),
+            wraps=np.zeros((3, 2), dtype=np.int64),
+            num_cells=10,
+            p=0.0,
+            v_max=5,
+        )

@@ -1,0 +1,158 @@
+"""Crossing-roads (intersection) tests — the paper's crosspoint bottleneck."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ca.intersection import CrossingRoads
+
+
+def test_initial_placement_avoids_crosspoint():
+    roads = CrossingRoads(50, 10, 10)
+    for road in (0, 1):
+        assert roads.crosspoints[road] not in roads.positions(road)
+
+
+def test_single_vehicle_per_road_flows_freely():
+    roads = CrossingRoads(60, 1, 1, p=0.0)
+    roads.run(100)
+    # Both vehicles reach v_max: one crossing per lap each.
+    assert roads.mean_velocity(0) == 5.0
+    assert roads.crossings(0) > 5
+    assert roads.crossings(1) > 5
+
+
+def test_priority_road_never_yields_to_empty_crossing():
+    roads = CrossingRoads(60, 8, 0, p=0.0)
+    roads.run(200)
+    # No road-B traffic: road A behaves like an isolated ring.
+    assert roads.mean_velocity(0) == 5.0
+
+
+def test_yielding_road_queues_behind_stuck_crossing():
+    """A road-A vehicle stuck ON the crosspoint (blocked by its own
+    leader) stops road-B traffic dead in front of the shared cell."""
+    roads = CrossingRoads(30, 0, 0, p=0.0)
+    cross_a, cross_b = roads.crosspoints
+    road_a, road_b = roads._roads
+    # Road A: one vehicle on the cross, its leader bumper-to-bumper ahead.
+    road_a.positions = np.array([cross_a, cross_a + 1], dtype=np.int64)
+    road_a.velocities = np.array([0, 0], dtype=np.int64)
+    road_a.ids = np.array([98, 99], dtype=np.int64)
+    road_a.wraps = np.array([0, 0], dtype=np.int64)
+    # Road B: a fast vehicle one cell before the cross.
+    road_b.positions = np.array([cross_b - 1], dtype=np.int64)
+    road_b.velocities = np.array([5], dtype=np.int64)
+    road_b.ids = np.array([1], dtype=np.int64)
+    road_b.wraps = np.array([0], dtype=np.int64)
+    roads.step()
+    # The vehicle on the cross could not move (gap 0), so road B froze.
+    assert cross_a in roads.positions(0)
+    assert roads.positions(1)[0] == cross_b - 1
+    assert roads.velocities(1)[0] == 0
+
+
+def test_departing_priority_vehicle_hands_cell_over():
+    """If the road-A vehicle *vacates* the crosspoint this step, road B
+    may sweep through behind it — the standard CA cell handover."""
+    roads = CrossingRoads(30, 0, 0, p=0.0)
+    cross_a, cross_b = roads.crosspoints
+    road_a, road_b = roads._roads
+    road_a.positions = np.array([cross_a], dtype=np.int64)
+    road_a.velocities = np.array([0], dtype=np.int64)
+    road_a.ids = np.array([99], dtype=np.int64)
+    road_a.wraps = np.array([0], dtype=np.int64)
+    road_b.positions = np.array([cross_b - 1], dtype=np.int64)
+    road_b.velocities = np.array([5], dtype=np.int64)
+    road_b.ids = np.array([1], dtype=np.int64)
+    road_b.wraps = np.array([0], dtype=np.int64)
+    roads.step()
+    assert roads.positions(0)[0] != cross_a  # A accelerated away
+    assert roads.positions(1)[0] > cross_b  # B passed through behind it
+
+
+def test_no_simultaneous_crosspoint_occupancy():
+    rng = np.random.default_rng(7)
+    roads = CrossingRoads(40, 12, 12, p=0.3, rng=rng)
+    for _ in range(300):
+        roads.step()
+        both = roads.crosspoint_occupied_by(0) and roads.crosspoint_occupied_by(1)
+        assert not both
+
+
+def test_crosspoint_is_a_bottleneck():
+    """The paper's claim: the crosspoint throttles the whole lane.  The
+    yielding road's flow drops well below an isolated ring's at the same
+    density."""
+    from repro.ca.nasch import NagelSchreckenberg
+
+    isolated = NagelSchreckenberg(60, 15, p=0.0)
+    isolated.run(300)
+    baseline = isolated.flow()
+
+    roads = CrossingRoads(60, 15, 15, p=0.0, rng=np.random.default_rng(1))
+    roads.run(300)
+    flows = []
+    for _ in range(100):
+        roads.step()
+        flows.append(roads.flow(1))
+    yielding_flow = float(np.mean(flows))
+    assert yielding_flow < 0.8 * baseline
+
+
+def test_crossings_counted():
+    roads = CrossingRoads(40, 3, 3, p=0.0)
+    roads.run(200)
+    assert roads.crossings(0) > 0
+    assert roads.crossings(1) > 0
+    # Priority road crosses at least as often as the yielding one.
+    assert roads.crossings(0) >= roads.crossings(1)
+
+
+@given(
+    num_cells=st.integers(min_value=10, max_value=60),
+    a=st.integers(min_value=0, max_value=12),
+    b=st.integers(min_value=0, max_value=12),
+    p=st.sampled_from([0.0, 0.3]),
+    steps=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_intersection_invariants(num_cells, a, b, p, steps, seed):
+    a = min(a, num_cells - 1)
+    b = min(b, num_cells - 1)
+    roads = CrossingRoads(
+        num_cells, a, b, p=p, rng=np.random.default_rng(seed)
+    )
+    roads.run(steps)
+    for road, count in ((0, a), (1, b)):
+        positions = roads.positions(road)
+        assert len(positions) == count  # conservation
+        assert len(np.unique(positions)) == count  # no collisions
+        velocities = roads.velocities(road)
+        assert np.all(velocities >= 0)
+        assert np.all(velocities <= 5)
+    # The shared site is never doubly occupied.
+    assert not (
+        roads.crosspoint_occupied_by(0) and roads.crosspoint_occupied_by(1)
+    )
+
+
+class TestValidation:
+    def test_too_many_vehicles(self):
+        with pytest.raises(ValueError):
+            CrossingRoads(10, 10, 0)
+
+    def test_bad_crosspoint(self):
+        with pytest.raises(ValueError):
+            CrossingRoads(10, 2, 2, cross_a=10)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            CrossingRoads(10, 2, 2, p=-0.1)
+
+    def test_negative_steps(self):
+        roads = CrossingRoads(10, 2, 2)
+        with pytest.raises(ValueError):
+            roads.run(-1)

@@ -1,0 +1,147 @@
+"""Multi-lane road and lane-change tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ca.multilane import MultiLaneRoad
+
+
+def test_single_lane_road_matches_no_change_dynamics():
+    road = MultiLaneRoad(50, 1, [5])
+    road.run(20)
+    assert road.num_vehicles == 5
+    assert road.num_lanes == 1
+
+
+def test_blocked_vehicle_changes_lane():
+    # Lane 0: follower behind a parked leader; lane 1 empty.  The follower
+    # should sidestep to lane 1 instead of queuing.
+    road = MultiLaneRoad(30, 2, [0, 0], v_max=3)
+    lane0 = road._lanes[0]
+    lane0.positions = np.array([5, 7], dtype=np.int64)
+    lane0.velocities = np.array([3, 0], dtype=np.int64)
+    lane0.ids = np.array([0, 1], dtype=np.int64)
+    lane0.wraps = np.zeros(2, dtype=np.int64)
+    lane0.shifted = np.zeros(2, dtype=bool)
+    road.step()
+    lanes = {v.vehicle_id: v.lane for v in road.vehicles()}
+    assert lanes[0] == 1  # the blocked follower moved over
+    assert lanes[1] == 0
+
+
+def test_no_change_without_incentive():
+    # Free-flowing vehicles stay in their lane.
+    road = MultiLaneRoad(100, 2, [3, 3], v_max=5)
+    initial = {v.vehicle_id: v.lane for v in road.vehicles()}
+    road.run(30)
+    final = {v.vehicle_id: v.lane for v in road.vehicles()}
+    assert initial == final
+
+
+def test_change_blocked_by_occupied_target_cell():
+    road = MultiLaneRoad(30, 2, [0, 0], v_max=3, safety_gap_back=0)
+    lane0, lane1 = road._lanes
+    lane0.positions = np.array([5, 6], dtype=np.int64)
+    lane0.velocities = np.array([3, 0], dtype=np.int64)
+    lane0.ids = np.array([0, 1], dtype=np.int64)
+    lane0.wraps = np.zeros(2, dtype=np.int64)
+    lane0.shifted = np.zeros(2, dtype=bool)
+    lane1.positions = np.array([5], dtype=np.int64)
+    lane1.velocities = np.array([0], dtype=np.int64)
+    lane1.ids = np.array([2], dtype=np.int64)
+    lane1.wraps = np.zeros(1, dtype=np.int64)
+    lane1.shifted = np.zeros(1, dtype=bool)
+    road.step()
+    lanes = {v.vehicle_id: v.lane for v in road.vehicles()}
+    assert lanes[0] == 0  # cell 5 on lane 1 was taken
+
+
+def test_safety_gap_blocks_cut_in():
+    # A fast vehicle right behind the target cell on the other lane
+    # prevents the change.
+    road = MultiLaneRoad(40, 2, [0, 0], v_max=5)
+    lane0, lane1 = road._lanes
+    lane0.positions = np.array([10, 12], dtype=np.int64)
+    lane0.velocities = np.array([5, 0], dtype=np.int64)
+    lane0.ids = np.array([0, 1], dtype=np.int64)
+    lane0.wraps = np.zeros(2, dtype=np.int64)
+    lane0.shifted = np.zeros(2, dtype=bool)
+    lane1.positions = np.array([8], dtype=np.int64)  # 1 cell behind target
+    lane1.velocities = np.array([5], dtype=np.int64)
+    lane1.ids = np.array([2], dtype=np.int64)
+    lane1.wraps = np.zeros(1, dtype=np.int64)
+    lane1.shifted = np.zeros(1, dtype=bool)
+    road.step()
+    lanes = {v.vehicle_id: v.lane for v in road.vehicles()}
+    assert lanes[0] == 0  # unsafe: follower on lane 1 too close
+
+
+def test_occupancy_matrix_shape():
+    road = MultiLaneRoad(60, 3, [4, 5, 6])
+    matrix = road.occupancy_matrix()
+    assert matrix.shape == (3, 60)
+    assert (matrix >= 0).sum() == 15
+
+
+def test_density_across_lanes():
+    road = MultiLaneRoad(100, 2, [10, 30])
+    assert road.density == pytest.approx(40 / 200)
+
+
+def test_mean_velocity_empty_road_is_nan():
+    road = MultiLaneRoad(50, 2, [0, 0])
+    assert np.isnan(road.mean_velocity())
+
+
+@given(
+    num_cells=st.integers(min_value=20, max_value=60),
+    counts=st.lists(
+        st.integers(min_value=0, max_value=15), min_size=2, max_size=3
+    ),
+    p=st.sampled_from([0.0, 0.3]),
+    steps=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_multilane_invariants(num_cells, counts, p, steps, seed):
+    """No collisions, population conserved, ids unique — under any mix of
+    lane changes and movement."""
+    road = MultiLaneRoad(
+        num_cells,
+        len(counts),
+        counts,
+        p=p,
+        rng=np.random.default_rng(seed),
+    )
+    total = sum(counts)
+    road.run(steps)
+    assert road.num_vehicles == total
+    vehicles = road.vehicles()
+    cells = {(v.lane, v.cell) for v in vehicles}
+    assert len(cells) == total  # no two vehicles share a (lane, cell)
+    ids = [v.vehicle_id for v in vehicles]
+    assert len(set(ids)) == total
+    for lane_idx in range(road.num_lanes):
+        pos = road.lane_positions(lane_idx)
+        assert np.all(np.diff(pos) > 0)  # per-lane arrays stay sorted
+
+
+class TestValidation:
+    def test_wrong_counts_length(self):
+        with pytest.raises(ValueError):
+            MultiLaneRoad(10, 2, [1])
+
+    def test_too_many_vehicles(self):
+        with pytest.raises(ValueError):
+            MultiLaneRoad(10, 1, [11])
+
+    def test_bad_lane_count(self):
+        with pytest.raises(ValueError):
+            MultiLaneRoad(10, 0, [])
+
+    def test_negative_steps(self):
+        road = MultiLaneRoad(10, 1, [2])
+        with pytest.raises(ValueError):
+            road.run(-5)

@@ -1,0 +1,227 @@
+"""Nagel-Schreckenberg automaton unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.ca.boundary import Boundary
+from repro.ca.nasch import NagelSchreckenberg
+
+
+def test_single_free_vehicle_accelerates_to_vmax():
+    model = NagelSchreckenberg(100, positions=[0], v_max=5)
+    velocities = []
+    for _ in range(7):
+        model.step()
+        velocities.append(int(model.velocities[0]))
+    assert velocities == [1, 2, 3, 4, 5, 5, 5]
+
+
+def test_deterministic_rule_2_brakes_to_gap():
+    # Leader parked at cell 10, follower at 5 with v=5: gap is 4, so the
+    # follower must slow to 4.
+    model = NagelSchreckenberg(
+        100, positions=[5, 10], velocities=[5, 0], v_max=5
+    )
+    model.step()
+    # Leader accelerates to 1 and moves; follower brakes to gap.
+    assert model.velocities[1] == 1
+    assert model.velocities[0] == 4
+
+
+def test_no_collisions_two_vehicles():
+    model = NagelSchreckenberg(50, positions=[0, 1], v_max=5)
+    for _ in range(200):
+        model.step()
+        assert len(set(model.positions.tolist())) == 2
+
+
+def test_positions_stay_in_range():
+    model = NagelSchreckenberg(40, 10, p=0.5, rng=np.random.default_rng(0))
+    for _ in range(100):
+        model.step()
+        assert np.all(model.positions >= 0)
+        assert np.all(model.positions < 40)
+
+
+def test_density_conserved_on_closed_lane():
+    model = NagelSchreckenberg(100, 25, p=0.3, rng=np.random.default_rng(1))
+    before = model.density
+    model.run(500)
+    assert model.density == before
+    assert model.num_vehicles == 25
+
+
+def test_paper_density_definition():
+    model = NagelSchreckenberg(400, 30)
+    assert model.density == pytest.approx(30 / 400)
+
+
+def test_occupancy_vector_matches_paper_encoding():
+    # Paper III-A: L_{i,n} = v_{i,n} at occupied sites, -1 otherwise.
+    model = NagelSchreckenberg(10, positions=[2, 7], velocities=[3, 0])
+    lane = model.occupancy_vector()
+    assert lane[2] == 3
+    assert lane[7] == 0
+    assert np.sum(lane == -1) == 8
+
+
+def test_gaps_cyclic():
+    model = NagelSchreckenberg(10, positions=[0, 4, 9])
+    # 0 -> 4: 3 free; 4 -> 9: 4 free; 9 -> 0 (wrap): 0 free.
+    assert model.gaps().tolist() == [3, 4, 0]
+
+
+def test_gap_single_vehicle_sees_whole_lane():
+    model = NagelSchreckenberg(25, positions=[11])
+    assert model.gaps().tolist() == [24]
+
+
+def test_wrap_increments_counter_and_sets_shift_flag():
+    model = NagelSchreckenberg(10, positions=[8], velocities=[3], v_max=3)
+    model.step()  # 8 + 3 = 11 -> wraps to 1
+    assert model.positions[0] == 1
+    assert model.wraps[0] == 1
+    assert model.shifted[0]
+    model.step()
+    assert not model.shifted[0]
+
+
+def test_odometer_accumulates_across_wraps():
+    model = NagelSchreckenberg(10, positions=[0], v_max=5)
+    model.run(30)
+    odometer = model.odometer_cells()[0]
+    # Reaches v=5 after 5 steps; total distance 1+2+3+4+5 + 25*5.
+    assert odometer == 15 + 25 * 5
+
+
+def test_mean_velocity_and_flow():
+    model = NagelSchreckenberg(10, positions=[0, 5], velocities=[2, 4])
+    assert model.mean_velocity() == pytest.approx(3.0)
+    assert model.flow() == pytest.approx(0.2 * 3.0)
+
+
+def test_flow_zero_when_empty():
+    model = NagelSchreckenberg(
+        10, boundary=Boundary.OPEN, injection_rate=0.0
+    )
+    assert model.flow() == 0.0
+    assert np.isnan(model.mean_velocity())
+
+
+def test_deterministic_full_jam_cannot_move():
+    # Every cell occupied: all gaps 0 forever.
+    model = NagelSchreckenberg(5, 5)
+    model.run(10)
+    assert model.mean_velocity() == 0.0
+
+
+def test_dawdling_slows_traffic():
+    free = NagelSchreckenberg(200, 20, p=0.0)
+    slow = NagelSchreckenberg(200, 20, p=0.5, rng=np.random.default_rng(2))
+    free.run(300)
+    slow.run(300)
+    assert slow.mean_velocity() < free.mean_velocity()
+
+
+def test_p_equal_one_is_deterministic_and_slow():
+    a = NagelSchreckenberg(100, 10, p=1.0, rng=np.random.default_rng(1))
+    b = NagelSchreckenberg(100, 10, p=1.0, rng=np.random.default_rng(2))
+    a.run(50)
+    b.run(50)
+    # p=1 dawdles every step regardless of the generator: trajectories match.
+    assert np.array_equal(a.positions, b.positions)
+
+
+def test_from_density_places_requested_fraction():
+    model = NagelSchreckenberg.from_density(400, 0.075)
+    assert model.num_vehicles == 30
+
+
+def test_from_density_random_start_is_sorted_and_unique():
+    model = NagelSchreckenberg.from_density(
+        100, 0.3, random_start=True, rng=np.random.default_rng(5)
+    )
+    pos = model.positions
+    assert np.all(np.diff(pos) > 0)
+    assert model.num_vehicles == 30
+
+
+def test_vehicles_records_match_arrays():
+    model = NagelSchreckenberg(20, positions=[3, 9], velocities=[1, 2])
+    records = model.vehicles()
+    assert [v.cell for v in records] == [3, 9]
+    assert [v.velocity for v in records] == [1, 2]
+    assert [v.vehicle_id for v in records] == [0, 1]
+    assert records[0].gap == 5
+
+
+def test_open_boundary_vehicles_leave():
+    model = NagelSchreckenberg(
+        10,
+        positions=[8],
+        velocities=[5],
+        v_max=5,
+        boundary=Boundary.OPEN,
+        injection_rate=0.0,
+    )
+    model.step()
+    assert model.num_vehicles == 0
+
+
+def test_open_boundary_injection():
+    model = NagelSchreckenberg(
+        20,
+        boundary=Boundary.OPEN,
+        injection_rate=1.0,
+        rng=np.random.default_rng(0),
+    )
+    model.step()
+    assert model.num_vehicles == 1
+    assert model.positions[0] == 0
+    model.run(50)
+    assert model.num_vehicles > 1
+    ids = model.vehicle_ids
+    assert len(set(ids.tolist())) == len(ids)
+
+
+class TestValidation:
+    def test_rejects_unsorted_positions(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, positions=[5, 3])
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, positions=[3, 3])
+
+    def test_rejects_out_of_range_positions(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, positions=[10])
+
+    def test_rejects_too_many_vehicles(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, 11)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, 2, p=1.5)
+
+    def test_rejects_bad_vmax(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, 2, v_max=0)
+
+    def test_rejects_mismatched_velocities(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, positions=[1, 2], velocities=[1])
+
+    def test_rejects_excess_velocity(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10, positions=[1], velocities=[9], v_max=5)
+
+    def test_closed_lane_requires_population(self):
+        with pytest.raises(ValueError):
+            NagelSchreckenberg(10)
+
+    def test_rejects_negative_steps(self):
+        model = NagelSchreckenberg(10, 2)
+        with pytest.raises(ValueError):
+            model.run(-1)

@@ -1,0 +1,95 @@
+"""Property-based tests of the NaS invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ca.nasch import NagelSchreckenberg
+
+
+@st.composite
+def nasch_models(draw):
+    """A random closed-lane automaton with a valid initial placement."""
+    num_cells = draw(st.integers(min_value=5, max_value=120))
+    num_vehicles = draw(st.integers(min_value=1, max_value=num_cells))
+    p = draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    v_max = draw(st.integers(min_value=1, max_value=7))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    positions = np.sort(
+        rng.choice(num_cells, size=num_vehicles, replace=False)
+    )
+    return NagelSchreckenberg(
+        num_cells,
+        positions=positions,
+        p=p,
+        v_max=v_max,
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+@given(nasch_models(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_no_two_vehicles_share_a_cell(model, steps):
+    model.run(steps)
+    positions = model.positions
+    assert len(np.unique(positions)) == len(positions)
+
+
+@given(nasch_models(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_velocities_bounded(model, steps):
+    model.run(steps)
+    assert np.all(model.velocities >= 0)
+    assert np.all(model.velocities <= model.v_max)
+
+
+@given(nasch_models(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_population_conserved(model, steps):
+    before = model.num_vehicles
+    model.run(steps)
+    assert model.num_vehicles == before
+
+
+@given(nasch_models(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_ring_order_preserved(model, steps):
+    """Vehicles never overtake: cumulative positions keep their order."""
+    model.run(steps)
+    odometer = model.odometer_cells()
+    # In ring order, each vehicle's cumulative position is strictly less
+    # than its leader's (they started ordered and cannot pass).
+    n = len(odometer)
+    if n > 1:
+        for i in range(n - 1):
+            assert odometer[i] < odometer[i + 1]
+
+
+@given(nasch_models(), st.integers(min_value=1, max_value=30))
+@settings(max_examples=60, deadline=None)
+def test_velocity_matches_displacement(model, steps):
+    """Rule 3 bookkeeping: each step moves each vehicle by its velocity."""
+    for _ in range(steps):
+        before = model.odometer_cells()
+        model.step()
+        displacement = model.odometer_cells() - before
+        assert np.array_equal(displacement, model.velocities)
+
+
+@given(nasch_models())
+@settings(max_examples=40, deadline=None)
+def test_gaps_sum_to_free_cells(model):
+    """On a ring, gaps + vehicles account for every cell exactly once."""
+    total = int(model.gaps().sum()) + model.num_vehicles
+    assert total == model.num_cells
+
+
+@given(nasch_models(), st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_occupancy_vector_consistent(model, steps):
+    model.run(steps)
+    lane = model.occupancy_vector()
+    assert (lane >= 0).sum() == model.num_vehicles
+    occupied = np.nonzero(lane >= 0)[0]
+    assert np.array_equal(occupied, np.sort(model.positions))

@@ -1,0 +1,89 @@
+"""CLI tests (small scenarios for speed)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "--nodes", "10",
+    "--road", "1000",
+    "--time", "20",
+    "--senders", "1,2",
+    "--p", "0",
+    "--seed", "3",
+]
+
+
+def test_run_command(capsys):
+    assert main(["run", "--protocol", "AODV", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "PDR" in out
+    assert "sender  1" in out
+    assert "delivered" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--protocols", "AODV,DYMO", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "AODV" in out and "DYMO" in out
+    assert "mean PDR" in out
+    assert "█" in out  # bar chart rendered
+
+
+def test_trace_command_stdout_ns2(capsys):
+    assert main(["trace", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "$node_(0) set X_" in out
+    assert "setdest" in out
+
+
+def test_trace_command_json_to_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--format", "json", "--output", str(path), *SMALL]
+    ) == 0
+    document = json.loads(path.read_text())
+    assert document["format"] == "cavenet-trace"
+    assert document["num_nodes"] == 10
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_trace_command_csv(capsys):
+    assert main(["trace", "--format", "csv", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("time,node,x,y,teleported")
+
+
+def test_fundamental_command(capsys):
+    assert main(
+        [
+            "fundamental",
+            "--densities", "0.1,0.167,0.3",
+            "--cells", "100",
+            "--trials", "2",
+            "--steps", "50",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "peak:" in out
+    assert "J(rho):" in out
+
+
+def test_spacetime_command(capsys):
+    assert main(
+        ["spacetime", "--density", "0.5", "--cells", "100", "--steps", "20"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "#" in out  # jammed vehicles visible at rho=0.5
+
+
+def test_parser_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_propagation():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--propagation", "psychic"])

@@ -1,0 +1,74 @@
+"""Protocol-comparison experiment tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.experiment import compare_protocols, goodput_surface
+from repro.core.simulation import CavenetSimulation
+
+
+def _scenario(**kwargs):
+    defaults = dict(
+        num_nodes=12,
+        road_length_m=1200.0,
+        sim_time_s=20.0,
+        senders=(1, 2),
+        traffic_start_s=8.0,
+        traffic_stop_s=18.0,
+        initial_placement="uniform",
+        dawdle_p=0.0,
+        seed=3,
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_protocols(_scenario(), ("AODV", "DYMO"))
+
+
+def test_all_protocols_present(comparison):
+    assert set(comparison.results) == {"AODV", "DYMO"}
+
+
+def test_same_trace_shared(comparison):
+    a = comparison.results["AODV"].trace
+    b = comparison.results["DYMO"].trace
+    assert a is b  # literally the same object: identical mobility
+
+
+def test_pdr_table_covers_senders(comparison):
+    table = comparison.pdr_table()
+    for name in ("AODV", "DYMO"):
+        assert set(table[name]) == {1, 2}
+        for value in table[name].values():
+            assert 0.0 <= value <= 1.0
+
+
+def test_mean_tables(comparison):
+    assert set(comparison.mean_pdr()) == {"AODV", "DYMO"}
+    assert set(comparison.mean_delay()) == {"AODV", "DYMO"}
+    assert set(comparison.overhead_table()) == {"AODV", "DYMO"}
+
+
+def test_format_pdr_table(comparison):
+    text = comparison.format_pdr_table()
+    lines = text.splitlines()
+    assert "AODV" in lines[0] and "DYMO" in lines[0]
+    assert len(lines) == 3  # header + 2 senders
+
+
+def test_goodput_surface_shape(comparison):
+    centers, senders, surface = goodput_surface(comparison.results["AODV"])
+    assert senders == [1, 2]
+    assert surface.shape == (2, len(centers))
+    assert surface.sum() > 0
+
+
+def test_explicit_trace_reused():
+    scenario = _scenario()
+    trace = CavenetSimulation(scenario).generate_trace()
+    comparison = compare_protocols(scenario, ("AODV",), trace=trace)
+    assert comparison.results["AODV"].trace is trace

@@ -1,0 +1,65 @@
+"""Scenario sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.sweep import sweep_scenario
+
+
+def _base():
+    return Scenario(
+        num_nodes=10,
+        road_length_m=1000.0,
+        sim_time_s=15.0,
+        senders=(1, 2),
+        traffic_start_s=5.0,
+        traffic_stop_s=14.0,
+        initial_placement="uniform",
+        dawdle_p=0.0,
+        seed=3,
+    )
+
+
+def test_sweep_runs_each_value():
+    result = sweep_scenario(_base(), "cbr_rate_pps", [2.0, 5.0])
+    assert result.field == "cbr_rate_pps"
+    assert result.values() == [2.0, 5.0]
+    assert len(result.points[0].results) == 1
+    assert all(0.0 <= p <= 1.0 for p in result.pdr_curve())
+
+
+def test_sweep_field_actually_varies():
+    result = sweep_scenario(_base(), "cbr_rate_pps", [2.0, 10.0])
+    low, high = (p.results[0] for p in result.points)
+    assert high.collector.num_originated > 2 * low.collector.num_originated
+
+
+def test_trials_use_distinct_seeds():
+    result = sweep_scenario(
+        _base(), "dawdle_p", [0.5], trials=2
+    )
+    a, b = result.points[0].results
+    assert not np.array_equal(a.trace.positions, b.trace.positions)
+    assert result.points[0].pdr_std >= 0.0
+
+
+def test_single_trial_zero_std():
+    result = sweep_scenario(_base(), "dawdle_p", [0.0])
+    assert result.points[0].pdr_std == 0.0
+
+
+def test_curves_align_with_points():
+    result = sweep_scenario(_base(), "cbr_rate_pps", [2.0, 5.0])
+    assert len(result.pdr_curve()) == 2
+    assert len(result.delay_curve()) == 2
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ValueError, match="not a Scenario field"):
+        sweep_scenario(_base(), "warp_factor", [1])
+
+
+def test_zero_trials_rejected():
+    with pytest.raises(ValueError):
+        sweep_scenario(_base(), "dawdle_p", [0.0], trials=0)

@@ -1,0 +1,134 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.des.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "late")
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(1.5, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.5]
+    assert sim.now == 3.5
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "in")
+    sim.schedule(5.0, fired.append, "out")
+    sim.run(until=2.0)
+    assert fired == ["in"]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == ["in", "out"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert not event.active
+
+
+def test_cancel_twice_is_harmless():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if sim.now < 3.0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_pending_events_counts_active_only():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending_events == 1
+    assert keep.active
+
+
+def test_zero_delay_event_fires_now():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.schedule(0.0, marks.append, sim.now))
+    marks = []
+    sim.run()
+    assert marks == [1.0]

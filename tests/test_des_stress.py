@@ -1,0 +1,69 @@
+"""Scheduler robustness under load and adversarial patterns."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import SimulationError, Simulator
+
+
+def test_hundred_thousand_events_in_order():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    times = rng.uniform(0, 1000, 100_000)
+    fired = []
+    for t in times:
+        sim.schedule(float(t), fired.append, float(t))
+    sim.run()
+    assert len(fired) == 100_000
+    assert fired == sorted(fired)
+
+
+def test_mass_cancellation():
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule(float(i), fired.append, i) for i in range(10_000)
+    ]
+    for event in events[::2]:
+        event.cancel()
+    assert sim.pending_events == 5_000
+    sim.run()
+    assert fired == list(range(1, 10_000, 2))
+
+
+def test_event_storm_scheduled_during_run():
+    """Events that spawn events at the same timestamp drain correctly."""
+    sim = Simulator()
+    fired = []
+
+    def spawn(depth):
+        fired.append(depth)
+        if depth < 500:
+            sim.schedule(0.0, spawn, depth + 1)
+
+    sim.schedule(1.0, spawn, 0)
+    sim.run()
+    assert fired == list(range(501))
+    assert sim.now == 1.0
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_interleaved_run_until_segments():
+    sim = Simulator()
+    fired = []
+    for i in range(100):
+        sim.schedule(float(i), fired.append, i)
+    for boundary in (10.0, 50.0, 99.0, 200.0):
+        sim.run(until=boundary)
+    assert fired == list(range(100))
+    assert sim.now == 200.0

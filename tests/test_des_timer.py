@@ -1,0 +1,92 @@
+"""Periodic-timer tests."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Simulator
+from repro.des.timer import PeriodicTimer
+
+
+def test_fires_every_interval():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_stop_halts_firing():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.schedule(2.5, timer.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_start_twice_is_noop():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    timer.start()
+    sim.run(until=1.5)
+    assert ticks == [1.0]
+
+
+def test_jitter_fires_early_but_not_late():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(
+        sim,
+        1.0,
+        lambda: ticks.append(sim.now),
+        jitter=0.2,
+        rng=np.random.default_rng(3),
+    )
+    timer.start()
+    sim.run(until=20.0)
+    assert len(ticks) >= 20  # jitter shortens intervals, never lengthens
+    gaps = np.diff([0.0] + ticks)
+    assert np.all(gaps <= 1.0 + 1e-12)
+    assert np.all(gaps >= 0.8 - 1e-12)
+
+
+def test_explicit_start_delay():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(
+        sim, 1.0, lambda: ticks.append(sim.now), start_delay=0.25
+    )
+    timer.start()
+    sim.run(until=2.5)
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_invalid_interval_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+
+
+def test_invalid_jitter_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 1.0, lambda: None, jitter=1.0)
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 1.0, lambda: None, jitter=-0.1)
+
+
+def test_restart_after_stop():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    timer.start()
+    sim.run(until=1.5)
+    timer.stop()
+    timer.start()
+    sim.run(until=3.0)
+    assert ticks == [1.0, 2.5]

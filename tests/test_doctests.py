@@ -1,0 +1,26 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.render
+import repro.des.engine
+import repro.geometry.affine
+import repro.util.rng
+
+MODULES = [
+    repro,
+    repro.util.rng,
+    repro.des.engine,
+    repro.geometry.affine,
+    repro.analysis.render,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

@@ -1,0 +1,102 @@
+"""Affine-transform tests, including the paper's Fig. 3 lane matrix."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.affine import AffineTransform2D
+
+
+def test_identity_maps_points_to_themselves():
+    t = AffineTransform2D.identity()
+    assert t.apply(3.0, -2.0) == (3.0, -2.0)
+
+
+def test_translation():
+    t = AffineTransform2D.translation(10.0, -5.0)
+    assert t.apply(1.0, 1.0) == (11.0, -4.0)
+
+
+def test_rotation_quarter_turn():
+    t = AffineTransform2D.rotation(math.pi / 2)
+    x, y = t.apply(1.0, 0.0)
+    assert x == pytest.approx(0.0, abs=1e-12)
+    assert y == pytest.approx(1.0)
+
+
+def test_scaling():
+    t = AffineTransform2D.scaling(2.0, 3.0)
+    assert t.apply(1.0, 1.0) == (2.0, 3.0)
+
+
+def test_paper_fig3_lane3_matrix():
+    # Paper Section III-D: lane 3 swaps axes and translates:
+    # X~ = [[0,1,XS/2],[1,0,D],[0,0,1]] @ (X, 0, 1).
+    xs, delta = 1000.0, 0.5
+    lane3 = AffineTransform2D(
+        [[0.0, 1.0, xs / 2], [1.0, 0.0, delta], [0.0, 0.0, 1.0]]
+    )
+    x, y = lane3.apply(100.0, 0.0)
+    assert x == pytest.approx(xs / 2)  # Y-component of input is 0
+    assert y == pytest.approx(100.0 + delta)
+
+
+def test_axis_swap():
+    t = AffineTransform2D.axis_swap()
+    assert t.apply(2.0, 7.0) == (7.0, 2.0)
+
+
+def test_compose_applies_right_first():
+    rotate = AffineTransform2D.rotation(math.pi / 2)
+    translate = AffineTransform2D.translation(1.0, 0.0)
+    # translate∘rotate: rotate (1,0)->(0,1), then translate -> (1,1)
+    x, y = translate.compose(rotate).apply(1.0, 0.0)
+    assert (round(x, 12), round(y, 12)) == (1.0, 1.0)
+
+
+def test_matmul_is_compose():
+    a = AffineTransform2D.translation(1.0, 2.0)
+    b = AffineTransform2D.scaling(2.0, 2.0)
+    assert (a @ b) == a.compose(b)
+
+
+def test_inverse_roundtrip():
+    t = AffineTransform2D.rotation(0.7) @ AffineTransform2D.translation(3, 4)
+    x, y = t.inverse().apply(*t.apply(5.0, -1.0))
+    assert x == pytest.approx(5.0)
+    assert y == pytest.approx(-1.0)
+
+
+def test_apply_many_matches_apply():
+    t = AffineTransform2D.rotation(0.3) @ AffineTransform2D.translation(1, 1)
+    points = np.array([[0.0, 0.0], [1.0, 2.0], [-3.0, 4.0]])
+    batch = t.apply_many(points)
+    for point, mapped in zip(points, batch):
+        assert t.apply(*point) == pytest.approx(tuple(mapped))
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        AffineTransform2D(np.eye(2))
+    with pytest.raises(ValueError):
+        AffineTransform2D([[1, 0, 0], [0, 1, 0], [1, 0, 1]])
+
+
+def test_apply_many_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        AffineTransform2D.identity().apply_many(np.zeros((3, 3)))
+
+
+def test_matrix_is_read_only():
+    t = AffineTransform2D.identity()
+    with pytest.raises(ValueError):
+        t.matrix[0, 0] = 5.0
+
+
+def test_equality_and_hash():
+    a = AffineTransform2D.translation(1.0, 2.0)
+    b = AffineTransform2D.translation(1.0, 2.0)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != AffineTransform2D.identity()

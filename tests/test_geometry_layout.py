@@ -1,0 +1,76 @@
+"""Road-layout tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.layout import Lane, RoadLayout
+from repro.geometry.shapes import CircularShape, StraightShape
+
+
+def test_single_circuit_layout():
+    layout = RoadLayout.single_circuit(3000.0)
+    assert layout.num_lanes == 1
+    lane = layout.lane(0)
+    assert lane.shape.closed
+    assert lane.num_cells == 400  # 3000 m / 7.5 m
+
+
+def test_single_line_layout():
+    layout = RoadLayout.single_line(3000.0)
+    assert not layout.lane(0).shape.closed
+    assert layout.lane(0).num_cells == 400
+
+
+def test_cell_to_plane_uses_cell_length():
+    layout = RoadLayout.single_line(750.0)
+    x, y = layout.lane(0).cell_to_plane(10)
+    assert (x, y) == pytest.approx((75.0, 0.0))
+
+
+def test_multi_lane_circuit_radial_spacing():
+    layout = RoadLayout.multi_lane_circuit(3000.0, 3, lane_spacing_m=4.0)
+    assert layout.num_lanes == 3
+    r0 = layout.lane(0).shape.radius
+    r2 = layout.lane(2).shape.radius
+    assert r2 - r0 == pytest.approx(8.0)
+
+
+def test_opposite_lane_runs_reverse():
+    layout = RoadLayout.multi_lane_circuit(1000.0, 2, opposite=(1,))
+    forward = layout.lane(0)
+    reverse = layout.lane(1)
+    assert forward.direction == 1
+    assert reverse.direction == -1
+    # Advancing cells moves the reverse lane the other way around: compare
+    # angular drift of small steps.
+    f0 = np.array(forward.cell_to_plane(0))
+    f1 = np.array(forward.cell_to_plane(1))
+    r0 = np.array(reverse.cell_to_plane(0))
+    r1 = np.array(reverse.cell_to_plane(1))
+    cross_f = f0[0] * f1[1] - f0[1] * f1[0]
+    cross_r = r0[0] * r1[1] - r0[1] * r1[0]
+    assert np.sign(cross_f) == -np.sign(cross_r)
+
+
+def test_duplicate_lane_ids_rejected():
+    lane = Lane(0, CircularShape(100.0))
+    with pytest.raises(ValueError):
+        RoadLayout([lane, Lane(0, CircularShape(100.0))])
+
+
+def test_empty_layout_rejected():
+    with pytest.raises(ValueError):
+        RoadLayout([])
+
+
+def test_invalid_direction_rejected():
+    with pytest.raises(ValueError):
+        Lane(0, StraightShape(10.0), direction=2)
+
+
+def test_iteration_order():
+    lanes = [Lane(2, CircularShape(50.0)), Lane(0, CircularShape(50.0))]
+    layout = RoadLayout(lanes)
+    assert [lane.lane_id for lane in layout] == [2, 0]
+    assert layout.lane_ids == [2, 0]
+    assert len(layout) == 2

@@ -1,0 +1,133 @@
+"""Lane-shape tests: straight lanes, circuits, polylines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.affine import AffineTransform2D
+from repro.geometry.shapes import (
+    CircularShape,
+    PolylineShape,
+    StraightShape,
+    regular_polygon_circuit,
+)
+
+
+class TestStraightShape:
+    def test_identity_lane_runs_along_x(self):
+        lane = StraightShape(100.0)
+        assert lane.to_plane(30.0) == (30.0, 0.0)
+        assert not lane.closed
+
+    def test_transform_positions_lane(self):
+        lane = StraightShape(
+            100.0, AffineTransform2D.translation(0.0, 50.0)
+        )
+        assert lane.to_plane(10.0) == (10.0, 50.0)
+
+    def test_out_of_range_rejected(self):
+        lane = StraightShape(100.0)
+        with pytest.raises(ValueError):
+            lane.to_plane(100.1)
+        with pytest.raises(ValueError):
+            lane.to_plane(-0.1)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            StraightShape(0.0)
+
+
+class TestCircularShape:
+    def test_circumference_radius_relation(self):
+        circle = CircularShape(3000.0)
+        assert circle.radius == pytest.approx(3000.0 / (2 * math.pi))
+        assert circle.closed
+
+    def test_start_at_angle_zero(self):
+        circle = CircularShape(100.0, center=(5.0, 5.0))
+        x, y = circle.to_plane(0.0)
+        assert x == pytest.approx(5.0 + circle.radius)
+        assert y == pytest.approx(5.0)
+
+    def test_wraps_continuously(self):
+        circle = CircularShape(100.0)
+        assert circle.to_plane(100.0) == pytest.approx(circle.to_plane(0.0))
+        assert circle.to_plane(125.0) == pytest.approx(circle.to_plane(25.0))
+
+    def test_quarter_way_is_ninety_degrees(self):
+        circle = CircularShape(100.0)
+        x, y = circle.to_plane(25.0)
+        assert x == pytest.approx(0.0, abs=1e-9)
+        assert y == pytest.approx(circle.radius)
+
+    def test_chord_distance_close_to_arc_for_small_steps(self):
+        # A vehicle moving 7.5 m along a 3000 m circuit moves almost
+        # exactly 7.5 m in the plane (the circuit is locally flat).
+        circle = CircularShape(3000.0)
+        a = np.array(circle.to_plane(0.0))
+        b = np.array(circle.to_plane(7.5))
+        assert np.linalg.norm(b - a) == pytest.approx(7.5, rel=1e-4)
+
+    def test_radius_offset_for_outer_lane(self):
+        inner = CircularShape(3000.0)
+        outer = CircularShape(3000.0, radius_offset=3.75)
+        assert outer.radius - inner.radius == pytest.approx(3.75)
+        # Same parametrisation: points at the same arc length are radially
+        # aligned (equal angles).
+        pi, po = inner.to_plane(700.0), outer.to_plane(700.0)
+        angle_i = math.atan2(pi[1], pi[0])
+        angle_o = math.atan2(po[1], po[0])
+        assert angle_i == pytest.approx(angle_o)
+
+    def test_degenerate_offset_rejected(self):
+        with pytest.raises(ValueError):
+            CircularShape(10.0, radius_offset=-10.0)
+
+
+class TestPolylineShape:
+    def test_length_is_sum_of_segments(self):
+        poly = PolylineShape([(0, 0), (3, 0), (3, 4)])
+        assert poly.length == pytest.approx(7.0)
+        assert not poly.closed
+
+    def test_interpolates_along_segments(self):
+        poly = PolylineShape([(0, 0), (10, 0), (10, 10)])
+        assert poly.to_plane(5.0) == pytest.approx((5.0, 0.0))
+        assert poly.to_plane(15.0) == pytest.approx((10.0, 5.0))
+
+    def test_vertex_positions_exact(self):
+        poly = PolylineShape([(0, 0), (10, 0), (10, 10)])
+        assert poly.to_plane(10.0) == pytest.approx((10.0, 0.0))
+        assert poly.to_plane(20.0) == pytest.approx((10.0, 10.0))
+
+    def test_closed_when_last_vertex_repeats_first(self):
+        square = PolylineShape([(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)])
+        assert square.closed
+        assert square.length == pytest.approx(4.0)
+        assert square.to_plane(4.5) == pytest.approx(square.to_plane(0.5))
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            PolylineShape([(0, 0)])
+        with pytest.raises(ValueError):
+            PolylineShape([(0, 0), (0, 0)])
+
+
+def test_regular_polygon_circuit_perimeter():
+    circuit = regular_polygon_circuit(3000.0, sides=8)
+    assert circuit.closed
+    assert circuit.length == pytest.approx(3000.0)
+
+
+def test_regular_polygon_min_sides():
+    with pytest.raises(ValueError):
+        regular_polygon_circuit(100.0, sides=2)
+
+
+def test_to_plane_many_matches_scalar():
+    circle = CircularShape(100.0)
+    positions = [0.0, 10.0, 55.5]
+    batch = circle.to_plane_many(positions)
+    for s, row in zip(positions, batch):
+        assert circle.to_plane(s) == pytest.approx(tuple(row))

@@ -1,0 +1,93 @@
+"""System-wide invariants that must hold for ANY protocol and scenario.
+
+These are the conservation laws of the simulator: packets cannot be
+delivered that were never sent, time cannot run backwards, delivery
+cannot exceed origination — checked over a matrix of small scenarios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+
+SCENARIOS = [
+    # (protocol, boundary, dawdle_p, placement)
+    ("AODV", "circuit", 0.0, "uniform"),
+    ("AODV", "circuit", 0.5, "random"),
+    ("AODV", "line", 0.5, "random"),
+    ("OLSR", "circuit", 0.5, "random"),
+    ("DYMO", "circuit", 0.5, "random"),
+    ("DSDV", "circuit", 0.0, "uniform"),
+    ("FLOODING", "circuit", 0.5, "random"),
+]
+
+
+@pytest.fixture(scope="module", params=SCENARIOS, ids=lambda s: "-".join(map(str, s)))
+def result(request):
+    protocol, boundary, p, placement = request.param
+    scenario = Scenario(
+        num_nodes=14,
+        road_length_m=1400.0,
+        boundary=boundary,
+        dawdle_p=p,
+        initial_placement=placement,
+        sim_time_s=30.0,
+        senders=(1, 2, 7),
+        traffic_start_s=8.0,
+        traffic_stop_s=28.0,
+        protocol=protocol,
+        seed=9,
+    )
+    return CavenetSimulation(scenario).run()
+
+
+def test_delivered_subset_of_originated(result):
+    originated = {e.uid for e in result.collector.originated}
+    delivered = {e.uid for e in result.collector.delivered}
+    assert delivered <= originated
+
+
+def test_delivery_counts_bounded(result):
+    assert result.collector.num_delivered <= result.collector.num_originated
+    assert 0.0 <= result.pdr() <= 1.0
+    for sender in result.scenario.senders:
+        assert 0.0 <= result.pdr(sender) <= 1.0
+
+
+def test_origination_count_matches_cbr_schedule(result):
+    scenario = result.scenario
+    expected_per_flow = int(
+        (scenario.traffic_stop_s - scenario.traffic_start_s)
+        * scenario.cbr_rate_pps
+    )
+    for source in result.sources.values():
+        assert abs(source.packets_sent - expected_per_flow) <= 1
+
+
+def test_delays_positive_and_causal(result):
+    for event in result.collector.delivered:
+        assert event.delay_s > 0
+        assert event.time <= result.scenario.sim_time_s
+
+
+def test_event_times_ordered_and_in_range(result):
+    times = [e.time for e in result.collector.transmissions]
+    assert all(0 <= t <= result.scenario.sim_time_s for t in times)
+    assert times == sorted(times)
+
+
+def test_hop_counts_physical(result):
+    for event in result.collector.delivered:
+        assert 1 <= event.hops <= result.scenario.num_nodes
+
+
+def test_frames_on_air_cover_mac_transmissions(result):
+    total_mac = sum(s.frames_tx() for s in result.mac_stats.values())
+    assert result.frames_on_air == total_mac
+
+
+def test_control_traffic_matches_protocol(result):
+    protocol = result.scenario.protocol
+    kinds = {t.kind for t in result.collector.control_transmissions()}
+    assert all(k.startswith(protocol) for k in kinds)

@@ -1,0 +1,71 @@
+"""802.11 parameter and timing tests."""
+
+import pytest
+
+from repro.mac.frames import FRAME_OVERHEAD_BYTES, Frame, FrameType
+from repro.mac.params import Mac80211Params
+from repro.net.packet import Packet
+
+
+def test_table1_defaults():
+    params = Mac80211Params()
+    assert params.data_rate_bps == 2e6  # Table I: MAC rate 2 Mbps
+    assert params.rts_threshold_bytes is None  # Table I: RTS/CTS none
+
+
+def test_data_tx_time():
+    params = Mac80211Params()
+    # 512 B payload + 28 B MAC overhead at 2 Mbps + 192 us PLCP.
+    expected = 192e-6 + (512 + 28) * 8 / 2e6
+    assert params.tx_time(
+        params.frame_size(FrameType.DATA, 512), FrameType.DATA
+    ) == pytest.approx(expected)
+
+
+def test_control_frames_at_basic_rate():
+    params = Mac80211Params()
+    ack_time = params.ack_tx_time()
+    assert ack_time == pytest.approx(192e-6 + 14 * 8 / 1e6)
+
+
+def test_ack_timeout_exceeds_sifs_plus_ack():
+    params = Mac80211Params()
+    assert params.ack_timeout() > params.sifs_s + params.ack_tx_time()
+
+
+def test_uses_rts_thresholding():
+    no_rts = Mac80211Params()
+    assert not no_rts.uses_rts(5000)
+    with_rts = Mac80211Params(rts_threshold_bytes=500)
+    assert with_rts.uses_rts(512)
+    assert not with_rts.uses_rts(100)
+
+
+def test_frame_overhead_sizes():
+    assert FRAME_OVERHEAD_BYTES[FrameType.ACK] < FRAME_OVERHEAD_BYTES[FrameType.DATA]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Mac80211Params(cw_min=0)
+    with pytest.raises(ValueError):
+        Mac80211Params(cw_min=100, cw_max=50)
+    with pytest.raises(ValueError):
+        Mac80211Params(slot_s=0.0)
+    with pytest.raises(ValueError):
+        Mac80211Params(short_retry_limit=0)
+
+
+def test_frame_requires_packet_for_data():
+    with pytest.raises(ValueError):
+        Frame(FrameType.DATA, 0, 1, 100)
+
+
+def test_frame_validation():
+    with pytest.raises(ValueError):
+        Frame(FrameType.ACK, 0, 1, 0)
+    with pytest.raises(ValueError):
+        Frame(FrameType.ACK, 0, 1, 14, duration_s=-1.0)
+    packet = Packet("DATA", 0, 1, 10, 0.0)
+    frame = Frame(FrameType.DATA, 0, 1, 38, packet=packet)
+    assert frame.size_bytes == 38

@@ -1,0 +1,133 @@
+"""Metric aggregation tests on synthetic collector events."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Simulator
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.delay import delay_stats, mean_delay
+from repro.metrics.goodput import goodput_series, total_goodput_bps
+from repro.metrics.overhead import control_overhead, normalized_routing_load
+from repro.metrics.pdr import packet_delivery_ratio, pdr_by_flow
+from repro.net.packet import Packet
+
+
+def _collector_with_traffic():
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+
+    def at(t, fn, *args):
+        sim.schedule(t, fn, *args)
+
+    # Flow 1: 4 packets sent, 3 delivered.  Flow 2: 2 sent, 0 delivered.
+    packets = {}
+    for i, t in enumerate([1.0, 2.0, 3.0, 4.0]):
+        packet = Packet("DATA", 1, 0, 512, t, flow_id=1, seq=i)
+        packets[i] = packet
+        at(t, collector.data_originated, packet)
+    for i, t in enumerate([1.5, 2.5, 3.5]):
+        at(t, collector.data_delivered, packets[i])
+    for i, t in enumerate([1.0, 2.0]):
+        packet = Packet("DATA", 2, 0, 512, t, flow_id=2, seq=i)
+        at(t, collector.data_originated, packet)
+    ctrl = Packet("AODV_RREQ", 1, -1, 24, 0.5)
+    at(0.5, collector.transmission, ctrl, 1, -1)
+    at(0.6, collector.transmission, ctrl, 2, -1)
+    sim.run()
+    return collector
+
+
+def test_pdr_per_flow():
+    collector = _collector_with_traffic()
+    assert packet_delivery_ratio(collector, 1) == pytest.approx(0.75)
+    assert packet_delivery_ratio(collector, 2) == 0.0
+    assert packet_delivery_ratio(collector) == pytest.approx(0.5)
+    assert pdr_by_flow(collector) == {
+        1: pytest.approx(0.75),
+        2: pytest.approx(0.0),
+    }
+
+
+def test_pdr_empty_flow_is_zero():
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+    assert packet_delivery_ratio(collector, 42) == 0.0
+
+
+def test_duplicate_delivery_counted_once():
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+    packet = Packet("DATA", 1, 0, 512, 0.0, flow_id=1)
+    collector.data_originated(packet)
+    collector.data_delivered(packet)
+    collector.data_delivered(packet)
+    assert collector.num_delivered == 1
+
+
+def test_delay_stats():
+    collector = _collector_with_traffic()
+    stats = delay_stats(collector, 1)
+    assert stats.count == 3
+    assert stats.mean_s == pytest.approx(0.5)
+    assert mean_delay(collector, 1) == pytest.approx(0.5)
+
+
+def test_delay_empty_is_nan():
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+    assert np.isnan(mean_delay(collector))
+    assert delay_stats(collector).count == 0
+
+
+def test_goodput_series_bins():
+    collector = _collector_with_traffic()
+    centers, series = goodput_series(collector, 1, duration_s=5.0, bin_s=1.0)
+    assert len(centers) == 5
+    # Deliveries at 1.5, 2.5, 3.5: bins 1, 2, 3 get 512*8 bps each.
+    assert series[0] == 0.0
+    assert series[1] == pytest.approx(512 * 8)
+    assert series[4] == 0.0
+
+
+def test_total_goodput():
+    collector = _collector_with_traffic()
+    bps = total_goodput_bps(collector, 1, 0.0, 4.0)
+    assert bps == pytest.approx(3 * 512 * 8 / 4.0)
+
+
+def test_goodput_validation():
+    collector = _collector_with_traffic()
+    with pytest.raises(ValueError):
+        goodput_series(collector, 1, duration_s=0.0)
+    with pytest.raises(ValueError):
+        goodput_series(collector, 1, duration_s=5.0, bin_s=0.0)
+    with pytest.raises(ValueError):
+        total_goodput_bps(collector, 1, 5.0, 5.0)
+
+
+def test_control_overhead():
+    collector = _collector_with_traffic()
+    overhead = control_overhead(collector)
+    assert overhead.packets == 2
+    assert overhead.bytes == 48
+    assert overhead.by_kind == {"AODV_RREQ": 2}
+
+
+def test_normalized_routing_load():
+    collector = _collector_with_traffic()
+    assert normalized_routing_load(collector) == pytest.approx(2 / 3)
+
+
+def test_normalized_routing_load_edge_cases():
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+    assert normalized_routing_load(collector) == 0.0
+    ctrl = Packet("X_CTRL", 0, -1, 10, 0.0)
+    collector.transmission(ctrl, 0, -1)
+    assert normalized_routing_load(collector) == float("inf")
+
+
+def test_transmission_partition():
+    collector = _collector_with_traffic()
+    assert len(collector.control_transmissions()) == 2
+    assert collector.data_transmissions() == []

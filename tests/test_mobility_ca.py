@@ -1,0 +1,116 @@
+"""CA-to-plane mobility adapter tests."""
+
+import numpy as np
+import pytest
+
+from repro.ca.boundary import Boundary
+from repro.ca.multilane import MultiLaneRoad
+from repro.ca.nasch import NagelSchreckenberg
+from repro.geometry.layout import RoadLayout
+from repro.mobility.ca_mobility import CaMobility
+
+
+def test_positions_lie_on_the_circle():
+    model = NagelSchreckenberg(400, 30)
+    layout = RoadLayout.single_circuit(3000.0)
+    mobility = CaMobility(model, layout)
+    trace = mobility.sample(10.0)
+    radius = layout.lane(0).shape.radius
+    distances = np.linalg.norm(trace.positions, axis=2)
+    assert np.allclose(distances, radius)
+
+
+def test_circle_trace_has_no_teleports():
+    model = NagelSchreckenberg(100, 10)
+    mobility = CaMobility(model, RoadLayout.single_circuit(750.0))
+    trace = mobility.sample(30.0)
+    assert trace.teleported is None
+
+
+def test_line_trace_flags_wrap_as_teleport():
+    model = NagelSchreckenberg(
+        100, positions=[95], velocities=[5], boundary=Boundary.WRAP_SHIFT
+    )
+    mobility = CaMobility(model, RoadLayout.single_line(750.0))
+    trace = mobility.sample(3.0)
+    assert trace.teleported is not None
+    assert trace.teleported.any()  # the wrap was flagged
+    # The teleport jump spans most of the line.
+    jump_row = int(np.nonzero(trace.teleported[:, 0])[0][0])
+    jump = np.linalg.norm(
+        trace.positions[jump_row, 0] - trace.positions[jump_row - 1, 0]
+    )
+    assert jump > 500.0
+
+
+def test_plane_speed_matches_cell_speed():
+    model = NagelSchreckenberg(400, positions=[0], v_max=5)
+    mobility = CaMobility(model, RoadLayout.single_circuit(3000.0))
+    trace = mobility.sample(30.0)
+    speeds = trace.mean_speed_series()
+    # After acceleration: 5 cells/s = 37.5 m/s (chord vs arc < 0.1%).
+    assert speeds[-1] == pytest.approx(37.5, rel=1e-3)
+
+
+def test_sample_continues_from_current_state():
+    model = NagelSchreckenberg(100, 5)
+    mobility = CaMobility(model, RoadLayout.single_circuit(750.0))
+    first = mobility.sample(5.0)
+    second = mobility.sample(5.0)
+    assert second.times[0] == pytest.approx(first.times[-1])
+    assert np.allclose(second.positions[0], first.positions[-1])
+
+
+def test_interval_must_be_multiple_of_time_step():
+    model = NagelSchreckenberg(100, 5)
+    mobility = CaMobility(model, RoadLayout.single_circuit(750.0))
+    with pytest.raises(ValueError):
+        mobility.sample(10.0, interval_s=0.5)
+
+
+def test_coarser_sampling():
+    model = NagelSchreckenberg(100, 5)
+    mobility = CaMobility(model, RoadLayout.single_circuit(750.0))
+    trace = mobility.sample(10.0, interval_s=2.0)
+    assert trace.num_samples == 6
+
+
+def test_multilane_mobility():
+    road = MultiLaneRoad(100, 2, [5, 5])
+    layout = RoadLayout.multi_lane_circuit(750.0, 2)
+    mobility = CaMobility(road, layout)
+    trace = mobility.sample(10.0)
+    assert trace.num_nodes == 10
+    # Lane-0 vehicles on the inner radius, lane-1 on the outer (unless a
+    # lane change happened — with uniform spacing none should).
+    radii = np.linalg.norm(trace.positions[0], axis=1)
+    inner = layout.lane(0).shape.radius
+    outer = layout.lane(1).shape.radius
+    assert np.allclose(np.sort(radii)[:5], inner)
+    assert np.allclose(np.sort(radii)[5:], outer)
+
+
+def test_rejects_open_boundary():
+    model = NagelSchreckenberg(
+        100, boundary=Boundary.OPEN, injection_rate=0.5
+    )
+    with pytest.raises(ValueError, match="OPEN"):
+        CaMobility(model, RoadLayout.single_line(750.0))
+
+
+def test_rejects_too_small_layout():
+    model = NagelSchreckenberg(400, 5)
+    with pytest.raises(ValueError):
+        CaMobility(model, RoadLayout.single_circuit(750.0))  # only 100 cells
+
+
+def test_rejects_layout_with_too_few_lanes():
+    road = MultiLaneRoad(100, 2, [2, 2])
+    with pytest.raises(ValueError):
+        CaMobility(road, RoadLayout.single_circuit(750.0))
+
+
+def test_num_nodes_matches_vehicles():
+    model = NagelSchreckenberg(100, 7)
+    mobility = CaMobility(model, RoadLayout.single_circuit(750.0))
+    assert mobility.num_nodes == 7

@@ -1,0 +1,109 @@
+"""Freeway (IMPORTANT framework) mobility model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.freeway import Freeway
+
+
+def test_speeds_stay_clamped():
+    model = Freeway(20, 3000.0, v_min=5.0, v_max=30.0,
+                    rng=np.random.default_rng(0))
+    for _ in range(300):
+        model.step()
+        assert np.all(model.velocities() >= 5.0)
+        assert np.all(model.velocities() <= 30.0)
+
+
+def test_vehicles_never_stop():
+    """Freeway's v_min > 0: no stop-and-go — the unrealistic trait the
+    paper's comparison hinges on."""
+    model = Freeway(40, 3000.0, rng=np.random.default_rng(1))
+    for _ in range(200):
+        model.step()
+        assert model.velocities().min() > 0
+
+
+def test_no_overtaking():
+    model = Freeway(15, 1000.0, rng=np.random.default_rng(2))
+    reference = None
+    for _ in range(500):
+        model.step()
+        gaps = model.gaps_m()
+        assert np.all(gaps >= 0)
+        assert gaps.sum() == pytest.approx(1000.0)  # ring order intact
+
+
+def test_safety_rule_caps_at_leader_speed():
+    model = Freeway(
+        2, 1000.0, v_min=1.0, v_max=30.0, accel_max=1e-9,
+        safety_distance_m=100.0, rng=np.random.default_rng(3),
+    )
+    # Force a fast follower right behind a slow leader.
+    model._pos = np.array([0.0, 20.0])
+    model._vel = np.array([30.0, 5.0])
+    model.step()
+    assert model.velocities()[0] <= 5.0 + 1e-9
+
+
+def test_positions_on_the_circle():
+    model = Freeway(10, 2000.0, rng=np.random.default_rng(4))
+    trace = model.sample(30.0)
+    radii = np.linalg.norm(trace.positions, axis=2)
+    assert np.allclose(radii, model.shape.radius)
+
+
+def test_sample_timeline_continues():
+    model = Freeway(5, 1000.0, rng=np.random.default_rng(5))
+    first = model.sample(10.0)
+    second = model.sample(10.0)
+    assert second.times[0] == pytest.approx(first.times[-1])
+
+
+def test_mean_velocity_in_bounds():
+    model = Freeway(30, 3000.0, v_min=5.0, v_max=35.0,
+                    rng=np.random.default_rng(6))
+    model.sample(200.0)
+    assert 5.0 <= model.mean_velocity() <= 35.0
+
+
+@given(
+    n=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=500),
+    steps=st.integers(min_value=1, max_value=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_invariants(n, seed, steps):
+    model = Freeway(n, 2000.0, rng=np.random.default_rng(seed))
+    for _ in range(steps):
+        model.step()
+    positions = model.positions_m()
+    assert np.all(positions >= 0)
+    assert np.all(positions < 2000.0)
+    assert np.all(np.diff(positions) >= 0)  # kept sorted
+    if n > 1:
+        # Minimum standoff holds (1 m, up to float dust).
+        assert model.gaps_m().min() >= 1.0 - 1e-6
+
+
+class TestValidation:
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            Freeway(0, 100.0)
+
+    def test_bad_speeds(self):
+        with pytest.raises(ValueError):
+            Freeway(2, 100.0, v_min=10.0, v_max=5.0)
+        with pytest.raises(ValueError):
+            Freeway(2, 100.0, v_min=0.0)
+
+    def test_overfull_lane(self):
+        with pytest.raises(ValueError):
+            Freeway(200, 100.0)
+
+    def test_negative_duration(self):
+        model = Freeway(2, 100.0)
+        with pytest.raises(ValueError):
+            model.sample(-1.0)

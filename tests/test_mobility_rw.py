@@ -1,0 +1,119 @@
+"""Random Waypoint baseline tests, including the velocity-decay effect."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.random_waypoint import RandomWaypoint
+
+
+def test_positions_stay_in_area():
+    model = RandomWaypoint(
+        10, (500.0, 300.0), rng=np.random.default_rng(0)
+    )
+    trace = model.sample(200.0)
+    assert np.all(trace.positions[..., 0] >= 0)
+    assert np.all(trace.positions[..., 0] <= 500.0)
+    assert np.all(trace.positions[..., 1] >= 0)
+    assert np.all(trace.positions[..., 1] <= 300.0)
+
+
+def test_speeds_bounded_by_vmax():
+    model = RandomWaypoint(
+        5, (1000.0, 1000.0), v_min=1.0, v_max=10.0,
+        rng=np.random.default_rng(1),
+    )
+    trace = model.sample(100.0)
+    speeds = trace.speeds()
+    # Sampled speed can be below v_min (waypoint turn mid-interval) but
+    # never above v_max.
+    assert np.nanmax(speeds) <= 10.0 + 1e-9
+
+
+def test_velocity_decay_with_small_vmin():
+    """The classic RW pathology the paper cites: with v_min ~ 0, mean speed
+    decays over time instead of stabilising."""
+    model = RandomWaypoint(
+        80,
+        (1500.0, 1500.0),
+        v_min=0.01,
+        v_max=20.0,
+        rng=np.random.default_rng(42),
+    )
+    trace = model.sample(4000.0, interval_s=10.0)
+    speeds = trace.mean_speed_series()
+    early = np.nanmean(speeds[:40])
+    late = np.nanmean(speeds[-40:])
+    assert late < early * 0.75  # clearly decayed
+
+
+def test_stationary_fix_removes_decay():
+    model = RandomWaypoint(
+        80,
+        (1500.0, 1500.0),
+        v_min=0.01,
+        v_max=20.0,
+        stationary_fix=True,
+        rng=np.random.default_rng(42),
+    )
+    trace = model.sample(4000.0, interval_s=10.0)
+    speeds = trace.mean_speed_series()
+    early = np.nanmean(speeds[:40])
+    late = np.nanmean(speeds[-40:])
+    assert late > early * 0.75  # no strong drift
+
+
+def test_pause_keeps_nodes_still():
+    model = RandomWaypoint(
+        1,
+        (10.0, 10.0),
+        v_min=100.0,
+        v_max=100.0,
+        pause_s=1000.0,
+        rng=np.random.default_rng(3),
+    )
+    # After at most ~0.14 s of travel the node pauses for 1000 s.
+    trace = model.sample(50.0)
+    later = trace.positions[10:]
+    assert np.allclose(later, later[0])
+
+
+def test_sample_continues_in_time():
+    model = RandomWaypoint(3, (100.0, 100.0), rng=np.random.default_rng(5))
+    first = model.sample(10.0)
+    second = model.sample(10.0)
+    assert second.times[0] == pytest.approx(first.times[-1])
+
+
+def test_current_speeds_zero_while_paused():
+    model = RandomWaypoint(
+        2,
+        (10.0, 10.0),
+        v_min=50.0,
+        v_max=50.0,
+        pause_s=1e6,
+        rng=np.random.default_rng(7),
+    )
+    model.sample(100.0)
+    assert np.all(model.current_speeds() == 0.0)
+
+
+class TestValidation:
+    def test_zero_vmin_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(2, (10.0, 10.0), v_min=0.0)
+
+    def test_vmax_below_vmin_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(2, (10.0, 10.0), v_min=5.0, v_max=1.0)
+
+    def test_bad_area_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(2, (0.0, 10.0))
+
+    def test_bad_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(0, (10.0, 10.0))
+
+    def test_negative_pause_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(2, (10.0, 10.0), pause_s=-1.0)

@@ -1,0 +1,114 @@
+"""MobilityTrace and TracePlayer tests."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.trace import MobilityTrace, TracePlayer
+
+
+def _simple_trace():
+    times = np.array([0.0, 1.0, 2.0])
+    positions = np.array(
+        [
+            [[0.0, 0.0], [10.0, 0.0]],
+            [[5.0, 0.0], [10.0, 5.0]],
+            [[5.0, 5.0], [10.0, 10.0]],
+        ]
+    )
+    return MobilityTrace(times=times, positions=positions)
+
+
+def test_basic_properties():
+    trace = _simple_trace()
+    assert trace.num_samples == 3
+    assert trace.num_nodes == 2
+    assert trace.duration == pytest.approx(2.0)
+
+
+def test_node_path():
+    trace = _simple_trace()
+    path = trace.node_path(0)
+    assert path.shape == (3, 2)
+    assert path[1].tolist() == [5.0, 0.0]
+
+
+def test_speeds():
+    trace = _simple_trace()
+    speeds = trace.speeds()
+    assert speeds.shape == (2, 2)
+    assert speeds[0, 0] == pytest.approx(5.0)  # node 0 first segment
+    assert speeds[0, 1] == pytest.approx(5.0)  # node 1 first segment
+
+
+def test_mean_speed_series():
+    trace = _simple_trace()
+    assert trace.mean_speed_series().tolist() == pytest.approx([5.0, 5.0])
+
+
+def test_teleport_speed_is_nan():
+    times = np.array([0.0, 1.0])
+    positions = np.array([[[0.0, 0.0]], [[1000.0, 0.0]]])
+    teleported = np.array([[False], [True]])
+    trace = MobilityTrace(times, positions, teleported)
+    assert np.isnan(trace.speeds()[0, 0])
+
+
+class TestTracePlayer:
+    def test_interpolates_linearly(self):
+        player = TracePlayer(_simple_trace())
+        assert player.position(0, 0.5) == pytest.approx((2.5, 0.0))
+        assert player.position(1, 1.5) == pytest.approx((10.0, 7.5))
+
+    def test_clamps_outside_range(self):
+        player = TracePlayer(_simple_trace())
+        assert player.position(0, -5.0) == (0.0, 0.0)
+        assert player.position(0, 99.0) == (5.0, 5.0)
+
+    def test_exact_sample_times(self):
+        player = TracePlayer(_simple_trace())
+        assert player.position(0, 1.0) == pytest.approx((5.0, 0.0))
+
+    def test_teleport_holds_then_jumps(self):
+        times = np.array([0.0, 1.0, 2.0])
+        positions = np.array(
+            [[[0.0, 0.0]], [[1000.0, 0.0]], [[1005.0, 0.0]]]
+        )
+        teleported = np.array([[False], [True], [False]])
+        player = TracePlayer(MobilityTrace(times, positions, teleported))
+        # Mid-teleport segment: node holds its old position.
+        assert player.position(0, 0.5) == (0.0, 0.0)
+        # After the teleport sample it is at the new place.
+        assert player.position(0, 1.0) == (1000.0, 0.0)
+        assert player.position(0, 1.5) == pytest.approx((1002.5, 0.0))
+
+    def test_positions_at_returns_all_nodes(self):
+        player = TracePlayer(_simple_trace())
+        matrix = player.positions_at(0.5)
+        assert matrix.shape == (2, 2)
+        assert matrix[0].tolist() == pytest.approx([2.5, 0.0])
+
+
+class TestValidation:
+    def test_times_positions_mismatch(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(np.array([0.0, 1.0]), np.zeros((3, 2, 2)))
+
+    def test_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(np.array([0.0, 0.0]), np.zeros((2, 1, 2)))
+
+    def test_bad_position_shape(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(np.array([0.0]), np.zeros((1, 2, 3)))
+
+    def test_bad_teleport_shape(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(
+                np.array([0.0]),
+                np.zeros((1, 2, 2)),
+                np.zeros((2, 2), dtype=bool),
+            )
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(np.array([]), np.zeros((0, 1, 2)))

@@ -1,0 +1,69 @@
+"""Node composition tests."""
+
+import pytest
+
+from repro.net.packet import Packet
+
+from helpers import TestNetwork, chain_coords
+
+
+def test_originate_without_routing_raises():
+    network = TestNetwork(chain_coords(2))  # no protocol attached
+    with pytest.raises(RuntimeError, match="no routing agent"):
+        network.nodes[0].originate_data(1, 100)
+
+
+def test_set_routing_twice_rejected():
+    network = TestNetwork(chain_coords(2), protocol="AODV")
+    from repro.routing.aodv import Aodv
+
+    with pytest.raises(RuntimeError, match="already"):
+        network.nodes[0].set_routing(Aodv(network.nodes[0]))
+
+
+def test_sink_callback_invoked_on_delivery():
+    network = TestNetwork(chain_coords(2), protocol="AODV")
+    network.start_routing()
+    seen = []
+    network.nodes[1].add_sink(lambda packet, prev: seen.append(packet.uid))
+    packet = network.nodes[0].originate_data(1, 100, flow_id=1, seq=1)
+    network.run(until=2.0)
+    assert seen == [packet.uid]
+
+
+def test_deliver_local_counts_once_per_uid():
+    network = TestNetwork(chain_coords(2))
+    packet = Packet("DATA", 0, 99, 100, 0.0, flow_id=1)
+    network.nodes[0].deliver_local(packet)
+    network.nodes[0].deliver_local(packet)
+    assert network.metrics.num_delivered == 1
+
+
+def test_drop_recorded_with_reason():
+    network = TestNetwork(chain_coords(2))
+    packet = Packet("DATA", 0, 1, 100, 0.0)
+    network.nodes[0].drop(packet, "test_reason")
+    assert network.metrics.drops["test_reason"] == 1
+
+
+def test_data_ttl_default_applied():
+    network = TestNetwork(chain_coords(2), protocol="AODV")
+    network.start_routing()
+    packet = network.nodes[0].originate_data(1, 100)
+    from repro.net.node import DATA_TTL
+
+    assert packet.ttl == DATA_TTL
+
+
+def test_send_via_counts_ifq_overflow():
+    network = TestNetwork(chain_coords(2), protocol="AODV")
+    network.start_routing()
+    packet = Packet("DATA", 0, 1, 100, 0.0)
+    for _ in range(60):  # IFQ capacity 50 + 1 in service
+        network.nodes[0].send_via(packet, 1)
+    assert network.metrics.drops.get("ifq_full", 0) >= 9
+
+
+def test_repr_mentions_protocol():
+    network = TestNetwork(chain_coords(2), protocol="DYMO")
+    assert "Dymo" in repr(network.nodes[0])

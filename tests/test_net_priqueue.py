@@ -1,0 +1,53 @@
+"""PriQueue behaviour tests: control packets jump the interface queue."""
+
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+
+from helpers import TestNetwork, chain_coords
+
+
+def test_priority_enqueue_goes_to_head():
+    queue = DropTailQueue(10)
+    data = Packet("DATA", 0, 1, 100, 0.0)
+    control = Packet("AODV_RREQ", 0, -1, 24, 0.0)
+    queue.enqueue(data, 1)
+    queue.enqueue(control, -1, priority=True)
+    first, _ = queue.dequeue()
+    assert first.uid == control.uid
+
+
+def test_priority_does_not_evict_when_full():
+    queue = DropTailQueue(2)
+    queue.enqueue(Packet("DATA", 0, 1, 100, 0.0), 1)
+    queue.enqueue(Packet("DATA", 0, 1, 100, 0.0), 1)
+    control = Packet("AODV_RREQ", 0, -1, 24, 0.0)
+    assert not queue.enqueue(control, -1, priority=True)
+    assert queue.drops == 1
+
+
+def test_multiple_priority_packets_lifo_at_head():
+    # Matching ns-2 PriQueue: each priority packet is inserted at the
+    # head, so among themselves they come out newest-first.
+    queue = DropTailQueue(10)
+    a = Packet("X_CTRL", 0, -1, 10, 0.0)
+    b = Packet("X_CTRL", 0, -1, 10, 0.0)
+    queue.enqueue(a, -1, priority=True)
+    queue.enqueue(b, -1, priority=True)
+    assert queue.dequeue()[0].uid == b.uid
+    assert queue.dequeue()[0].uid == a.uid
+
+
+def test_send_via_prioritises_control_over_data_backlog():
+    """Node.send_via marks routing packets as priority: a control packet
+    injected behind a data backlog is the next thing the MAC serves."""
+    network = TestNetwork(chain_coords(2))
+    node = network.nodes[0]
+    first = Packet("DATA", 0, 1, 1500, 0.0)
+    node.send_via(first, 1)  # enters MAC service immediately
+    backlog = [Packet("DATA", 0, 1, 1500, 0.0) for _ in range(5)]
+    for packet in backlog:
+        node.send_via(packet, 1)
+    control = Packet("AODV_HELLO", 0, -1, 20, 0.0)
+    node.send_via(control, -1)
+    head, _ = node.mac.queue.dequeue()
+    assert head.uid == control.uid  # ahead of all queued data

@@ -1,0 +1,92 @@
+"""Energy-model tests."""
+
+import pytest
+
+from repro.phy.energy import EnergyMeter, EnergyParams
+
+from helpers import TestNetwork, chain_coords
+
+
+def _network_with_meters(n=3):
+    network = TestNetwork(chain_coords(n), protocol="AODV")
+    meters = {
+        node.node_id: EnergyMeter(network.sim, node.radio)
+        for node in network.nodes
+    }
+    network.start_routing()
+    return network, meters
+
+
+def test_idle_node_consumes_idle_power_only():
+    network = TestNetwork(chain_coords(2))  # no routing: total silence
+    meter = EnergyMeter(network.sim, network.nodes[0].radio)
+    network.run(until=100.0)
+    params = EnergyParams()
+    assert meter.consumed_j() == pytest.approx(100.0 * params.idle_power_w)
+    assert meter.tx_time_s == 0.0
+    assert meter.rx_time_s == 0.0
+
+
+def test_traffic_costs_more_than_idle():
+    network, meters = _network_with_meters()
+    network.nodes[0].originate_data(2, 512, flow_id=1, seq=1)
+    network.run(until=30.0)
+    idle_only = 30.0 * EnergyParams().idle_power_w
+    # Everyone at least beaconed hellos: all above the idle floor.
+    for meter in meters.values():
+        assert meter.consumed_j() > idle_only
+        assert meter.tx_time_s > 0
+
+
+def test_center_hears_more_beacons_than_edge():
+    """On a 5-node chain (200 m spacing, 550 m carrier-sense range) the
+    centre node detects beacons from 4 neighbours, the edge from 2."""
+    network, meters = _network_with_meters(5)
+    network.run(until=30.0)  # hello beacons only, no data
+    assert meters[2].rx_time_s > meters[0].rx_time_s
+    assert meters[2].rx_time_s > meters[4].rx_time_s
+
+
+def test_remaining_depletes_to_zero():
+    network = TestNetwork(chain_coords(2))
+    params = EnergyParams(initial_energy_j=1.0, idle_power_w=1.0)
+    meter = EnergyMeter(network.sim, network.nodes[0].radio, params)
+    network.run(until=0.5)
+    assert not meter.depleted
+    assert meter.remaining_j() == pytest.approx(0.5)
+    network.run(until=2.0)
+    assert meter.depleted
+    assert meter.remaining_j() == 0.0
+
+
+def test_attach_later_measures_from_attachment():
+    network, _ = _network_with_meters()
+    network.run(until=10.0)
+    late = EnergyMeter(network.sim, network.nodes[0].radio)
+    assert late.elapsed_s == 0.0
+    assert late.tx_time_s == 0.0
+    network.run(until=20.0)
+    assert late.elapsed_s == pytest.approx(10.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        EnergyParams(tx_power_w=-1.0)
+    with pytest.raises(ValueError):
+        EnergyParams(initial_energy_j=0.0)
+
+
+def test_energy_ranks_protocol_overhead():
+    """OLSR's chattiness costs measurable energy relative to AODV when
+    idle (no data at all): proactive beacons + TC flooding vs hellos."""
+
+    def total_energy(protocol):
+        network = TestNetwork(chain_coords(4), protocol=protocol)
+        meters = [
+            EnergyMeter(network.sim, node.radio) for node in network.nodes
+        ]
+        network.start_routing()
+        network.run(until=60.0)
+        return sum(m.consumed_j() for m in meters)
+
+    assert total_energy("OLSR") > total_energy("AODV")

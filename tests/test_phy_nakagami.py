@@ -1,0 +1,77 @@
+"""Nakagami-m fading model tests."""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import NakagamiFading, TwoRayGround
+
+
+def test_mean_converges_to_large_scale_model():
+    fading = NakagamiFading(m=3.0, rng=np.random.default_rng(0))
+    mean_model = TwoRayGround()
+    target = mean_model.rx_power(0.28183815, 200.0)
+    draws = np.array(
+        [fading.rx_power(0.28183815, 200.0) for _ in range(5000)]
+    )
+    assert draws.mean() == pytest.approx(target, rel=0.05)
+
+
+def test_variance_decreases_with_m():
+    def cv(m):
+        fading = NakagamiFading(m=m, rng=np.random.default_rng(1))
+        draws = np.array([fading.rx_power(1.0, 200.0) for _ in range(3000)])
+        return draws.std() / draws.mean()
+
+    # Gamma(m) power: coefficient of variation = 1/sqrt(m).
+    assert cv(1.0) == pytest.approx(1.0, abs=0.1)
+    assert cv(4.0) == pytest.approx(0.5, abs=0.1)
+    assert cv(1.0) > cv(4.0)
+
+
+def test_rayleigh_case_is_exponential_power():
+    fading = NakagamiFading(m=1.0, rng=np.random.default_rng(2))
+    draws = np.array([fading.rx_power(1.0, 150.0) for _ in range(5000)])
+    # Exponential distribution: mean == std.
+    assert draws.std() == pytest.approx(draws.mean(), rel=0.1)
+
+
+def test_zero_distance_returns_mean():
+    fading = NakagamiFading(m=2.0)
+    assert fading.rx_power(0.4, 0.0) == 0.4
+
+
+def test_custom_mean_model():
+    from repro.phy.propagation import FreeSpace
+
+    fading = NakagamiFading(
+        m=5.0, mean_model=FreeSpace(), rng=np.random.default_rng(3)
+    )
+    assert fading.mean_rx_power(1.0, 100.0) == FreeSpace().rx_power(1.0, 100.0)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        NakagamiFading(m=0.3)
+
+
+def test_scenario_integration():
+    from repro.core.config import Scenario
+    from repro.core.simulation import CavenetSimulation
+
+    scenario = Scenario(
+        num_nodes=10,
+        road_length_m=1000.0,
+        sim_time_s=15.0,
+        senders=(1,),
+        traffic_start_s=5.0,
+        traffic_stop_s=14.0,
+        propagation="nakagami",
+        nakagami_m=3.0,
+        initial_placement="uniform",
+        dawdle_p=0.0,
+        seed=2,
+    )
+    assert "Nakagami" in scenario.table1()["Radio Propagation Models"]
+    result = CavenetSimulation(scenario).run()
+    # Fading costs some delivery but the network functions.
+    assert result.pdr() > 0.3

@@ -1,0 +1,48 @@
+"""PHY parameter-set tests."""
+
+import pytest
+
+from repro.phy.params import PhyParams, default_phy
+from repro.phy.propagation import FreeSpace, TwoRayGround
+
+
+def test_default_phy_matches_ns2_thresholds():
+    params = default_phy()
+    assert params.rx_threshold_w == pytest.approx(3.652e-10, rel=1e-3)
+    assert params.cs_threshold_w == pytest.approx(1.559e-11, rel=1e-3)
+
+
+def test_for_ranges_roundtrip():
+    model = TwoRayGround()
+    params = PhyParams.for_ranges(model, 250.0, 550.0)
+    assert model.range_for_threshold(
+        params.tx_power_w, params.rx_threshold_w
+    ) == pytest.approx(250.0, rel=1e-3)
+    assert model.range_for_threshold(
+        params.tx_power_w, params.cs_threshold_w
+    ) == pytest.approx(550.0, rel=1e-3)
+
+
+def test_for_ranges_other_models():
+    params = PhyParams.for_ranges(FreeSpace(), 250.0, 550.0)
+    assert params.cs_threshold_w < params.rx_threshold_w
+
+
+def test_cs_more_sensitive_than_rx_enforced():
+    with pytest.raises(ValueError):
+        PhyParams(rx_threshold_w=1e-11, cs_threshold_w=1e-10)
+
+
+def test_cs_range_shorter_than_tx_rejected():
+    with pytest.raises(ValueError):
+        PhyParams.for_ranges(TwoRayGround(), 550.0, 250.0)
+
+
+def test_capture_ratio_below_one_rejected():
+    with pytest.raises(ValueError):
+        PhyParams(capture_ratio=0.5)
+
+
+def test_tx_power_positive():
+    with pytest.raises(ValueError):
+        PhyParams(tx_power_w=0.0)

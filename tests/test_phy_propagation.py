@@ -1,0 +1,123 @@
+"""Propagation-model tests against the known ns-2 constants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogNormalShadowing,
+    TwoRayGround,
+)
+
+NS2_TX_POWER = 0.28183815
+
+
+def test_free_space_inverse_square():
+    model = FreeSpace()
+    p100 = model.rx_power(1.0, 100.0)
+    p200 = model.rx_power(1.0, 200.0)
+    assert p100 / p200 == pytest.approx(4.0)
+
+
+def test_free_space_zero_distance_returns_tx_power():
+    assert FreeSpace().rx_power(0.5, 0.0) == 0.5
+
+
+def test_two_ray_crossover_distance():
+    model = TwoRayGround()
+    # dc = 4 pi ht hr / lambda with ht = hr = 1.5 m at 914 MHz: ~86.2 m.
+    wavelength = 299_792_458.0 / 914e6
+    expected = 4 * math.pi * 1.5 * 1.5 / wavelength
+    assert model.crossover_distance_m == pytest.approx(expected)
+    assert 80 < model.crossover_distance_m < 95
+
+
+def test_two_ray_matches_ns2_rx_threshold_at_250m():
+    """The classic ns-2 number: Pr(250 m) = 3.652e-10 W."""
+    model = TwoRayGround()
+    assert model.rx_power(NS2_TX_POWER, 250.0) == pytest.approx(
+        3.652e-10, rel=1e-3
+    )
+
+
+def test_two_ray_matches_ns2_cs_threshold_at_550m():
+    """ns-2 CSThresh: Pr(550 m) = 1.559e-11 W."""
+    model = TwoRayGround()
+    assert model.rx_power(NS2_TX_POWER, 550.0) == pytest.approx(
+        1.559e-11, rel=1e-3
+    )
+
+
+def test_two_ray_uses_friis_below_crossover():
+    model = TwoRayGround()
+    friis = FreeSpace()
+    assert model.rx_power(1.0, 50.0) == pytest.approx(
+        friis.rx_power(1.0, 50.0)
+    )
+
+
+def test_two_ray_fourth_power_beyond_crossover():
+    model = TwoRayGround()
+    p200 = model.rx_power(1.0, 200.0)
+    p400 = model.rx_power(1.0, 400.0)
+    assert p200 / p400 == pytest.approx(16.0)
+
+
+def test_two_ray_continuous_at_crossover():
+    model = TwoRayGround()
+    dc = model.crossover_distance_m
+    below = model.rx_power(1.0, dc * 0.999)
+    above = model.rx_power(1.0, dc * 1.001)
+    assert below == pytest.approx(above, rel=0.02)
+
+
+def test_range_for_threshold_inverts_rx_power():
+    model = TwoRayGround()
+    threshold = model.rx_power(NS2_TX_POWER, 250.0)
+    assert model.range_for_threshold(NS2_TX_POWER, threshold) == pytest.approx(
+        250.0, rel=1e-3
+    )
+
+
+def test_shadowing_zero_sigma_is_deterministic_power_law():
+    model = LogNormalShadowing(
+        path_loss_exponent=2.0, sigma_db=0.0, reference_distance_m=1.0
+    )
+    friis = FreeSpace()
+    # beta = 2 reproduces free space beyond d0.
+    assert model.rx_power(1.0, 100.0) == pytest.approx(
+        friis.rx_power(1.0, 100.0), rel=1e-6
+    )
+
+
+def test_shadowing_higher_exponent_attenuates_more():
+    gentle = LogNormalShadowing(2.0, 0.0)
+    harsh = LogNormalShadowing(4.0, 0.0)
+    assert harsh.rx_power(1.0, 300.0) < gentle.rx_power(1.0, 300.0)
+
+
+def test_shadowing_randomness_spreads_around_median():
+    model = LogNormalShadowing(
+        2.7, sigma_db=6.0, rng=np.random.default_rng(0)
+    )
+    baseline = LogNormalShadowing(2.7, sigma_db=0.0)
+    median = baseline.rx_power(1.0, 200.0)
+    draws = np.array([model.rx_power(1.0, 200.0) for _ in range(2000)])
+    assert draws.std() > 0
+    # Median of log-normal draws equals the deterministic value.
+    assert np.median(draws) == pytest.approx(median, rel=0.15)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FreeSpace(frequency_hz=0.0)
+    with pytest.raises(ValueError):
+        FreeSpace(system_loss=0.5)
+    with pytest.raises(ValueError):
+        TwoRayGround(height_tx_m=0.0)
+    with pytest.raises(ValueError):
+        LogNormalShadowing(path_loss_exponent=0.0)
+    with pytest.raises(ValueError):
+        LogNormalShadowing(sigma_db=-1.0)

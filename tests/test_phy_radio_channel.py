@@ -1,0 +1,214 @@
+"""Radio + channel tests: delivery, carrier sense, collisions, capture."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Simulator
+from repro.mac.frames import Frame, FrameType
+from repro.net.address import BROADCAST
+from repro.net.packet import Packet
+from repro.phy.channel import CachedPositionProvider, Channel
+from repro.phy.params import PhyParams
+from repro.phy.propagation import TwoRayGround
+from repro.phy.radio import Radio, RadioState
+from repro.mobility.trace import MobilityTrace, TracePlayer
+
+
+class RecordingMac:
+    """Captures every radio callback for assertions."""
+
+    def __init__(self) -> None:
+        self.received = []
+        self.busy_events = 0
+        self.idle_events = 0
+        self.tx_done = 0
+
+    def on_medium_busy(self) -> None:
+        self.busy_events += 1
+
+    def on_medium_idle(self) -> None:
+        self.idle_events += 1
+
+    def on_frame_received(self, frame, rx_power_w) -> None:
+        self.received.append((frame, rx_power_w))
+
+    def on_tx_done(self) -> None:
+        self.tx_done += 1
+
+
+def _network(coords):
+    sim = Simulator()
+    positions = np.asarray(coords, dtype=float)
+    channel = Channel(sim, TwoRayGround(), lambda: positions)
+    params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
+    radios, macs = [], []
+    for node_id in range(len(coords)):
+        radio = Radio(sim, node_id, params, channel)
+        mac = RecordingMac()
+        radio.attach_mac(mac)
+        radios.append(radio)
+        macs.append(mac)
+    return sim, channel, radios, macs
+
+
+def _frame(tx, rx=BROADCAST):
+    packet = Packet("DATA", tx, rx, 100, 0.0)
+    return Frame(FrameType.DATA, tx, rx, 128, packet=packet, seq=1)
+
+
+def test_frame_delivered_within_tx_range():
+    sim, _, radios, macs = _network([(0, 0), (200, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    sim.run()
+    assert len(macs[1].received) == 1
+    assert macs[0].received == []  # sender does not hear itself
+
+
+def test_frame_not_decoded_between_tx_and_cs_range():
+    """At 400 m (inside 550 m CS, outside 250 m TX): detected, not decoded."""
+    sim, _, radios, macs = _network([(0, 0), (400, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    sim.run()
+    assert macs[1].received == []
+    assert macs[1].busy_events == 1  # it did defer
+    assert macs[1].idle_events == 1
+
+
+def test_frame_invisible_beyond_cs_range():
+    sim, _, radios, macs = _network([(0, 0), (600, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    sim.run()
+    assert macs[1].received == []
+    assert macs[1].busy_events == 0
+
+
+def test_radio_state_transitions():
+    sim, _, radios, macs = _network([(0, 0), (200, 0)])
+    assert radios[0].state is RadioState.IDLE
+    radios[0].transmit(_frame(0), 0.001)
+    assert radios[0].state is RadioState.TX
+    sim.run()
+    assert radios[0].state is RadioState.IDLE
+    assert macs[0].tx_done == 1
+
+
+def test_cannot_transmit_twice_concurrently():
+    sim, _, radios, _ = _network([(0, 0), (200, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    with pytest.raises(RuntimeError):
+        radios[0].transmit(_frame(0), 0.001)
+
+
+def test_equal_power_collision_destroys_both():
+    """Two equidistant simultaneous senders collide at the middle node."""
+    sim, _, radios, macs = _network([(0, 0), (200, 0), (400, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    radios[2].transmit(_frame(2), 0.001)
+    sim.run()
+    assert macs[1].received == []
+
+
+def test_capture_strong_frame_survives_weak_interferer():
+    """A 10 dB-stronger frame captures the receiver (ns-2 CPThresh)."""
+    # Node 1 at 100 m from sender 0 and 510 m from sender 2: two-ray gives
+    # >> 10x power difference.
+    sim, _, radios, macs = _network([(0, 0), (100, 0), (610, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    radios[2].transmit(_frame(2), 0.001)
+    sim.run()
+    received_from = [frame.tx_addr for frame, _ in macs[1].received]
+    assert received_from == [0]
+
+
+def test_half_duplex_tx_corrupts_reception():
+    sim, _, radios, macs = _network([(0, 0), (200, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    # Node 1 starts its own transmission mid-reception.
+    sim.schedule(0.0005, radios[1].transmit, _frame(1), 0.001)
+    sim.run()
+    assert macs[1].received == []
+    # ... but node 0 hears node 1's (later-finishing) frame? No: node 0's
+    # own TX overlapped the start of node 1's frame.
+    assert macs[0].received == []
+
+
+def test_late_arriving_frame_during_own_tx_lost():
+    sim, _, radios, macs = _network([(0, 0), (200, 0)])
+    radios[1].transmit(_frame(1), 0.002)  # long transmission
+    sim.schedule(0.0005, radios[0].transmit, _frame(0), 0.0005)
+    sim.run()
+    assert macs[1].received == []  # arrived while node 1 was talking
+
+
+def test_busy_idle_callbacks_pair_up():
+    sim, _, radios, macs = _network([(0, 0), (200, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    sim.run()
+    assert macs[1].busy_events == macs[1].idle_events == 1
+
+
+def test_propagation_delay_orders_reception():
+    sim, channel, radios, macs = _network([(0, 0), (200, 0)])
+    start = sim.now
+    received_at = []
+    original = macs[1].on_frame_received
+    macs[1].on_frame_received = lambda f, p: received_at.append(sim.now)
+    radios[0].transmit(_frame(0), 0.001)
+    sim.run()
+    # Frame ends at 0.001 + 200m/c.
+    assert received_at[0] == pytest.approx(0.001 + 200 / 299792458.0)
+
+
+def test_channel_counts_transmissions():
+    sim, channel, radios, _ = _network([(0, 0), (200, 0)])
+    radios[0].transmit(_frame(0), 0.001)
+    sim.run()
+    radios[1].transmit(_frame(1), 0.001)
+    sim.run()
+    assert channel.frames_transmitted == 2
+
+
+def test_duplicate_radio_registration_rejected():
+    sim = Simulator()
+    positions = np.zeros((1, 2))
+    channel = Channel(sim, TwoRayGround(), lambda: positions)
+    params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
+    Radio(sim, 0, params, channel)
+    with pytest.raises(ValueError):
+        Radio(sim, 0, params, channel)
+
+
+class TestCachedPositionProvider:
+    def _player(self):
+        times = np.array([0.0, 10.0])
+        positions = np.array([[[0.0, 0.0]], [[100.0, 0.0]]])
+        return TracePlayer(MobilityTrace(times, positions))
+
+    def test_caches_within_slot(self):
+        sim = Simulator()
+        provider = CachedPositionProvider(self._player(), sim, cache_dt=1.0)
+        first = provider.positions()
+        sim.schedule(0.5, lambda: None)
+        sim.run()
+        assert provider.positions() is first  # same cached array
+
+    def test_refreshes_after_slot(self):
+        sim = Simulator()
+        provider = CachedPositionProvider(self._player(), sim, cache_dt=1.0)
+        at_zero = provider.positions()[0, 0]
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        at_five = provider.positions()[0, 0]
+        assert at_five > at_zero
+
+    def test_zero_cache_dt_always_exact(self):
+        sim = Simulator()
+        provider = CachedPositionProvider(self._player(), sim, cache_dt=0.0)
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert provider.positions()[0, 0] == pytest.approx(25.0)
+
+    def test_negative_cache_dt_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CachedPositionProvider(self._player(), sim, cache_dt=-1.0)

@@ -1,0 +1,125 @@
+"""DSDV and flooding baseline tests."""
+
+import pytest
+
+from repro.routing.dsdv import Dsdv, DsdvConfig
+from repro.routing.flooding import Flooding
+
+from helpers import TestNetwork, chain_coords
+
+
+class TestDsdv:
+    def _chain(self, n, **kwargs):
+        network = TestNetwork(chain_coords(n), protocol="DSDV", **kwargs)
+        network.start_routing()
+        return network
+
+    def test_tables_converge_across_chain(self):
+        network = self._chain(4)
+        # Full-dump every 5 s; three dumps propagate three hops.
+        network.run(until=16.0)
+        dsdv: Dsdv = network.nodes[0].routing
+        route = dsdv._valid_route(3)
+        assert route is not None
+        assert route.next_hop == 1
+        assert route.hops == 3
+
+    def test_delivery_after_convergence(self):
+        network = self._chain(4)
+        network.run(until=16.0)
+        packet = network.nodes[0].originate_data(3, 512, flow_id=1, seq=1)
+        network.run(until=18.0)
+        assert packet.uid in network.delivered_uids()
+
+    def test_no_route_before_convergence(self):
+        network = self._chain(4)
+        packet = network.nodes[0].originate_data(3, 512, flow_id=1, seq=1)
+        network.run(until=0.5)
+        assert network.metrics.drops.get("no_route", 0) == 1
+
+    def test_broken_route_marked_infinite(self):
+        network = self._chain(3)
+        network.run(until=12.0)
+        dsdv: Dsdv = network.nodes[0].routing
+        assert dsdv._valid_route(2) is not None
+        network.positions.move(2, 9000.0, 9000.0)
+        network.run(until=30.0)  # neighbour hold at node 1 expires
+        assert dsdv._valid_route(2) is None
+
+    def test_periodic_updates_flow(self):
+        network = self._chain(2)
+        network.run(until=12.0)
+        updates = [
+            t
+            for t in network.metrics.control_transmissions()
+            if t.kind == "DSDV_UPDATE"
+        ]
+        assert len(updates) >= 4
+
+    def test_own_seq_even(self):
+        network = self._chain(2)
+        network.run(until=12.0)
+        dsdv: Dsdv = network.nodes[0].routing
+        assert dsdv._seq % 2 == 0
+
+    def test_config_defaults(self):
+        config = DsdvConfig()
+        assert config.update_interval_s == 5.0
+
+
+class TestFlooding:
+    def _chain(self, n):
+        network = TestNetwork(chain_coords(n), protocol="FLOODING")
+        network.start_routing()
+        return network
+
+    def test_delivery_without_any_control_traffic(self):
+        network = self._chain(4)
+        packet = network.nodes[0].originate_data(3, 512, flow_id=1, seq=1)
+        network.run(until=2.0)
+        assert packet.uid in network.delivered_uids()
+        assert network.metrics.control_transmissions() == []
+
+    def test_every_node_rebroadcasts_once(self):
+        network = self._chain(4)
+        network.nodes[0].originate_data(3, 512, flow_id=1, seq=1)
+        network.run(until=2.0)
+        data_tx = network.metrics.data_transmissions()
+        # Origin + up to one rebroadcast per other node; destination also
+        # rebroadcasts? No: delivery at destination does not forward.
+        senders = [t.node for t in data_tx]
+        assert senders.count(0) == 1
+        assert senders.count(1) == 1
+        assert senders.count(2) == 1
+
+    def test_duplicates_not_redelivered(self):
+        # Triangle: two paths to the destination; metrics dedupe by uid and
+        # flooding dedupes rebroadcasts by uid.
+        coords = [(0.0, 0.0), (200.0, 0.0), (100.0, 170.0)]
+        network = TestNetwork(coords, protocol="FLOODING")
+        network.start_routing()
+        packet = network.nodes[0].originate_data(1, 512, flow_id=1, seq=1)
+        network.run(until=2.0)
+        assert len(network.metrics.delivered) == 1
+
+    def test_ttl_caps_flood_depth(self):
+        from repro.routing.flooding import FloodingConfig
+
+        network = TestNetwork(
+            chain_coords(6),
+            protocol="FLOODING",
+            protocol_options={"config": FloodingConfig(default_ttl=2)},
+        )
+        network.start_routing()
+        packet = network.nodes[0].originate_data(5, 512, flow_id=1, seq=1)
+        network.run(until=2.0)
+        # TTL 2 reaches only two hops; node 5 is five hops away.
+        assert packet.uid not in network.delivered_uids()
+
+
+def test_make_protocol_unknown_name():
+    from repro.routing import make_protocol
+
+    with pytest.raises(ValueError, match="unknown routing protocol"):
+        network = TestNetwork([(0.0, 0.0)])
+        make_protocol("OSPF", network.nodes[0], None)

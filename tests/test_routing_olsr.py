@@ -1,0 +1,147 @@
+"""OLSR behaviour tests: link sensing, MPR selection, TC flooding, routes."""
+
+import pytest
+
+from repro.routing.olsr import Olsr, OlsrConfig
+
+from helpers import TestNetwork, chain_coords
+
+
+def _chain(n, **kwargs):
+    network = TestNetwork(chain_coords(n), protocol="OLSR", **kwargs)
+    network.start_routing()
+    return network
+
+
+def test_neighbors_become_symmetric():
+    network = _chain(2)
+    network.run(until=4.0)
+    olsr: Olsr = network.nodes[0].routing
+    assert olsr._links[1].sym_until > network.sim.now
+
+
+def test_routes_converge_over_chain():
+    network = _chain(5)
+    network.run(until=10.0)
+    olsr: Olsr = network.nodes[0].routing
+    table = olsr.routing_table()
+    assert table[1] == (1, 1)
+    assert table[2] == (1, 2)
+    assert table[4] == (1, 4)
+
+
+def test_middle_node_selected_as_mpr():
+    """On a 3-chain, the ends reach each other only through the middle."""
+    network = _chain(3)
+    network.run(until=6.0)
+    assert 1 in network.nodes[0].routing.mprs
+    assert 1 in network.nodes[2].routing.mprs
+
+
+def test_tc_messages_flood_topology():
+    network = _chain(5)
+    network.run(until=10.0)
+    tcs = [
+        t
+        for t in network.metrics.control_transmissions()
+        if t.kind == "OLSR_TC"
+    ]
+    assert tcs  # MPRs exist on a chain, so TCs flow
+    # Node 0 learned remote links it cannot see directly.
+    olsr: Olsr = network.nodes[0].routing
+    topology_nodes = {dst for (dst, _), _ in olsr._topology.items()}
+    assert 3 in topology_nodes or 4 in topology_nodes
+
+
+def test_data_delivery_multi_hop():
+    network = _chain(5)
+    network.run(until=10.0)  # convergence first: proactive protocol
+    packet = network.nodes[0].originate_data(4, 512, flow_id=1, seq=1)
+    network.run(until=12.0)
+    assert packet.uid in network.delivered_uids()
+
+
+def test_no_route_drops_immediately():
+    """Proactive routing has no buffering: unreachable -> instant drop."""
+    coords = chain_coords(2) + [(7000.0, 0.0)]
+    network = TestNetwork(coords, protocol="OLSR")
+    network.start_routing()
+    network.run(until=8.0)
+    packet = network.nodes[0].originate_data(2, 512, flow_id=1, seq=1)
+    network.run(until=8.5)
+    assert packet.uid not in network.delivered_uids()
+    assert network.metrics.drops.get("no_route", 0) == 1
+
+
+def test_link_loss_expires_route():
+    network = _chain(3)
+    network.run(until=8.0)
+    assert 2 in network.nodes[0].routing.routing_table()
+    network.positions.move(2, 9000.0, 9000.0)
+    network.run(until=network.sim.now + 8.0)  # > neighbor hold time
+    assert 2 not in network.nodes[0].routing.routing_table()
+
+
+def test_star_center_is_everyones_mpr():
+    # Four spokes around a hub; spokes only reach each other via the hub.
+    coords = [(0.0, 0.0), (240.0, 0.0), (-240.0, 0.0), (0.0, 240.0), (0.0, -240.0)]
+    network = TestNetwork(coords, protocol="OLSR")
+    network.start_routing()
+    network.run(until=8.0)
+    for spoke in (1, 2, 3, 4):
+        assert network.nodes[spoke].routing.mprs == {0}
+    # The hub needs no MPR at all: it covers its 2-hop set itself (empty).
+    assert network.nodes[0].routing.mprs == set()
+
+
+def test_spoke_to_spoke_via_hub():
+    coords = [(0.0, 0.0), (240.0, 0.0), (-240.0, 0.0)]
+    network = TestNetwork(coords, protocol="OLSR")
+    network.start_routing()
+    network.run(until=8.0)
+    packet = network.nodes[1].originate_data(2, 256, flow_id=9, seq=1)
+    network.run(until=10.0)
+    assert packet.uid in network.delivered_uids()
+    assert network.metrics.delivered[0].hops == 2
+
+
+def test_etx_mode_runs_and_converges():
+    network = _chain(
+        4, protocol_options={"config": OlsrConfig(metric="etx")}
+    )
+    network.run(until=12.0)
+    olsr: Olsr = network.nodes[0].routing
+    table = olsr.routing_table()
+    assert table[3][0] == 1  # same first hop as hop-count on clean links
+    # On loss-free links the measured ETX cost is ~1.
+    assert olsr._link_cost(1) == pytest.approx(1.0, abs=0.35)
+
+
+def test_etx_reception_ratio_tracks_hellos():
+    network = _chain(
+        2, protocol_options={"config": OlsrConfig(metric="etx")}
+    )
+    network.run(until=12.0)
+    olsr: Olsr = network.nodes[0].routing
+    assert olsr._reception_ratio(1) > 0.7
+
+
+def test_hello_size_grows_with_neighbors():
+    from repro.routing.olsr import HelloHeader, _hello_size
+
+    small = _hello_size(HelloHeader(neighbors={1: "SYM"}, link_quality={}))
+    large = _hello_size(
+        HelloHeader(neighbors={1: "SYM", 2: "SYM", 3: "MPR"}, link_quality={})
+    )
+    assert large > small
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OlsrConfig(metric="hops-and-dreams")
+
+
+def test_table1_intervals():
+    config = OlsrConfig()
+    assert config.hello_interval_s == 1.0  # Table I: HelloOLSR 1 s
+    assert config.tc_interval_s == 2.0  # Table I: TCOLSR 2 s

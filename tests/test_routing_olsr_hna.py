@@ -1,0 +1,124 @@
+"""OLSR HNA (gateway advertisement) tests — paper Section III-B.1:
+"HNA messages are used by OLSR to disseminate network route
+advertisements in the same way TC messages advertise host routes"."""
+
+import pytest
+
+from repro.routing.olsr import Olsr, OlsrConfig
+
+from helpers import TestNetwork, chain_coords
+
+#: An address outside the node-id space, representing an Internet host.
+INTERNET = 1000
+
+
+def _chain_with_gateway(n, gateway_index, **config_kwargs):
+    """Chain of n nodes; one of them gateways for INTERNET."""
+    network = TestNetwork(chain_coords(n), protocol=None)
+    from repro.routing import make_protocol
+
+    for node in network.nodes:
+        if node.node_id == gateway_index:
+            config = OlsrConfig(gateway_for=(INTERNET,), **config_kwargs)
+        else:
+            config = OlsrConfig(**config_kwargs)
+        node.set_routing(
+            make_protocol(
+                "OLSR",
+                node,
+                network.streams.stream(f"routing-{node.node_id}"),
+                config=config,
+            )
+        )
+    network.start_routing()
+    return network
+
+
+def test_hna_messages_flood():
+    network = _chain_with_gateway(4, gateway_index=3)
+    network.run(until=15.0)
+    hnas = [
+        t
+        for t in network.metrics.control_transmissions()
+        if t.kind == "OLSR_HNA"
+    ]
+    assert hnas
+    # Flooding reached beyond the gateway's neighbourhood: forwarders
+    # other than the gateway transmitted HNAs too.
+    assert {t.node for t in hnas} != {3}
+
+
+def test_gateway_learned_across_the_network():
+    network = _chain_with_gateway(4, gateway_index=3)
+    network.run(until=15.0)
+    olsr_0: Olsr = network.nodes[0].routing
+    assert 3 in olsr_0.hna_gateways(INTERNET)
+
+
+def test_external_destination_routed_via_gateway():
+    network = _chain_with_gateway(4, gateway_index=3)
+    network.run(until=15.0)
+    packet = network.nodes[0].originate_data(INTERNET, 512, flow_id=1, seq=1)
+    network.run(until=17.0)
+    assert packet.uid in network.delivered_uids()
+    # Delivered by the gateway, three radio hops away.
+    assert network.metrics.delivered[0].hops == 3
+
+
+def test_gateway_origination_delivers_locally():
+    network = _chain_with_gateway(3, gateway_index=0)
+    network.run(until=12.0)
+    packet = network.nodes[0].originate_data(INTERNET, 512, flow_id=1, seq=1)
+    assert packet.uid in network.delivered_uids()
+
+
+def test_external_unreachable_without_gateway():
+    network = _chain_with_gateway(3, gateway_index=2)
+    network.run(until=15.0)
+    packet = network.nodes[0].originate_data(9999, 512, flow_id=1, seq=1)
+    network.run(until=16.0)
+    assert packet.uid not in network.delivered_uids()
+    assert network.metrics.drops.get("no_route", 0) >= 1
+
+
+def test_nearest_gateway_preferred():
+    """Two gateways for the same external network: traffic takes the
+    closer one."""
+    network = TestNetwork(chain_coords(5), protocol=None)
+    from repro.routing import make_protocol
+
+    for node in network.nodes:
+        if node.node_id in (1, 4):
+            config = OlsrConfig(gateway_for=(INTERNET,))
+        else:
+            config = OlsrConfig()
+        node.set_routing(
+            make_protocol(
+                "OLSR",
+                node,
+                network.streams.stream(f"routing-{node.node_id}"),
+                config=config,
+            )
+        )
+    network.start_routing()
+    network.run(until=20.0)
+    packet = network.nodes[0].originate_data(INTERNET, 512, flow_id=1, seq=1)
+    network.run(until=22.0)
+    assert packet.uid in network.delivered_uids()
+    assert network.metrics.delivered[0].hops == 1  # via gateway 1, not 4
+
+
+def test_gateway_expiry_after_silence():
+    network = _chain_with_gateway(3, gateway_index=2)
+    network.run(until=15.0)
+    olsr_0: Olsr = network.nodes[0].routing
+    assert olsr_0.hna_gateways(INTERNET)
+    # Silence the gateway: move it out of range, let holds lapse.
+    network.positions.move(2, 90000.0, 0.0)
+    network.run(until=network.sim.now + 20.0)
+    assert olsr_0.hna_gateways(INTERNET) == {}
+
+
+def test_hna_config_validation():
+    with pytest.raises(ValueError):
+        OlsrConfig(hna_interval_s=0.0)

@@ -1,0 +1,110 @@
+"""Route-table semantics tests."""
+
+import pytest
+
+from repro.routing.table import RouteTable
+
+
+def test_lookup_missing_returns_none():
+    assert RouteTable().lookup(5, now=0.0) is None
+
+
+def test_install_and_lookup():
+    table = RouteTable()
+    table.update(5, next_hop=2, hops=3, seq=1, lifetime=10.0, now=0.0)
+    entry = table.lookup(5, now=5.0)
+    assert entry is not None
+    assert entry.next_hop == 2
+    assert entry.hops == 3
+
+
+def test_expired_route_not_returned():
+    table = RouteTable()
+    table.update(5, 2, 3, 1, lifetime=10.0, now=0.0)
+    assert table.lookup(5, now=10.5) is None
+    assert table.get(5) is not None  # raw entry survives for its seq
+
+
+def test_fresher_seq_replaces_route():
+    table = RouteTable()
+    table.update(5, 2, 3, seq=1, lifetime=10.0, now=0.0)
+    table.update(5, 7, 9, seq=2, lifetime=10.0, now=0.0)
+    assert table.lookup(5, 0.0).next_hop == 7
+
+
+def test_stale_seq_does_not_replace():
+    table = RouteTable()
+    table.update(5, 2, 3, seq=5, lifetime=10.0, now=0.0)
+    table.update(5, 7, 1, seq=4, lifetime=10.0, now=0.0)
+    entry = table.lookup(5, 0.0)
+    assert entry.next_hop == 2
+    assert entry.seq == 5  # freshness never decreases
+
+
+def test_equal_seq_shorter_path_wins():
+    table = RouteTable()
+    table.update(5, 2, 4, seq=1, lifetime=10.0, now=0.0)
+    table.update(5, 7, 2, seq=1, lifetime=10.0, now=0.0)
+    assert table.lookup(5, 0.0).next_hop == 7
+
+
+def test_equal_seq_longer_path_ignored():
+    table = RouteTable()
+    table.update(5, 2, 2, seq=1, lifetime=10.0, now=0.0)
+    table.update(5, 7, 4, seq=1, lifetime=10.0, now=0.0)
+    assert table.lookup(5, 0.0).next_hop == 2
+
+
+def test_refresh_extends_lifetime():
+    table = RouteTable()
+    table.update(5, 2, 3, 1, lifetime=5.0, now=0.0)
+    table.refresh(5, lifetime=5.0, now=4.0)
+    assert table.lookup(5, now=8.0) is not None
+
+
+def test_invalidate_bumps_seq():
+    table = RouteTable()
+    table.update(5, 2, 3, seq=4, lifetime=10.0, now=0.0)
+    broken = table.invalidate(5)
+    assert broken.seq == 5
+    assert table.lookup(5, 0.0) is None
+
+
+def test_invalidate_missing_returns_none():
+    assert RouteTable().invalidate(9) is None
+
+
+def test_invalidate_via_next_hop():
+    table = RouteTable()
+    table.update(5, 2, 3, 1, 10.0, 0.0)
+    table.update(6, 2, 4, 1, 10.0, 0.0)
+    table.update(7, 3, 2, 1, 10.0, 0.0)
+    broken = table.invalidate_via(2)
+    assert sorted(e.dst for e in broken) == [5, 6]
+    assert table.lookup(7, 0.0) is not None
+
+
+def test_reinstall_after_invalidation():
+    table = RouteTable()
+    table.update(5, 2, 3, seq=4, lifetime=10.0, now=0.0)
+    table.invalidate(5)  # seq becomes 5
+    # New information with an equal-or-newer seq restores the route.
+    table.update(5, 9, 2, seq=5, lifetime=10.0, now=1.0)
+    assert table.lookup(5, 1.0).next_hop == 9
+
+
+def test_valid_destinations():
+    table = RouteTable()
+    table.update(5, 2, 3, 1, 10.0, 0.0)
+    table.update(6, 2, 3, 1, 1.0, 0.0)
+    table.invalidate(5)
+    table.update(7, 3, 1, 1, 10.0, 0.0)
+    assert sorted(table.valid_destinations(now=5.0)) == [7]
+
+
+def test_len_and_contains():
+    table = RouteTable()
+    table.update(5, 2, 3, 1, 10.0, 0.0)
+    assert len(table) == 1
+    assert 5 in table
+    assert 6 not in table

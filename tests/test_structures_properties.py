@@ -1,0 +1,153 @@
+"""Property-based tests of core data structures (hypothesis).
+
+Model-based checks: the drop-tail queue against a plain list model, the
+route table's sequence-number monotonicity, and the trace player's
+interpolation bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.trace import MobilityTrace, TracePlayer
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.routing.table import RouteTable
+
+
+# -- DropTailQueue vs a list model ---------------------------------------------
+
+_queue_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 5), st.booleans()),
+        st.tuples(st.just("pop"), st.just(0), st.just(False)),
+        st.tuples(st.just("flush"), st.integers(0, 5), st.just(False)),
+    ),
+    max_size=60,
+)
+
+
+@given(capacity=st.integers(1, 8), ops=_queue_ops)
+@settings(max_examples=80, deadline=None)
+def test_droptail_queue_matches_list_model(capacity, ops):
+    queue = DropTailQueue(capacity)
+    model = []  # list of (uid, next_hop)
+    drops = 0
+    for op, hop, priority in ops:
+        if op == "push":
+            packet = Packet("DATA", 0, hop, 10, 0.0)
+            accepted = queue.enqueue(packet, hop, priority)
+            if len(model) >= capacity:
+                assert not accepted
+                drops += 1
+            else:
+                assert accepted
+                if priority:
+                    model.insert(0, (packet.uid, hop))
+                else:
+                    model.append((packet.uid, hop))
+        elif op == "pop":
+            got = queue.dequeue()
+            if model:
+                expected = model.pop(0)
+                assert (got[0].uid, got[1]) == expected
+            else:
+                assert got is None
+        else:  # flush
+            removed = queue.remove_for_next_hop(hop)
+            expected_removed = [m for m in model if m[1] == hop]
+            model = [m for m in model if m[1] != hop]
+            assert removed == len(expected_removed)
+            drops += removed
+        assert len(queue) == len(model)
+        assert queue.drops == drops
+
+
+# -- RouteTable invariants ---------------------------------------------------------
+
+_table_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("update"),
+            st.integers(0, 3),   # dst
+            st.integers(0, 3),   # next_hop
+            st.integers(1, 5),   # hops
+            st.integers(0, 10),  # seq
+        ),
+        st.tuples(
+            st.just("invalidate"),
+            st.integers(0, 3),
+            st.just(0), st.just(0), st.just(0),
+        ),
+        st.tuples(
+            st.just("invalidate_via"),
+            st.integers(0, 3),
+            st.just(0), st.just(0), st.just(0),
+        ),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=_table_ops)
+@settings(max_examples=80, deadline=None)
+def test_route_table_seq_never_decreases(ops):
+    table = RouteTable()
+    best_seq = {}
+    now = 0.0
+    for op, dst, next_hop, hops, seq in ops:
+        now += 0.1
+        if op == "update":
+            table.update(dst, next_hop, hops, seq, lifetime=100.0, now=now)
+        elif op == "invalidate":
+            table.invalidate(dst)
+        else:
+            table.invalidate_via(dst)  # dst doubles as a hop id here
+        for key in range(4):
+            entry = table.get(key)
+            if entry is None:
+                continue
+            previous = best_seq.get(key, -1)
+            assert entry.seq >= previous  # freshness is monotone
+            best_seq[key] = entry.seq
+            # A valid entry is never served beyond its expiry.
+            looked_up = table.lookup(key, now)
+            if looked_up is not None:
+                assert looked_up.valid
+                assert looked_up.expires_at > now
+
+
+# -- TracePlayer interpolation bounds ------------------------------------------------
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    num_samples=st.integers(2, 8),
+    queries=st.lists(st.floats(-5.0, 20.0), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_trace_player_interpolation_bounded(seed, num_samples, queries):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(0.5, 2.0, num_samples))
+    positions = rng.uniform(0.0, 100.0, size=(num_samples, 2, 2))
+    player = TracePlayer(MobilityTrace(times, positions))
+    for t in queries:
+        for node in range(2):
+            x, y = player.position(node, float(t))
+            # Interpolation never leaves the bounding box of the samples.
+            assert positions[:, node, 0].min() - 1e-9 <= x
+            assert x <= positions[:, node, 0].max() + 1e-9
+            assert positions[:, node, 1].min() - 1e-9 <= y
+            assert y <= positions[:, node, 1].max() + 1e-9
+
+
+@given(seed=st.integers(0, 2**31 - 1), num_samples=st.integers(2, 8))
+@settings(max_examples=60, deadline=None)
+def test_trace_player_exact_at_samples(seed, num_samples):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(0.5, 2.0, num_samples))
+    positions = rng.uniform(0.0, 100.0, size=(num_samples, 1, 2))
+    player = TracePlayer(MobilityTrace(times, positions))
+    for row, t in enumerate(times):
+        x, y = player.position(0, float(t))
+        assert abs(x - positions[row, 0, 0]) < 1e-9
+        assert abs(y - positions[row, 0, 1]) < 1e-9

@@ -1,0 +1,92 @@
+"""Property-based trace round-trip tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.trace import MobilityTrace
+from repro.tracegen.ns2 import Ns2TraceWriter, trace_from_ns2
+from repro.tracegen.tabular import (
+    trace_from_csv,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_json,
+)
+
+
+@st.composite
+def traces(draw, max_nodes=5, max_samples=8, allow_teleports=True):
+    """Random well-formed mobility traces."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    num_samples = draw(st.integers(min_value=1, max_value=max_samples))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(0.5, 2.0, num_samples))
+    positions = rng.uniform(0.0, 1000.0, size=(num_samples, num_nodes, 2))
+    teleported = None
+    if allow_teleports and draw(st.booleans()):
+        teleported = rng.random((num_samples, num_nodes)) < 0.2
+        teleported[0] = False
+        if not teleported.any():
+            teleported = None
+    return MobilityTrace(times, positions, teleported)
+
+
+@given(traces())
+@settings(max_examples=50, deadline=None)
+def test_json_roundtrip_lossless(trace):
+    restored = trace_from_json(trace_to_json(trace))
+    assert np.array_equal(restored.times, trace.times)
+    assert np.array_equal(restored.positions, trace.positions)
+    if trace.teleported is None:
+        assert restored.teleported is None
+    else:
+        assert np.array_equal(restored.teleported, trace.teleported)
+
+
+@given(traces())
+@settings(max_examples=50, deadline=None)
+def test_csv_roundtrip_lossless(trace):
+    restored = trace_from_csv(trace_to_csv(trace))
+    assert np.array_equal(restored.times, trace.times)
+    assert np.array_equal(restored.positions, trace.positions)
+
+
+@st.composite
+def integer_time_traces(draw, max_nodes=5, max_samples=8):
+    """Traces sampled on whole seconds (so the ns-2 replayer's 1 Hz
+    sampling grid hits every original sample exactly)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    num_samples = draw(st.integers(min_value=2, max_value=max_samples))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    times = np.arange(num_samples, dtype=float)
+    positions = rng.uniform(0.0, 1000.0, size=(num_samples, num_nodes, 2))
+    return MobilityTrace(times, positions)
+
+
+@given(integer_time_traces())
+@settings(max_examples=30, deadline=None)
+def test_ns2_replay_recovers_sampled_positions(trace):
+    """Writing a trace as ns-2 setdest legs and replaying it recovers every
+    sampled position (within float text noise)."""
+    writer = Ns2TraceWriter(delta=0.0)
+    replayed = trace_from_ns2(
+        writer.render(trace), duration_s=float(trace.times[-1])
+    )
+    for row, t in enumerate(trace.times):
+        index = int(round(float(t)))
+        assert replayed.times[index] == pytest.approx(t)
+        assert np.allclose(
+            replayed.positions[index], trace.positions[row], atol=1e-3
+        )
+
+
+@given(traces())
+@settings(max_examples=30, deadline=None)
+def test_speeds_shape_and_nonnegative(trace):
+    speeds = trace.speeds()
+    assert speeds.shape == (trace.num_samples - 1, trace.num_nodes)
+    finite = speeds[np.isfinite(speeds)]
+    assert np.all(finite >= 0)

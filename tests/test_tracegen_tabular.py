@@ -1,0 +1,96 @@
+"""CSV/JSON trace exporter round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.trace import MobilityTrace
+from repro.tracegen.tabular import (
+    trace_from_csv,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_json,
+)
+
+
+def _trace(with_teleports=False):
+    times = np.array([0.0, 1.0, 2.5])
+    positions = np.array(
+        [
+            [[0.0, 0.0], [3.5, -1.25]],
+            [[1.0, 0.5], [3.5, -1.25]],
+            [[2.0, 1.0], [4.0, 0.0]],
+        ]
+    )
+    teleported = None
+    if with_teleports:
+        teleported = np.zeros((3, 2), dtype=bool)
+        teleported[2, 1] = True
+    return MobilityTrace(times, positions, teleported)
+
+
+def test_csv_roundtrip_exact():
+    trace = _trace()
+    restored = trace_from_csv(trace_to_csv(trace))
+    assert np.array_equal(restored.times, trace.times)
+    assert np.array_equal(restored.positions, trace.positions)
+    assert restored.teleported is None
+
+
+def test_csv_roundtrip_with_teleports():
+    trace = _trace(with_teleports=True)
+    restored = trace_from_csv(trace_to_csv(trace))
+    assert np.array_equal(restored.teleported, trace.teleported)
+
+
+def test_csv_rejects_wrong_header():
+    with pytest.raises(ValueError, match="header"):
+        trace_from_csv("a,b,c\n1,2,3\n")
+
+
+def test_csv_rejects_missing_samples():
+    trace = _trace()
+    text = trace_to_csv(trace)
+    lines = text.strip().splitlines()
+    broken = "\n".join(lines[:-1]) + "\n"  # drop one (time, node) row
+    with pytest.raises(ValueError, match="missing"):
+        trace_from_csv(broken)
+
+
+def test_csv_rejects_non_contiguous_nodes():
+    text = (
+        "time,node,x,y,teleported\n"
+        "0.0,0,1.0,2.0,0\n"
+        "0.0,2,3.0,4.0,0\n"
+    )
+    with pytest.raises(ValueError, match="contiguous"):
+        trace_from_csv(text)
+
+
+def test_csv_rejects_empty():
+    with pytest.raises(ValueError, match="no samples"):
+        trace_from_csv("time,node,x,y,teleported\n")
+
+
+def test_json_roundtrip_exact():
+    trace = _trace(with_teleports=True)
+    restored = trace_from_json(trace_to_json(trace))
+    assert np.array_equal(restored.times, trace.times)
+    assert np.array_equal(restored.positions, trace.positions)
+    assert np.array_equal(restored.teleported, trace.teleported)
+
+
+def test_json_without_teleports():
+    restored = trace_from_json(trace_to_json(_trace()))
+    assert restored.teleported is None
+
+
+def test_json_rejects_foreign_documents():
+    with pytest.raises(ValueError, match="format"):
+        trace_from_json('{"format": "something-else"}')
+
+
+def test_json_indent_option():
+    text = trace_to_json(_trace(), indent=2)
+    assert "\n" in text
+    restored = trace_from_json(text)
+    assert restored.num_nodes == 2

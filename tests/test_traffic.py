@@ -1,0 +1,107 @@
+"""CBR source and sink tests."""
+
+import pytest
+
+from repro.traffic.cbr import CbrSource
+from repro.traffic.sink import Sink
+
+from helpers import TestNetwork, chain_coords
+
+
+def _pair():
+    network = TestNetwork(chain_coords(2), protocol="AODV")
+    network.start_routing()
+    return network
+
+
+def test_cbr_emits_at_configured_rate():
+    network = _pair()
+    source = CbrSource(
+        network.nodes[0], 1, rate_pps=5.0, size_bytes=512,
+        start_s=1.0, stop_s=5.0, flow_id=7,
+    )
+    source.start()
+    network.run(until=10.0)
+    # Emissions at 1.0, 1.2, ... , 4.8: exactly 20 packets.
+    assert source.packets_sent == 20
+    assert network.metrics.num_originated == 20
+
+
+def test_cbr_table1_shape():
+    """Table I: 5 pkt/s x 512 B between 10 s and 90 s = 400 packets."""
+    network = _pair()
+    source = CbrSource(network.nodes[0], 1, flow_id=7)
+    source.start()
+    network.run(until=100.0)
+    assert source.packets_sent == 400
+
+
+def test_cbr_jitter_shifts_start_only():
+    import numpy as np
+
+    network = _pair()
+    source = CbrSource(
+        network.nodes[0], 1, rate_pps=2.0, start_s=1.0, stop_s=4.0,
+        jitter_s=0.1, rng=np.random.default_rng(0), flow_id=7,
+    )
+    source.start()
+    network.run(until=5.0)
+    times = [e.time for e in network.metrics.originated]
+    gaps = np.diff(times)
+    assert np.allclose(gaps, 0.5)
+    assert 1.0 <= times[0] < 1.1
+
+
+def test_cbr_stop_cancels():
+    network = _pair()
+    source = CbrSource(
+        network.nodes[0], 1, rate_pps=5.0, start_s=1.0, stop_s=9.0, flow_id=7
+    )
+    source.start()
+    network.run(until=2.0)
+    source.stop()
+    sent_at_stop = source.packets_sent
+    network.run(until=9.0)
+    assert source.packets_sent == sent_at_stop
+
+
+def test_cbr_double_start_rejected():
+    network = _pair()
+    source = CbrSource(network.nodes[0], 1, flow_id=7)
+    source.start()
+    with pytest.raises(RuntimeError):
+        source.start()
+
+
+def test_cbr_validation():
+    network = _pair()
+    with pytest.raises(ValueError):
+        CbrSource(network.nodes[0], 1, rate_pps=0.0)
+    with pytest.raises(ValueError):
+        CbrSource(network.nodes[0], 1, size_bytes=0)
+    with pytest.raises(ValueError):
+        CbrSource(network.nodes[0], 1, start_s=10.0, stop_s=5.0)
+    with pytest.raises(ValueError):
+        CbrSource(network.nodes[0], 1, jitter_s=-0.1)
+
+
+def test_sink_records_receptions():
+    network = _pair()
+    sink = Sink(network.nodes[1])
+    source = CbrSource(
+        network.nodes[0], 1, rate_pps=5.0, start_s=1.0, stop_s=3.0, flow_id=7
+    )
+    source.start()
+    network.run(until=5.0)
+    assert len(sink.receptions) == 10
+    assert sink.received_seqs(7) == list(range(1, 11))
+    assert sink.missing_seqs(7, source.packets_sent) == []
+    assert all(r.delay_s > 0 for r in sink.receptions)
+
+
+def test_sink_missing_seqs_detects_loss():
+    network = _pair()
+    sink = Sink(network.nodes[1])
+    # No traffic: everything "missing".
+    assert sink.missing_seqs(7, 3) == [1, 2, 3]
+    assert sink.flow_receptions(7) == []

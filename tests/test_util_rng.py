@@ -1,0 +1,53 @@
+"""Random-stream determinism and independence tests."""
+
+import numpy as np
+
+from repro.util.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(5).stream("x").random(10)
+    b = RngStreams(5).stream("x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_give_different_streams():
+    streams = RngStreams(5)
+    a = streams.stream("alpha").random(10)
+    b = streams.stream("beta").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_give_different_streams():
+    a = RngStreams(1).stream("x").random(10)
+    b = RngStreams(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_object_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("mac") is streams.stream("mac")
+
+
+def test_drawing_from_one_stream_does_not_affect_another():
+    reference = RngStreams(9).stream("b").random(5)
+    streams = RngStreams(9)
+    streams.stream("a").random(1000)  # consume heavily
+    assert np.array_equal(streams.stream("b").random(5), reference)
+
+
+def test_spawn_is_deterministic():
+    a = RngStreams(3).spawn("trial-0").stream("x").random(3)
+    b = RngStreams(3).spawn("trial-0").stream("x").random(3)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_children_differ():
+    parent = RngStreams(3)
+    a = parent.spawn("trial-0").stream("x").random(3)
+    b = parent.spawn("trial-1").stream("x").random(3)
+    assert not np.array_equal(a, b)
+
+
+def test_seed_property():
+    assert RngStreams(42).seed == 42

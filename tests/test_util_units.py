@@ -1,0 +1,69 @@
+"""Unit-conversion tests: the paper's cell/velocity arithmetic."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    CELL_LENGTH_M,
+    cells_per_step_to_kmh,
+    cells_per_step_to_mps,
+    cells_to_meters,
+    dbm_to_watts,
+    kmh_to_cells_per_step,
+    meters_to_cells,
+    watts_to_dbm,
+)
+
+
+def test_paper_cell_length_constant():
+    # Section III-A: v_max = 135 km/h and dt = 1 s give s = 7.5 m.
+    assert CELL_LENGTH_M == 7.5
+
+
+def test_vmax_135_kmh_is_5_cells_per_step():
+    assert kmh_to_cells_per_step(135.0) == 5
+
+
+def test_5_cells_per_step_is_135_kmh():
+    assert cells_per_step_to_kmh(5) == pytest.approx(135.0)
+
+
+def test_cells_to_meters_roundtrip():
+    assert cells_to_meters(meters_to_cells(300.0)) == pytest.approx(300.0)
+
+
+def test_meters_to_cells_rounds_to_nearest():
+    assert meters_to_cells(7.4) == 1
+    assert meters_to_cells(3.7) == 0
+    assert meters_to_cells(11.3) == 2
+
+
+def test_meters_to_cells_rejects_negative():
+    with pytest.raises(ValueError):
+        meters_to_cells(-1.0)
+
+
+def test_cells_per_step_to_mps():
+    assert cells_per_step_to_mps(2) == pytest.approx(15.0)
+
+
+def test_dbm_watts_roundtrip():
+    for dbm in (-90.0, 0.0, 24.5):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+
+def test_zero_dbm_is_one_milliwatt():
+    assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+
+def test_watts_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        watts_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        watts_to_dbm(-1.0)
+
+
+def test_custom_cell_length():
+    assert cells_to_meters(4, cell_length=5.0) == pytest.approx(20.0)
+    assert meters_to_cells(20.0, cell_length=5.0) == 4

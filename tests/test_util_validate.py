@@ -1,0 +1,36 @@
+"""Validation-helper tests."""
+
+import pytest
+
+from repro.util.validate import check_positive, check_probability, check_range
+
+
+def test_check_positive_passes_value_through():
+    assert check_positive("x", 2.5) == 2.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", value)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_check_probability_accepts(value):
+    assert check_probability("p", value) == value
+
+
+@pytest.mark.parametrize("value", [-0.01, 1.01, 2])
+def test_check_probability_rejects(value):
+    with pytest.raises(ValueError, match="p must be in"):
+        check_probability("p", value)
+
+
+def test_check_range_accepts_bounds():
+    assert check_range("r", 1.0, 1.0, 2.0) == 1.0
+    assert check_range("r", 2.0, 1.0, 2.0) == 2.0
+
+
+def test_check_range_rejects_outside():
+    with pytest.raises(ValueError, match="r must be in"):
+        check_range("r", 2.5, 1.0, 2.0)
