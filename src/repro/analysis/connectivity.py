@@ -10,8 +10,6 @@ straight-line road.
 
 from __future__ import annotations
 
-from typing import List
-
 import networkx as nx
 import numpy as np
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ca.history import evolve
 from repro.ca.nasch import NagelSchreckenberg
+from repro.metrics.collector import CampaignTelemetry
 from repro.util.rng import RngStreams
 
 
@@ -42,6 +43,35 @@ class FundamentalDiagram:
         return float(self.densities[index]), float(self.flows[index])
 
 
+def _fd_trial(
+    root_seed: int,
+    density_index: int,
+    trial: int,
+    density: float,
+    p: float,
+    num_cells: int,
+    steps: int,
+    warmup: int,
+    v_max: int,
+) -> float:
+    """Trial function for the runner: one trace's time-averaged flow.
+
+    The generator is derived from ``(root_seed, stream name)`` alone, so
+    the trial reproduces identically in any process and any order.
+    """
+    generator = RngStreams(root_seed).stream(f"fd-{density_index}-{trial}")
+    model = NagelSchreckenberg.from_density(
+        num_cells,
+        density,
+        random_start=True,
+        rng=generator,
+        p=p,
+        v_max=v_max,
+    )
+    history = evolve(model, steps, warmup=warmup)
+    return float(history.flow_series().mean())
+
+
 def fundamental_diagram(
     densities: Sequence[float],
     p: float,
@@ -51,34 +81,53 @@ def fundamental_diagram(
     warmup: int = 0,
     v_max: int = 5,
     rng: Optional[RngStreams] = None,
+    max_workers: int = 1,
+    trial_timeout_s: Optional[float] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> FundamentalDiagram:
     """Sweep densities and measure the ensemble-average flow.
 
     Initial placements are random per trial (so trials differ even for the
     deterministic ``p = 0`` model, where the dynamics have no randomness of
-    their own).
+    their own).  The ``(density, trial)`` grid fans out through
+    :mod:`repro.core.runner` when ``max_workers > 1``, with results
+    element-wise identical to a serial run of the same seeds.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    from repro.core.runner import TrialRunner, TrialSpec
+
     streams = rng if rng is not None else RngStreams(0)
+    specs = [
+        TrialSpec(
+            key=(float(density), trial),
+            fn=_fd_trial,
+            args=(
+                streams.seed, i, trial, float(density), float(p),
+                int(num_cells), int(steps), int(warmup), int(v_max),
+            ),
+        )
+        for i, density in enumerate(densities)
+        for trial in range(trials)
+    ]
+    runner = TrialRunner(
+        max_workers=max_workers,
+        trial_timeout_s=trial_timeout_s,
+        telemetry=telemetry,
+    )
+    outcomes = runner.run(specs)
     flows = np.empty(len(densities))
     flow_std = np.empty(len(densities))
-    for i, density in enumerate(densities):
-        per_trial = np.empty(trials)
-        for trial in range(trials):
-            generator = streams.stream(f"fd-{i}-{trial}")
-            model = NagelSchreckenberg.from_density(
-                num_cells,
-                density,
-                random_start=True,
-                rng=generator,
-                p=p,
-                v_max=v_max,
+    for i in range(len(densities)):
+        per_point = outcomes[i * trials:(i + 1) * trials]
+        surviving = np.array([o.value for o in per_point if o.ok])
+        if surviving.size == 0:
+            raise RuntimeError(
+                f"all {trials} trials failed at density index {i}; "
+                f"first error:\n{per_point[0].error}"
             )
-            history = evolve(model, steps, warmup=warmup)
-            per_trial[trial] = history.flow_series().mean()
-        flows[i] = per_trial.mean()
-        flow_std[i] = per_trial.std(ddof=1) if trials > 1 else 0.0
+        flows[i] = surviving.mean()
+        flow_std[i] = surviving.std(ddof=1) if surviving.size > 1 else 0.0
     return FundamentalDiagram(
         densities=np.asarray(densities, dtype=float),
         flows=flows,

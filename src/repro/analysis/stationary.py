@@ -57,7 +57,7 @@ def stationarity_test(
     series = np.asarray(series, dtype=float)
     if discard < 0 or len(series) - discard < 8:
         raise ValueError(
-            f"need >= 8 samples after discarding, got "
+            "need >= 8 samples after discarding, got "
             f"{len(series) - discard}"
         )
     if not 0 < alpha < 1:

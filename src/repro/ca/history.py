@@ -8,8 +8,6 @@ of the automaton rather than on its live state.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
-
 import numpy as np
 
 from repro.ca.boundary import Boundary

@@ -47,6 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="AODV,OLSR,DYMO",
         help="comma-separated protocol list (default: AODV,OLSR,DYMO)",
     )
+    _add_parallel_arguments(compare)
 
     trace = commands.add_parser(
         "trace", help="generate a mobility trace and export it"
@@ -76,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     fundamental.add_argument("--trials", type=int, default=10)
     fundamental.add_argument("--steps", type=int, default=300)
     fundamental.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(fundamental)
 
     spacetime = commands.add_parser(
         "spacetime", help="ASCII space-time diagram"
@@ -112,6 +114,43 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("two_ray", "free_space", "shadowing", "nakagami"),
         default="two_ray",
     )
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for independent trials "
+        "(1 = serial, 0 = one per CPU; results are identical either way)",
+    )
+    parser.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any trial exceeding this wall-clock bound "
+        "(needs --workers > 1)",
+    )
+
+
+def _resolve_workers(args: argparse.Namespace) -> int:
+    import os
+
+    if args.workers == 0:
+        return os.cpu_count() or 1
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    return args.workers
+
+
+def _campaign_telemetry(workers: int):
+    """A telemetry sink for parallel CLI campaigns (None when serial)."""
+    if workers == 1:
+        return None
+    from repro.metrics.collector import CampaignTelemetry
+
+    return CampaignTelemetry()
 
 
 def _scenario_from(args: argparse.Namespace):
@@ -161,7 +200,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     scenario = _scenario_from(args)
     protocols = tuple(p for p in args.protocols.split(",") if p)
-    comparison = compare_protocols(scenario, protocols)
+    workers = _resolve_workers(args)
+    telemetry = _campaign_telemetry(workers)
+    comparison = compare_protocols(
+        scenario,
+        protocols,
+        max_workers=workers,
+        trial_timeout_s=args.trial_timeout,
+        telemetry=telemetry,
+    )
+    if telemetry is not None:
+        print(f"[{workers} workers] {telemetry.format_summary()}")
+        print()
     print(comparison.format_pdr_table())
     print()
     print("mean PDR:")
@@ -201,6 +251,8 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
     from repro.analysis.render import render_sparkline
     from repro.util.rng import RngStreams
 
+    workers = _resolve_workers(args)
+    telemetry = _campaign_telemetry(workers)
     diagram = fundamental_diagram(
         args.densities,
         p=args.p,
@@ -208,7 +260,12 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
         trials=args.trials,
         steps=args.steps,
         rng=RngStreams(args.seed),
+        max_workers=workers,
+        trial_timeout_s=args.trial_timeout,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        print(f"[{workers} workers] {telemetry.format_summary()}")
     print(f"fundamental diagram: p={args.p}, L={args.cells}, "
           f"{args.trials} trials x {args.steps} steps")
     print(f"{'rho':>8}  {'J':>8}  {'std':>8}")

@@ -15,7 +15,18 @@ from repro.core.experiment import (
     compare_protocols,
     goodput_surface,
 )
-from repro.core.sweep import SweepPoint, SweepResult, sweep_scenario
+from repro.core.runner import (
+    TrialOutcome,
+    TrialRunner,
+    TrialSpec,
+    run_trials,
+)
+from repro.core.sweep import (
+    SweepPoint,
+    SweepResult,
+    run_sweep,
+    sweep_scenario,
+)
 
 __all__ = [
     "Scenario",
@@ -24,7 +35,12 @@ __all__ = [
     "ProtocolComparison",
     "compare_protocols",
     "goodput_surface",
+    "TrialOutcome",
+    "TrialRunner",
+    "TrialSpec",
+    "run_trials",
     "SweepPoint",
     "SweepResult",
+    "run_sweep",
     "sweep_scenario",
 ]

@@ -13,7 +13,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import Scenario
+from repro.core.runner import TrialRunner, TrialSpec
 from repro.core.simulation import CavenetSimulation, SimulationResult
+from repro.metrics.collector import CampaignTelemetry
 from repro.mobility.trace import MobilityTrace
 
 
@@ -66,22 +68,56 @@ class ProtocolComparison:
         return "\n".join(lines)
 
 
+def _run_protocol_trial(
+    scenario: Scenario, trace: MobilityTrace
+) -> SimulationResult:
+    """Trial function for the runner: one protocol over the shared trace."""
+    return CavenetSimulation(scenario).run(trace=trace)
+
+
 def compare_protocols(
     scenario: Scenario,
     protocols: Iterable[str] = ("AODV", "OLSR", "DYMO"),
     trace: Optional[MobilityTrace] = None,
+    max_workers: int = 1,
+    trial_timeout_s: Optional[float] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> ProtocolComparison:
     """Run ``scenario`` once per protocol over the *same* mobility trace.
 
     "The mobility pattern for all scenarios is the same" (paper Section
-    IV-C): the trace is generated once and shared.
+    IV-C): the trace is generated once and shared.  With ``max_workers > 1``
+    the per-protocol runs execute in parallel worker processes; each run is
+    seeded from the scenario alone, so results match serial execution
+    exactly.  A comparison needs every protocol, so a run that still fails
+    after retries raises.
     """
+    protocols = tuple(protocols)
     if trace is None:
         trace = CavenetSimulation(scenario).generate_trace()
-    results: Dict[str, SimulationResult] = {}
-    for protocol in protocols:
-        run_scenario = scenario.with_protocol(protocol)
-        results[protocol] = CavenetSimulation(run_scenario).run(trace=trace)
+    specs = [
+        TrialSpec(
+            key=protocol,
+            fn=_run_protocol_trial,
+            args=(scenario.with_protocol(protocol), trace),
+        )
+        for protocol in protocols
+    ]
+    runner = TrialRunner(
+        max_workers=max_workers,
+        trial_timeout_s=trial_timeout_s,
+        telemetry=telemetry,
+    )
+    outcomes = runner.run(specs)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(
+            f"protocol run {failed[0].key!r} failed after "
+            f"{failed[0].attempts} attempts:\n{failed[0].error}"
+        )
+    results: Dict[str, SimulationResult] = {
+        outcome.key: outcome.value for outcome in outcomes
+    }
     return ProtocolComparison(scenario=scenario, results=results)
 
 

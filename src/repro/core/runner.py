@@ -1,0 +1,377 @@
+"""Parallel trial execution: fan independent seeded trials across processes.
+
+Every campaign this tool exists to run — the Fig. 4 fundamental diagram
+(20 trials per density), the Figs. 8-11 protocol comparisons, parameter
+sweeps, Monte-Carlo ensembles — is an embarrassingly-parallel set of
+independent ``(spec, seed)`` trials.  :class:`TrialRunner` executes such a
+set across worker processes with:
+
+* **deterministic results** — a trial's output is a pure function of its
+  :class:`TrialSpec` arguments (seeds are derived *before* submission), so
+  ``max_workers=4`` is bit-identical to ``max_workers=1``;
+* **bounded trials** — ``trial_timeout_s`` kills a stuck worker;
+* **automatic retry** — a crashed or timed-out trial is re-launched up to
+  ``max_attempts`` times;
+* **graceful degradation** — ``max_workers=1``, an unavailable
+  ``multiprocessing`` layer, or a failed worker launch all fall back to
+  plain in-process serial execution;
+* **observability** — every attempt is reported to a
+  :class:`repro.metrics.collector.CampaignTelemetry`.
+
+One process per trial keeps the failure domain small (a crashing trial
+cannot take unrelated trials with it, unlike a shared pool) and makes the
+timeout semantics exact: the stuck process is terminated, not abandoned.
+Simulation trials run for seconds, so process start-up cost is noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.collector import CampaignTelemetry, TrialRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialSpec:
+    """One unit of independent work: call ``fn(*args, **kwargs)``.
+
+    ``fn`` must be deterministic in its arguments (derive any random
+    generator *inside* the function from a seed passed as an argument);
+    that is what makes parallel execution reproducible.
+
+    Attributes:
+        key: caller-chosen identity, carried through to the outcome and
+            telemetry (e.g. ``(density, trial)``).
+        fn: the trial function; with worker processes its return value
+            must be picklable.
+        args / kwargs: positional and keyword arguments for ``fn``.
+    """
+
+    key: Any
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialOutcome:
+    """The terminal result of one trial (after any retries).
+
+    Attributes:
+        key: the spec's key.
+        index: the spec's position in the submitted sequence.
+        value: ``fn``'s return value (``None`` when the trial failed).
+        error: diagnostic text when every attempt failed.
+        attempts: how many attempts were made.
+        wall_clock_s: duration of the final attempt.
+        timed_out: whether the final attempt hit ``trial_timeout_s``.
+    """
+
+    key: Any
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_clock_s: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trial ultimately produced a value."""
+        return self.error is None
+
+
+def _worker_main(fn, args, kwargs, conn) -> None:
+    """Worker-process entry point: run the trial, ship back the result.
+
+    Exceptions travel back as data, not as process death, so an ordinary
+    Python error never breaks the campaign.  Only a hard crash (segfault,
+    OOM kill) leaves the parent to diagnose an empty pipe.
+    """
+    try:
+        value = fn(*args, **kwargs)
+        try:
+            conn.send(("ok", value))
+        except Exception as exc:  # result not picklable / pipe gone
+            conn.send(("error", f"result could not be returned: {exc!r}"))
+    except BaseException as exc:
+        conn.send(
+            ("error", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+        )
+    finally:
+        conn.close()
+
+
+@dataclasses.dataclass
+class _Active:
+    """Book-keeping for one in-flight worker process."""
+
+    index: int
+    attempt: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+class TrialRunner:
+    """Execute a sequence of :class:`TrialSpec` with bounded parallelism.
+
+    Args:
+        max_workers: worker processes; ``1`` runs everything in-process
+            (no pickling requirements, no timeout enforcement).
+        trial_timeout_s: per-attempt wall-clock bound; a worker exceeding
+            it is terminated and the trial retried.  Only enforceable with
+            ``max_workers > 1`` (a serial trial cannot be preempted).
+        max_attempts: total tries per trial (1 = no retry).
+        telemetry: optional :class:`CampaignTelemetry` receiving one
+            :class:`TrialRecord` per attempt.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        trial_timeout_s: Optional[float] = None,
+        max_attempts: int = 2,
+        telemetry: Optional[CampaignTelemetry] = None,
+        poll_interval_s: float = 0.02,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if trial_timeout_s is not None and trial_timeout_s <= 0:
+            raise ValueError(
+                f"trial_timeout_s must be > 0, got {trial_timeout_s}"
+            )
+        self.max_workers = int(max_workers)
+        self.trial_timeout_s = trial_timeout_s
+        self.max_attempts = int(max_attempts)
+        self.telemetry = telemetry
+        self.poll_interval_s = poll_interval_s
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[TrialOutcome]:
+        """Run every spec; outcomes come back in submission order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.max_workers == 1:
+            return [self._run_serial(i, s) for i, s in enumerate(specs)]
+        context = self._context()
+        if context is None:
+            return [self._run_serial(i, s) for i, s in enumerate(specs)]
+        return self._run_pool(specs, context)
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_serial(self, index: int, spec: TrialSpec) -> TrialOutcome:
+        """In-process execution with the same retry semantics as the pool."""
+        error = None
+        for attempt in range(1, self.max_attempts + 1):
+            started = time.perf_counter()
+            try:
+                value = spec.fn(*spec.args, **spec.kwargs)
+            except Exception as exc:
+                elapsed = time.perf_counter() - started
+                error = (
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+                )
+                self._record(spec.key, attempt, "error", elapsed, error)
+                continue
+            elapsed = time.perf_counter() - started
+            self._record(spec.key, attempt, "ok", elapsed)
+            return TrialOutcome(
+                key=spec.key,
+                index=index,
+                value=value,
+                attempts=attempt,
+                wall_clock_s=elapsed,
+            )
+        return TrialOutcome(
+            key=spec.key,
+            index=index,
+            error=error,
+            attempts=self.max_attempts,
+        )
+
+    # -- parallel path ------------------------------------------------------
+
+    @staticmethod
+    def _context():
+        """A multiprocessing context, or ``None`` to degrade to serial.
+
+        Forking servers inherit the parent's memory, so even closures and
+        monkey-patched module state behave identically to serial runs;
+        where only ``spawn`` exists the specs must be picklable, and any
+        launch failure degrades the affected trials to in-process runs.
+        """
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+            return multiprocessing.get_context(method)
+        except Exception:
+            return None
+
+    def _launch(self, context, spec: TrialSpec, index: int, attempt: int):
+        """Start one worker process for one attempt."""
+        recv_conn, send_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(spec.fn, spec.args, spec.kwargs, send_conn),
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()  # keep only the child's handle on the write end
+        started = time.monotonic()
+        deadline = (
+            started + self.trial_timeout_s
+            if self.trial_timeout_s is not None
+            else None
+        )
+        return _Active(
+            index=index,
+            attempt=attempt,
+            process=process,
+            conn=recv_conn,
+            started=started,
+            deadline=deadline,
+        )
+
+    def _run_pool(self, specs, context) -> List[TrialOutcome]:
+        results: List[Optional[TrialOutcome]] = [None] * len(specs)
+        pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
+        pending.reverse()  # pop() from the end == FIFO over trial indices
+        active: List[_Active] = []
+
+        def settle(index, attempt, status, elapsed, value=None, error=None):
+            """Record the attempt; either finish the trial or queue a retry."""
+            spec = specs[index]
+            self._record(spec.key, attempt, status, elapsed, error)
+            if status == "ok":
+                results[index] = TrialOutcome(
+                    key=spec.key,
+                    index=index,
+                    value=value,
+                    attempts=attempt,
+                    wall_clock_s=elapsed,
+                )
+            elif attempt < self.max_attempts:
+                pending.insert(0, (index, attempt + 1))
+            else:
+                results[index] = TrialOutcome(
+                    key=spec.key,
+                    index=index,
+                    error=error,
+                    attempts=attempt,
+                    wall_clock_s=elapsed,
+                    timed_out=status == "timeout",
+                )
+
+        try:
+            while pending or active:
+                while pending and len(active) < self.max_workers:
+                    index, attempt = pending.pop()
+                    try:
+                        active.append(
+                            self._launch(context, specs[index], index, attempt)
+                        )
+                    except Exception:
+                        # Cannot start a worker (resources, pickling, ...):
+                        # degrade this trial to an in-process run.
+                        results[index] = self._run_serial(index, specs[index])
+                progressed = False
+                still_active: List[_Active] = []
+                now = time.monotonic()
+                for worker in active:
+                    finished = self._poll(worker, now, settle)
+                    if finished:
+                        progressed = True
+                    else:
+                        still_active.append(worker)
+                active = still_active
+                if active and not progressed:
+                    time.sleep(self.poll_interval_s)
+        finally:
+            for worker in active:  # interrupted: leave no stragglers behind
+                worker.process.terminate()
+                worker.process.join()
+                worker.conn.close()
+        return [outcome for outcome in results if outcome is not None]
+
+    def _poll(self, worker: _Active, now: float, settle) -> bool:
+        """Check one in-flight worker; returns True when it was settled."""
+        elapsed = now - worker.started
+        if worker.conn.poll():
+            try:
+                status, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                status, payload = (
+                    "error",
+                    "worker pipe closed before a result arrived",
+                )
+            worker.process.join()
+            worker.conn.close()
+            if status == "ok":
+                settle(worker.index, worker.attempt, "ok", elapsed, payload)
+            else:
+                settle(
+                    worker.index, worker.attempt, "error", elapsed,
+                    error=payload,
+                )
+            return True
+        if not worker.process.is_alive():
+            exitcode = worker.process.exitcode
+            worker.process.join()
+            worker.conn.close()
+            settle(
+                worker.index, worker.attempt, "error", elapsed,
+                error=f"worker crashed (exit code {exitcode})",
+            )
+            return True
+        if worker.deadline is not None and now >= worker.deadline:
+            worker.process.terminate()
+            worker.process.join()
+            worker.conn.close()
+            settle(
+                worker.index, worker.attempt, "timeout", elapsed,
+                error="trial exceeded trial_timeout_s="
+                      f"{self.trial_timeout_s}",
+            )
+            return True
+        return False
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _record(self, key, attempt, status, wall_clock_s, error=None) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record(
+                TrialRecord(
+                    key=key,
+                    attempt=attempt,
+                    status=status,
+                    wall_clock_s=wall_clock_s,
+                    error=error,
+                )
+            )
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    max_workers: int = 1,
+    trial_timeout_s: Optional[float] = None,
+    max_attempts: int = 2,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> List[TrialOutcome]:
+    """Convenience wrapper: build a :class:`TrialRunner` and run ``specs``."""
+    return TrialRunner(
+        max_workers=max_workers,
+        trial_timeout_s=trial_timeout_s,
+        max_attempts=max_attempts,
+        telemetry=telemetry,
+    ).run(specs)

@@ -6,7 +6,11 @@ Section IV-C reports (goodput time-series per sender, PDR per sender) plus
 the future-work metrics the conclusion names (routing overhead, delay).
 """
 
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import (
+    CampaignTelemetry,
+    MetricsCollector,
+    TrialRecord,
+)
 from repro.metrics.goodput import goodput_series, total_goodput_bps
 from repro.metrics.pdr import packet_delivery_ratio, pdr_by_flow
 from repro.metrics.delay import delay_stats, mean_delay
@@ -18,6 +22,8 @@ from repro.metrics.tracefile import (
 )
 
 __all__ = [
+    "CampaignTelemetry",
+    "TrialRecord",
     "MetricsCollector",
     "goodput_series",
     "total_goodput_bps",

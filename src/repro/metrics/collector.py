@@ -1,13 +1,122 @@
-"""Raw event recording during a network simulation."""
+"""Raw event recording during a network simulation, plus campaign telemetry.
+
+Two observation scopes live here: :class:`MetricsCollector` records the
+per-packet events of *one* run, while :class:`CampaignTelemetry` records
+the per-trial events of a whole campaign (a sweep, ensemble or protocol
+comparison fanned out by :mod:`repro.core.runner`)."""
 
 from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.des.engine import Simulator
 from repro.net.packet import Packet
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialRecord:
+    """One attempt of one trial inside a campaign.
+
+    Attributes:
+        key: the trial's identity within its campaign (e.g. ``(value, trial)``
+            for a sweep point, a protocol name for a comparison).
+        attempt: 1-based attempt number (> 1 means this was a retry).
+        status: ``"ok"``, ``"error"`` or ``"timeout"``.
+        wall_clock_s: wall-clock duration of this attempt.
+        error: diagnostic text for failed attempts (``None`` on success).
+    """
+
+    key: object
+    attempt: int
+    status: str
+    wall_clock_s: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this attempt succeeded."""
+        return self.status == "ok"
+
+
+class CampaignTelemetry:
+    """Progress/health accounting for a long-running trial campaign.
+
+    The trial runner calls :meth:`record` after every attempt; pass
+    ``on_record`` to observe progress live (e.g. print a line per trial).
+    Everything else is post-hoc aggregation, so campaigns of thousands of
+    trials stay observable without slowing the workers down.
+    """
+
+    def __init__(
+        self, on_record: Optional[Callable[["TrialRecord"], None]] = None
+    ) -> None:
+        self.records: List[TrialRecord] = []
+        self._on_record = on_record
+
+    def record(self, record: TrialRecord) -> None:
+        """Append one attempt record (called by the runner)."""
+        self.records.append(record)
+        if self._on_record is not None:
+            self._on_record(record)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def trials_completed(self) -> int:
+        """Attempts that returned a result."""
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def trials_failed(self) -> int:
+        """Attempts that raised or were killed (includes retried ones)."""
+        return sum(1 for r in self.records if not r.ok)
+
+    @property
+    def timeouts(self) -> int:
+        """Attempts killed for exceeding the trial timeout."""
+        return sum(1 for r in self.records if r.status == "timeout")
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first for any trial key."""
+        return sum(1 for r in self.records if r.attempt > 1)
+
+    def wall_clock_per_trial(self) -> List[float]:
+        """Durations of the successful attempts, in completion order."""
+        return [r.wall_clock_s for r in self.records if r.ok]
+
+    @property
+    def total_wall_clock_s(self) -> float:
+        """Summed duration of every attempt (busy time, not elapsed time)."""
+        return sum(r.wall_clock_s for r in self.records)
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers of the campaign, as a plain dict."""
+        durations = self.wall_clock_per_trial()
+        return {
+            "attempts": float(len(self.records)),
+            "completed": float(self.trials_completed),
+            "failed": float(self.trials_failed),
+            "timeouts": float(self.timeouts),
+            "retries": float(self.retries),
+            "total_wall_clock_s": self.total_wall_clock_s,
+            "mean_trial_s": (
+                sum(durations) / len(durations) if durations else 0.0
+            ),
+            "max_trial_s": max(durations) if durations else 0.0,
+        }
+
+    def format_summary(self) -> str:
+        """One human-readable line, e.g. for the CLI's closing report."""
+        s = self.summary()
+        return (
+            f"{int(s['completed'])} trials ok, {int(s['failed'])} failed "
+            f"({int(s['timeouts'])} timeouts, {int(s['retries'])} retries), "
+            f"{s['total_wall_clock_s']:.2f}s busy, "
+            f"{s['mean_trial_s']:.2f}s/trial mean"
+        )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -17,7 +17,7 @@ The boundary condition decides what a wrap means geometrically:
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

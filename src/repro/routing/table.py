@@ -8,7 +8,6 @@ freedom, lifetimes for expiry, and precursor lists for RERR propagation.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict, Iterator, Optional, Set
 
 

@@ -49,3 +49,78 @@ def test_deterministic_experiment():
 def test_rejects_zero_trials():
     with pytest.raises(ValueError):
         monte_carlo(lambda rng: 1.0, trials=0)
+
+
+# -- ddof=1 regression --------------------------------------------------------
+
+
+def test_single_trial_std_is_zero_not_nan():
+    """ddof=1 over one sample is 0/0; the result must be zeros, not NaN."""
+    result = monte_carlo(lambda rng: rng.random(), trials=1, rng=RngStreams(9))
+    assert result.std == 0.0
+    assert not np.isnan(result.std)
+
+
+def test_single_trial_array_std_is_zeros_not_nan():
+    result = monte_carlo(
+        lambda rng: rng.random(size=4), trials=1, rng=RngStreams(9)
+    )
+    assert result.std.shape == (4,)
+    assert np.array_equal(result.std, np.zeros(4))
+    assert not np.any(np.isnan(result.std))
+
+
+def test_two_trials_std_uses_ddof_1():
+    result = monte_carlo(
+        lambda rng: rng.random(), trials=2, rng=RngStreams(10)
+    )
+    expected = np.std(result.samples, ddof=1)
+    assert result.std == pytest.approx(expected)
+
+
+# -- parallel execution -------------------------------------------------------
+
+
+def _normal_triplet(rng):
+    return rng.normal(size=3)
+
+
+def test_parallel_samples_identical_to_serial():
+    serial = monte_carlo(
+        _normal_triplet, trials=12, rng=RngStreams(5), max_workers=1
+    )
+    parallel = monte_carlo(
+        _normal_triplet, trials=12, rng=RngStreams(5), max_workers=4
+    )
+    assert np.array_equal(serial.samples, parallel.samples)
+    assert np.array_equal(serial.mean, parallel.mean)
+    assert np.array_equal(serial.std, parallel.std)
+
+
+def test_parallel_single_trial_std_zero():
+    result = monte_carlo(
+        _normal_triplet, trials=1, rng=RngStreams(5), max_workers=2
+    )
+    assert np.array_equal(result.std, np.zeros(3))
+
+
+def test_failed_trials_are_dropped():
+    calls = {"n": 0}
+
+    def flaky(rng):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("trial 2 fails on both attempts")
+        return rng.random()
+
+    result = monte_carlo(flaky, trials=4, rng=RngStreams(3), max_attempts=1)
+    assert result.num_failed == 1
+    assert result.num_trials == 3
+
+
+def test_all_failed_raises():
+    def always_fails(rng):
+        raise RuntimeError("nope")
+
+    with pytest.raises(RuntimeError, match="all 3 Monte-Carlo trials"):
+        monte_carlo(always_fails, trials=3, max_attempts=1)

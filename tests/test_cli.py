@@ -79,6 +79,53 @@ def test_spacetime_command(capsys):
     assert "#" in out  # jammed vehicles visible at rho=0.5
 
 
+def test_compare_with_workers(capsys):
+    assert main(
+        ["compare", "--protocols", "AODV,DYMO", "--workers", "2", *SMALL]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[2 workers]" in out
+    assert "trials ok" in out
+    assert "mean PDR" in out
+
+
+def test_fundamental_with_workers(capsys):
+    assert main(
+        [
+            "fundamental",
+            "--densities", "0.1,0.3",
+            "--cells", "100",
+            "--trials", "2",
+            "--steps", "50",
+            "--workers", "2",
+            "--trial-timeout", "60",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[2 workers]" in out
+    assert "peak:" in out
+
+
+def test_fundamental_workers_match_serial(capsys):
+    args = [
+        "fundamental", "--densities", "0.1,0.3", "--cells", "100",
+        "--trials", "2", "--steps", "50",
+    ]
+    assert main(args) == 0
+    serial = capsys.readouterr().out
+    assert main([*args, "--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+    # identical numbers; the parallel run only adds its telemetry line
+    assert serial.strip() in parallel
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(SystemExit):
+        main(
+            ["compare", "--protocols", "AODV", "--workers", "-2", *SMALL]
+        )
+
+
 def test_parser_requires_command(capsys):
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

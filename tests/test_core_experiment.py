@@ -72,3 +72,30 @@ def test_explicit_trace_reused():
     trace = CavenetSimulation(scenario).generate_trace()
     comparison = compare_protocols(scenario, ("AODV",), trace=trace)
     assert comparison.results["AODV"].trace is trace
+
+
+def test_parallel_identical_to_serial(comparison):
+    parallel = compare_protocols(
+        _scenario(), ("AODV", "DYMO"), max_workers=2
+    )
+    assert list(parallel.results) == ["AODV", "DYMO"]  # submission order
+    assert parallel.mean_pdr() == comparison.mean_pdr()
+    assert parallel.overhead_table() == comparison.overhead_table()
+    delays_serial = comparison.mean_delay()
+    delays_parallel = parallel.mean_delay()
+    for name in ("AODV", "DYMO"):
+        if np.isnan(delays_serial[name]):
+            assert np.isnan(delays_parallel[name])
+        else:
+            assert delays_serial[name] == delays_parallel[name]
+
+
+def test_failed_protocol_run_raises(monkeypatch):
+    import repro.core.experiment as experiment_module
+
+    def broken(scenario, trace):
+        raise RuntimeError("protocol exploded")
+
+    monkeypatch.setattr(experiment_module, "_run_protocol_trial", broken)
+    with pytest.raises(RuntimeError, match="'AODV' failed"):
+        compare_protocols(_scenario(), ("AODV",), max_workers=2)

@@ -1,10 +1,13 @@
 """Scenario sweep tests."""
 
+import time
+
 import numpy as np
 import pytest
 
+import repro.core.sweep as sweep_module
 from repro.core.config import Scenario
-from repro.core.sweep import sweep_scenario
+from repro.core.sweep import run_sweep, sweep_scenario
 
 
 def _base():
@@ -63,3 +66,109 @@ def test_unknown_field_rejected():
 def test_zero_trials_rejected():
     with pytest.raises(ValueError):
         sweep_scenario(_base(), "dawdle_p", [0.0], trials=0)
+
+
+def test_run_sweep_is_sweep_scenario():
+    assert run_sweep is sweep_scenario
+
+
+# -- parallel execution -------------------------------------------------------
+
+_real_trial = sweep_module._run_scenario_trial
+
+
+def _raise_for_seed(scenario):
+    """Patched trial fn: the second trial (seed base+1000) always fails."""
+    if scenario.seed == 3 + 1000:
+        raise RuntimeError("injected trial failure")
+    return _real_trial(scenario)
+
+
+def _hang_for_seed(scenario):
+    """Patched trial fn: the second trial hangs past any sane timeout."""
+    if scenario.seed == 3 + 1000:
+        time.sleep(60.0)
+    return _real_trial(scenario)
+
+
+def _fail_once_per_marker(scenario, marker_dir):
+    """Patched trial fn: each trial fails once, then succeeds on retry."""
+    import os
+
+    marker = os.path.join(marker_dir, f"seed-{scenario.seed}")
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        raise RuntimeError("transient failure")
+    return _real_trial(scenario)
+
+
+def test_parallel_identical_to_serial():
+    serial = sweep_scenario(
+        _base(), "cbr_rate_pps", [2.0, 5.0], trials=2, max_workers=1
+    )
+    parallel = sweep_scenario(
+        _base(), "cbr_rate_pps", [2.0, 5.0], trials=2, max_workers=4
+    )
+    assert np.array_equal(serial.pdr_curve(), parallel.pdr_curve())
+    assert np.array_equal(
+        serial.delay_curve(), parallel.delay_curve(), equal_nan=True
+    )
+    for point_s, point_p in zip(serial.points, parallel.points):
+        assert point_s.pdr_std == point_p.pdr_std
+        assert point_s.control_packets_mean == point_p.control_packets_mean
+        assert [r.pdr() for r in point_s.results] == [
+            r.pdr() for r in point_p.results
+        ]
+
+
+def test_raising_trial_drops_to_surviving_aggregates(monkeypatch):
+    monkeypatch.setattr(
+        sweep_module, "_run_scenario_trial", _raise_for_seed
+    )
+    result = sweep_scenario(
+        _base(), "cbr_rate_pps", [5.0], trials=3, max_workers=2,
+        max_attempts=1,
+    )
+    point = result.points[0]
+    assert point.num_failed == 1
+    assert len(point.results) == 2
+    assert 0.0 <= point.pdr_mean <= 1.0
+
+
+def test_timed_out_trial_drops_to_surviving_aggregates(monkeypatch):
+    monkeypatch.setattr(sweep_module, "_run_scenario_trial", _hang_for_seed)
+    result = sweep_scenario(
+        _base(), "cbr_rate_pps", [5.0], trials=2, max_workers=2,
+        trial_timeout_s=5.0, max_attempts=1,
+    )
+    point = result.points[0]
+    assert point.num_failed == 1
+    assert len(point.results) == 1
+    assert point.pdr_std == 0.0  # one survivor: ddof=1 would be undefined
+
+
+def test_retry_then_succeed_keeps_every_trial(monkeypatch, tmp_path):
+    def flaky(scenario):
+        return _fail_once_per_marker(scenario, str(tmp_path))
+
+    monkeypatch.setattr(sweep_module, "_run_scenario_trial", flaky)
+    result = sweep_scenario(
+        _base(), "cbr_rate_pps", [5.0], trials=2, max_workers=2,
+        max_attempts=2,
+    )
+    point = result.points[0]
+    assert point.num_failed == 0
+    assert len(point.results) == 2
+
+
+def test_all_trials_failed_raises(monkeypatch):
+    def always_fail(scenario):
+        raise RuntimeError("nothing works")
+
+    monkeypatch.setattr(sweep_module, "_run_scenario_trial", always_fail)
+    with pytest.raises(RuntimeError, match="all 2 trials failed"):
+        sweep_scenario(
+            _base(), "cbr_rate_pps", [5.0], trials=2, max_workers=2,
+            max_attempts=1,
+        )

@@ -1,0 +1,54 @@
+"""Wall-clock speedup of the parallel trial runner (slow; needs >= 4 cores).
+
+The acceptance bar for the engine: a 20-trial ensemble with
+``max_workers=4`` must beat serial execution by more than 2x wall-clock.
+The trial body burns CPU (a seeded NaS evolution) so the measurement
+reflects genuine parallel execution, not just overlapped sleeping.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo
+from repro.util.rng import RngStreams
+
+TRIALS = 20
+
+
+def _cpu_bound_trial(rng):
+    """~0.2s of NumPy work per trial, deterministic in the generator."""
+    total = 0.0
+    for _ in range(12):
+        matrix = rng.random((220, 220))
+        total += float(np.linalg.norm(matrix @ matrix))
+    return total
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup demonstration needs >= 4 cores",
+)
+def test_20_trial_ensemble_speedup_over_2x():
+    started = time.perf_counter()
+    serial = monte_carlo(
+        _cpu_bound_trial, trials=TRIALS, rng=RngStreams(11), max_workers=1
+    )
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = monte_carlo(
+        _cpu_bound_trial, trials=TRIALS, rng=RngStreams(11), max_workers=4
+    )
+    parallel_s = time.perf_counter() - started
+
+    # identical physics first, speed second
+    assert np.array_equal(serial.samples, parallel.samples)
+    speedup = serial_s / parallel_s
+    assert speedup > 2.0, (
+        f"expected > 2x speedup with 4 workers, measured {speedup:.2f}x "
+        f"({serial_s:.2f}s serial vs {parallel_s:.2f}s parallel)"
+    )
