@@ -74,6 +74,13 @@ class SimulationResult:
         """Joules consumed by all radios over the run."""
         return sum(meter.consumed_j() for meter in self.energy.values())
 
+    @property
+    def channel_telemetry(self):
+        """PHY/channel health counters (link-cache hit rate, deliveries,
+        carrier-sense drops, simulator events) — see
+        :class:`repro.metrics.collector.ChannelTelemetry`."""
+        return self.collector.channel
+
     def pdr(self, flow_id: Optional[int] = None) -> float:
         """Packet delivery ratio of one flow (or overall)."""
         return packet_delivery_ratio(self.collector, flow_id)
@@ -215,19 +222,12 @@ class CavenetSimulation:
             player, sim, scenario.position_cache_dt_s
         )
         # Thresholds derived so the chosen propagation model yields the
-        # scenario's TX/CS ranges (the deterministic median/mean model for
-        # the stochastic variants).
+        # scenario's TX/CS ranges; for_ranges works on the model's
+        # deterministic mean/median power, so stochastic models need no
+        # special-cased sigma-0 twin and consume no randomness here.
         propagation = self._propagation(streams)
-        if scenario.propagation == "shadowing":
-            threshold_model: PropagationModel = LogNormalShadowing(
-                path_loss_exponent=scenario.shadowing_exponent, sigma_db=0.0
-            )
-        elif scenario.propagation == "nakagami":
-            threshold_model = TwoRayGround()
-        else:
-            threshold_model = propagation
         phy_params = PhyParams.for_ranges(
-            threshold_model, scenario.tx_range_m, scenario.cs_range_m
+            propagation, scenario.tx_range_m, scenario.cs_range_m
         )
         channel = Channel(sim, propagation, provider.positions)
         metrics = MetricsCollector(sim)
@@ -281,6 +281,7 @@ class CavenetSimulation:
             sources[flow_id] = source
 
         sim.run(until=scenario.sim_time_s)
+        metrics.record_channel(channel)
 
         return SimulationResult(
             scenario=scenario,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 class Event:
@@ -13,10 +13,12 @@ class Event:
     scheduling order (deterministic tie-breaking, matching ns-2 semantics).
 
     A cancelled event stays in the heap but is skipped by the engine; this
-    "lazy deletion" keeps cancellation O(1).
+    "lazy deletion" keeps cancellation O(1).  ``on_cancel`` (set by the
+    scheduler) fires exactly once, on the first cancellation — the engine
+    uses it to keep its active-event counter exact without heap scans.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "on_cancel")
 
     def __init__(
         self,
@@ -24,16 +26,22 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.on_cancel = on_cancel
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Cancelling twice is harmless."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
     @property
     def active(self) -> bool:

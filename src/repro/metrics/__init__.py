@@ -8,6 +8,7 @@ the future-work metrics the conclusion names (routing overhead, delay).
 
 from repro.metrics.collector import (
     CampaignTelemetry,
+    ChannelTelemetry,
     MetricsCollector,
     TrialRecord,
 )
@@ -23,6 +24,7 @@ from repro.metrics.tracefile import (
 
 __all__ = [
     "CampaignTelemetry",
+    "ChannelTelemetry",
     "TrialRecord",
     "MetricsCollector",
     "goodput_series",

@@ -120,6 +120,38 @@ class CampaignTelemetry:
 
 
 @dataclasses.dataclass(frozen=True)
+class ChannelTelemetry:
+    """PHY/channel health counters for one run (paper-independent).
+
+    Attributes:
+        frames_transmitted: frames put on the air by any radio.
+        frames_delivered: per-receiver deliveries the channel scheduled
+            (signal above the receiver's carrier-sense threshold).
+        frames_cs_dropped: per-receiver drops below carrier sense.
+        cache_lookups: fast-path link-cache accesses (one per frame).
+        cache_rebuilds: distance-matrix rebuilds (one per position slot
+            actually transmitted in).
+        cache_hit_rate: fraction of lookups served without a rebuild.
+        events_processed: simulator events fired over the whole run.
+    """
+
+    frames_transmitted: int
+    frames_delivered: int
+    frames_cs_dropped: int
+    cache_lookups: int
+    cache_rebuilds: int
+    cache_hit_rate: float
+    events_processed: int
+
+    @property
+    def delivery_fanout(self) -> float:
+        """Mean receivers reached per transmitted frame."""
+        if self.frames_transmitted == 0:
+            return 0.0
+        return self.frames_delivered / self.frames_transmitted
+
+
+@dataclasses.dataclass(frozen=True)
 class OriginatedEvent:
     """A data packet handed to the network by its application."""
 
@@ -166,6 +198,9 @@ class MetricsCollector:
         self.transmissions: List[TransmissionEvent] = []
         self.drops: Dict[str, int] = collections.defaultdict(int)
         self._delivered_uids = set()
+        #: PHY/channel telemetry snapshot, filled by :meth:`record_channel`
+        #: at the end of a run (``None`` until then).
+        self.channel: Optional[ChannelTelemetry] = None
 
     # -- recording hooks ----------------------------------------------------
 
@@ -212,6 +247,24 @@ class MetricsCollector:
                 size_bytes=packet.size_bytes,
             )
         )
+
+    def record_channel(self, channel) -> ChannelTelemetry:
+        """Snapshot the channel's telemetry counters (typically post-run).
+
+        ``channel`` is duck-typed (any object exposing the
+        :class:`~repro.phy.channel.Channel` counters) to keep this module
+        free of a PHY dependency.
+        """
+        self.channel = ChannelTelemetry(
+            frames_transmitted=channel.frames_transmitted,
+            frames_delivered=channel.frames_delivered,
+            frames_cs_dropped=channel.frames_cs_dropped,
+            cache_lookups=channel.cache_lookups,
+            cache_rebuilds=channel.cache_rebuilds,
+            cache_hit_rate=channel.cache_hit_rate,
+            events_processed=self._sim.events_processed,
+        )
+        return self.channel
 
     def packet_dropped(self, packet: Packet, node: int, reason: str) -> None:
         """A packet was discarded (reason examples: ``no_route``,

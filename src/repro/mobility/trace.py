@@ -145,7 +145,26 @@ class TracePlayer:
         return float(x), float(y)
 
     def positions_at(self, t: float) -> np.ndarray:
-        """Positions of every node at time ``t``, shape ``(N, 2)``."""
-        return np.array(
-            [self.position(i, t) for i in range(self.num_nodes)]
-        )
+        """Positions of every node at time ``t``, shape ``(N, 2)``.
+
+        Vectorized over nodes (the segment index is shared, since all nodes
+        are sampled at the same instants); bit-identical to a per-node loop
+        of :meth:`position` because ``p0 + frac * (p1 - p0)`` rounds the
+        same elementwise as it does per scalar.  Always returns a fresh
+        array — the channel's link cache invalidates on object identity.
+        """
+        trace = self._trace
+        times = trace.times
+        if t <= times[0]:
+            return trace.positions[0].astype(float)
+        if t >= times[-1]:
+            return trace.positions[-1].astype(float)
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        t0, t1 = times[idx], times[idx + 1]
+        p0 = trace.positions[idx]
+        p1 = trace.positions[idx + 1]
+        frac = (t - t0) / (t1 - t0)
+        out = p0 + frac * (p1 - p0)
+        if trace.teleported is not None:
+            out = np.where(trace.teleported[idx + 1][:, None], p0, out)
+        return out.astype(float)

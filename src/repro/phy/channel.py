@@ -11,11 +11,37 @@ Positions come from a provider callable; :class:`CachedPositionProvider`
 adapts a :class:`~repro.mobility.trace.TracePlayer` and caches the whole
 position matrix on a coarse time grid (vehicles move ~10 m/s while frames
 last ~1 ms, so per-frame exactness is noise).
+
+Fast path
+---------
+
+``transmit`` is the hottest call in every network run (once per frame, over
+hundreds of thousands of frames).  Because the position provider quantizes
+time into slots, everything distance-dependent is constant within a slot, so
+the channel keeps a *link cache*: on the first transmission after the
+positions change it computes the full N x N distance matrix in one
+vectorized shot (and, for deterministic propagation with a uniform transmit
+power, the whole received-power matrix too); each sender's first frame in a
+slot then materializes a per-sender row — for deterministic models the
+final filtered receiver list with powers and propagation delays, for
+stochastic models the fading-free link state from
+:meth:`~repro.phy.propagation.PropagationModel.link_cache_row` so that only
+the per-frame fading batch is drawn per transmission.  Event scheduling
+order, received powers and RNG consumption are bit-identical to the scalar
+reference loop (kept available via ``fast_path=False`` and locked in by the
+equivalence tests).
+
+Cache-coherence contract: the positions callable must return a *new array
+object* whenever positions change (returning the same object signals "still
+valid").  :class:`CachedPositionProvider` and
+:class:`~repro.mobility.trace.TracePlayer` both do; a provider that mutates
+and returns one array in place must be wrapped or used with
+``fast_path=False``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -68,7 +94,19 @@ class CachedPositionProvider:
 
 
 class Channel:
-    """Broadcast medium shared by all registered radios."""
+    """Broadcast medium shared by all registered radios.
+
+    Telemetry counters (consumed by
+    :meth:`repro.metrics.collector.MetricsCollector.record_channel`):
+
+    * ``frames_transmitted`` — frames put on the air;
+    * ``frames_delivered`` — per-receiver deliveries scheduled (signal
+      above the carrier-sense threshold);
+    * ``frames_cs_dropped`` — per-receiver drops below carrier sense;
+    * ``cache_lookups`` / ``cache_rebuilds`` — fast-path link-cache
+      accesses and distance-matrix rebuilds (a lookup that needs no rebuild
+      is a hit).
+    """
 
     def __init__(
         self,
@@ -76,28 +114,159 @@ class Channel:
         propagation: PropagationModel,
         positions: Callable[[], np.ndarray],
         propagation_delay: bool = True,
+        fast_path: bool = True,
     ) -> None:
         self._sim = sim
         self._propagation = propagation
         self._positions = positions
         self._prop_delay = propagation_delay
+        self._fast_path = fast_path
         self._radios: Dict[int, "Radio"] = {}
         self.frames_transmitted = 0
+        self.frames_delivered = 0
+        self.frames_cs_dropped = 0
+        self.cache_lookups = 0
+        self.cache_rebuilds = 0
+        # Link cache, valid for one positions object (= one position slot).
+        self._cached_positions: Optional[np.ndarray] = None
+        self._dist: Optional[np.ndarray] = None
+        self._power_matrix: Optional[np.ndarray] = None
+        self._rows: Dict[int, tuple] = {}
+        # Registration-dependent arrays (insertion order = scalar-loop order).
+        self._radio_list: List["Radio"] = []
+        self._radio_ids: Optional[np.ndarray] = None
+        self._cs_thresholds: Optional[np.ndarray] = None
 
     def register(self, radio: "Radio") -> None:
         """Add a radio; each node id may register exactly once."""
         if radio.node_id in self._radios:
             raise ValueError(f"radio for node {radio.node_id} already registered")
         self._radios[radio.node_id] = radio
+        self._radio_ids = None
+        self._cached_positions = None  # force full cache rebuild
 
     @property
     def num_radios(self) -> int:
         """Number of registered radios."""
         return len(self._radios)
 
+    def invalidate_link_cache(self) -> None:
+        """Force a rebuild on the next transmission.
+
+        Escape hatch for position providers that mutate their array in
+        place instead of returning a fresh object (see the cache-coherence
+        contract in the module docstring).
+        """
+        self._cached_positions = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of transmissions served without a cache rebuild."""
+        if self.cache_lookups == 0:
+            return 0.0
+        return 1.0 - self.cache_rebuilds / self.cache_lookups
+
+    # -- link cache ---------------------------------------------------------
+
+    def _refresh_cache(self, positions: np.ndarray) -> None:
+        """Rebuild the per-slot link cache for a new positions matrix."""
+        self.cache_rebuilds += 1
+        self._cached_positions = positions
+        self._rows = {}
+        if self._radio_ids is None:
+            self._radio_list = list(self._radios.values())
+            self._radio_ids = np.array(
+                [radio.node_id for radio in self._radio_list], dtype=np.intp
+            )
+            self._cs_thresholds = np.array(
+                [radio.cs_threshold_w for radio in self._radio_list],
+                dtype=float,
+            )
+        # Full pairwise distances: dist[s, j] = |positions[j] - positions[s]|,
+        # the same subtraction + hypot the scalar loop performs per pair.
+        diff = positions[None, :, :] - positions[:, None, :]
+        self._dist = np.hypot(diff[..., 0], diff[..., 1])
+        # For deterministic propagation with one shared transmit power the
+        # whole received-power matrix is precomputed in a single batch.
+        self._power_matrix = None
+        if self._propagation.deterministic and self._radio_list:
+            tx_powers = {radio.tx_power_w for radio in self._radio_list}
+            if len(tx_powers) == 1:
+                self._power_matrix = self._propagation.rx_power_vector(
+                    tx_powers.pop(), self._dist
+                )
+
+    def _build_row(self, sender_id: int) -> tuple:
+        """Materialize the per-sender row of the link cache."""
+        ids = self._radio_ids
+        dist_row = self._dist[sender_id][ids]
+        tx_power = self._radios[sender_id].tx_power_w
+        if self._prop_delay:
+            delays = dist_row / SPEED_OF_LIGHT
+        else:
+            delays = np.zeros(len(dist_row))
+        if self._propagation.deterministic:
+            if self._power_matrix is not None:
+                powers = self._power_matrix[sender_id][ids]
+            else:
+                powers = self._propagation.rx_power_vector(tx_power, dist_row)
+            mask = (powers >= self._cs_thresholds) & (ids != sender_id)
+            idx = np.nonzero(mask)[0]
+            radio_list = self._radio_list
+            row = (
+                [radio_list[k] for k in idx.tolist()],
+                powers[idx].tolist(),
+                delays[idx].tolist(),
+            )
+        else:
+            state = self._propagation.link_cache_row(tx_power, dist_row)
+            row = (ids != sender_id, state, delays)
+        self._rows[sender_id] = row
+        return row
+
+    # -- transmit -----------------------------------------------------------
+
     def transmit(self, sender_id: int, frame: Frame, duration_s: float) -> None:
         """Fan a transmission out to every radio that can detect it."""
         self.frames_transmitted += 1
+        if not self._fast_path:
+            self._transmit_scalar(sender_id, frame, duration_s)
+            return
+        self.cache_lookups += 1
+        positions = self._positions()
+        if positions is not self._cached_positions:
+            self._refresh_cache(positions)
+        row = self._rows.get(sender_id)
+        if row is None:
+            row = self._build_row(sender_id)
+        if self._propagation.deterministic:
+            radios, powers, delays = row
+        else:
+            mask_other, state, delay_row = row
+            all_powers = self._propagation.rx_power_from_cache(state)
+            idx = np.nonzero(
+                mask_other & (all_powers >= self._cs_thresholds)
+            )[0]
+            radio_list = self._radio_list
+            radios = [radio_list[k] for k in idx.tolist()]
+            powers = all_powers[idx].tolist()
+            delays = delay_row[idx].tolist()
+        self.frames_delivered += len(radios)
+        self.frames_cs_dropped += len(self._radios) - 1 - len(radios)
+        self._sim.schedule_batch(
+            (delay, radio.signal_start, (frame, power, duration_s))
+            for radio, power, delay in zip(radios, powers, delays)
+        )
+
+    def _transmit_scalar(
+        self, sender_id: int, frame: Frame, duration_s: float
+    ) -> None:
+        """Pre-vectorization reference loop (one rx_power call per radio).
+
+        Kept as the equivalence baseline for tests and the channel
+        microbenchmark; produces the identical event stream, received
+        powers and RNG consumption as the fast path.
+        """
         positions = self._positions()
         sender_pos = positions[sender_id]
         tx_power = self._radios[sender_id].params.tx_power_w
@@ -108,8 +277,10 @@ class Channel:
             distance = float(np.hypot(delta[0], delta[1]))
             power = self._propagation.rx_power(tx_power, distance)
             if power < radio.params.cs_threshold_w:
+                self.frames_cs_dropped += 1
                 continue
             delay = distance / SPEED_OF_LIGHT if self._prop_delay else 0.0
+            self.frames_delivered += 1
             self._sim.schedule(
                 delay, radio.signal_start, frame, power, duration_s
             )

@@ -62,13 +62,19 @@ class PhyParams:
         This is how ns-2 users tune RXThresh with the ``threshold`` utility;
         it keeps Table I's "transmission range 250 m" true under any
         propagation model (used by the propagation-model ablation).
+
+        Thresholds come from the model's *deterministic* mean/median power
+        (:meth:`~repro.phy.propagation.PropagationModel.mean_rx_power`), so
+        passing a stochastic model is well-defined: the range is the
+        distance at which the mean/median — not one random draw — crosses
+        the threshold, and no randomness is consumed.
         """
         if cs_range_m < tx_range_m:
             raise ValueError(
                 f"cs_range_m ({cs_range_m}) must be >= tx_range_m ({tx_range_m})"
             )
-        rx_threshold = model.rx_power(tx_power_w, tx_range_m)
-        cs_threshold = model.rx_power(tx_power_w, cs_range_m)
+        rx_threshold = model.mean_rx_power(tx_power_w, tx_range_m)
+        cs_threshold = model.mean_rx_power(tx_power_w, cs_range_m)
         return cls(
             tx_power_w=tx_power_w,
             rx_threshold_w=rx_threshold,

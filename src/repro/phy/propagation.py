@@ -4,13 +4,33 @@ The paper's Table I uses ns-2's two-ray-ground model; its future-work
 section points at shadowing models [18, 19], so the log-normal shadowing
 model is implemented as well.  All models answer one question: given a
 transmit power and a distance, what power arrives at the receiver?
+
+Two evaluation paths exist and are kept bit-identical:
+
+* the scalar :meth:`PropagationModel.rx_power` (one link), and
+* the vectorized :meth:`PropagationModel.rx_power_vector` (a whole batch of
+  links at once), which the channel's fast path feeds with cached per-slot
+  distance rows.
+
+Bit-identity is non-trivial: NumPy's array ``**`` and the C library's
+scalar ``pow`` may round differently at the last ulp, so both paths are
+written in terms of operations that *are* elementwise-identical
+(multiplication chains instead of ``d**4``, and the NumPy ufuncs
+``np.log10``/``np.power`` in the scalar path as well).  The equivalence is
+locked in by ``tests/test_phy_propagation_vector.py``.
+
+Stochastic models (Nakagami, log-normal shadowing) additionally define a
+*documented draw order*: one variate per eligible link (``d > 0`` for
+Nakagami, ``d > d0`` for shadowing) in ascending index order.  NumPy's
+``Generator`` fills arrays in exactly that order, so a vectorized batch
+consumes the RNG identically to a loop of scalar calls.
 """
 
 from __future__ import annotations
 
 import abc
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,20 +48,103 @@ class PropagationModel(abc.ABC):
         ``distance_m`` of 0 returns ``tx_power_w`` (co-located radios).
         """
 
+    @property
+    def deterministic(self) -> bool:
+        """Whether :meth:`rx_power` is a pure function of distance.
+
+        Deterministic models may have their received powers precomputed and
+        cached per position slot; stochastic models must re-draw fading per
+        frame (ns-2 semantics) and therefore override this to ``False``.
+        """
+        return True
+
+    def mean_rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        """The deterministic mean/median received power (no fading draw).
+
+        For deterministic models this *is* :meth:`rx_power`.  Stochastic
+        models must override it with their fading-free large-scale power
+        (the mean for Nakagami, the median for log-normal shadowing) —
+        this is what threshold/range inversion works on.
+        """
+        return self.rx_power(tx_power_w, distance_m)
+
+    def rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        """Received power for a batch of distances, shape-preserving.
+
+        The base implementation is a scalar loop, guaranteed equivalent to
+        :meth:`rx_power` by construction; subclasses override it with NumPy
+        kernels that produce bit-identical results (stochastic subclasses
+        also consume the RNG in the same order as the scalar loop).
+        """
+        distances = np.asarray(distances_m, dtype=float)
+        flat = distances.reshape(-1)
+        out = np.array(
+            [self.rx_power(tx_power_w, float(d)) for d in flat], dtype=float
+        )
+        return out.reshape(distances.shape)
+
+    def mean_rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`mean_rx_power` (no RNG consumption)."""
+        if self.deterministic:
+            return self.rx_power_vector(tx_power_w, distances_m)
+        distances = np.asarray(distances_m, dtype=float)
+        flat = distances.reshape(-1)
+        out = np.array(
+            [self.mean_rx_power(tx_power_w, float(d)) for d in flat],
+            dtype=float,
+        )
+        return out.reshape(distances.shape)
+
+    # -- link-cache protocol (used by the channel's fast path) --------------
+
+    def link_cache_row(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> object:
+        """Precompute whatever is distance-dependent for a batch of links.
+
+        The returned state is opaque to the caller and valid as long as the
+        distances are.  For deterministic models it is the received-power
+        row itself; stochastic models cache the fading-free part so that
+        :meth:`rx_power_from_cache` only has to draw per-frame fading.
+        """
+        if self.deterministic:
+            return self.rx_power_vector(tx_power_w, distances_m)
+        return (tx_power_w, np.asarray(distances_m, dtype=float))
+
+    def rx_power_from_cache(self, state: object) -> np.ndarray:
+        """Received powers for a cached link row.
+
+        Equivalent to calling :meth:`rx_power_vector` on the original
+        distances — bit-identical results and identical RNG consumption —
+        but without recomputing the distance-dependent part.  Deterministic
+        models return the cached row itself (callers must not mutate it).
+        """
+        if self.deterministic:
+            return state  # type: ignore[return-value]
+        tx_power_w, distances = state  # generic fallback: recompute fully
+        return self.rx_power_vector(tx_power_w, distances)
+
     def range_for_threshold(
         self, tx_power_w: float, threshold_w: float, max_range_m: float = 1e5
     ) -> float:
-        """Distance at which the received power falls to ``threshold_w``.
+        """Distance at which the *mean* received power falls to
+        ``threshold_w``.
 
-        Solved by bisection so it works for any monotone model; stochastic
-        models answer for their *median* loss.
+        Solved by bisection over :meth:`mean_rx_power`, which is monotone
+        for every model here; stochastic models answer for their
+        deterministic mean/median loss and consume no randomness (bisecting
+        the random :meth:`rx_power` would chase a non-monotone function).
         """
-        if self.rx_power(tx_power_w, max_range_m) > threshold_w:
+        if self.mean_rx_power(tx_power_w, max_range_m) > threshold_w:
             return max_range_m
         low, high = 0.1, max_range_m
         for _ in range(200):
             mid = 0.5 * (low + high)
-            if self.rx_power(tx_power_w, mid) >= threshold_w:
+            if self.mean_rx_power(tx_power_w, mid) >= threshold_w:
                 low = mid
             else:
                 high = mid
@@ -78,7 +181,23 @@ class FreeSpace(PropagationModel):
         numerator = (
             tx_power_w * self._gain_tx * self._gain_rx * self._wavelength**2
         )
-        return numerator / ((4.0 * math.pi * distance_m) ** 2 * self._loss)
+        # q*q instead of q**2: multiplication rounds identically for Python
+        # floats and NumPy arrays (libm pow occasionally differs by 1 ulp),
+        # keeping the scalar and vector paths bit-identical.
+        q = 4.0 * math.pi * distance_m
+        return numerator / (q * q * self._loss)
+
+    def rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        d = np.asarray(distances_m, dtype=float)
+        numerator = (
+            tx_power_w * self._gain_tx * self._gain_rx * self._wavelength**2
+        )
+        with np.errstate(divide="ignore"):
+            q = 4.0 * math.pi * d
+            powers = numerator / (q * q * self._loss)
+        return np.where(d <= 0, tx_power_w, powers)
 
 
 class TwoRayGround(PropagationModel):
@@ -127,7 +246,29 @@ class TwoRayGround(PropagationModel):
             * self._ht**2
             * self._hr**2
         )
-        return numerator / (distance_m**4 * self._loss)
+        # (d*d)*(d*d) instead of d**4: pure multiplications round the same
+        # way for Python floats and NumPy arrays, keeping the scalar and
+        # vector paths bit-identical (libm pow(d, 4.0) does not).
+        d2 = distance_m * distance_m
+        return numerator / (d2 * d2 * self._loss)
+
+    def rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        d = np.asarray(distances_m, dtype=float)
+        friis = self._friis.rx_power_vector(tx_power_w, d)
+        numerator = (
+            tx_power_w
+            * self._gain_tx
+            * self._gain_rx
+            * self._ht**2
+            * self._hr**2
+        )
+        with np.errstate(divide="ignore"):
+            d2 = d * d
+            ground = numerator / (d2 * d2 * self._loss)
+        powers = np.where(d < self._crossover, friis, ground)
+        return np.where(d <= 0, tx_power_w, powers)
 
 
 class NakagamiFading(PropagationModel):
@@ -140,6 +281,10 @@ class NakagamiFading(PropagationModel):
     propagation studies the paper cites as future work (e.g. Dhoutaut et
     al., VANET 2006).  Each call draws fresh fading (per-frame, ns-2
     semantics).
+
+    Draw order: one gamma variate per link with ``d > 0``, in ascending
+    index order — a vectorized batch therefore consumes the RNG exactly
+    like a loop of scalar :meth:`rx_power` calls.
     """
 
     def __init__(
@@ -161,15 +306,45 @@ class NakagamiFading(PropagationModel):
         """The fading shape parameter."""
         return self._m
 
+    @property
+    def deterministic(self) -> bool:
+        return False
+
     def mean_rx_power(self, tx_power_w: float, distance_m: float) -> float:
         """The large-scale (fading-free) received power."""
         return self._mean_model.rx_power(tx_power_w, distance_m)
+
+    def mean_rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        return self._mean_model.rx_power_vector(tx_power_w, distances_m)
 
     def rx_power(self, tx_power_w: float, distance_m: float) -> float:
         mean = self.mean_rx_power(tx_power_w, distance_m)
         if distance_m <= 0:
             return mean
         return float(self._rng.gamma(self._m, mean / self._m))
+
+    def link_cache_row(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        d = np.asarray(distances_m, dtype=float)
+        return self.mean_rx_power_vector(tx_power_w, d), d > 0
+
+    def rx_power_from_cache(self, state: object) -> np.ndarray:
+        means, fading_mask = state
+        out = means.copy()
+        out[fading_mask] = self._rng.gamma(
+            self._m, means[fading_mask] / self._m
+        )
+        return out
+
+    def rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        return self.rx_power_from_cache(
+            self.link_cache_row(tx_power_w, distances_m)
+        )
 
 
 class LogNormalShadowing(PropagationModel):
@@ -179,6 +354,9 @@ class LogNormalShadowing(PropagationModel):
     ``X ~ N(0, sigma_db^2)``.  The reference power ``Pr(d0)`` comes from
     Friis.  Each call draws fresh shadowing (ns-2 semantics); pass
     ``sigma_db = 0`` for the deterministic pure-exponent model.
+
+    Draw order: one normal variate per link with ``d > d0`` (links at or
+    below the reference distance are pure Friis), in ascending index order.
     """
 
     def __init__(
@@ -205,14 +383,89 @@ class LogNormalShadowing(PropagationModel):
         self._friis = FreeSpace(frequency_hz)
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
+    @property
+    def deterministic(self) -> bool:
+        return self._sigma == 0.0
+
+    def _db_terms(
+        self, tx_power_w: float, distance_m: float
+    ) -> Tuple[float, float]:
+        # np.log10 on scalars matches np.log10 on arrays bit-for-bit (the
+        # libm math.log10 need not), which keeps both paths identical.
+        reference_db = 10.0 * float(
+            np.log10(self._friis.rx_power(tx_power_w, self._d0))
+        )
+        loss_db = 10.0 * self._beta * float(
+            np.log10(distance_m / self._d0)
+        )
+        return reference_db, loss_db
+
+    def mean_rx_power(self, tx_power_w: float, distance_m: float) -> float:
+        """The median (zero-shadowing) received power."""
+        if distance_m <= self._d0:
+            return self._friis.rx_power(tx_power_w, distance_m)
+        reference_db, loss_db = self._db_terms(tx_power_w, distance_m)
+        return float(np.power(10.0, (reference_db - loss_db + 0.0) / 10.0))
+
+    def mean_rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        reference_db, loss_db, friis = self._db_row(tx_power_w, distances_m)
+        d = np.asarray(distances_m, dtype=float)
+        with np.errstate(over="ignore", invalid="ignore"):
+            powers = np.power(10.0, (reference_db - loss_db + 0.0) / 10.0)
+        return np.where(d <= self._d0, friis, powers)
+
     def rx_power(self, tx_power_w: float, distance_m: float) -> float:
         if distance_m <= self._d0:
             return self._friis.rx_power(tx_power_w, distance_m)
-        reference_db = 10.0 * math.log10(
-            self._friis.rx_power(tx_power_w, self._d0)
-        )
-        loss_db = 10.0 * self._beta * math.log10(distance_m / self._d0)
+        reference_db, loss_db = self._db_terms(tx_power_w, distance_m)
         shadow_db = (
             float(self._rng.normal(0.0, self._sigma)) if self._sigma > 0 else 0.0
         )
-        return 10.0 ** ((reference_db - loss_db + shadow_db) / 10.0)
+        return float(
+            np.power(10.0, (reference_db - loss_db + shadow_db) / 10.0)
+        )
+
+    def _db_row(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> Tuple[float, np.ndarray, np.ndarray]:
+        d = np.asarray(distances_m, dtype=float)
+        reference_db = 10.0 * float(
+            np.log10(self._friis.rx_power(tx_power_w, self._d0))
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            loss_db = 10.0 * self._beta * np.log10(d / self._d0)
+        friis = self._friis.rx_power_vector(tx_power_w, d)
+        return reference_db, loss_db, friis
+
+    def link_cache_row(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+        d = np.asarray(distances_m, dtype=float)
+        reference_db, loss_db, friis = self._db_row(tx_power_w, d)
+        return reference_db, loss_db, friis, d > self._d0
+
+    def rx_power_from_cache(self, state: object) -> np.ndarray:
+        reference_db, loss_db, friis, shadow_mask = state
+        out = friis.copy()
+        if self._sigma > 0:
+            shadow_db = self._rng.normal(
+                0.0, self._sigma, size=int(np.count_nonzero(shadow_mask))
+            )
+        else:
+            shadow_db = 0.0
+        masked_loss = (
+            loss_db[shadow_mask] if isinstance(loss_db, np.ndarray) else loss_db
+        )
+        out[shadow_mask] = np.power(
+            10.0, (reference_db - masked_loss + shadow_db) / 10.0
+        )
+        return out
+
+    def rx_power_vector(
+        self, tx_power_w: float, distances_m: np.ndarray
+    ) -> np.ndarray:
+        return self.rx_power_from_cache(
+            self.link_cache_row(tx_power_w, distances_m)
+        )

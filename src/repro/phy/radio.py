@@ -73,6 +73,13 @@ class Radio:
         self._node_id = node_id
         self._params = params
         self._channel = channel
+        #: Hot-path copies of the PHY parameters the channel reads per
+        #: frame (attribute access on a frozen dataclass is measurably
+        #: slower than a plain instance attribute).
+        self.tx_power_w = params.tx_power_w
+        self.cs_threshold_w = params.cs_threshold_w
+        self._rx_threshold_w = params.rx_threshold_w
+        self._capture_ratio = params.capture_ratio
         self._mac: Optional[MacCallbacks] = None
         self._signals: List[_Signal] = []
         self._transmitting = False
@@ -167,9 +174,8 @@ class Radio:
         self._signals.remove(signal)
         decodable = (
             not signal.corrupted
-            and signal.power >= self._params.rx_threshold_w
-            and signal.power
-            >= self._params.capture_ratio * signal.max_interference
+            and signal.power >= self._rx_threshold_w
+            and signal.power >= self._capture_ratio * signal.max_interference
         )
         if decodable and not self._transmitting and self._mac is not None:
             self._mac.on_frame_received(signal.frame, signal.power)

@@ -33,7 +33,12 @@ class StaticPositions:
         return self._coords
 
     def move(self, node: int, x: float, y: float) -> None:
-        """Teleport a node (for link-break tests)."""
+        """Teleport a node (for link-break tests).
+
+        Copy-on-move: the channel's link cache detects changed positions by
+        array identity, so mutation must produce a fresh array object.
+        """
+        self._coords = self._coords.copy()
         self._coords[node] = (x, y)
 
 

@@ -132,3 +132,92 @@ def test_zero_delay_event_fires_now():
     marks = []
     sim.run()
     assert marks == [1.0]
+
+
+def test_pending_events_tracks_lifecycle_without_heap_scans():
+    """The counter stays exact through schedule / cancel / fire / drain."""
+    sim = Simulator()
+    assert sim.pending_events == 0
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    events[3].cancel()
+    events[3].cancel()  # double-cancel must not double-decrement
+    events[7].cancel()
+    assert sim.pending_events == 8
+    sim.run(until=2.0)  # fires events at t=1 and t=2
+    assert sim.pending_events == 6
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_pending_events_is_o1():
+    """Polling the counter must not scan the heap (telemetry calls it a lot)."""
+    import time
+
+    sim = Simulator()
+    for i in range(50_000):
+        sim.schedule(float(i), lambda: None)
+    start = time.perf_counter()
+    for _ in range(10_000):
+        assert sim.pending_events == 50_000
+    elapsed = time.perf_counter() - start
+    # 10k polls over a 50k heap: a scanning implementation needs ~500M
+    # iterations (tens of seconds); the counter is microseconds per poll.
+    assert elapsed < 1.0
+
+
+def test_pending_events_with_step_and_cancel_after_pop_order():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.step()
+    assert sim.pending_events == 1
+    a.cancel()  # cancelling an already-fired event is a no-op for the count
+    assert sim.pending_events == 1
+
+
+def test_events_processed_counts_fired_not_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    dropped = sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    dropped.cancel()
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_schedule_batch_matches_sequential_semantics():
+    sim_a, sim_b = Simulator(), Simulator()
+    fired_a, fired_b = [], []
+    sim_a.schedule_batch(
+        [
+            (1.0, fired_a.append, ("x",)),
+            (1.0, fired_a.append, ("y",)),
+            (0.5, fired_a.append, ("z",)),
+        ]
+    )
+    sim_b.schedule(1.0, fired_b.append, "x")
+    sim_b.schedule(1.0, fired_b.append, "y")
+    sim_b.schedule(0.5, fired_b.append, "z")
+    sim_a.run()
+    sim_b.run()
+    assert fired_a == fired_b == ["z", "x", "y"]
+
+
+def test_schedule_batch_returns_cancellable_events():
+    sim = Simulator()
+    fired = []
+    events = sim.schedule_batch(
+        (0.1 * k, fired.append, (k,)) for k in range(4)
+    )
+    assert sim.pending_events == 4
+    events[2].cancel()
+    sim.run()
+    assert fired == [0, 1, 3]
+
+
+def test_schedule_batch_rejects_past_delays():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([(0.5, lambda: None, ()), (-0.1, lambda: None, ())])

@@ -1,0 +1,262 @@
+"""Channel fast-path tests: equivalence, staleness, telemetry, regression.
+
+The vectorized link-cache path must be indistinguishable from the scalar
+reference loop (``fast_path=False``): same deliveries, same received powers,
+same event ordering, same RNG consumption — and the per-slot cache must
+refresh when the position slot advances mid-run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+from repro.des.engine import Simulator
+from repro.mac.frames import Frame, FrameType
+from repro.mobility.trace import MobilityTrace, TracePlayer
+from repro.net.address import BROADCAST
+from repro.net.packet import Packet
+from repro.phy.channel import CachedPositionProvider, Channel
+from repro.phy.params import PhyParams
+from repro.phy.propagation import (
+    LogNormalShadowing,
+    NakagamiFading,
+    TwoRayGround,
+)
+from repro.phy.radio import Radio
+
+
+class RecordingMac:
+    """Captures deliveries and busy edges for exact-equality comparison."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self.log = []
+
+    def on_medium_busy(self):
+        self.log.append(("busy", self._sim.now))
+
+    def on_medium_idle(self):
+        self.log.append(("idle", self._sim.now))
+
+    def on_frame_received(self, frame, rx_power_w):
+        self.log.append(("rx", self._sim.now, frame.tx_addr, rx_power_w))
+
+    def on_tx_done(self):
+        pass
+
+
+def _drifting_trace(num_nodes=8, spread=260.0, duration=10.0):
+    """Nodes on a line that slowly stretches: links cross the CS/TX ranges
+    as the run progresses, so per-slot cache refreshes change outcomes."""
+    start = np.array([[i * spread, 0.0] for i in range(num_nodes)])
+    end = np.array([[i * spread * 1.6, 0.0] for i in range(num_nodes)])
+    times = np.array([0.0, duration])
+    return MobilityTrace(times, np.stack([start, end]))
+
+
+def _frame(tx, seq):
+    packet = Packet("DATA", tx, BROADCAST, 100, 0.0)
+    return Frame(FrameType.DATA, tx, BROADCAST, 128, packet=packet, seq=seq)
+
+
+def _run(fast_path, propagation_factory, num_nodes=8, cache_dt=0.5,
+         params_for=None):
+    """Drive a moving-topology channel with scripted transmissions."""
+    sim = Simulator()
+    player = TracePlayer(_drifting_trace(num_nodes=num_nodes))
+    provider = CachedPositionProvider(player, sim, cache_dt=cache_dt)
+    propagation = propagation_factory()
+    channel = Channel(
+        sim, propagation, provider.positions, fast_path=fast_path
+    )
+    default_params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
+    macs = []
+    for node_id in range(num_nodes):
+        params = (
+            params_for(node_id, default_params) if params_for
+            else default_params
+        )
+        radio = Radio(sim, node_id, params, channel)
+        mac = RecordingMac(sim)
+        radio.attach_mac(mac)
+        macs.append(mac)
+    seq = 0
+    for k in range(180):
+        sender = k % num_nodes
+        seq += 1
+        sim.schedule(
+            0.05 * k, channel.transmit, sender, _frame(sender, seq), 0.001
+        )
+    sim.run()
+    return channel, [mac.log for mac in macs]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        TwoRayGround,
+        lambda: NakagamiFading(m=3.0, rng=np.random.default_rng(42)),
+        lambda: LogNormalShadowing(sigma_db=4.0, rng=np.random.default_rng(42)),
+    ],
+    ids=["two_ray", "nakagami", "shadowing"],
+)
+def test_fast_path_event_stream_identical_to_scalar(factory):
+    """Same deliveries, powers, timestamps and RNG draws as the scalar loop."""
+    channel_fast, logs_fast = _run(True, factory)
+    channel_ref, logs_ref = _run(False, factory)
+    assert logs_fast == logs_ref
+    assert channel_fast.frames_transmitted == channel_ref.frames_transmitted
+    assert channel_fast.frames_delivered == channel_ref.frames_delivered
+    assert channel_fast.frames_cs_dropped == channel_ref.frames_cs_dropped
+
+
+def test_fast_path_with_per_radio_tx_power():
+    """Non-uniform transmit powers take the per-row branch; still exact."""
+
+    def params_for(node_id, default):
+        if node_id % 2:
+            return PhyParams.for_ranges(
+                TwoRayGround(), 250.0, 550.0, tx_power_w=0.5
+            )
+        return default
+
+    _, logs_fast = _run(True, TwoRayGround, params_for=params_for)
+    _, logs_ref = _run(False, TwoRayGround, params_for=params_for)
+    assert logs_fast == logs_ref
+    assert any(log for log in logs_fast)
+
+
+def test_cache_refreshes_when_slot_advances():
+    """A link that drifts out of carrier-sense range mid-run must actually
+    disappear — a stale distance matrix would keep delivering."""
+    sim = Simulator()
+    # Two nodes: in CS range (400 m) at t=0, far out (4000 m) by t=2.
+    trace = MobilityTrace(
+        np.array([0.0, 2.0]),
+        np.stack([
+            np.array([[0.0, 0.0], [400.0, 0.0]]),
+            np.array([[0.0, 0.0], [4000.0, 0.0]]),
+        ]),
+    )
+    provider = CachedPositionProvider(TracePlayer(trace), sim, cache_dt=0.1)
+    channel = Channel(sim, TwoRayGround(), provider.positions)
+    params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
+    radio0 = Radio(sim, 0, params, channel)
+    radio1 = Radio(sim, 1, params, channel)
+    mac = RecordingMac(sim)
+    radio1.attach_mac(mac)
+    assert radio0 is not None
+    sim.schedule(0.0, channel.transmit, 0, _frame(0, 1), 0.001)
+    sim.schedule(1.9, channel.transmit, 0, _frame(0, 2), 0.001)
+    sim.run()
+    busy_times = [t for kind, t in mac.log if kind == "busy"]
+    assert len(busy_times) == 1  # only the t=0 frame was detectable
+    assert busy_times[0] < 0.1
+    assert channel.cache_rebuilds == 2  # one per transmitted-in slot
+    assert channel.frames_delivered == 1
+    assert channel.frames_cs_dropped == 1
+
+
+def test_invalidate_link_cache_for_inplace_providers():
+    """Providers that mutate one array in place can force a rebuild."""
+    positions = np.array([[0.0, 0.0], [200.0, 0.0]])
+    sim = Simulator()
+    channel = Channel(sim, TwoRayGround(), lambda: positions)
+    params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
+    Radio(sim, 0, params, channel)
+    radio1 = Radio(sim, 1, params, channel)
+    mac = RecordingMac(sim)
+    radio1.attach_mac(mac)
+    channel.transmit(0, _frame(0, 1), 0.001)
+    sim.run()
+    positions[1] = (5000.0, 0.0)  # in-place move, same array object
+    channel.invalidate_link_cache()
+    channel.transmit(0, _frame(0, 2), 0.001)
+    sim.run()
+    received = [e for e in mac.log if e[0] == "rx"]
+    assert len(received) == 1  # second frame fell out of range
+
+
+def test_channel_telemetry_counters():
+    channel, logs = _run(True, TwoRayGround)
+    n = channel.num_radios
+    assert channel.frames_transmitted == 180
+    assert (
+        channel.frames_delivered + channel.frames_cs_dropped
+        == 180 * (n - 1)
+    )
+    assert channel.cache_lookups == 180
+    # 10 s of transmissions at cache_dt=0.5 -> ~21 slots touched.
+    assert 1 < channel.cache_rebuilds < 30
+    assert 0.5 < channel.cache_hit_rate < 1.0
+    deliveries = sum(
+        1 for log in logs for entry in log if entry[0] == "busy"
+    )
+    assert deliveries == channel.frames_delivered
+
+
+def test_record_channel_telemetry_through_collector():
+    from repro.metrics.collector import MetricsCollector
+
+    sim = Simulator()
+    positions = np.array([[0.0, 0.0], [200.0, 0.0]])
+    channel = Channel(sim, TwoRayGround(), lambda: positions)
+    params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
+    Radio(sim, 0, params, channel)
+    Radio(sim, 1, params, channel)
+    channel.transmit(0, _frame(0, 1), 0.001)
+    sim.run()
+    collector = MetricsCollector(sim)
+    telemetry = collector.record_channel(channel)
+    assert collector.channel is telemetry
+    assert telemetry.frames_transmitted == 1
+    assert telemetry.frames_delivered == 1
+    assert telemetry.delivery_fanout == 1.0
+    assert telemetry.events_processed == sim.events_processed > 0
+    assert telemetry.cache_hit_rate == channel.cache_hit_rate
+
+
+# -- seeded end-to-end regression (paper Fig. 8 style) -----------------------
+
+
+class TestSeededRegression:
+    """30 nodes, TwoRayGround, AODV, seed 4 — the Fig. 8 configuration on a
+    shortened clock.  The golden numbers were produced by the pre-fast-path
+    scalar implementation; the fast path must reproduce them bit-for-bit
+    (the run spans ~200 position slots, so any cache-staleness bug when the
+    slot advances mid-run shifts these immediately)."""
+
+    GOLDEN = {
+        "pdr": 0.915625,
+        "goodput_bps": 120012.8,
+        "frames_transmitted": 8875,
+        "delivered": 293,
+        "originated": 320,
+    }
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        scenario = Scenario(sim_time_s=20.0, traffic_stop_s=18.0)
+        assert scenario.propagation == "two_ray"
+        assert scenario.protocol == "AODV"
+        assert scenario.num_nodes == 30
+        return CavenetSimulation(scenario).run()
+
+    def test_pdr_bit_identical(self, result):
+        assert result.pdr() == self.GOLDEN["pdr"]
+
+    def test_goodput_bit_identical(self, result):
+        assert result.mean_goodput_bps() == self.GOLDEN["goodput_bps"]
+
+    def test_frame_and_packet_counts(self, result):
+        assert result.frames_on_air == self.GOLDEN["frames_transmitted"]
+        assert result.collector.num_delivered == self.GOLDEN["delivered"]
+        assert result.collector.num_originated == self.GOLDEN["originated"]
+
+    def test_telemetry_attached(self, result):
+        telemetry = result.channel_telemetry
+        assert telemetry is not None
+        assert telemetry.frames_transmitted == result.frames_on_air
+        assert telemetry.cache_hit_rate > 0.9
+        assert telemetry.events_processed > telemetry.frames_transmitted

@@ -1,0 +1,214 @@
+"""Scalar-vs-vector equivalence of the propagation models.
+
+The channel's fast path batches ``rx_power`` over whole distance rows; these
+tests pin the contract that makes that safe:
+
+* deterministic models: ``rx_power_vector`` is *bit-identical* to a loop of
+  scalar ``rx_power`` calls (the implementations avoid libm ``pow``, whose
+  rounding differs from NumPy's array kernels at the last ulp);
+* stochastic models: identical values *and* identical RNG consumption under
+  a fixed seed — the documented draw order is one variate per eligible link
+  (``d > 0`` for Nakagami, ``d > d0`` for shadowing) in ascending index
+  order, which is exactly how NumPy fills a vectorized batch;
+* the link-cache split (``link_cache_row`` + ``rx_power_from_cache``)
+  reproduces ``rx_power_vector`` exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogNormalShadowing,
+    NakagamiFading,
+    PropagationModel,
+    TwoRayGround,
+)
+
+TX = 0.28183815
+
+
+def _distances():
+    """Distances covering the edges: d=0, sub-metre, the two-ray crossover
+    neighbourhood (~86.2 m), the shadowing reference distance, and a broad
+    random spread."""
+    crossover = TwoRayGround().crossover_distance_m
+    rng = np.random.default_rng(1234)
+    return np.concatenate(
+        [
+            [0.0, 0.5, 1.0, 1.0000001, 50.0],
+            [crossover * 0.999, crossover, crossover * 1.001],
+            [250.0, 550.0, 3000.0],
+            rng.uniform(0.01, 3000.0, 4000),
+        ]
+    )
+
+
+def _scalar_loop(model, distances):
+    return np.array([model.rx_power(TX, float(d)) for d in distances])
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        FreeSpace(),
+        TwoRayGround(),
+        LogNormalShadowing(sigma_db=0.0),
+        FreeSpace(frequency_hz=2.4e9, system_loss=1.2),
+        TwoRayGround(height_tx_m=2.0, height_rx_m=1.0),
+    ],
+    ids=["free_space", "two_ray", "shadowing_sigma0", "free_space_24", "two_ray_asym"],
+)
+def test_deterministic_vector_bit_identical(model):
+    distances = _distances()
+    scalar = _scalar_loop(model, distances)
+    vector = model.rx_power_vector(TX, distances)
+    np.testing.assert_array_equal(scalar, vector)
+
+
+def test_vector_zero_distance_returns_tx_power():
+    for model in (FreeSpace(), TwoRayGround()):
+        assert model.rx_power_vector(TX, np.array([0.0]))[0] == TX
+
+
+def test_vector_preserves_shape():
+    d = np.full((3, 4), 100.0)
+    out = TwoRayGround().rx_power_vector(TX, d)
+    assert out.shape == (3, 4)
+    assert np.all(out == TwoRayGround().rx_power(TX, 100.0))
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda rng: NakagamiFading(m=3.0, rng=rng),
+        lambda rng: NakagamiFading(m=1.0, mean_model=FreeSpace(), rng=rng),
+        lambda rng: LogNormalShadowing(sigma_db=4.0, rng=rng),
+        lambda rng: LogNormalShadowing(
+            path_loss_exponent=3.5, sigma_db=8.0, rng=rng
+        ),
+    ],
+    ids=["nakagami_m3", "rayleigh_friis", "shadowing_s4", "shadowing_s8"],
+)
+def test_stochastic_vector_matches_scalar_under_fixed_rng(make):
+    distances = _distances()
+    scalar = _scalar_loop(make(np.random.default_rng(99)), distances)
+    vector = make(np.random.default_rng(99)).rx_power_vector(TX, distances)
+    np.testing.assert_array_equal(scalar, vector)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda rng: NakagamiFading(m=3.0, rng=rng),
+        lambda rng: LogNormalShadowing(sigma_db=4.0, rng=rng),
+    ],
+    ids=["nakagami", "shadowing"],
+)
+def test_link_cache_split_matches_vector(make):
+    """rx_power_from_cache(link_cache_row(...)) == rx_power_vector(...)."""
+    distances = _distances()
+    direct = make(np.random.default_rng(7)).rx_power_vector(TX, distances)
+    model = make(np.random.default_rng(7))
+    state = model.link_cache_row(TX, distances)
+    np.testing.assert_array_equal(direct, model.rx_power_from_cache(state))
+    # The cached state is reusable: a second draw consumes fresh randomness
+    # but stays distributed around the same mean row.
+    again = model.rx_power_from_cache(state)
+    assert again.shape == direct.shape
+    assert not np.array_equal(again, direct)
+
+
+def test_stochastic_draw_order_skips_ineligible_links():
+    """d = 0 (Nakagami) and d <= d0 (shadowing) links consume no RNG."""
+    d = np.array([0.0, 200.0, 0.0, 300.0])
+    naka_a = NakagamiFading(m=2.0, rng=np.random.default_rng(5))
+    with_zeros = naka_a.rx_power_vector(TX, d)
+    naka_b = NakagamiFading(m=2.0, rng=np.random.default_rng(5))
+    dense = naka_b.rx_power_vector(TX, np.array([200.0, 300.0]))
+    np.testing.assert_array_equal(with_zeros[[1, 3]], dense)
+
+    shad_a = LogNormalShadowing(sigma_db=4.0, rng=np.random.default_rng(5))
+    mixed = shad_a.rx_power_vector(TX, np.array([0.5, 1.0, 200.0, 300.0]))
+    shad_b = LogNormalShadowing(sigma_db=4.0, rng=np.random.default_rng(5))
+    dense = shad_b.rx_power_vector(TX, np.array([200.0, 300.0]))
+    np.testing.assert_array_equal(mixed[[2, 3]], dense)
+
+
+def test_base_class_fallback_loop():
+    """A third-party subclass without a vector override still works."""
+
+    class InverseSquare(PropagationModel):
+        def rx_power(self, tx_power_w, distance_m):
+            if distance_m <= 0:
+                return tx_power_w
+            return tx_power_w / (distance_m * distance_m)
+
+    model = InverseSquare()
+    d = np.array([0.0, 2.0, 10.0])
+    np.testing.assert_array_equal(
+        model.rx_power_vector(2.0, d), np.array([2.0, 0.5, 0.02])
+    )
+    np.testing.assert_array_equal(
+        model.rx_power_from_cache(model.link_cache_row(2.0, d)),
+        model.rx_power_vector(2.0, d),
+    )
+
+
+# -- mean power / range inversion for stochastic models ----------------------
+
+
+def test_mean_rx_power_is_uniform_api():
+    assert FreeSpace().mean_rx_power(TX, 100.0) == FreeSpace().rx_power(
+        TX, 100.0
+    )
+    naka = NakagamiFading(m=3.0)
+    assert naka.mean_rx_power(TX, 250.0) == TwoRayGround().rx_power(TX, 250.0)
+    shad = LogNormalShadowing(sigma_db=6.0)
+    flat = LogNormalShadowing(sigma_db=0.0)
+    assert shad.mean_rx_power(TX, 250.0) == flat.rx_power(TX, 250.0)
+
+
+def test_mean_rx_power_vector_matches_scalar():
+    distances = _distances()
+    for model in (
+        NakagamiFading(m=3.0),
+        LogNormalShadowing(sigma_db=4.0),
+        TwoRayGround(),
+    ):
+        scalar = np.array(
+            [model.mean_rx_power(TX, float(d)) for d in distances]
+        )
+        np.testing.assert_array_equal(
+            scalar, model.mean_rx_power_vector(TX, distances)
+        )
+
+
+def test_deterministic_flag():
+    assert FreeSpace().deterministic
+    assert TwoRayGround().deterministic
+    assert LogNormalShadowing(sigma_db=0.0).deterministic
+    assert not LogNormalShadowing(sigma_db=4.0).deterministic
+    assert not NakagamiFading().deterministic
+
+
+@pytest.mark.parametrize(
+    "model",
+    [NakagamiFading(m=1.0), LogNormalShadowing(sigma_db=8.0)],
+    ids=["nakagami", "shadowing"],
+)
+def test_range_for_threshold_stochastic_uses_mean_and_no_rng(model):
+    """Bisection runs on the monotone mean power and consumes no draws."""
+    state_before = model._rng.bit_generator.state
+    threshold = model.mean_rx_power(TX, 250.0)
+    rng_range = model.range_for_threshold(TX, threshold)
+    assert rng_range == pytest.approx(250.0, rel=1e-3)
+    assert model._rng.bit_generator.state == state_before
+
+
+def test_range_for_threshold_repeatable():
+    model = NakagamiFading(m=1.0)
+    threshold = model.mean_rx_power(TX, 400.0)
+    first = model.range_for_threshold(TX, threshold)
+    second = model.range_for_threshold(TX, threshold)
+    assert first == second == pytest.approx(400.0, rel=1e-3)
