@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Crash-resume smoke: kill a journalled sweep mid-flight, resume, compare.
+
+CI runs this end-to-end check on every push (it also runs fine locally):
+
+1. run a small sweep serially — the ground truth;
+2. run the same sweep with a journal and a trial function poisoned to
+   die partway through (a simulated ``kill -9``);
+3. tear the journal's final line, as a real crash mid-write would;
+4. resume, and require the merged results to be *bit-identical* to the
+   uninterrupted run — plus a nonzero resumed-trial count in telemetry.
+
+Exits 0 on success, 1 with a diagnostic on any mismatch.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import repro.core.sweep as sweep_mod
+from repro.core.config import Scenario
+from repro.core.sweep import sweep_scenario
+from repro.metrics.collector import CampaignTelemetry
+
+BASE = Scenario(
+    num_nodes=10,
+    road_length_m=900.0,
+    sim_time_s=15.0,
+    senders=(1, 2),
+    traffic_start_s=2.0,
+    traffic_stop_s=12.0,
+    dawdle_p=0.0,
+    seed=3,
+)
+KWARGS = dict(base=BASE, field="num_nodes", values=[10, 12], trials=2)
+DIE_AFTER = 2  # trials completed before the simulated crash
+
+
+def fingerprint_of(result):
+    return [
+        (
+            point.value,
+            point.pdr_mean,
+            point.pdr_std,
+            point.delay_mean_s,
+            point.control_packets_mean,
+            [r.pdr() for r in point.results],
+        )
+        for point in result.points
+    ]
+
+
+def main() -> int:
+    journal = str(Path(tempfile.mkdtemp(prefix="smoke-")) / "sweep.jsonl")
+
+    print("[1/4] ground truth: uninterrupted serial sweep", flush=True)
+    truth = fingerprint_of(sweep_scenario(**KWARGS))
+
+    print(f"[2/4] journalled sweep, killed after {DIE_AFTER} trials")
+    real_trial = sweep_mod._run_scenario_trial
+    completed = {"n": 0}
+
+    def dying_trial(scenario):
+        if completed["n"] >= DIE_AFTER:
+            raise KeyboardInterrupt("simulated kill")
+        completed["n"] += 1
+        return real_trial(scenario)
+
+    sweep_mod._run_scenario_trial = dying_trial
+    try:
+        sweep_scenario(**KWARGS, journal_path=journal)
+    except KeyboardInterrupt:
+        pass
+    else:
+        print("FAIL: the poisoned sweep was expected to die")
+        return 1
+    finally:
+        sweep_mod._run_scenario_trial = real_trial
+
+    print("[3/4] tearing the journal's final line (crash mid-write)")
+    data = Path(journal).read_bytes()
+    Path(journal).write_bytes(data[:-20])
+
+    print("[4/4] resume and compare")
+    telemetry = CampaignTelemetry()
+    resumed = sweep_scenario(
+        **KWARGS, journal_path=journal, resume=True, telemetry=telemetry
+    )
+    if telemetry.trials_resumed == 0:
+        print("FAIL: nothing was resumed from the journal")
+        return 1
+    if fingerprint_of(resumed) != truth:
+        print("FAIL: resumed sweep differs from the uninterrupted run")
+        print(f"  truth:   {truth}")
+        print(f"  resumed: {fingerprint_of(resumed)}")
+        return 1
+    print(
+        f"OK: {telemetry.trials_resumed} resumed + "
+        f"{telemetry.trials_completed} fresh trials, bit-identical to the "
+        "uninterrupted run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ import numpy as np
 from repro.ca.history import evolve
 from repro.ca.nasch import NagelSchreckenberg
 from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import ConfigError, TrialError
 from repro.util.rng import RngStreams
 
 
@@ -29,6 +30,8 @@ class FundamentalDiagram:
         flow_std: ensemble standard deviation of the per-trial flows.
         p: dawdling probability of the sweep.
         num_cells: lane length L.
+        num_failed: trials dropped per density point (``None`` from older
+            pickles; treated as all-zero).
     """
 
     densities: np.ndarray
@@ -36,6 +39,14 @@ class FundamentalDiagram:
     flow_std: np.ndarray
     p: float
     num_cells: int
+    num_failed: Optional[np.ndarray] = None
+
+    @property
+    def total_failed(self) -> int:
+        """Trials dropped from the ensemble across every density."""
+        if self.num_failed is None:
+            return 0
+        return int(np.sum(self.num_failed))
 
     def peak(self) -> tuple:
         """Return ``(density, flow)`` of the maximum measured flow."""
@@ -84,6 +95,8 @@ def fundamental_diagram(
     max_workers: int = 1,
     trial_timeout_s: Optional[float] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> FundamentalDiagram:
     """Sweep densities and measure the ensemble-average flow.
 
@@ -92,9 +105,14 @@ def fundamental_diagram(
     their own).  The ``(density, trial)`` grid fans out through
     :mod:`repro.core.runner` when ``max_workers > 1``, with results
     element-wise identical to a serial run of the same seeds.
+
+    With ``journal_path``/``resume`` each trial's flow is durably
+    journalled and skipped on restart; the journal fingerprint covers the
+    density grid, lane length, trial/step counts and the root seed.
     """
     if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
+        raise ConfigError(f"trials must be >= 1, got {trials}")
+    from repro.core.journal import campaign_fingerprint, open_journal
     from repro.core.runner import TrialRunner, TrialSpec
 
     streams = rng if rng is not None else RngStreams(0)
@@ -110,28 +128,49 @@ def fundamental_diagram(
         for i, density in enumerate(densities)
         for trial in range(trials)
     ]
+    fingerprint = campaign_fingerprint(
+        kind="fundamental",
+        densities=[float(d) for d in densities],
+        p=float(p),
+        num_cells=int(num_cells),
+        trials=trials,
+        steps=int(steps),
+        warmup=int(warmup),
+        v_max=int(v_max),
+        seed=streams.seed,
+    )
+    journal = open_journal(journal_path, fingerprint, resume)
     runner = TrialRunner(
         max_workers=max_workers,
         trial_timeout_s=trial_timeout_s,
         telemetry=telemetry,
     )
-    outcomes = runner.run(specs)
+    try:
+        outcomes = runner.run(specs, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     flows = np.empty(len(densities))
     flow_std = np.empty(len(densities))
+    num_failed = np.zeros(len(densities), dtype=int)
     for i in range(len(densities)):
         per_point = outcomes[i * trials:(i + 1) * trials]
         surviving = np.array([o.value for o in per_point if o.ok])
         if surviving.size == 0:
-            raise RuntimeError(
+            raise TrialError(
                 f"all {trials} trials failed at density index {i}; "
-                f"first error:\n{per_point[0].error}"
+                f"first error:\n{per_point[0].error}",
+                key=per_point[0].key,
+                attempts=per_point[0].attempts,
             )
         flows[i] = surviving.mean()
         flow_std[i] = surviving.std(ddof=1) if surviving.size > 1 else 0.0
+        num_failed[i] = trials - surviving.size
     return FundamentalDiagram(
         densities=np.asarray(densities, dtype=float),
         flows=flows,
         flow_std=flow_std,
         p=float(p),
         num_cells=int(num_cells),
+        num_failed=num_failed,
     )

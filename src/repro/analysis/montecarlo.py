@@ -17,6 +17,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import ConfigError, TrialError
 from repro.util.rng import RngStreams
 
 
@@ -69,6 +70,8 @@ def monte_carlo(
     trial_timeout_s: Optional[float] = None,
     max_attempts: int = 2,
     telemetry: Optional[CampaignTelemetry] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> MonteCarloResult:
     """Run ``experiment`` ``trials`` times with independent generators.
 
@@ -77,10 +80,16 @@ def monte_carlo(
     can be re-run in isolation for debugging.  ``max_workers > 1`` fans the
     trials out across processes with element-wise identical ``samples``;
     failed trials are retried, then dropped (``num_failed`` counts them) —
-    an ensemble where every trial failed raises.
+    an ensemble where every trial failed raises
+    :class:`~repro.util.errors.TrialError`.
+
+    With ``journal_path``/``resume`` each completed trial is durably
+    journalled and skipped on restart; the journal fingerprint covers the
+    experiment's identity, the seed, the stream prefix and the trial count.
     """
     if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
+        raise ConfigError(f"trials must be >= 1, got {trials}")
+    from repro.core.journal import campaign_fingerprint, open_journal
     from repro.core.runner import TrialRunner, TrialSpec
 
     streams = rng if rng is not None else RngStreams(0)
@@ -92,19 +101,34 @@ def monte_carlo(
         )
         for trial in range(trials)
     ]
+    fingerprint = campaign_fingerprint(
+        kind="monte_carlo",
+        experiment=f"{getattr(experiment, '__module__', '?')}."
+        f"{getattr(experiment, '__qualname__', repr(experiment))}",
+        seed=streams.seed,
+        stream_prefix=stream_prefix,
+        trials=trials,
+    )
+    journal = open_journal(journal_path, fingerprint, resume)
     runner = TrialRunner(
         max_workers=max_workers,
         trial_timeout_s=trial_timeout_s,
         max_attempts=max_attempts,
         telemetry=telemetry,
     )
-    outcomes = runner.run(specs)
+    try:
+        outcomes = runner.run(specs, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     surviving = [o.value for o in outcomes if o.ok]
     failed = [o for o in outcomes if not o.ok]
     if not surviving:
-        raise RuntimeError(
+        raise TrialError(
             f"all {trials} Monte-Carlo trials failed; first error:\n"
-            f"{failed[0].error}"
+            f"{failed[0].error}",
+            key=failed[0].key,
+            attempts=failed[0].attempts,
         )
     samples = np.stack(surviving)
     std = (

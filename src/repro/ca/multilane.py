@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.ca.vehicle import VehicleState
+from repro.util.errors import InvariantViolation
 from repro.util.validate import check_positive, check_probability
 
 
@@ -175,10 +176,27 @@ class MultiLaneRoad:
     # -- dynamics ----------------------------------------------------------
 
     def step(self) -> None:
-        """One time step: lane-change sub-step, then NaS movement per lane."""
+        """One time step: lane-change sub-step, then NaS movement per lane.
+
+        An always-on conservation guard brackets the step: every lane is
+        cyclic, so lane changes and movement may shuffle vehicles between
+        lanes but never create or destroy one.  A violation raises
+        :class:`~repro.util.errors.InvariantViolation` with the step and
+        per-lane counts — the signature of a lane-change commit bug.
+        """
+        before = self.num_vehicles
         if self._num_lanes > 1:
             self._lane_change_stage()
         self._movement_stage()
+        after = self.num_vehicles
+        if after != before:
+            raise InvariantViolation(
+                "vehicle count changed on a closed multi-lane road",
+                step=self._time,
+                before=before,
+                after=after,
+                per_lane=[len(lane.positions) for lane in self._lanes],
+            )
         self._time += 1
 
     def run(self, steps: int) -> None:
@@ -291,7 +309,7 @@ class MultiLaneRoad:
                 )[order]
 
     def _movement_stage(self) -> None:
-        for lane in self._lanes:
+        for k, lane in enumerate(self._lanes):
             n = len(lane.positions)
             if n == 0:
                 continue
@@ -301,6 +319,20 @@ class MultiLaneRoad:
             if self._p > 0.0:
                 dawdle = self._rng.random(n) < self._p
                 vel = np.where(dawdle, np.maximum(vel - 1, 0), vel)
+            # Guard: gap positivity per lane (same check as the single-lane
+            # model) — a stale gap after a bad lane-change commit would
+            # surface here, before vehicles can collide.
+            if np.any(vel > gaps) or np.any(vel < 0):
+                bad = int(np.argmax((vel > gaps) | (vel < 0)))
+                raise InvariantViolation(
+                    "vehicle would outrun its gap",
+                    step=self._time,
+                    lane=k,
+                    vehicle_id=int(lane.ids[bad]),
+                    cell=int(lane.positions[bad]),
+                    velocity=int(vel[bad]),
+                    gap=int(gaps[bad]),
+                )
             new_pos = lane.positions + vel
             wrapped = new_pos >= self._num_cells
             lane.positions = new_pos % self._num_cells

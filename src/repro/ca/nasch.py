@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.ca.boundary import Boundary
 from repro.ca.vehicle import VehicleState
+from repro.util.errors import InvariantViolation
 from repro.util.validate import check_positive, check_probability
 
 #: Paper default: v_max = 135 km/h at 7.5 m cells and 1 s steps = 5 cells/step.
@@ -336,7 +337,16 @@ class NagelSchreckenberg:
     # -- dynamics ----------------------------------------------------------
 
     def step(self) -> None:
-        """Advance the automaton by one time step (parallel update)."""
+        """Advance the automaton by one time step (parallel update).
+
+        Two always-on invariant guards run each step (O(N), pure numpy, a
+        tiny fraction of the step's own cost): after braking/dawdling no
+        vehicle may outrun its gap (a violation here is the precursor of a
+        two-vehicles-one-cell collision), and on closed boundaries the
+        vehicle count must be conserved.  Violations raise
+        :class:`~repro.util.errors.InvariantViolation` with the step, lane
+        and offending vehicle so the state is reproducible.
+        """
         pos, vel = self._positions, self._velocities
         n = len(pos)
         if n == 0:
@@ -352,6 +362,19 @@ class NagelSchreckenberg:
         if self._p > 0.0:
             dawdle = self._rng.random(n) < self._p
             vel = np.where(dawdle, np.maximum(vel - 1, 0), vel)
+        # Guard: gap positivity — moving farther than the gap ahead means
+        # two vehicles would share a cell next step.
+        if np.any(vel > gaps) or np.any(vel < 0):
+            bad = int(np.argmax((vel > gaps) | (vel < 0)))
+            raise InvariantViolation(
+                "vehicle would outrun its gap",
+                step=self._time,
+                lane=self._lane,
+                vehicle_id=int(self._ids[bad]),
+                cell=int(pos[bad]),
+                velocity=int(vel[bad]),
+                gap=int(gaps[bad]),
+            )
         # Rule 3: move.
         new_pos = pos + vel
         if self._boundary.cyclic_cells:
@@ -360,6 +383,15 @@ class NagelSchreckenberg:
             self._velocities = vel
             self._wraps = self._wraps + wrapped
             self._shifted = wrapped
+            # Guard: closed lanes conserve vehicles.
+            if len(self._positions) != n:
+                raise InvariantViolation(
+                    "vehicle count changed on a closed lane",
+                    step=self._time,
+                    lane=self._lane,
+                    before=n,
+                    after=len(self._positions),
+                )
         else:
             keep = new_pos < self._num_cells
             self._positions = new_pos[keep]

@@ -1,12 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday uses of the tool:
+Six commands cover the everyday uses of the tool:
 
 * ``run``         — one network scenario, printed metrics;
 * ``compare``     — several protocols over the same mobility (Fig. 11);
+* ``sweep``       — one scenario across a grid of values for one field;
 * ``trace``       — generate a mobility trace and export it (ns-2/CSV/JSON);
 * ``fundamental`` — the flow-density diagram (Fig. 4);
 * ``spacetime``   — an ASCII space-time diagram (Fig. 5).
+
+Campaign commands (``compare``, ``sweep``, ``fundamental``) take
+``--journal FILE`` to durably record every completed trial, ``--resume``
+to skip trials already in the journal after a crash, and ``--strict`` to
+exit nonzero when any trial failed (instead of silently aggregating the
+survivors).  Configuration mistakes and campaign failures surface as the
+typed errors of :mod:`repro.util.errors` and exit with code 2.
 """
 
 from __future__ import annotations
@@ -24,6 +32,24 @@ def _int_list(text: str) -> tuple:
 
 def _float_list(text: str) -> List[float]:
     return [float(part) for part in text.split(",") if part]
+
+
+def _value_list(text: str) -> list:
+    """Comma-separated sweep values, each parsed as int, float or string."""
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        for cast in (int, float):
+            try:
+                values.append(cast(part))
+                break
+            except ValueError:
+                continue
+        else:
+            values.append(part)
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +74,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated protocol list (default: AODV,OLSR,DYMO)",
     )
     _add_parallel_arguments(compare)
+    _add_campaign_arguments(compare)
+
+    sweep = commands.add_parser(
+        "sweep", help="sweep one scenario field across a grid of values"
+    )
+    _add_scenario_arguments(sweep)
+    sweep.add_argument(
+        "--field",
+        required=True,
+        help="Scenario field to vary (e.g. num_nodes, cbr_rate_pps)",
+    )
+    sweep.add_argument(
+        "--values",
+        type=_value_list,
+        required=True,
+        help="comma-separated values for the swept field",
+    )
+    sweep.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="independent seeded trials per value (default 1)",
+    )
+    _add_parallel_arguments(sweep)
+    _add_campaign_arguments(sweep)
 
     trace = commands.add_parser(
         "trace", help="generate a mobility trace and export it"
@@ -78,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     fundamental.add_argument("--steps", type=int, default=300)
     fundamental.add_argument("--seed", type=int, default=0)
     _add_parallel_arguments(fundamental)
+    _add_campaign_arguments(fundamental)
 
     spacetime = commands.add_parser(
         "spacetime", help="ASCII space-time diagram"
@@ -134,6 +186,28 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="durably record every completed trial to this JSONL journal",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already completed in --journal (after a crash); "
+        "the journal is fingerprinted, so resuming a different campaign "
+        "definition is rejected",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero if any trial failed (instead of aggregating "
+        "the surviving trials)",
+    )
+
+
 def _resolve_workers(args: argparse.Namespace) -> int:
     import os
 
@@ -144,9 +218,35 @@ def _resolve_workers(args: argparse.Namespace) -> int:
     return args.workers
 
 
-def _campaign_telemetry(workers: int):
-    """A telemetry sink for parallel CLI campaigns (None when serial)."""
-    if workers == 1:
+def _report_failures(header: str, per_point, strict: bool) -> int:
+    """Print a per-point failure summary; return the exit code.
+
+    ``per_point`` is ``(label, num_failed, num_total)`` triples.  Failed
+    trials are *dropped* from aggregates, so silence here would let a
+    half-dead campaign masquerade as a healthy one — failures are always
+    printed; ``--strict`` additionally makes them fatal (exit 1).
+    """
+    failures = [(label, k, n) for label, k, n in per_point if k]
+    if not failures:
+        return 0
+    total = sum(k for _, k, _ in failures)
+    print(f"\nWARNING: {total} failed trial(s) dropped from {header}:",
+          file=sys.stderr)
+    for label, k, n in failures:
+        print(f"  {label}: {k}/{n} trials failed", file=sys.stderr)
+    if strict:
+        print("--strict: treating failed trials as fatal", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _campaign_telemetry(workers: int, journal: Optional[str] = None):
+    """A telemetry sink for parallel or journalled CLI campaigns.
+
+    ``None`` for a plain serial run; journalled campaigns always get one so
+    the resumed-vs-fresh split is reportable.
+    """
+    if workers == 1 and journal is None:
         return None
     from repro.metrics.collector import CampaignTelemetry
 
@@ -201,13 +301,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     protocols = tuple(p for p in args.protocols.split(",") if p)
     workers = _resolve_workers(args)
-    telemetry = _campaign_telemetry(workers)
+    telemetry = _campaign_telemetry(workers, args.journal)
     comparison = compare_protocols(
         scenario,
         protocols,
         max_workers=workers,
         trial_timeout_s=args.trial_timeout,
         telemetry=telemetry,
+        journal_path=args.journal,
+        resume=args.resume,
     )
     if telemetry is not None:
         print(f"[{workers} workers] {telemetry.format_summary()}")
@@ -223,6 +325,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         fmt="{:.0f}",
     ))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweep import sweep_scenario
+
+    scenario = _scenario_from(args)
+    workers = _resolve_workers(args)
+    telemetry = _campaign_telemetry(workers, args.journal)
+    result = sweep_scenario(
+        scenario,
+        field=args.field,
+        values=args.values,
+        trials=args.trials,
+        max_workers=workers,
+        trial_timeout_s=args.trial_timeout,
+        telemetry=telemetry,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    if telemetry is not None:
+        print(f"[{workers} workers] {telemetry.format_summary()}")
+        print()
+    print(f"sweep: {args.field} over {len(result.points)} values, "
+          f"{args.trials} trial(s) each")
+    print(f"{args.field:>14}  {'PDR':>7}  {'std':>7}  {'delay ms':>9}  "
+          f"{'ctrl pkts':>9}  {'failed':>6}")
+    for point in result.points:
+        delay_ms = point.delay_mean_s * 1000
+        print(f"{point.value!s:>14}  {point.pdr_mean:>7.3f}  "
+              f"{point.pdr_std:>7.3f}  {delay_ms:>9.2f}  "
+              f"{point.control_packets_mean:>9.0f}  {point.num_failed:>6d}")
+    return _report_failures(
+        "the sweep aggregates",
+        [
+            (f"{args.field}={point.value!r}", point.num_failed, args.trials)
+            for point in result.points
+        ],
+        args.strict,
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -252,7 +393,7 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
     from repro.util.rng import RngStreams
 
     workers = _resolve_workers(args)
-    telemetry = _campaign_telemetry(workers)
+    telemetry = _campaign_telemetry(workers, args.journal)
     diagram = fundamental_diagram(
         args.densities,
         p=args.p,
@@ -263,6 +404,8 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
         max_workers=workers,
         trial_timeout_s=args.trial_timeout,
         telemetry=telemetry,
+        journal_path=args.journal,
+        resume=args.resume,
     )
     if telemetry is not None:
         print(f"[{workers} workers] {telemetry.format_summary()}")
@@ -276,7 +419,12 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
     print(f"\nJ(rho): {render_sparkline(diagram.flows)}")
     rho_star, j_star = diagram.peak()
     print(f"peak: J={j_star:.3f} at rho={rho_star:.3f}")
-    return 0
+    failed = diagram.num_failed
+    per_point = [] if failed is None else [
+        (f"rho={rho:.3f}", int(k), args.trials)
+        for rho, k in zip(diagram.densities, failed)
+    ]
+    return _report_failures("the ensemble averages", per_point, args.strict)
 
 
 def _cmd_spacetime(args: argparse.Namespace) -> int:
@@ -301,6 +449,7 @@ def _cmd_spacetime(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
     "fundamental": _cmd_fundamental,
     "spacetime": _cmd_spacetime,
@@ -308,6 +457,18 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    The typed campaign errors (bad configuration, corrupt/stale journal,
+    every-trial-failed, simulator invariant violations) print a one-line
+    diagnosis to stderr and exit 2 instead of dumping a traceback — the
+    exception class already says which of the four failure modes this is.
+    """
+    from repro.util.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return 2

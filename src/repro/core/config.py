@@ -13,6 +13,7 @@ import dataclasses
 from typing import Any, Dict, Optional, Tuple
 
 from repro.mac.params import Mac80211Params
+from repro.util.errors import ConfigError
 from repro.util.units import CELL_LENGTH_M
 
 
@@ -95,9 +96,9 @@ class Scenario:
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
-            raise ValueError(f"num_nodes must be >= 2, got {self.num_nodes}")
+            raise ConfigError(f"num_nodes must be >= 2, got {self.num_nodes}")
         if self.boundary not in ("circuit", "line"):
-            raise ValueError(
+            raise ConfigError(
                 f"boundary must be 'circuit' or 'line', got {self.boundary!r}"
             )
         if self.propagation not in (
@@ -106,50 +107,90 @@ class Scenario:
             "shadowing",
             "nakagami",
         ):
-            raise ValueError(
+            raise ConfigError(
                 f"unknown propagation model {self.propagation!r}"
             )
         if self.initial_placement not in ("random", "uniform"):
-            raise ValueError(
+            raise ConfigError(
                 "initial_placement must be 'random' or 'uniform', got "
                 f"{self.initial_placement!r}"
             )
         if not 0.0 <= self.dawdle_p <= 1.0:
-            raise ValueError(f"dawdle_p must be in [0,1], got {self.dawdle_p}")
+            raise ConfigError(f"dawdle_p must be in [0,1], got {self.dawdle_p}")
         if self.sim_time_s <= 0:
-            raise ValueError(f"sim_time_s must be > 0, got {self.sim_time_s}")
+            raise ConfigError(f"sim_time_s must be > 0, got {self.sim_time_s}")
         if self.flows is None:
             if self.receiver in self.senders:
-                raise ValueError(
+                raise ConfigError(
                     f"receiver {self.receiver} cannot also be a sender"
                 )
             endpoints = (self.receiver, *self.senders)
         else:
             if not self.flows:
-                raise ValueError("flows, when given, must be non-empty")
+                raise ConfigError("flows, when given, must be non-empty")
             for src, dst in self.flows:
                 if src == dst:
-                    raise ValueError(f"flow {src}->{dst} loops on itself")
+                    raise ConfigError(f"flow {src}->{dst} loops on itself")
             endpoints = (
                 self.receiver,
                 *(node for flow in self.flows for node in flow),
             )
         for node in endpoints:
             if not 0 <= node < self.num_nodes:
-                raise ValueError(
+                raise ConfigError(
                     f"node {node} outside [0, {self.num_nodes})"
                 )
         if not self.traffic_start_s < self.traffic_stop_s <= self.sim_time_s:
-            raise ValueError(
+            raise ConfigError(
                 "need traffic_start_s < traffic_stop_s <= sim_time_s, got "
                 f"{self.traffic_start_s}, {self.traffic_stop_s}, "
                 f"{self.sim_time_s}"
             )
         num_cells = int(self.road_length_m // self.cell_length_m)
         if self.num_nodes > num_cells:
-            raise ValueError(
+            raise ConfigError(
                 f"{self.num_nodes} vehicles do not fit on {num_cells} cells"
             )
+
+    def validate(self) -> "Scenario":
+        """Full validation pass, run *before* any worker is spawned.
+
+        ``__post_init__`` already checks everything knowable from this
+        module alone; this re-runs those checks (guarding against
+        ``object.__setattr__``-style mutation) and adds cross-module ones
+        that would otherwise only surface inside a worker process minutes
+        into a campaign — most importantly that ``protocol`` actually
+        names a registered routing protocol.  Raises
+        :class:`~repro.util.errors.ConfigError`; returns ``self`` so entry
+        points can chain ``scenario.validate()``.
+        """
+        self.__post_init__()
+        from repro.routing import PROTOCOLS
+
+        if self.protocol.upper() not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown routing protocol {self.protocol!r}; "
+                f"known: {sorted(PROTOCOLS)}"
+            )
+        if self.mobility_warmup_steps < 0:
+            raise ConfigError(
+                "mobility_warmup_steps must be >= 0, got "
+                f"{self.mobility_warmup_steps}"
+            )
+        if self.cbr_rate_pps <= 0:
+            raise ConfigError(
+                f"cbr_rate_pps must be > 0, got {self.cbr_rate_pps}"
+            )
+        if self.cbr_size_bytes <= 0:
+            raise ConfigError(
+                f"cbr_size_bytes must be > 0, got {self.cbr_size_bytes}"
+            )
+        if not 0 < self.tx_range_m <= self.cs_range_m:
+            raise ConfigError(
+                "need 0 < tx_range_m <= cs_range_m, got "
+                f"{self.tx_range_m}, {self.cs_range_m}"
+            )
+        return self
 
     @property
     def num_cells(self) -> int:

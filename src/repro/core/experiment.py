@@ -13,10 +13,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import Scenario
+from repro.core.journal import campaign_fingerprint, open_journal
 from repro.core.runner import TrialRunner, TrialSpec
 from repro.core.simulation import CavenetSimulation, SimulationResult
 from repro.metrics.collector import CampaignTelemetry
 from repro.mobility.trace import MobilityTrace
+from repro.util.errors import TrialError
 
 
 @dataclasses.dataclass
@@ -75,6 +77,21 @@ def _run_protocol_trial(
     return CavenetSimulation(scenario).run(trace=trace)
 
 
+def _trace_digest(trace: MobilityTrace) -> str:
+    """A short stable digest of the mobility actually replayed.
+
+    Ties a comparison's journal to its trace: resuming the "same" scenario
+    over different mobility would silently mix apples and oranges without
+    this.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(trace.times).tobytes())
+    digest.update(np.ascontiguousarray(trace.positions).tobytes())
+    return digest.hexdigest()[:16]
+
+
 def compare_protocols(
     scenario: Scenario,
     protocols: Iterable[str] = ("AODV", "OLSR", "DYMO"),
@@ -82,6 +99,8 @@ def compare_protocols(
     max_workers: int = 1,
     trial_timeout_s: Optional[float] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> ProtocolComparison:
     """Run ``scenario`` once per protocol over the *same* mobility trace.
 
@@ -90,8 +109,18 @@ def compare_protocols(
     the per-protocol runs execute in parallel worker processes; each run is
     seeded from the scenario alone, so results match serial execution
     exactly.  A comparison needs every protocol, so a run that still fails
-    after retries raises.
+    after retries raises :class:`~repro.util.errors.TrialError`.
+
+    With ``journal_path``/``resume`` each finished protocol run is durably
+    journalled and skipped on restart.  The fingerprint covers the scenario,
+    the protocol list and a digest of the trace actually replayed, so a
+    journal recorded over different mobility is rejected.
     """
+    base_scenario = scenario
+    for protocol in protocols:
+        # Reject an unknown protocol before a trace is generated or any
+        # worker spawned, not minutes into the campaign.
+        scenario.with_protocol(protocol).validate()
     protocols = tuple(protocols)
     if trace is None:
         trace = CavenetSimulation(scenario).generate_trace()
@@ -103,17 +132,30 @@ def compare_protocols(
         )
         for protocol in protocols
     ]
+    fingerprint = campaign_fingerprint(
+        kind="compare",
+        scenario=dataclasses.asdict(base_scenario),
+        protocols=list(protocols),
+        trace_digest=_trace_digest(trace),
+    )
+    journal = open_journal(journal_path, fingerprint, resume)
     runner = TrialRunner(
         max_workers=max_workers,
         trial_timeout_s=trial_timeout_s,
         telemetry=telemetry,
     )
-    outcomes = runner.run(specs)
+    try:
+        outcomes = runner.run(specs, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     failed = [o for o in outcomes if not o.ok]
     if failed:
-        raise RuntimeError(
+        raise TrialError(
             f"protocol run {failed[0].key!r} failed after "
-            f"{failed[0].attempts} attempts:\n{failed[0].error}"
+            f"{failed[0].attempts} attempts:\n{failed[0].error}",
+            key=failed[0].key,
+            attempts=failed[0].attempts,
         )
     results: Dict[str, SimulationResult] = {
         outcome.key: outcome.value for outcome in outcomes

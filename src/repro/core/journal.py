@@ -1,0 +1,332 @@
+"""Durable trial journal: crash-safe record of a campaign's progress.
+
+The paper's evaluation is hours of repeated ``(spec, seed)`` trials — the
+Fig. 4 fundamental diagram alone is 20 trials per density point, and the
+Figs. 8-11 protocol comparisons multiply that by protocol and scenario.  A
+SIGKILL, OOM or laptop sleep at trial 199/200 should lose *one* trial, not
+the campaign.  :class:`TrialJournal` makes that so:
+
+* **append-only JSONL** — one self-contained line per completed trial, so
+  a reader never needs to seek and a crash can corrupt at most the final
+  line;
+* **atomic line writes** — each record is a single ``write()`` of a full
+  line, flushed and (by default) ``fsync``-ed before :meth:`record`
+  returns, so a record either exists completely or not at all;
+* **schema versioning** — the header line carries a schema number; a
+  journal written by a future incompatible version is rejected, not
+  misread;
+* **spec fingerprinting** — the header also carries a SHA-256 fingerprint
+  of the campaign definition (scenario + sweep grid + seeds).  Resuming
+  against a journal whose fingerprint differs raises
+  :class:`~repro.util.errors.JournalCorruptError`: a stale journal is
+  rejected, never silently merged;
+* **torn-tail tolerance** — the reader drops an incomplete final line (the
+  expected residue of a crash mid-write) but treats any earlier damage as
+  corruption.
+
+Trial *values* ride inside the JSON line as base64-encoded
+zlib-compressed pickles — campaign results (``SimulationResult``, numpy
+arrays) are already required to be picklable to cross the worker-process
+boundary, so the journal imposes no new constraint.  Compression (level
+1) pays for itself: a ``SimulationResult`` shrinks ~3x, and writing +
+fsync-ing the smaller line costs less than compressing it cost.
+
+This is the campaign-scope sibling of the run-scope CA checkpoint
+(:meth:`repro.ca.nasch.NagelSchreckenberg.state_dict`): the CA checkpoint
+resumes *one trajectory* mid-flight, the journal resumes *a whole
+campaign* at trial granularity.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import zlib
+from typing import Any, Dict, Optional
+
+from repro.util.errors import ConfigError, JournalCorruptError
+
+#: Journal format version.  Bump on any incompatible line-format change.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON for fingerprints and trial-key identities.
+
+    Keys are sorted and separators fixed so the same logical payload always
+    produces the same text; objects JSON cannot represent (dataclasses
+    already expanded by the caller, numpy scalars, callables) fall back to
+    ``repr``, which is stable for everything a campaign definition contains.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+def campaign_fingerprint(**parts: Any) -> str:
+    """SHA-256 over the canonical JSON of a campaign's defining parts.
+
+    Callers pass everything that determines the trial grid — the scenario
+    (as a plain dict), the swept field and values, trial counts, seeds —
+    so two campaigns share a fingerprint exactly when their journals are
+    interchangeable.
+    """
+    text = canonical_json(parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def trial_key_id(key: Any) -> str:
+    """The canonical string identity of one trial key.
+
+    JSON round-trips erase the tuple/list distinction (``(0.2, 3)`` and
+    ``[0.2, 3]`` both print as ``[0.2, 3]``), which is exactly the
+    equivalence the journal wants: the identity survives serialisation.
+    """
+    return canonical_json(key)
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One completed trial as read back from a journal.
+
+    Attributes:
+        key_id: canonical trial-key identity (:func:`trial_key_id`).
+        value: the trial function's unpickled return value.
+        attempts: attempts the original run needed.
+        wall_clock_s: duration of the original successful attempt.
+    """
+
+    key_id: str
+    value: Any
+    attempts: int
+    wall_clock_s: float
+
+
+class TrialJournal:
+    """Append-only record of completed trials, safe to resume from.
+
+    Args:
+        path: journal file location.
+        fingerprint: the campaign's :func:`campaign_fingerprint`.  Written
+            into the header of a fresh journal; checked against the header
+            of a resumed one.
+        resume: when True and ``path`` holds a valid journal for this
+            fingerprint, previously completed trials are loaded into
+            :attr:`completed` and new records are appended.  When False the
+            file is truncated and started fresh.
+        fsync: fsync after every record (default).  Turning it off trades
+            power-loss durability for speed; an OS crash may then lose the
+            tail, but the torn-line-tolerant reader still recovers the rest.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str,
+        resume: bool = False,
+        fsync: bool = True,
+    ) -> None:
+        self.path = str(path)
+        self.fingerprint = str(fingerprint)
+        self._fsync = bool(fsync)
+        self._completed: Dict[str, JournalEntry] = {}
+        has_content = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if resume and has_content:
+            self._completed = read_completed(self.path, self.fingerprint)
+            self._file = open(self.path, "ab")
+        else:
+            self._file = open(self.path, "wb")
+            self._write_line(
+                {
+                    "kind": "header",
+                    "schema": SCHEMA_VERSION,
+                    "fingerprint": self.fingerprint,
+                }
+            )
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def completed(self) -> Dict[str, JournalEntry]:
+        """Completed trials loaded at open time, keyed by key identity."""
+        return self._completed
+
+    # -- writing ------------------------------------------------------------
+
+    def record_success(
+        self, key: Any, value: Any, attempts: int, wall_clock_s: float
+    ) -> None:
+        """Durably record one completed trial.
+
+        Returns only after the line is on its way to disk (flushed, and
+        fsync-ed unless disabled), so a crash immediately after a trial
+        completes can no longer lose it.
+        """
+        payload = base64.b64encode(
+            zlib.compress(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), 1
+            )
+        ).decode("ascii")
+        self._write_line(
+            {
+                "kind": "trial",
+                "key": trial_key_id(key),
+                "status": "ok",
+                "attempts": int(attempts),
+                "wall_clock_s": float(wall_clock_s),
+                "value": payload,
+            }
+        )
+
+    def record_failure(self, key: Any, error: str, attempts: int) -> None:
+        """Record a terminally failed trial (observability only).
+
+        Failed trials are *not* added to :attr:`completed` on resume — a
+        restarted campaign retries them, which is what you want after
+        fixing whatever killed them.
+        """
+        self._write_line(
+            {
+                "kind": "trial",
+                "key": trial_key_id(key),
+                "status": "error",
+                "attempts": int(attempts),
+                "error": str(error)[:2000],
+            }
+        )
+
+    def _write_line(self, obj: Dict[str, Any]) -> None:
+        # One write() call per full line: the record is either entirely in
+        # the OS buffer or entirely absent, and a crash mid-call leaves at
+        # worst a torn *final* line, which the reader tolerates.
+        line = json.dumps(obj, separators=(",", ":")) + "\n"
+        self._file.write(line.encode("utf-8"))
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class _CorruptLine(ValueError):
+    """Internal marker: a journal line failed structural validation.
+
+    Caught by :func:`read_completed`'s generic handler so it gets the same
+    torn-tail tolerance and line-number wrapping as a JSON parse failure.
+    """
+
+
+def read_completed(
+    path: str, expect_fingerprint: Optional[str] = None
+) -> Dict[str, JournalEntry]:
+    """Read a journal's completed trials, tolerating a torn final line.
+
+    Raises :class:`~repro.util.errors.JournalCorruptError` on a missing or
+    malformed header, an unknown schema version, a fingerprint mismatch
+    (when ``expect_fingerprint`` is given), or damage anywhere except the
+    final line.  Duplicate keys keep the *last* record (a trial re-run
+    after a tolerated torn write simply supersedes itself).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data:
+        raise JournalCorruptError(f"journal {path!r} is empty")
+    lines = data.split(b"\n")
+    # A file ending in "\n" splits into [.., b""]; drop that sentinel.  A
+    # file NOT ending in "\n" has a torn final line, which stays in the
+    # list and is given one chance to parse below.
+    tail_is_torn = bool(lines[-1])
+    if not tail_is_torn:
+        lines.pop()
+    entries: Dict[str, JournalEntry] = {}
+    for number, raw in enumerate(lines, start=1):
+        is_final = number == len(lines)
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+            if not isinstance(obj, dict):
+                raise _CorruptLine("journal line is not an object")
+            if number == 1:
+                _check_header(obj, path, expect_fingerprint)
+                continue
+            if obj.get("kind") != "trial":
+                raise _CorruptLine(
+                    f"unexpected line kind {obj.get('kind')!r}"
+                )
+            if obj.get("status") != "ok":
+                continue  # failures are informational; resume retries them
+            value = pickle.loads(
+                zlib.decompress(base64.b64decode(obj["value"]))
+            )
+            entries[obj["key"]] = JournalEntry(
+                key_id=obj["key"],
+                value=value,
+                attempts=int(obj.get("attempts", 1)),
+                wall_clock_s=float(obj.get("wall_clock_s", 0.0)),
+            )
+        except JournalCorruptError:
+            raise
+        except Exception as exc:
+            if is_final and tail_is_torn:
+                break  # torn tail: the crash the journal exists to survive
+            raise JournalCorruptError(
+                f"journal {path!r} line {number} is corrupt: {exc}"
+            ) from exc
+    return entries
+
+
+def _check_header(
+    obj: Dict[str, Any], path: str, expect_fingerprint: Optional[str]
+) -> None:
+    if obj.get("kind") != "header":
+        raise JournalCorruptError(
+            f"journal {path!r} does not start with a header line"
+        )
+    schema = obj.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise JournalCorruptError(
+            f"journal {path!r} has schema {schema!r}; this reader speaks "
+            f"schema {SCHEMA_VERSION}"
+        )
+    if (
+        expect_fingerprint is not None
+        and obj.get("fingerprint") != expect_fingerprint
+    ):
+        raise JournalCorruptError(
+            f"journal {path!r} belongs to a different campaign "
+            f"(fingerprint {obj.get('fingerprint')!r} != expected "
+            f"{expect_fingerprint!r}); refusing to merge stale results — "
+            "delete the journal or point --journal elsewhere"
+        )
+
+
+def open_journal(
+    journal_path: Optional[str],
+    fingerprint: str,
+    resume: bool,
+) -> Optional[TrialJournal]:
+    """The campaign entry points' shared journal-opening policy.
+
+    ``None`` path means journaling is off.  ``resume=True`` without a path
+    is a contradiction and raises :class:`ConfigError` rather than quietly
+    running the campaign from scratch.
+    """
+    if journal_path is None:
+        if resume:
+            raise ConfigError("resume=True requires a journal path")
+        return None
+    return TrialJournal(journal_path, fingerprint, resume=resume)

@@ -16,7 +16,12 @@ set across worker processes with:
   ``multiprocessing`` layer, or a failed worker launch all fall back to
   plain in-process serial execution;
 * **observability** — every attempt is reported to a
-  :class:`repro.metrics.collector.CampaignTelemetry`.
+  :class:`repro.metrics.collector.CampaignTelemetry`;
+* **crash-safety** — pass a :class:`repro.core.journal.TrialJournal` to
+  :meth:`TrialRunner.run` and every completed trial is durably recorded
+  before the campaign moves on; trials already present in the journal are
+  *resumed* (their recorded values returned without re-running) and show
+  up in telemetry as ``"resumed"`` records.
 
 One process per trial keeps the failure domain small (a crashing trial
 cannot take unrelated trials with it, unlike a shared pool) and makes the
@@ -32,7 +37,9 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.journal import TrialJournal, trial_key_id
 from repro.metrics.collector import CampaignTelemetry, TrialRecord
+from repro.util.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -141,11 +148,11 @@ class TrialRunner:
         poll_interval_s: float = 0.02,
     ) -> None:
         if max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
         if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
         if trial_timeout_s is not None and trial_timeout_s <= 0:
-            raise ValueError(
+            raise ConfigError(
                 f"trial_timeout_s must be > 0, got {trial_timeout_s}"
             )
         self.max_workers = int(max_workers)
@@ -156,21 +163,64 @@ class TrialRunner:
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, specs: Sequence[TrialSpec]) -> List[TrialOutcome]:
-        """Run every spec; outcomes come back in submission order."""
+    def run(
+        self,
+        specs: Sequence[TrialSpec],
+        journal: Optional[TrialJournal] = None,
+    ) -> List[TrialOutcome]:
+        """Run every spec; outcomes come back in submission order.
+
+        With ``journal`` given, specs whose key is already completed in the
+        journal are returned from their recorded values without re-running
+        (reported to telemetry as ``"resumed"``), and every freshly
+        completed trial is durably journalled *before* the campaign
+        proceeds — so an interrupted campaign resumes at the exact trial
+        boundary it died at.
+        """
         specs = list(specs)
         if not specs:
             return []
-        if self.max_workers == 1:
-            return [self._run_serial(i, s) for i, s in enumerate(specs)]
-        context = self._context()
-        if context is None:
-            return [self._run_serial(i, s) for i, s in enumerate(specs)]
-        return self._run_pool(specs, context)
+        outcomes: List[Optional[TrialOutcome]] = [None] * len(specs)
+        fresh: List[Tuple[int, TrialSpec]] = []
+        if journal is not None:
+            for index, spec in enumerate(specs):
+                entry = journal.completed.get(trial_key_id(spec.key))
+                if entry is not None:
+                    outcomes[index] = TrialOutcome(
+                        key=spec.key,
+                        index=index,
+                        value=entry.value,
+                        attempts=entry.attempts,
+                        wall_clock_s=entry.wall_clock_s,
+                    )
+                    self._record(spec.key, entry.attempts, "resumed", 0.0)
+                else:
+                    fresh.append((index, spec))
+        else:
+            fresh = list(enumerate(specs))
+        if fresh:
+            context = None if self.max_workers == 1 else self._context()
+            if context is None:
+                for index, spec in fresh:
+                    outcomes[index] = self._run_serial(index, spec, journal)
+            else:
+                for outcome in self._run_pool(
+                    [spec for _, spec in fresh], context, journal
+                ):
+                    index = fresh[outcome.index][0]
+                    outcomes[index] = dataclasses.replace(
+                        outcome, index=index
+                    )
+        return [outcome for outcome in outcomes if outcome is not None]
 
     # -- serial path --------------------------------------------------------
 
-    def _run_serial(self, index: int, spec: TrialSpec) -> TrialOutcome:
+    def _run_serial(
+        self,
+        index: int,
+        spec: TrialSpec,
+        journal: Optional[TrialJournal] = None,
+    ) -> TrialOutcome:
         """In-process execution with the same retry semantics as the pool."""
         error = None
         for attempt in range(1, self.max_attempts + 1):
@@ -186,6 +236,8 @@ class TrialRunner:
                 continue
             elapsed = time.perf_counter() - started
             self._record(spec.key, attempt, "ok", elapsed)
+            if journal is not None:
+                journal.record_success(spec.key, value, attempt, elapsed)
             return TrialOutcome(
                 key=spec.key,
                 index=index,
@@ -193,6 +245,8 @@ class TrialRunner:
                 attempts=attempt,
                 wall_clock_s=elapsed,
             )
+        if journal is not None:
+            journal.record_failure(spec.key, error or "", self.max_attempts)
         return TrialOutcome(
             key=spec.key,
             index=index,
@@ -243,7 +297,7 @@ class TrialRunner:
             deadline=deadline,
         )
 
-    def _run_pool(self, specs, context) -> List[TrialOutcome]:
+    def _run_pool(self, specs, context, journal=None) -> List[TrialOutcome]:
         results: List[Optional[TrialOutcome]] = [None] * len(specs)
         pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
         pending.reverse()  # pop() from the end == FIFO over trial indices
@@ -254,6 +308,8 @@ class TrialRunner:
             spec = specs[index]
             self._record(spec.key, attempt, status, elapsed, error)
             if status == "ok":
+                if journal is not None:
+                    journal.record_success(spec.key, value, attempt, elapsed)
                 results[index] = TrialOutcome(
                     key=spec.key,
                     index=index,
@@ -264,6 +320,8 @@ class TrialRunner:
             elif attempt < self.max_attempts:
                 pending.insert(0, (index, attempt + 1))
             else:
+                if journal is not None:
+                    journal.record_failure(spec.key, error or "", attempt)
                 results[index] = TrialOutcome(
                     key=spec.key,
                     index=index,
@@ -284,7 +342,9 @@ class TrialRunner:
                     except Exception:
                         # Cannot start a worker (resources, pickling, ...):
                         # degrade this trial to an in-process run.
-                        results[index] = self._run_serial(index, specs[index])
+                        results[index] = self._run_serial(
+                            index, specs[index], journal
+                        )
                 progressed = False
                 still_active: List[_Active] = []
                 now = time.monotonic()
@@ -315,8 +375,25 @@ class TrialRunner:
                     "error",
                     "worker pipe closed before a result arrived",
                 )
+            except Exception as exc:
+                # The payload crossed the pipe but failed to *unpickle* on
+                # this side (e.g. its class raises in __setstate__).  That
+                # must count as a failed attempt and retry — not escape and
+                # kill the whole campaign loop.
+                status, payload = (
+                    "error",
+                    f"result could not be unpickled: {exc!r}",
+                )
             worker.process.join()
             worker.conn.close()
+            if status == "ok" and worker.process.exitcode not in (None, 0):
+                # The worker died after sending but with a failure exit:
+                # treat the result as suspect and retry the attempt.
+                status, payload = (
+                    "error",
+                    "worker exited with code "
+                    f"{worker.process.exitcode} after sending its result",
+                )
             if status == "ok":
                 settle(worker.index, worker.attempt, "ok", elapsed, payload)
             else:
@@ -367,6 +444,7 @@ def run_trials(
     trial_timeout_s: Optional[float] = None,
     max_attempts: int = 2,
     telemetry: Optional[CampaignTelemetry] = None,
+    journal: Optional[TrialJournal] = None,
 ) -> List[TrialOutcome]:
     """Convenience wrapper: build a :class:`TrialRunner` and run ``specs``."""
     return TrialRunner(
@@ -374,4 +452,4 @@ def run_trials(
         trial_timeout_s=trial_timeout_s,
         max_attempts=max_attempts,
         telemetry=telemetry,
-    ).run(specs)
+    ).run(specs, journal=journal)

@@ -41,6 +41,7 @@ from repro.phy.propagation import (
 from repro.routing import make_protocol
 from repro.traffic.cbr import CbrSource
 from repro.traffic.sink import Sink
+from repro.util.errors import ConfigError
 from repro.util.rng import RngStreams
 
 
@@ -211,7 +212,7 @@ class CavenetSimulation:
         if trace is None:
             trace = self.generate_trace()
         if trace.num_nodes != scenario.num_nodes:
-            raise ValueError(
+            raise ConfigError(
                 f"trace has {trace.num_nodes} nodes, scenario expects "
                 f"{scenario.num_nodes}"
             )

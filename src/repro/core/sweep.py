@@ -17,9 +17,11 @@ from typing import Any, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import Scenario
+from repro.core.journal import campaign_fingerprint, open_journal
 from repro.core.runner import TrialRunner, TrialSpec
 from repro.core.simulation import CavenetSimulation, SimulationResult
 from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import ConfigError, TrialError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +66,11 @@ class SweepResult:
         """Mean delay per point."""
         return np.array([point.delay_mean_s for point in self.points])
 
+    @property
+    def total_failed(self) -> int:
+        """Trials dropped from the aggregates across every point."""
+        return sum(point.num_failed for point in self.points)
+
 
 def _run_scenario_trial(scenario: Scenario) -> SimulationResult:
     """Trial function for the runner: one full simulation of ``scenario``."""
@@ -103,6 +110,8 @@ def sweep_scenario(
     trial_timeout_s: Optional[float] = None,
     max_attempts: int = 2,
     telemetry: Optional[CampaignTelemetry] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run ``base`` once per ``(value, trial)``, varying one field.
 
@@ -114,12 +123,21 @@ def sweep_scenario(
     (element-wise identical results, since every seed is fixed up front);
     ``trial_timeout_s`` bounds each trial and failed trials are retried,
     then dropped from the point's aggregates (``SweepPoint.num_failed``
-    counts them).  A point where *every* trial failed raises.
+    counts them).  A point where *every* trial failed raises
+    :class:`~repro.util.errors.TrialError`.
+
+    With ``journal_path`` every completed trial is durably journalled;
+    ``resume=True`` then skips trials already in the journal, so a sweep
+    killed at any trial boundary finishes from where it died with results
+    identical to an uninterrupted run.  The journal is fingerprinted with
+    the scenario, grid and seeds — resuming with a *different* sweep
+    definition is rejected, not merged.
     """
     if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
+        raise ConfigError(f"trials must be >= 1, got {trials}")
     if field not in {f.name for f in dataclasses.fields(Scenario)}:
-        raise ValueError(f"{field!r} is not a Scenario field")
+        raise ConfigError(f"{field!r} is not a Scenario field")
+    base.validate()  # fail on a bad config before any worker is spawned
     specs = []
     for value_index, value in enumerate(values):
         for trial in range(trials):
@@ -133,22 +151,36 @@ def sweep_scenario(
                     args=(scenario,),
                 )
             )
+    fingerprint = campaign_fingerprint(
+        kind="sweep",
+        scenario=dataclasses.asdict(base),
+        field=field,
+        values=list(values),
+        trials=trials,
+    )
+    journal = open_journal(journal_path, fingerprint, resume)
     runner = TrialRunner(
         max_workers=max_workers,
         trial_timeout_s=trial_timeout_s,
         max_attempts=max_attempts,
         telemetry=telemetry,
     )
-    outcomes = runner.run(specs)
+    try:
+        outcomes = runner.run(specs, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
     points: List[SweepPoint] = []
     for value_index, value in enumerate(values):
         per_point = outcomes[value_index * trials:(value_index + 1) * trials]
         results = [o.value for o in per_point if o.ok]
         failed = [o for o in per_point if not o.ok]
         if not results:
-            raise RuntimeError(
+            raise TrialError(
                 f"all {trials} trials failed at {field}={value!r}; "
-                f"first error:\n{failed[0].error}"
+                f"first error:\n{failed[0].error}",
+                key=failed[0].key,
+                attempts=failed[0].attempts,
             )
         points.append(_aggregate_point(value, results, len(failed)))
     return SweepResult(field=field, points=points)

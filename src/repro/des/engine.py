@@ -6,9 +6,10 @@ import heapq
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.des.event import Event
+from repro.util.errors import InvariantViolation, ReproError
 
 
-class SimulationError(RuntimeError):
+class SimulationError(ReproError, RuntimeError):
     """Raised on scheduler misuse (e.g. scheduling in the past)."""
 
 
@@ -24,6 +25,18 @@ class Simulator:
     packed simulation (millions of comparisons per run).  ``seq`` is unique,
     so the comparison never falls through to the event object.
 
+    Two always-on invariant guards protect long campaigns from silent
+    state corruption, both O(1) per event:
+
+    * **time monotonicity** — a popped event behind the current clock means
+      the heap (or an event's time) was corrupted; the run aborts with
+      :class:`~repro.util.errors.InvariantViolation` instead of silently
+      rewinding time;
+    * **no starvation** — more than ``max_same_time_events`` consecutive
+      firings at one instant means a zero-delay event loop is starving the
+      clock (the classic runaway-retry bug); the default bound is far above
+      anything a real scenario produces.
+
     >>> sim = Simulator()
     >>> fired = []
     >>> _ = sim.schedule(1.0, fired.append, "a")
@@ -33,7 +46,16 @@ class Simulator:
     ['b', 'a']
     """
 
-    def __init__(self) -> None:
+    #: Default cap on consecutive events at one instant (starvation guard).
+    DEFAULT_MAX_SAME_TIME_EVENTS = 1_000_000
+
+    def __init__(self, max_same_time_events: Optional[int] = None) -> None:
+        self.max_same_time_events = (
+            int(max_same_time_events)
+            if max_same_time_events is not None
+            else self.DEFAULT_MAX_SAME_TIME_EVENTS
+        )
+        self._same_time_run = 0
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
@@ -143,6 +165,7 @@ class Simulator:
                 event = heappop(heap)[2]
                 if event.cancelled:
                     continue
+                self._check_time_invariants(time)
                 # Fired events leave the active count now; a later cancel()
                 # must not decrement again.
                 event.on_cancel = None
@@ -155,12 +178,35 @@ class Simulator:
         finally:
             self._running = False
 
+    def _check_time_invariants(self, time: float) -> None:
+        """O(1) per-event guards: monotone clock, no zero-delay starvation."""
+        if time < self._now:
+            raise InvariantViolation(
+                "event time went backwards",
+                event_time=time,
+                now=self._now,
+                events_processed=self.events_processed,
+            )
+        if time == self._now:
+            self._same_time_run += 1
+            if self._same_time_run > self.max_same_time_events:
+                raise InvariantViolation(
+                    "event starvation: too many consecutive events at one "
+                    "instant (zero-delay event loop?)",
+                    now=self._now,
+                    limit=self.max_same_time_events,
+                    events_processed=self.events_processed,
+                )
+        else:
+            self._same_time_run = 0
+
     def step(self) -> bool:
         """Fire the single next active event.  Returns False when drained."""
         while self._heap:
             time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._check_time_invariants(time)
             event.on_cancel = None
             self._active -= 1
             self.events_processed += 1

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.des.engine import Simulator
 from repro.des.event import Event
+from repro.util.errors import ConfigError
 
 
 class PeriodicTimer:
@@ -34,9 +35,9 @@ class PeriodicTimer:
         start_delay: Optional[float] = None,
     ) -> None:
         if interval <= 0:
-            raise ValueError(f"interval must be > 0, got {interval}")
+            raise ConfigError(f"interval must be > 0, got {interval}")
         if jitter < 0 or jitter >= interval:
-            raise ValueError(f"jitter must be in [0, interval), got {jitter}")
+            raise ConfigError(f"jitter must be in [0, interval), got {jitter}")
         self._sim = sim
         self._interval = interval
         self._callback = callback

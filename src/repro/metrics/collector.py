@@ -23,7 +23,8 @@ class TrialRecord:
         key: the trial's identity within its campaign (e.g. ``(value, trial)``
             for a sweep point, a protocol name for a comparison).
         attempt: 1-based attempt number (> 1 means this was a retry).
-        status: ``"ok"``, ``"error"`` or ``"timeout"``.
+        status: ``"ok"``, ``"error"``, ``"timeout"`` or ``"resumed"`` (the
+            trial's value was restored from a journal, not re-run).
         wall_clock_s: wall-clock duration of this attempt.
         error: diagnostic text for failed attempts (``None`` on success).
     """
@@ -69,9 +70,16 @@ class CampaignTelemetry:
         return sum(1 for r in self.records if r.ok)
 
     @property
+    def trials_resumed(self) -> int:
+        """Trials restored from a journal instead of being re-run."""
+        return sum(1 for r in self.records if r.status == "resumed")
+
+    @property
     def trials_failed(self) -> int:
         """Attempts that raised or were killed (includes retried ones)."""
-        return sum(1 for r in self.records if not r.ok)
+        return sum(
+            1 for r in self.records if r.status in ("error", "timeout")
+        )
 
     @property
     def timeouts(self) -> int:
@@ -80,8 +88,12 @@ class CampaignTelemetry:
 
     @property
     def retries(self) -> int:
-        """Attempts beyond the first for any trial key."""
-        return sum(1 for r in self.records if r.attempt > 1)
+        """Attempts beyond the first for any trial key (resumed records
+        keep their original attempt count but are not retries *now*)."""
+        return sum(
+            1 for r in self.records
+            if r.attempt > 1 and r.status != "resumed"
+        )
 
     def wall_clock_per_trial(self) -> List[float]:
         """Durations of the successful attempts, in completion order."""
@@ -98,6 +110,7 @@ class CampaignTelemetry:
         return {
             "attempts": float(len(self.records)),
             "completed": float(self.trials_completed),
+            "resumed": float(self.trials_resumed),
             "failed": float(self.trials_failed),
             "timeouts": float(self.timeouts),
             "retries": float(self.retries),
@@ -111,8 +124,14 @@ class CampaignTelemetry:
     def format_summary(self) -> str:
         """One human-readable line, e.g. for the CLI's closing report."""
         s = self.summary()
+        resumed = (
+            f"{int(s['resumed'])} resumed from journal, "
+            if s["resumed"]
+            else ""
+        )
         return (
-            f"{int(s['completed'])} trials ok, {int(s['failed'])} failed "
+            f"{int(s['completed'])} trials ok, {resumed}"
+            f"{int(s['failed'])} failed "
             f"({int(s['timeouts'])} timeouts, {int(s['retries'])} retries), "
             f"{s['total_wall_clock_s']:.2f}s busy, "
             f"{s['mean_trial_s']:.2f}s/trial mean"

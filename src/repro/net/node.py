@@ -124,6 +124,10 @@ class Node:
                 for sink in self._sinks:
                     sink(packet, prev_hop)
             elif self.routing is not None:
+                # Loop guard at the single forwarding dispatch point: every
+                # protocol's data path passes here, so a TTL-immortal loop
+                # trips regardless of which implementation caused it.
+                self.routing.check_ttl_guard(packet)
                 self.routing.forward_data(packet, prev_hop)
             else:
                 self.drop(packet, "no_routing_agent")

@@ -31,9 +31,11 @@ PROTOCOLS = {
 
 def make_protocol(name: str, node, rng, **kwargs) -> RoutingProtocol:
     """Instantiate a protocol by its (case-insensitive) name."""
+    from repro.util.errors import ConfigError
+
     key = name.upper()
     if key not in PROTOCOLS:
-        raise ValueError(
+        raise ConfigError(
             f"unknown routing protocol {name!r}; known: {sorted(PROTOCOLS)}"
         )
     return PROTOCOLS[key](node, rng, **kwargs)

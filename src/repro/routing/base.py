@@ -16,6 +16,13 @@ import numpy as np
 
 from repro.net.address import BROADCAST
 from repro.net.packet import Packet
+from repro.util.errors import InvariantViolation
+
+#: Hard ceiling on hops a packet may accumulate.  Every data packet starts
+#: with ttl <= 64 and loses one per forward, so hops can never legitimately
+#: reach this; exceeding it means a protocol is forwarding without
+#: decrementing the TTL — a routing loop the TTL cannot kill.
+MAX_HOPS = 256
 
 
 class RoutingProtocol(abc.ABC):
@@ -62,10 +69,36 @@ class RoutingProtocol(abc.ABC):
         Subclasses that need reverse-route refreshing or buffering override
         this and usually still delegate to :meth:`route_output` logic.
         """
+        self.check_ttl_guard(packet)
         if packet.ttl <= 1:
             self.node.drop(packet, "ttl_expired")
             return
         self.route_output(packet.copy_for_forwarding())
+
+    def check_ttl_guard(self, packet: Packet) -> None:
+        """Always-on loop guard: a packet's hop count must stay bounded.
+
+        TTL decrementing is each protocol's responsibility; if one forgets
+        (or resets TTL on forward), a routing loop circulates the packet
+        forever and the simulation livelocks instead of failing.  This trips
+        at :data:`MAX_HOPS` — far above any legitimate path length — and
+        raises :class:`~repro.util.errors.InvariantViolation` carrying the
+        packet's identity and position so the loop is reproducible.
+        """
+        if packet.hops >= MAX_HOPS:
+            raise InvariantViolation(
+                "packet exceeded the hop ceiling (routing loop outliving "
+                "its TTL?)",
+                protocol=self.name,
+                node=self.address,
+                packet_uid=packet.uid,
+                kind=packet.kind,
+                src=packet.src,
+                dst=packet.dst,
+                ttl=packet.ttl,
+                hops=packet.hops,
+                time=self.sim.now,
+            )
 
     @abc.abstractmethod
     def recv_control(self, packet: Packet, prev_hop: int) -> None:

@@ -1,5 +1,12 @@
-"""Shared utilities: seeded random streams, unit conversions, validation."""
+"""Shared utilities: seeded random streams, units, validation, errors."""
 
+from repro.util.errors import (
+    ConfigError,
+    InvariantViolation,
+    JournalCorruptError,
+    ReproError,
+    TrialError,
+)
 from repro.util.rng import RngStreams
 from repro.util.units import (
     CELL_LENGTH_M,
@@ -15,6 +22,11 @@ from repro.util.units import (
 from repro.util.validate import check_positive, check_probability, check_range
 
 __all__ = [
+    "ReproError",
+    "ConfigError",
+    "TrialError",
+    "JournalCorruptError",
+    "InvariantViolation",
     "RngStreams",
     "CELL_LENGTH_M",
     "TIME_STEP_S",

@@ -1,0 +1,81 @@
+"""The typed exception hierarchy shared by every layer of the tool.
+
+Long campaigns fail in qualitatively different ways, and the caller's
+correct reaction differs for each: a bad configuration should be fixed and
+the campaign restarted from scratch; a crashed trial should be retried (or
+reported and dropped from the aggregates); a corrupt journal must never be
+silently merged into fresh results; an invariant violation is a bug in the
+simulator itself and should abort loudly with enough context to reproduce.
+
+Every class multiply-inherits from the built-in exception it historically
+was (``ValueError``/``RuntimeError``), so ``except ValueError`` call sites
+written against earlier versions keep working while new code can catch the
+precise category — or everything at once via :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class of every error this package raises deliberately."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A scenario, sweep grid, or runner parameter is invalid.
+
+    Raised *before* any worker is spawned: the campaign never started, so
+    nothing needs cleaning up — fix the configuration and rerun.
+    """
+
+
+class TrialError(ReproError, RuntimeError):
+    """A trial (or every trial of a campaign point) failed at runtime.
+
+    Carries the first failing trial's diagnostics when available.
+
+    Attributes:
+        key: the failing trial's campaign key (``None`` when unknown).
+        attempts: attempts made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: Any = None,
+        attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.key = key
+        self.attempts = attempts
+
+
+class JournalCorruptError(ReproError, RuntimeError):
+    """A trial journal cannot be trusted (bad schema, fingerprint, line).
+
+    A torn *final* line is tolerated by the reader (it is the expected
+    residue of a crash mid-write); anything else — a mid-file syntax error,
+    a schema the reader does not speak, a fingerprint that does not match
+    the campaign being resumed — raises this instead of silently merging
+    stale results.
+    """
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """The simulator broke one of its own guaranteed properties.
+
+    This is never the user's fault: it means a bug corrupted simulation
+    state (non-monotone event time, vehicles lost from a closed lane, a
+    routing loop outliving its TTL ...).  ``context`` carries whatever the
+    guard knew at the raise site — step/time, lane, seed, offending values —
+    so the failure can be reproduced without rerunning the whole campaign.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        self.context: Dict[str, Any] = dict(context)
+        if context:
+            details = ", ".join(f"{k}={v!r}" for k, v in context.items())
+            message = f"{message} [{details}]"
+        super().__init__(message)

@@ -134,3 +134,99 @@ def test_parser_requires_command(capsys):
 def test_parser_rejects_unknown_propagation():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--propagation", "psychic"])
+
+
+# -- sweep command + campaign flags (journal / resume / strict) ---------------
+
+
+def test_sweep_command(capsys):
+    assert main(
+        ["sweep", "--field", "num_nodes", "--values", "10,12", *SMALL]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "sweep: num_nodes over 2 values" in out
+    assert "PDR" in out and "failed" in out
+
+
+def test_sweep_journal_then_resume(tmp_path, capsys):
+    journal = str(tmp_path / "sweep.jsonl")
+    base = ["sweep", "--field", "num_nodes", "--values", "10,12", *SMALL]
+    assert main([*base, "--journal", journal]) == 0
+    first = capsys.readouterr().out
+    assert main([*base, "--journal", journal, "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "2 resumed from journal" in second
+    # The aggregated table is identical whether computed fresh or resumed.
+    table = [l for l in first.splitlines() if l and "resumed" not in l
+             and not l.startswith("[")]
+    resumed_table = [l for l in second.splitlines() if l and
+                     "resumed" not in l and not l.startswith("[")]
+    assert table == resumed_table
+
+
+def test_resume_requires_journal(capsys):
+    code = main(
+        ["sweep", "--field", "num_nodes", "--values", "10,12",
+         "--resume", *SMALL]
+    )
+    assert code == 2
+    assert "error (ConfigError)" in capsys.readouterr().err
+
+
+def test_sweep_resume_rejects_changed_campaign(tmp_path, capsys):
+    journal = str(tmp_path / "sweep.jsonl")
+    base = ["sweep", "--field", "num_nodes", *SMALL]
+    assert main(
+        [*base, "--values", "10,12", "--journal", journal]
+    ) == 0
+    capsys.readouterr()
+    code = main(
+        [*base, "--values", "10,14", "--journal", journal, "--resume"]
+    )
+    assert code == 2
+    assert "error (JournalCorruptError)" in capsys.readouterr().err
+
+
+def test_unknown_protocol_is_config_error_exit_2(capsys):
+    code = main(
+        ["run", "--protocol", "BOGUS", "--nodes", "12", "--road", "1000",
+         "--time", "20", "--senders", "1,2", "--p", "0", "--seed", "3"]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error (ConfigError)" in err
+    assert "BOGUS" in err
+
+
+def _sweep_with_induced_failures(monkeypatch, extra):
+    import repro.core.sweep as sweep_mod
+
+    real = sweep_mod._run_scenario_trial
+
+    def failing(scenario):
+        # Exactly one (value, trial) combination fails, across retries:
+        # trial 1 of num_nodes=12 (per-trial seeds are base.seed + 1000*t).
+        if scenario.num_nodes == 12 and scenario.seed == 1003:
+            raise RuntimeError("induced trial failure")
+        return real(scenario)
+
+    monkeypatch.setattr(sweep_mod, "_run_scenario_trial", failing)
+    return main(
+        ["sweep", "--field", "num_nodes", "--values", "10,12",
+         "--trials", "2", *SMALL, *extra]
+    )
+
+
+def test_failed_trials_are_reported_not_silently_dropped(
+    monkeypatch, capsys
+):
+    assert _sweep_with_induced_failures(monkeypatch, []) == 0
+    captured = capsys.readouterr()
+    assert "WARNING" in captured.err
+    assert "num_nodes=12: 1/2 trials failed" in captured.err
+
+
+def test_strict_makes_failed_trials_fatal(monkeypatch, capsys):
+    assert _sweep_with_induced_failures(monkeypatch, ["--strict"]) == 1
+    captured = capsys.readouterr()
+    assert "--strict" in captured.err

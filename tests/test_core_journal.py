@@ -1,0 +1,360 @@
+"""Trial journal tests: durability, corruption handling, crash/resume.
+
+The flagship scenarios here are the ones the journal exists for: a campaign
+killed mid-flight resumes from its journal and produces results
+bit-identical to an uninterrupted serial run; a torn final line (the
+residue of a crash mid-write) is tolerated; a journal from a *different*
+campaign is rejected, never merged.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.fundamental import fundamental_diagram
+from repro.analysis.montecarlo import monte_carlo
+from repro.core.config import Scenario
+from repro.core.journal import (
+    SCHEMA_VERSION,
+    TrialJournal,
+    campaign_fingerprint,
+    open_journal,
+    read_completed,
+    trial_key_id,
+)
+from repro.core.runner import TrialRunner, TrialSpec
+from repro.core.sweep import sweep_scenario
+from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import ConfigError, JournalCorruptError
+from repro.util.rng import RngStreams
+
+FP = campaign_fingerprint(kind="test", n=3)
+
+
+def _square(x):
+    return x * x
+
+
+def _specs(count):
+    return [TrialSpec(key=(i, 0), fn=_square, args=(i,)) for i in range(count)]
+
+
+# -- format basics ------------------------------------------------------------
+
+
+def test_roundtrip(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_success((0.5, 3), {"pdr": 0.9}, attempts=2,
+                               wall_clock_s=1.5)
+    completed = read_completed(path, FP)
+    entry = completed[trial_key_id((0.5, 3))]
+    assert entry.value == {"pdr": 0.9}
+    assert entry.attempts == 2
+    assert entry.wall_clock_s == 1.5
+
+
+def test_key_identity_survives_json_roundtrip():
+    # Tuples and lists collapse to the same identity — exactly what a key
+    # that crossed a JSON serialisation needs.
+    assert trial_key_id((0.5, 3)) == trial_key_id([0.5, 3])
+    assert trial_key_id("AODV") != trial_key_id("OLSR")
+
+
+def test_fingerprint_sensitivity():
+    base = campaign_fingerprint(kind="sweep", values=[1, 2], trials=5)
+    assert base == campaign_fingerprint(kind="sweep", values=[1, 2], trials=5)
+    assert base != campaign_fingerprint(kind="sweep", values=[1, 3], trials=5)
+    assert base != campaign_fingerprint(kind="sweep", values=[1, 2], trials=6)
+
+
+def test_failures_are_recorded_but_not_resumed(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_failure((1, 0), "boom", attempts=2)
+        journal.record_success((2, 0), 42, attempts=1, wall_clock_s=0.1)
+    completed = read_completed(path, FP)
+    assert trial_key_id((1, 0)) not in completed
+    assert completed[trial_key_id((2, 0))].value == 42
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_success((0, 0), 0, 1, 0.0)
+        journal.record_success((1, 0), 1, 1, 0.0)
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[:-15])  # tear the tail mid-record
+    completed = read_completed(path, FP)
+    assert set(completed) == {trial_key_id((0, 0))}
+
+
+def test_midfile_corruption_raises(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_success((0, 0), 0, 1, 0.0)
+        journal.record_success((1, 0), 1, 1, 0.0)
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    lines[1] = b'{"kind": "trial", garbage\n'
+    open(path, "wb").write(b"".join(lines))
+    with pytest.raises(JournalCorruptError, match="line 2"):
+        read_completed(path, FP)
+
+
+def test_fingerprint_mismatch_rejected(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    TrialJournal(path, FP).close()
+    with pytest.raises(JournalCorruptError, match="different campaign"):
+        read_completed(path, campaign_fingerprint(kind="other"))
+    with pytest.raises(JournalCorruptError, match="different campaign"):
+        TrialJournal(path, campaign_fingerprint(kind="other"), resume=True)
+
+
+def test_unknown_schema_rejected(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    header = {"kind": "header", "schema": SCHEMA_VERSION + 1,
+              "fingerprint": FP}
+    open(path, "w").write(json.dumps(header) + "\n")
+    with pytest.raises(JournalCorruptError, match="schema"):
+        read_completed(path, FP)
+
+
+def test_missing_header_rejected(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    open(path, "w").write('{"kind": "trial"}\n')
+    with pytest.raises(JournalCorruptError, match="header"):
+        read_completed(path, FP)
+
+
+def test_resume_without_path_is_a_config_error():
+    with pytest.raises(ConfigError, match="journal path"):
+        open_journal(None, FP, resume=True)
+
+
+def test_fresh_open_truncates_stale_journal(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_success((0, 0), 0, 1, 0.0)
+    # resume=False: a fresh campaign starts over even if a journal exists.
+    TrialJournal(path, FP, resume=False).close()
+    assert read_completed(path, FP) == {}
+
+
+# -- runner integration -------------------------------------------------------
+
+
+def _poisoned(x, die_at):
+    if x >= die_at:
+        raise KeyboardInterrupt  # simulated SIGINT/kill mid-campaign
+    return x * x
+
+
+def test_crash_then_resume_matches_uninterrupted_serial(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    poisoned = [
+        TrialSpec(key=(i, 0), fn=_poisoned, args=(i, 3)) for i in range(6)
+    ]
+    journal = TrialJournal(path, FP)
+    with pytest.raises(KeyboardInterrupt):
+        TrialRunner().run(poisoned, journal=journal)
+    journal.close()
+    assert len(read_completed(path, FP)) == 3
+
+    telemetry = CampaignTelemetry()
+    journal = TrialJournal(path, FP, resume=True)
+    resumed = TrialRunner(telemetry=telemetry).run(_specs(6), journal=journal)
+    journal.close()
+    truth = TrialRunner().run(_specs(6))
+    assert [o.value for o in resumed] == [o.value for o in truth]
+    assert [o.key for o in resumed] == [o.key for o in truth]
+    assert [o.index for o in resumed] == [o.index for o in truth]
+    assert telemetry.trials_resumed == 3
+    assert telemetry.trials_completed == 3
+    assert telemetry.trials_failed == 0
+
+
+def test_resume_after_torn_line_reruns_the_torn_trial(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = TrialJournal(path, FP)
+    TrialRunner().run(_specs(4), journal=journal)
+    journal.close()
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[:-10])  # crash tore the last record
+
+    telemetry = CampaignTelemetry()
+    journal = TrialJournal(path, FP, resume=True)
+    resumed = TrialRunner(telemetry=telemetry).run(_specs(4), journal=journal)
+    journal.close()
+    assert [o.value for o in resumed] == [0, 1, 4, 9]
+    assert telemetry.trials_resumed == 3  # the torn one re-ran
+    assert telemetry.trials_completed == 1
+
+
+def test_parallel_run_journals_and_resumes(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = TrialJournal(path, FP)
+    parallel = TrialRunner(max_workers=3).run(_specs(6), journal=journal)
+    journal.close()
+    assert [o.value for o in parallel] == [0, 1, 4, 9, 16, 25]
+
+    telemetry = CampaignTelemetry()
+    journal = TrialJournal(path, FP, resume=True)
+    resumed = TrialRunner(max_workers=3, telemetry=telemetry).run(
+        _specs(6), journal=journal
+    )
+    journal.close()
+    assert [o.value for o in resumed] == [0, 1, 4, 9, 16, 25]
+    assert telemetry.trials_resumed == 6
+
+
+# -- campaign entry points ----------------------------------------------------
+
+SMALL = Scenario(
+    num_nodes=10,
+    road_length_m=900.0,
+    sim_time_s=15.0,
+    senders=(1, 2),
+    traffic_start_s=2.0,
+    traffic_stop_s=12.0,
+    dawdle_p=0.0,
+    seed=3,
+)
+
+
+def _sweep_kwargs():
+    return dict(
+        base=SMALL, field="num_nodes", values=[10, 12], trials=2
+    )
+
+
+def _point_tuples(result):
+    return [
+        (
+            point.value,
+            point.pdr_mean,
+            point.pdr_std,
+            point.delay_mean_s,
+            point.control_packets_mean,
+            [r.pdr() for r in point.results],
+        )
+        for point in result.points
+    ]
+
+
+def test_sweep_interrupted_and_resumed_is_bit_identical(
+    tmp_path, monkeypatch
+):
+    import repro.core.sweep as sweep_mod
+
+    truth = sweep_scenario(**_sweep_kwargs())
+
+    path = str(tmp_path / "sweep.jsonl")
+    real_trial = sweep_mod._run_scenario_trial
+    calls = {"n": 0}
+
+    def dying_trial(scenario):
+        if calls["n"] >= 3:
+            raise KeyboardInterrupt  # the simulated kill -9 at trial 4/4
+        calls["n"] += 1
+        return real_trial(scenario)
+
+    monkeypatch.setattr(sweep_mod, "_run_scenario_trial", dying_trial)
+    with pytest.raises(KeyboardInterrupt):
+        sweep_scenario(**_sweep_kwargs(), journal_path=path)
+    monkeypatch.setattr(sweep_mod, "_run_scenario_trial", real_trial)
+
+    telemetry = CampaignTelemetry()
+    resumed = sweep_scenario(
+        **_sweep_kwargs(),
+        journal_path=path,
+        resume=True,
+        telemetry=telemetry,
+    )
+    assert telemetry.trials_resumed == 3
+    assert telemetry.trials_completed == 1
+    # Bit-identical: every float of every point, including raw per-trial
+    # results, matches the uninterrupted serial run.
+    assert _point_tuples(resumed) == _point_tuples(truth)
+
+
+def test_sweep_journal_rejects_changed_grid(tmp_path):
+    path = str(tmp_path / "sweep.jsonl")
+    sweep_scenario(**_sweep_kwargs(), journal_path=path)
+    with pytest.raises(JournalCorruptError, match="different campaign"):
+        sweep_scenario(
+            base=SMALL,
+            field="num_nodes",
+            values=[10, 14],  # different grid -> different fingerprint
+            trials=2,
+            journal_path=path,
+            resume=True,
+        )
+
+
+def test_sweep_resume_with_torn_tail(tmp_path):
+    path = str(tmp_path / "sweep.jsonl")
+    truth = sweep_scenario(**_sweep_kwargs(), journal_path=path)
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[:-25])
+
+    telemetry = CampaignTelemetry()
+    resumed = sweep_scenario(
+        **_sweep_kwargs(),
+        journal_path=path,
+        resume=True,
+        telemetry=telemetry,
+    )
+    assert telemetry.trials_resumed == 3
+    assert telemetry.trials_completed == 1
+    assert _point_tuples(resumed) == _point_tuples(truth)
+
+
+def test_fundamental_resume_matches_fresh(tmp_path):
+    path = str(tmp_path / "fd.jsonl")
+    kwargs = dict(
+        densities=[0.1, 0.3],
+        p=0.3,
+        num_cells=60,
+        trials=3,
+        steps=40,
+    )
+    truth = fundamental_diagram(rng=RngStreams(7), **kwargs)
+    fundamental_diagram(rng=RngStreams(7), journal_path=path, **kwargs)
+    telemetry = CampaignTelemetry()
+    resumed = fundamental_diagram(
+        rng=RngStreams(7),
+        journal_path=path,
+        resume=True,
+        telemetry=telemetry,
+        **kwargs,
+    )
+    assert telemetry.trials_resumed == 6
+    assert telemetry.trials_completed == 0
+    np.testing.assert_array_equal(resumed.flows, truth.flows)
+    np.testing.assert_array_equal(resumed.flow_std, truth.flow_std)
+    assert resumed.total_failed == 0
+
+
+def _mc_experiment(generator):
+    return generator.normal(size=3)
+
+
+def test_monte_carlo_resume_matches_fresh(tmp_path):
+    path = str(tmp_path / "mc.jsonl")
+    truth = monte_carlo(_mc_experiment, trials=5, rng=RngStreams(11))
+    monte_carlo(
+        _mc_experiment, trials=5, rng=RngStreams(11), journal_path=path
+    )
+    telemetry = CampaignTelemetry()
+    resumed = monte_carlo(
+        _mc_experiment,
+        trials=5,
+        rng=RngStreams(11),
+        journal_path=path,
+        resume=True,
+        telemetry=telemetry,
+    )
+    assert telemetry.trials_resumed == 5
+    np.testing.assert_array_equal(resumed.samples, truth.samples)
+    np.testing.assert_array_equal(resumed.mean, truth.mean)

@@ -206,3 +206,73 @@ def test_telemetry_live_callback():
     run_trials(_specs(3), telemetry=telemetry)
     assert len(seen) == 3
     assert all(record.ok for record in seen)
+
+
+# -- result-channel failures (retry accounting) -------------------------------
+
+
+def _raise_on_unpickle(message):
+    raise RuntimeError(message)
+
+
+class _PoisonOnUnpickle:
+    """Pickles fine in the worker; explodes when the parent unpickles it."""
+
+    def __reduce__(self):
+        return (_raise_on_unpickle, ("poisoned result",))
+
+
+def _return_unpicklable_result():
+    return _PoisonOnUnpickle()
+
+
+def _die_after_send_once(marker_path, value):
+    """Succeed, but make the first attempt's worker exit nonzero *after*
+    the result has been sent (via a multiprocessing finalizer, which runs
+    during worker shutdown)."""
+    import os
+
+    from multiprocessing import util
+
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("attempted")
+        util.Finalize(None, os._exit, args=(3,), exitpriority=100)
+    return value
+
+
+def test_unpicklable_result_counts_as_failed_attempt_and_retries():
+    telemetry = CampaignTelemetry()
+    specs = [
+        TrialSpec(key="ok", fn=_square, args=(4,)),
+        TrialSpec(key="poison", fn=_return_unpicklable_result),
+    ]
+    outcomes = run_trials(
+        specs, max_workers=2, max_attempts=2, telemetry=telemetry
+    )
+    # The sibling trial is untouched; the poisoned one is a terminal
+    # failure after a real retry, not a pool crash or a spurious success.
+    assert outcomes[0].ok and outcomes[0].value == 16
+    assert not outcomes[1].ok
+    assert outcomes[1].attempts == 2
+    assert "unpickled" in outcomes[1].error
+    assert telemetry.retries == 1
+    assert telemetry.trials_failed == 2  # both attempts of the poison trial
+
+
+def test_worker_death_after_result_send_is_retried(tmp_path):
+    telemetry = CampaignTelemetry()
+    marker = str(tmp_path / "attempted")
+    outcomes = run_trials(
+        [TrialSpec(key="flaky", fn=_die_after_send_once, args=(marker, 7))],
+        max_workers=2,
+        max_attempts=2,
+        telemetry=telemetry,
+    )
+    # Attempt 1 delivered a value but the worker exited nonzero: suspect,
+    # retried.  Attempt 2 succeeds cleanly.
+    assert outcomes[0].ok and outcomes[0].value == 7
+    assert outcomes[0].attempts == 2
+    assert telemetry.retries == 1
+    errors = [r.error for r in telemetry.records if r.error]
+    assert any("after sending its result" in e for e in errors)

@@ -1,0 +1,188 @@
+"""Runtime invariant guards.
+
+Each guard watches for a state that correct code can never reach, so the
+tests here *inject* the corruption — monkeypatching a gap computation,
+corrupting the DES clock, handing a protocol a hop-ceiling packet — and
+assert that the guard converts the silent corruption into an
+:class:`InvariantViolation` carrying enough context to reproduce it.
+A final block asserts the guards stay silent on healthy runs.
+"""
+
+import numpy as np
+import pytest
+
+import repro.ca.multilane as multilane_mod
+from repro.ca.multilane import MultiLaneRoad
+from repro.ca.nasch import Boundary, NagelSchreckenberg
+from repro.des.engine import Simulator
+from repro.routing.base import MAX_HOPS
+from repro.routing.flooding import Flooding
+from repro.net.packet import DATA, Packet
+from repro.util.errors import InvariantViolation
+
+
+# -- DES engine ---------------------------------------------------------------
+
+
+def test_des_clock_monotonicity_guard():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim._now = 5.0  # corrupt the clock, as a buggy component might
+    with pytest.raises(InvariantViolation, match="backwards") as excinfo:
+        sim.run()
+    assert excinfo.value.context["event_time"] == 1.0
+    assert excinfo.value.context["now"] == 5.0
+
+
+def test_des_clock_monotonicity_guard_in_step():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim._now = 5.0
+    with pytest.raises(InvariantViolation, match="backwards"):
+        sim.step()
+
+
+def test_des_same_instant_starvation_guard():
+    sim = Simulator(max_same_time_events=50)
+
+    def respawn():
+        sim.schedule(0.0, respawn)
+
+    sim.schedule(0.0, respawn)
+    with pytest.raises(InvariantViolation, match="starvation") as excinfo:
+        sim.run()
+    assert excinfo.value.context["limit"] == 50
+    # The run died at the cap, not after an unbounded livelock.
+    assert sim.events_processed <= 52
+
+
+def test_des_starvation_guard_tolerates_long_legit_bursts():
+    # Well under the cap: many same-instant events are normal (a broadcast
+    # fan-out), and the counter resets once time advances.
+    sim = Simulator(max_same_time_events=50)
+    for _ in range(40):
+        sim.schedule(1.0, lambda: None)
+    for _ in range(40):
+        sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 80
+
+
+# -- cellular automata --------------------------------------------------------
+
+
+def test_nasch_gap_positivity_guard():
+    model = NagelSchreckenberg(num_cells=30, num_vehicles=5, p=0.0)
+    n = len(model.positions)
+    # A corrupted gap computation (here: an impossible negative gap) must
+    # trip the guard instead of letting two vehicles share a cell.
+    model.gaps = lambda: np.full(n, -1, dtype=np.int64)
+    with pytest.raises(InvariantViolation, match="outrun its gap") as excinfo:
+        model.step()
+    context = excinfo.value.context
+    assert context["step"] == 0
+    assert context["gap"] == -1
+    assert "vehicle_id" in context and "cell" in context
+
+
+def test_multilane_gap_positivity_guard(monkeypatch):
+    road = MultiLaneRoad(30, 1, [4], p=0.0)
+    monkeypatch.setattr(
+        multilane_mod,
+        "_cyclic_gaps",
+        lambda positions, num_cells: np.full(
+            len(positions), -1, dtype=np.int64
+        ),
+    )
+    with pytest.raises(InvariantViolation, match="outrun its gap") as excinfo:
+        road.step()
+    assert excinfo.value.context["lane"] == 0
+
+
+def test_multilane_conservation_guard():
+    road = MultiLaneRoad(30, 2, [4, 4], p=0.0)
+
+    def movement_that_loses_a_vehicle():
+        lane = road._lanes[0]
+        lane.positions = lane.positions[:-1]
+        lane.velocities = lane.velocities[:-1]
+        lane.ids = lane.ids[:-1]
+        lane.wraps = lane.wraps[:-1]
+        lane.shifted = lane.shifted[:-1]
+
+    road._movement_stage = movement_that_loses_a_vehicle
+    with pytest.raises(InvariantViolation, match="count changed") as excinfo:
+        road.step()
+    context = excinfo.value.context
+    assert context["before"] == 8
+    assert context["after"] == 7
+    assert context["per_lane"] == [3, 4]
+
+
+# -- routing loop guard -------------------------------------------------------
+
+
+class _StubSim:
+    now = 12.5
+
+
+class _StubNode:
+    node_id = 3
+    sim = _StubSim()
+
+    def __init__(self):
+        self.drops = []
+
+    def drop(self, packet, reason):
+        self.drops.append((packet, reason))
+
+
+def _looping_packet(hops):
+    return Packet(
+        kind=DATA, src=0, dst=9, size_bytes=100, created_at=0.0,
+        ttl=64, hops=hops,
+    )
+
+
+def test_ttl_guard_trips_at_hop_ceiling():
+    protocol = Flooding(_StubNode())
+    with pytest.raises(InvariantViolation, match="hop ceiling") as excinfo:
+        protocol.check_ttl_guard(_looping_packet(MAX_HOPS))
+    context = excinfo.value.context
+    assert context["node"] == 3
+    assert context["hops"] == MAX_HOPS
+    assert context["time"] == 12.5
+
+
+def test_ttl_guard_silent_below_ceiling():
+    protocol = Flooding(_StubNode())
+    protocol.check_ttl_guard(_looping_packet(MAX_HOPS - 1))  # no raise
+
+
+# -- healthy runs stay silent -------------------------------------------------
+
+
+def test_guards_silent_on_healthy_nasch_run():
+    model = NagelSchreckenberg(
+        num_cells=100, num_vehicles=30, p=0.3,
+        rng=np.random.default_rng(5),
+    )
+    model.run(200)
+    assert len(model.positions) == 30
+
+
+def test_guards_silent_on_healthy_open_boundary_run():
+    model = NagelSchreckenberg(
+        num_cells=80, num_vehicles=10, p=0.2,
+        boundary=Boundary.OPEN, injection_rate=0.3,
+        rng=np.random.default_rng(5),
+    )
+    model.run(200)  # open lanes may change count; guard must not fire
+
+
+def test_guards_silent_on_healthy_multilane_run():
+    road = MultiLaneRoad(
+        60, 2, [10, 12], p=0.25, rng=np.random.default_rng(5)
+    )
+    road.run(200)
+    assert road.num_vehicles == 22

@@ -1,0 +1,86 @@
+"""Typed error hierarchy: taxonomy, backward compatibility, the ban.
+
+Every typed error doubles as the builtin it replaced (``ConfigError`` is a
+``ValueError``, ``TrialError`` a ``RuntimeError`` ...), so pre-existing
+``except ValueError`` call sites keep working while new code can catch
+``ReproError`` to get everything this package raises on purpose.  The last
+test enforces the repo rule that ``src/repro/core/`` raises the typed
+errors, never bare builtins.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.util.errors import (
+    ConfigError,
+    InvariantViolation,
+    JournalCorruptError,
+    ReproError,
+    TrialError,
+)
+
+
+def test_taxonomy():
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(TrialError, ReproError)
+    assert issubclass(JournalCorruptError, ReproError)
+    assert issubclass(InvariantViolation, ReproError)
+    # Backward compatibility with the builtins they replaced:
+    assert issubclass(ConfigError, ValueError)
+    assert issubclass(TrialError, RuntimeError)
+    assert issubclass(JournalCorruptError, RuntimeError)
+    assert issubclass(InvariantViolation, AssertionError)
+
+
+def test_catching_repro_error_catches_all():
+    for exc_type in (
+        ConfigError, TrialError, JournalCorruptError, InvariantViolation
+    ):
+        with pytest.raises(ReproError):
+            raise exc_type("x")
+
+
+def test_legacy_value_error_handlers_still_work():
+    from repro.core.config import Scenario
+
+    with pytest.raises(ValueError):
+        Scenario(num_nodes=0)
+    with pytest.raises(ConfigError):
+        Scenario(num_nodes=0)
+
+
+def test_trial_error_carries_key_and_attempts():
+    error = TrialError("all trials failed", key=(0.2, 3), attempts=2)
+    assert error.key == (0.2, 3)
+    assert error.attempts == 2
+    assert "all trials failed" in str(error)
+
+
+def test_invariant_violation_formats_context():
+    error = InvariantViolation("bad state", step=7, lane=1, gap=-2)
+    assert error.context == {"step": 7, "lane": 1, "gap": -2}
+    text = str(error)
+    assert "bad state" in text
+    assert "step=7" in text and "lane=1" in text and "gap=-2" in text
+
+
+def test_invariant_violation_without_context():
+    assert str(InvariantViolation("bare")) == "bare"
+
+
+def test_core_never_raises_bare_builtins():
+    """The repo rule satellite: no ``raise ValueError``/``RuntimeError`` in
+    ``src/repro/core/`` — campaign code must raise the typed hierarchy so
+    callers (and the CLI's exit-code mapping) can tell intentional errors
+    from genuine bugs.  Mirrors the CI grep gate."""
+    core = pathlib.Path(__file__).resolve().parent.parent / "src/repro/core"
+    banned = re.compile(r"raise\s+(ValueError|RuntimeError|AssertionError)\b")
+    offenders = [
+        f"{path.name}:{number}"
+        for path in sorted(core.glob("*.py"))
+        for number, line in enumerate(path.read_text().splitlines(), 1)
+        if banned.search(line)
+    ]
+    assert not offenders, f"bare builtin raises in core/: {offenders}"
