@@ -1,13 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the everyday uses of the tool:
+Seven commands cover the everyday uses of the tool:
 
 * ``run``         — one network scenario, printed metrics;
 * ``compare``     — several protocols over the same mobility (Fig. 11);
 * ``sweep``       — one scenario across a grid of values for one field;
 * ``trace``       — generate a mobility trace and export it (ns-2/CSV/JSON);
 * ``fundamental`` — the flow-density diagram (Fig. 4);
-* ``spacetime``   — an ASCII space-time diagram (Fig. 5).
+* ``spacetime``   — an ASCII space-time diagram (Fig. 5);
+* ``components``  — list every registered component, per namespace.
+
+Scenario-taking commands (``run``, ``compare``, ``sweep``, ``trace``)
+accept ``--scenario FILE`` to load a declarative scenario saved by
+:meth:`Scenario.save` (the individual scenario flags are then ignored)
+and repeatable ``--set dotted.key=value`` overrides applied on top of
+either source — ``--set seed=7 --set mac_params.cw_min=31``.
 
 Campaign commands (``compare``, ``sweep``, ``fundamental``) take
 ``--journal FILE`` to durably record every completed trial, ``--resume``
@@ -20,8 +27,9 @@ typed errors of :mod:`repro.util.errors` and exit with code 2.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -141,16 +149,42 @@ def build_parser() -> argparse.ArgumentParser:
     spacetime.add_argument("--warmup", type=int, default=100)
     spacetime.add_argument("--seed", type=int, default=0)
 
+    commands.add_parser(
+        "components",
+        help="list every registered component (propagation, routing, "
+        "mobility, traffic, boundary)",
+    )
+
     return parser
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="load the scenario from a JSON file saved by Scenario.save() "
+        "(the individual scenario flags below are then ignored; "
+        "use --set to override fields)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        dest="set",
+        help="override one scenario field (dotted keys reach nested "
+        "mappings: --set seed=7 --set mac_params.cw_min=31); values "
+        "parse as JSON, falling back to a plain string; repeatable",
+    )
     parser.add_argument("--protocol", default="AODV")
     parser.add_argument("--nodes", type=int, default=30)
     parser.add_argument("--road", type=float, default=3000.0,
                         help="road length in metres")
     parser.add_argument(
-        "--boundary", choices=("circuit", "line"), default="circuit"
+        "--boundary", default="circuit",
+        help="lane topology, any registered boundary "
+        "(circuit, line, ...; see `repro components`)",
     )
     parser.add_argument("--time", type=float, default=100.0,
                         help="simulated seconds")
@@ -163,8 +197,9 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=4)
     parser.add_argument(
         "--propagation",
-        choices=("two_ray", "free_space", "shadowing", "nakagami"),
         default="two_ray",
+        help="any registered propagation model (two_ray, free_space, "
+        "shadowing, nakagami, ...; see `repro components`)",
     )
 
 
@@ -253,24 +288,55 @@ def _campaign_telemetry(workers: int, journal: Optional[str] = None):
     return CampaignTelemetry()
 
 
+def _parse_set_overrides(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    """Parse repeated ``--set KEY=VALUE`` flags into an override dict.
+
+    Values parse as JSON first (``7`` -> int, ``[1,2]`` -> list,
+    ``true`` -> bool), falling back to the raw string — so
+    ``--set protocol=OLSR`` needs no quoting gymnastics.
+    """
+    from repro.util.errors import ConfigError
+
+    overrides: Dict[str, Any] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ConfigError(
+                f"--set expects KEY=VALUE (dotted keys allowed), got {pair!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
 def _scenario_from(args: argparse.Namespace):
     from repro.core.config import Scenario
 
-    stop = min(args.time * 0.9, args.time)
-    return Scenario(
-        num_nodes=args.nodes,
-        road_length_m=args.road,
-        boundary=args.boundary,
-        sim_time_s=args.time,
-        protocol=args.protocol,
-        senders=args.senders,
-        receiver=args.receiver,
-        dawdle_p=args.p,
-        traffic_start_s=args.time * 0.1,
-        traffic_stop_s=stop,
-        propagation=args.propagation,
-        seed=args.seed,
-    )
+    overrides = _parse_set_overrides(getattr(args, "set", None))
+    if getattr(args, "scenario", None):
+        base = Scenario.load(args.scenario)
+    else:
+        stop = min(args.time * 0.9, args.time)
+        base = Scenario(
+            num_nodes=args.nodes,
+            road_length_m=args.road,
+            boundary=args.boundary,
+            sim_time_s=args.time,
+            protocol=args.protocol,
+            senders=args.senders,
+            receiver=args.receiver,
+            dawdle_p=args.p,
+            traffic_start_s=args.time * 0.1,
+            traffic_stop_s=stop,
+            propagation=args.propagation,
+            seed=args.seed,
+        )
+    if overrides:
+        base = base.with_overrides(overrides)
+    return base
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -446,6 +512,20 @@ def _cmd_spacetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_components(args: argparse.Namespace) -> int:
+    from repro.core import registry
+
+    for kind in registry.KINDS:
+        noun = registry.registry(kind).noun
+        entries = registry.describe(kind)
+        print(f"{kind} ({noun}, {len(entries)} registered):")
+        width = max((len(name) for name in entries), default=0) + 2
+        for name, implementation in entries.items():
+            print(f"  {name:<{width}}{implementation}")
+        print()
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -453,6 +533,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "fundamental": _cmd_fundamental,
     "spacetime": _cmd_spacetime,
+    "components": _cmd_components,
 }
 
 

@@ -5,42 +5,48 @@ Simulator exactly the way paper Fig. 2 draws it: a :class:`Scenario`
 describes the road, traffic and protocol; :class:`CavenetSimulation` runs
 the CA mobility, turns it into a trace, replays the trace under the network
 stack and returns a :class:`SimulationResult`; :mod:`repro.core.experiment`
-sweeps protocols and parameters for the evaluation figures.
+sweeps protocols and parameters for the evaluation figures;
+:mod:`repro.core.registry` is the component seam every name (propagation,
+routing, mobility, traffic, boundary) resolves through.
+
+Exports are lazy (PEP 562, like :mod:`repro` itself) so that leaf modules
+— :mod:`repro.phy.propagation`, :mod:`repro.routing`,
+:mod:`repro.traffic`, :mod:`repro.mobility.builders` — can import
+:mod:`repro.core.registry` to register their built-in components without
+dragging the whole facade (and a circular import) in behind it.
 """
 
-from repro.core.config import Scenario
-from repro.core.simulation import CavenetSimulation, SimulationResult
-from repro.core.experiment import (
-    ProtocolComparison,
-    compare_protocols,
-    goodput_surface,
-)
-from repro.core.runner import (
-    TrialOutcome,
-    TrialRunner,
-    TrialSpec,
-    run_trials,
-)
-from repro.core.sweep import (
-    SweepPoint,
-    SweepResult,
-    run_sweep,
-    sweep_scenario,
-)
+_LAZY_EXPORTS = {
+    "Scenario": ("repro.core.config", "Scenario"),
+    "CavenetSimulation": ("repro.core.simulation", "CavenetSimulation"),
+    "SimulationResult": ("repro.core.simulation", "SimulationResult"),
+    "ProtocolComparison": ("repro.core.experiment", "ProtocolComparison"),
+    "compare_protocols": ("repro.core.experiment", "compare_protocols"),
+    "goodput_surface": ("repro.core.experiment", "goodput_surface"),
+    "TrialOutcome": ("repro.core.runner", "TrialOutcome"),
+    "TrialRunner": ("repro.core.runner", "TrialRunner"),
+    "TrialSpec": ("repro.core.runner", "TrialSpec"),
+    "run_trials": ("repro.core.runner", "run_trials"),
+    "SweepPoint": ("repro.core.sweep", "SweepPoint"),
+    "SweepResult": ("repro.core.sweep", "SweepResult"),
+    "run_sweep": ("repro.core.sweep", "run_sweep"),
+    "sweep_scenario": ("repro.core.sweep", "sweep_scenario"),
+    "registry": ("repro.core", "registry"),
+}
 
-__all__ = [
-    "Scenario",
-    "CavenetSimulation",
-    "SimulationResult",
-    "ProtocolComparison",
-    "compare_protocols",
-    "goodput_surface",
-    "TrialOutcome",
-    "TrialRunner",
-    "TrialSpec",
-    "run_trials",
-    "SweepPoint",
-    "SweepResult",
-    "run_sweep",
-    "sweep_scenario",
-]
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attribute = _LAZY_EXPORTS[name]
+        if module_name == "repro.core":  # submodule export (registry)
+            return importlib.import_module(f"repro.core.{attribute}")
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

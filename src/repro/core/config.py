@@ -1,20 +1,37 @@
-"""Scenario description: the paper's Table I as a dataclass.
+"""Scenario description: the paper's Table I as a declarative dataclass.
 
 The defaults ARE Table I: 30 nodes on a 3000 m circuit, AODV/OLSR/DYMO
 selectable, 100 s simulation, CBR 5 packets/s x 512 bytes from nodes 1-8 to
 node 0 between 10 s and 90 s, IEEE 802.11 DCF at 2 Mbps without RTS/CTS,
 250 m transmission range under two-ray-ground propagation, 1 s hello
 intervals and a 2 s OLSR TC interval.
+
+A scenario is *fully declarative*: every component choice (``boundary``,
+``initial_placement``, ``propagation``, ``protocol``, ``traffic``) is a
+name resolved through :mod:`repro.core.registry`, legal values are derived
+from the live registries rather than hand-kept tuples, and the whole thing
+round-trips through :meth:`Scenario.to_dict`/:meth:`Scenario.from_dict`
+and JSON files (:meth:`Scenario.save`/:meth:`Scenario.load`) exactly —
+``Scenario.from_dict(s.to_dict()) == s``.  The canonical ``to_dict`` is
+also what campaign fingerprints hash, so a scenario file, a sweep journal
+and an in-memory scenario all share one serialization.
 """
 
 from __future__ import annotations
 
+import copy
 import dataclasses
-from typing import Any, Dict, Optional, Tuple
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.core import registry
 from repro.mac.params import Mac80211Params
 from repro.util.errors import ConfigError
 from repro.util.units import CELL_LENGTH_M
+
+#: Scenario-file format marker and schema version (see :meth:`Scenario.save`).
+SCENARIO_FORMAT = "cavenet-scenario"
+SCENARIO_SCHEMA = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -24,21 +41,26 @@ class Scenario:
     Attributes:
         num_nodes: vehicles on the road (= network nodes).
         road_length_m: lane length; the Table I circuit is 3000 m.
-        boundary: ``"circuit"`` (improved CAVENET, closed circle) or
-            ``"line"`` (original CAVENET, straight lane with wrap shift).
+        boundary: lane topology, a registered ``boundary`` component:
+            ``"circuit"`` (improved CAVENET, closed circle) or ``"line"``
+            (original CAVENET, straight lane with wrap shift).
         dawdle_p: NaS dawdling probability for the mobility model.  Table I
             does not state it; the default 0.5 (the stochastic setting of
             paper Fig. 4) produces the intermittent connectivity the
             goodput/PDR figures display.
-        initial_placement: ``"random"`` scatters vehicles uniformly at
-            random over the lane (heterogeneous gaps, some beyond radio
-            range — the regime of the paper's evaluation);  ``"uniform"``
-            spaces them evenly (a fully connected, static ring).
+        initial_placement: a registered ``mobility`` component.
+            ``"random"`` scatters vehicles uniformly at random over the
+            lane (heterogeneous gaps, some beyond radio range — the regime
+            of the paper's evaluation); ``"uniform"`` spaces them evenly
+            (a fully connected, static ring).
         v_max: NaS maximum velocity, cells/step.
         mobility_warmup_steps: CA steps run before the network simulation
             starts, discarding the mobility transient (Section IV-B).
         sim_time_s: network-simulation duration.
-        protocol: routing protocol name ("AODV", "OLSR", "DYMO", ...).
+        protocol: routing protocol name ("AODV", "OLSR", "DYMO", ...; any
+            registered ``routing`` component).  Normalized to upper case on
+            construction so ``"aodv"`` and ``"AODV"`` are the same
+            scenario — same journal fingerprint, same compare label.
         protocol_options: extra keyword arguments for the protocol
             constructor (e.g. an OlsrConfig with the ETX metric).
         receiver: destination node of every flow (Table I: node 0).
@@ -48,11 +70,17 @@ class Scenario:
             ignored for traffic, though ``receiver`` still hosts the
             result's convenience sink).  Flow ids are assigned by
             position: flow ``i`` is ``flows[i]`` with id ``i + 1``.
-        cbr_rate_pps / cbr_size_bytes: traffic shape (5 pps x 512 B).
+        traffic: traffic generator name, a registered ``traffic``
+            component (``"cbr"`` — Table I's default — or ``"poisson"``).
+        traffic_options: extra keyword arguments for the traffic factory
+            (e.g. ``{"on_mean_s": 2.0}`` for the Poisson on/off source).
+        cbr_rate_pps / cbr_size_bytes: traffic shape (5 pps x 512 B);
+            every built-in traffic model reads these as its rate/size.
         traffic_start_s / traffic_stop_s: emission window (10 s - 90 s).
         mac_params: 802.11 DCF configuration.
-        propagation: ``"two_ray"``, ``"free_space"``, ``"shadowing"`` or
-            ``"nakagami"`` (Nakagami-m fading over a two-ray mean).
+        propagation: a registered ``propagation`` component: ``"two_ray"``,
+            ``"free_space"``, ``"shadowing"`` or ``"nakagami"``
+            (Nakagami-m fading over a two-ray mean).
         shadowing_sigma_db / shadowing_exponent: shadowing-model knobs.
         nakagami_m: fading shape for the ``"nakagami"`` model (1 =
             Rayleigh; larger is milder).
@@ -75,6 +103,8 @@ class Scenario:
     receiver: int = 0
     senders: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
     flows: Optional[Tuple[Tuple[int, int], ...]] = None
+    traffic: str = "cbr"
+    traffic_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
     cbr_rate_pps: float = 5.0
     cbr_size_bytes: int = 512
     traffic_start_s: float = 10.0
@@ -97,24 +127,30 @@ class Scenario:
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
             raise ConfigError(f"num_nodes must be >= 2, got {self.num_nodes}")
-        if self.boundary not in ("circuit", "line"):
-            raise ConfigError(
-                f"boundary must be 'circuit' or 'line', got {self.boundary!r}"
-            )
-        if self.propagation not in (
-            "two_ray",
-            "free_space",
-            "shadowing",
-            "nakagami",
-        ):
-            raise ConfigError(
-                f"unknown propagation model {self.propagation!r}"
-            )
-        if self.initial_placement not in ("random", "uniform"):
-            raise ConfigError(
-                "initial_placement must be 'random' or 'uniform', got "
-                f"{self.initial_placement!r}"
-            )
+        # Component names validate against — and are canonicalized by —
+        # the live registries, so an unknown name fails in exactly one
+        # place (registry.normalize) with the current list of choices,
+        # and case never leaks into fingerprints or labels.  The routing
+        # namespace is only *normalized* here (upper case); existence is
+        # checked lazily at validate()/dispatch time to keep Scenario
+        # construction from importing the whole protocol stack.
+        object.__setattr__(
+            self, "boundary", registry.normalize("boundary", self.boundary)
+        )
+        object.__setattr__(
+            self,
+            "propagation",
+            registry.normalize("propagation", self.propagation),
+        )
+        object.__setattr__(
+            self,
+            "initial_placement",
+            registry.normalize("mobility", self.initial_placement),
+        )
+        object.__setattr__(
+            self, "traffic", registry.normalize("traffic", self.traffic)
+        )
+        object.__setattr__(self, "protocol", str(self.protocol).upper())
         if not 0.0 <= self.dawdle_p <= 1.0:
             raise ConfigError(f"dawdle_p must be in [0,1], got {self.dawdle_p}")
         if self.sim_time_s <= 0:
@@ -155,8 +191,8 @@ class Scenario:
     def validate(self) -> "Scenario":
         """Full validation pass, run *before* any worker is spawned.
 
-        ``__post_init__`` already checks everything knowable from this
-        module alone; this re-runs those checks (guarding against
+        ``__post_init__`` already checks everything knowable without the
+        protocol stack; this re-runs those checks (guarding against
         ``object.__setattr__``-style mutation) and adds cross-module ones
         that would otherwise only surface inside a worker process minutes
         into a campaign — most importantly that ``protocol`` actually
@@ -165,13 +201,7 @@ class Scenario:
         points can chain ``scenario.validate()``.
         """
         self.__post_init__()
-        from repro.routing import PROTOCOLS
-
-        if self.protocol.upper() not in PROTOCOLS:
-            raise ConfigError(
-                f"unknown routing protocol {self.protocol!r}; "
-                f"known: {sorted(PROTOCOLS)}"
-            )
+        registry.normalize("routing", self.protocol)
         if self.mobility_warmup_steps < 0:
             raise ConfigError(
                 "mobility_warmup_steps must be >= 0, got "
@@ -224,6 +254,151 @@ class Scenario:
             self, protocol=protocol, protocol_options=dict(options)
         )
 
+    # -- canonical serialization ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical plain-dict form of this scenario.
+
+        JSON-native containers throughout (tuples become lists,
+        ``mac_params`` becomes its field dict), keys in field order.  This
+        single serialization backs :meth:`save`/:meth:`load`, the CLI's
+        ``--set`` overrides, and every campaign fingerprint — and it
+        canonical-JSON-serializes identically to ``dataclasses.asdict``
+        for scenarios whose option dicts hold plain data, so journals
+        fingerprinted before this method existed still resume.
+        """
+        out: Dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if field.name == "mac_params":
+                value = dataclasses.asdict(value)
+            elif field.name == "senders":
+                value = [int(node) for node in value]
+            elif field.name == "flows":
+                value = (
+                    None
+                    if value is None
+                    else [[int(src), int(dst)] for src, dst in value]
+                )
+            elif isinstance(value, dict):
+                value = copy.deepcopy(value)
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (exact inverse).
+
+        Unknown keys raise :class:`ConfigError` naming them — a typo in a
+        scenario file fails loudly instead of silently running defaults.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        kwargs = dict(data)
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown Scenario field(s) {unknown}; known: {sorted(known)}"
+            )
+        if kwargs.get("senders") is not None:
+            kwargs["senders"] = tuple(int(n) for n in kwargs["senders"])
+        if kwargs.get("flows") is not None:
+            kwargs["flows"] = tuple(
+                (int(src), int(dst)) for src, dst in kwargs["flows"]
+            )
+        mac_params = kwargs.get("mac_params")
+        if isinstance(mac_params, Mapping):
+            try:
+                kwargs["mac_params"] = Mac80211Params(**mac_params)
+            except TypeError as exc:
+                raise ConfigError(f"bad mac_params: {exc}") from exc
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"bad scenario data: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        """Write this scenario as a JSON file (see :meth:`load`).
+
+        The file is the canonical :meth:`to_dict` plus a format marker and
+        schema version; ``protocol_options``/``traffic_options`` must hold
+        JSON-serializable values to be saved (exotic objects still work
+        in memory, just not as files).
+        """
+        payload = {
+            "format": SCENARIO_FORMAT,
+            "schema": SCENARIO_SCHEMA,
+            **self.to_dict(),
+        }
+        try:
+            text = json.dumps(payload, indent=2)
+        except TypeError as exc:
+            raise ConfigError(
+                f"scenario is not JSON-serializable ({exc}); "
+                "protocol_options/traffic_options must hold plain data "
+                "to be saved to a file"
+            ) from exc
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Scenario":
+        """Read a scenario saved by :meth:`save` (exact round-trip)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"scenario file {path!r} is not JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"scenario file {path!r} must hold a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        fmt = data.pop("format", SCENARIO_FORMAT)
+        if fmt != SCENARIO_FORMAT:
+            raise ConfigError(
+                f"{path!r} is not a scenario file (format {fmt!r})"
+            )
+        schema = data.pop("schema", SCENARIO_SCHEMA)
+        if schema != SCENARIO_SCHEMA:
+            raise ConfigError(
+                f"scenario file {path!r} has schema {schema!r}; this "
+                f"reader speaks schema {SCENARIO_SCHEMA}"
+            )
+        return cls.from_dict(data)
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "Scenario":
+        """A copy with dotted-key overrides applied (the CLI's ``--set``).
+
+        Keys are field names, optionally dotted into nested mappings:
+        ``seed``, ``mac_params.cw_min``, ``traffic_options.on_mean_s``.
+        Top-level keys must exist; keys inside option dicts may be new
+        (that is what the dicts are for).
+        """
+        data = self.to_dict()
+        for dotted, value in overrides.items():
+            parts = dotted.split(".")
+            cursor: Any = data
+            for depth, part in enumerate(parts[:-1]):
+                if not isinstance(cursor, dict) or part not in cursor:
+                    raise ConfigError(
+                        f"cannot override {dotted!r}: "
+                        f"{'.'.join(parts[:depth + 1])!r} is not a nested "
+                        "mapping of Scenario"
+                    )
+                cursor = cursor[part]
+            leaf = parts[-1]
+            if not isinstance(cursor, dict):
+                raise ConfigError(
+                    f"cannot override {dotted!r}: parent is not a mapping"
+                )
+            if cursor is data and leaf not in cursor:
+                raise ConfigError(
+                    f"unknown Scenario field {leaf!r}; "
+                    f"known: {sorted(data)}"
+                )
+            cursor[leaf] = value
+        return type(self).from_dict(data)
+
     def table1(self) -> Dict[str, str]:
         """Render this scenario in the shape of the paper's Table I."""
         rts = (
@@ -236,6 +411,12 @@ class Scenario:
             if self.boundary == "circuit"
             else f"{self.road_length_m:.0f} m Line"
         )
+        propagation_labels = {
+            "two_ray": "Two-ray Ground",
+            "free_space": "Free Space",
+            "shadowing": "Log-normal Shadowing",
+            "nakagami": f"Nakagami-m (m={self.nakagami_m:g})",
+        }
         return {
             "Network Simulator": "repro (ns-2 substitute)",
             "Routing Protocol": self.protocol,
@@ -243,17 +424,14 @@ class Scenario:
             "Simulation Area": road,
             "Number of Nodes": str(self.num_nodes),
             "Traffic Source/Destination": "Deterministic",
-            "DATA TYPE": "CBR",
+            "DATA TYPE": self.traffic.upper(),
             "Packets Generation Rate": f"{self.cbr_rate_pps:.0f} packets/s",
             "Packet Size": f"{self.cbr_size_bytes} bytes",
             "MAC Protocol": "IEEE802.11 DCF",
             "MAC Rate": f"{self.mac_params.data_rate_bps / 1e6:.0f} Mbps",
             "RTS/CTS": rts,
             "Transmission Range": f"{self.tx_range_m:.0f} m",
-            "Radio Propagation Models": {
-                "two_ray": "Two-ray Ground",
-                "free_space": "Free Space",
-                "shadowing": "Log-normal Shadowing",
-                "nakagami": f"Nakagami-m (m={self.nakagami_m:g})",
-            }[self.propagation],
+            "Radio Propagation Models": propagation_labels.get(
+                self.propagation, self.propagation
+            ),
         }

@@ -132,9 +132,11 @@ def compare_protocols(
         )
         for protocol in protocols
     ]
+    # Canonical serialization — hash-compatible with the older
+    # dataclasses.asdict fingerprints (see Scenario.to_dict).
     fingerprint = campaign_fingerprint(
         kind="compare",
-        scenario=dataclasses.asdict(base_scenario),
+        scenario=base_scenario.to_dict(),
         protocols=list(protocols),
         trace_digest=_trace_digest(trace),
     )

@@ -74,6 +74,12 @@ def campaign_fingerprint(**parts: Any) -> str:
     (as a plain dict), the swept field and values, trial counts, seeds —
     so two campaigns share a fingerprint exactly when their journals are
     interchangeable.
+
+    The scenario dict should be :meth:`Scenario.to_dict` — the canonical
+    serialization shared with scenario files and ``--set`` overrides.  It
+    is constructed to canonical-JSON-serialize identically to the
+    ``dataclasses.asdict`` form fingerprints used historically, so
+    journals recorded through that older path still resume.
     """
     text = canonical_json(parts)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

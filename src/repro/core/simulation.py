@@ -5,6 +5,14 @@ This is the executable version of paper Fig. 2: the Behavioural Analyzer
 Communication Protocol Simulator (DES + PHY + MAC + routing + traffic)
 replays.  The two stages stay decoupled — the trace in the middle is the
 same object the ns-2 exporter serialises.
+
+Every component choice (lane boundary, initial placement, propagation
+model, routing protocol, traffic source) is resolved by *name* through
+:mod:`repro.core.registry`; there is no literal dispatch here, so a
+third-party component registered with ``@register(kind, name)`` runs
+end to end without editing this module.  :meth:`CavenetSimulation.run`
+is a thin orchestrator over overridable ``build_*`` stages — subclasses
+swap a single stage (say, a custom channel) and inherit the rest.
 """
 
 from __future__ import annotations
@@ -14,11 +22,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.ca.boundary import Boundary
-from repro.ca.nasch import NagelSchreckenberg
+from repro.core import registry
 from repro.core.config import Scenario
 from repro.des.engine import Simulator
-from repro.geometry.layout import RoadLayout
 from repro.mac.dcf import MacStats
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.delay import DelayStats, delay_stats
@@ -31,15 +37,9 @@ from repro.net.node import Node
 from repro.phy.channel import CachedPositionProvider, Channel
 from repro.phy.energy import EnergyMeter, EnergyParams
 from repro.phy.params import PhyParams
-from repro.phy.propagation import (
-    FreeSpace,
-    LogNormalShadowing,
-    NakagamiFading,
-    PropagationModel,
-    TwoRayGround,
-)
+from repro.phy.propagation import PropagationModel
 from repro.routing import make_protocol
-from repro.traffic.cbr import CbrSource
+from repro.traffic.base import TrafficSource
 from repro.traffic.sink import Sink
 from repro.util.errors import ConfigError
 from repro.util.rng import RngStreams
@@ -54,7 +54,7 @@ class SimulationResult:
         collector: raw packet events.
         trace: the mobility trace the run replayed.
         sink: the receiver's sink (per-flow receptions).
-        sources: the CBR sources, keyed by flow id.
+        sources: the traffic sources, keyed by flow id.
         sinks: per-destination sinks, keyed by node id.
         mac_stats: per-node MAC counters.
         frames_on_air: total frames the channel carried.
@@ -65,7 +65,7 @@ class SimulationResult:
     collector: MetricsCollector
     trace: MobilityTrace
     sink: Sink
-    sources: Dict[int, CbrSource]
+    sources: Dict[int, TrafficSource]
     sinks: Dict[int, Sink]
     mac_stats: Dict[int, MacStats]
     frames_on_air: int
@@ -121,7 +121,13 @@ class SimulationResult:
 
 
 class CavenetSimulation:
-    """Build and run one scenario end to end."""
+    """Build and run one scenario end to end.
+
+    :meth:`run` chains the ``build_*`` stages below; each is a seam a
+    subclass can override independently (swap the channel, inject
+    pre-built nodes, wrap traffic sources) while everything else —
+    including RNG stream wiring and metric collection — stays stock.
+    """
 
     def __init__(self, scenario: Scenario) -> None:
         self.scenario = scenario
@@ -129,43 +135,21 @@ class CavenetSimulation:
     # -- stage 1: Behavioural Analyzer ---------------------------------------
 
     def build_mobility(self) -> CaMobility:
-        """Construct the CA + lane geometry for the scenario."""
+        """Construct the CA + lane geometry for the scenario.
+
+        The lane (``boundary`` registry) and the vehicle placement
+        (``mobility`` registry) are both resolved by name; the placement
+        factory receives the boundary and the dedicated ``"mobility"``
+        RNG stream, so identical names draw identical randomness.
+        """
         scenario = self.scenario
         streams = RngStreams(scenario.seed)
-        if scenario.boundary == "circuit":
-            layout = RoadLayout.single_circuit(
-                scenario.road_length_m, scenario.cell_length_m
-            )
-            boundary = Boundary.PERIODIC
-        else:
-            layout = RoadLayout.single_line(
-                scenario.road_length_m, scenario.cell_length_m
-            )
-            boundary = Boundary.WRAP_SHIFT
-        rng = streams.stream("mobility")
-        if scenario.initial_placement == "random":
-            positions = np.sort(
-                rng.choice(
-                    scenario.num_cells, size=scenario.num_nodes, replace=False
-                )
-            )
-            model = NagelSchreckenberg(
-                scenario.num_cells,
-                positions=positions,
-                p=scenario.dawdle_p,
-                v_max=scenario.v_max,
-                boundary=boundary,
-                rng=rng,
-            )
-        else:
-            model = NagelSchreckenberg(
-                scenario.num_cells,
-                scenario.num_nodes,
-                p=scenario.dawdle_p,
-                v_max=scenario.v_max,
-                boundary=boundary,
-                rng=rng,
-            )
+        layout, boundary = registry.resolve("boundary", scenario.boundary)(
+            scenario
+        )
+        model = registry.resolve("mobility", scenario.initial_placement)(
+            scenario, boundary, streams.stream("mobility")
+        )
         return CaMobility(model, layout)
 
     def generate_trace(self) -> MobilityTrace:
@@ -184,40 +168,17 @@ class CavenetSimulation:
 
     # -- stage 2: Communication Protocol Simulator ------------------------------
 
-    def _propagation(self, streams: RngStreams) -> PropagationModel:
-        scenario = self.scenario
-        if scenario.propagation == "two_ray":
-            return TwoRayGround()
-        if scenario.propagation == "free_space":
-            return FreeSpace()
-        if scenario.propagation == "nakagami":
-            return NakagamiFading(
-                m=scenario.nakagami_m, rng=streams.stream("fading")
-            )
-        return LogNormalShadowing(
-            path_loss_exponent=scenario.shadowing_exponent,
-            sigma_db=scenario.shadowing_sigma_db,
-            rng=streams.stream("shadowing"),
+    def build_propagation(self, streams: RngStreams) -> PropagationModel:
+        """Resolve the scenario's propagation model through the registry."""
+        return registry.resolve("propagation", self.scenario.propagation)(
+            self.scenario, streams
         )
 
-    def run(self, trace: Optional[MobilityTrace] = None) -> SimulationResult:
-        """Execute the scenario and return its measurements.
-
-        A pre-built ``trace`` (e.g. parsed from an ns-2 movement file)
-        bypasses the Behavioural Analyzer stage, exercising the same
-        decoupling the paper's two-block architecture is designed around.
-        """
+    def build_channel(
+        self, sim: Simulator, streams: RngStreams, trace: MobilityTrace
+    ) -> Tuple[Channel, PhyParams]:
+        """Wire trace playback, propagation and PHY thresholds into a channel."""
         scenario = self.scenario
-        streams = RngStreams(scenario.seed)
-        if trace is None:
-            trace = self.generate_trace()
-        if trace.num_nodes != scenario.num_nodes:
-            raise ConfigError(
-                f"trace has {trace.num_nodes} nodes, scenario expects "
-                f"{scenario.num_nodes}"
-            )
-
-        sim = Simulator()
         player = TracePlayer(trace)
         provider = CachedPositionProvider(
             player, sim, scenario.position_cache_dt_s
@@ -226,13 +187,28 @@ class CavenetSimulation:
         # scenario's TX/CS ranges; for_ranges works on the model's
         # deterministic mean/median power, so stochastic models need no
         # special-cased sigma-0 twin and consume no randomness here.
-        propagation = self._propagation(streams)
+        propagation = self.build_propagation(streams)
         phy_params = PhyParams.for_ranges(
             propagation, scenario.tx_range_m, scenario.cs_range_m
         )
         channel = Channel(sim, propagation, provider.positions)
-        metrics = MetricsCollector(sim)
+        return channel, phy_params
 
+    def build_nodes(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        phy_params: PhyParams,
+        metrics: MetricsCollector,
+        streams: RngStreams,
+    ) -> List[Node]:
+        """Create every node with its MAC, radio and routing protocol.
+
+        Each node gets its own ``"mac-<id>"`` and ``"routing-<id>"``
+        streams; the protocol comes from the ``routing`` registry via
+        :func:`repro.routing.make_protocol`.
+        """
+        scenario = self.scenario
         nodes: List[Node] = []
         for node_id in range(scenario.num_nodes):
             node = Node(
@@ -252,6 +228,65 @@ class CavenetSimulation:
             )
             node.set_routing(protocol)
             nodes.append(node)
+        return nodes
+
+    def build_traffic(
+        self, nodes: List[Node], streams: RngStreams
+    ) -> Tuple[Dict[int, TrafficSource], Dict[int, Sink]]:
+        """Instantiate sinks and (started) traffic sources for every flow.
+
+        The source factory is the scenario's ``traffic`` registry entry;
+        it receives the per-flow RNG stream and the scenario, with
+        ``Scenario.traffic_options`` forwarded as keyword overrides.  A
+        factory may carry an ``rng_stream_prefix`` attribute naming its
+        per-flow streams (the built-in CBR keeps its historical
+        ``"cbr-<flow>"`` name so default runs stay bit-identical);
+        everything else gets ``"traffic-<flow>"``.
+        """
+        scenario = self.scenario
+        factory = registry.resolve("traffic", scenario.traffic)
+        stream_prefix = getattr(factory, "rng_stream_prefix", "traffic")
+        sinks: Dict[int, Sink] = {
+            scenario.receiver: Sink(nodes[scenario.receiver])
+        }
+        sources: Dict[int, TrafficSource] = {}
+        for flow_id, src, dst in scenario.traffic_flows():
+            if dst not in sinks:
+                sinks[dst] = Sink(nodes[dst])
+            source = factory(
+                nodes[src],
+                dst,
+                scenario=scenario,
+                flow_id=flow_id,
+                rng=streams.stream(f"{stream_prefix}-{flow_id}"),
+                **scenario.traffic_options,
+            )
+            source.start()
+            sources[flow_id] = source
+        return sources, sinks
+
+    def run(self, trace: Optional[MobilityTrace] = None) -> SimulationResult:
+        """Execute the scenario and return its measurements.
+
+        A pre-built ``trace`` (e.g. parsed from an ns-2 movement file)
+        bypasses the Behavioural Analyzer stage, exercising the same
+        decoupling the paper's two-block architecture is designed around.
+        """
+        scenario = self.scenario
+        streams = RngStreams(scenario.seed)
+        if trace is None:
+            trace = self.generate_trace()
+        if trace.num_nodes != scenario.num_nodes:
+            raise ConfigError(
+                f"trace has {trace.num_nodes} nodes, scenario expects "
+                f"{scenario.num_nodes}"
+            )
+
+        sim = Simulator()
+        channel, phy_params = self.build_channel(sim, streams, trace)
+        metrics = MetricsCollector(sim)
+
+        nodes = self.build_nodes(sim, channel, phy_params, metrics, streams)
         energy = {
             node.node_id: EnergyMeter(sim, node.radio, EnergyParams())
             for node in nodes
@@ -259,27 +294,7 @@ class CavenetSimulation:
         for node in nodes:
             node.routing.start()
 
-        flows = scenario.traffic_flows()
-        sinks: Dict[int, Sink] = {
-            scenario.receiver: Sink(nodes[scenario.receiver])
-        }
-        sources: Dict[int, CbrSource] = {}
-        for flow_id, src, dst in flows:
-            if dst not in sinks:
-                sinks[dst] = Sink(nodes[dst])
-            source = CbrSource(
-                nodes[src],
-                dst,
-                rate_pps=scenario.cbr_rate_pps,
-                size_bytes=scenario.cbr_size_bytes,
-                start_s=scenario.traffic_start_s,
-                stop_s=scenario.traffic_stop_s,
-                flow_id=flow_id,
-                jitter_s=min(0.05, 1.0 / scenario.cbr_rate_pps / 4.0),
-                rng=streams.stream(f"cbr-{flow_id}"),
-            )
-            source.start()
-            sources[flow_id] = source
+        sources, sinks = self.build_traffic(nodes, streams)
 
         sim.run(until=scenario.sim_time_s)
         metrics.record_channel(channel)

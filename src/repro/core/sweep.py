@@ -151,9 +151,12 @@ def sweep_scenario(
                     args=(scenario,),
                 )
             )
+    # Fingerprint over the canonical serialization (Scenario.to_dict),
+    # which canonical-JSON-hashes identically to the dataclasses.asdict
+    # form older journals were recorded with, so those still resume.
     fingerprint = campaign_fingerprint(
         kind="sweep",
-        scenario=dataclasses.asdict(base),
+        scenario=base.to_dict(),
         field=field,
         values=list(values),
         trials=trials,

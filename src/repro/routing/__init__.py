@@ -9,8 +9,15 @@ against a common interface so the evaluation harness can swap them by name:
 * :class:`Dymo` — reactive with path accumulation
   (draft-ietf-manet-dymo style).
 * :class:`Dsdv` and :class:`Flooding` — extension baselines.
+
+Name-to-class dispatch goes through the ``"routing"`` namespace of
+:mod:`repro.core.registry`; a third-party protocol registers with
+``@register("routing", "GPSR")`` and is immediately selectable by
+``Scenario(protocol=...)``, :func:`make_protocol` and the CLI.
+``PROTOCOLS`` remains as a read-only mapping alias over that namespace.
 """
 
+from repro.core.registry import RegistryView, register, resolve
 from repro.routing.audit import RoutingAudit, audit_all, audit_destination, next_hop_map
 from repro.routing.base import RoutingProtocol
 from repro.routing.table import RouteEntry, RouteTable
@@ -20,25 +27,26 @@ from repro.routing.dymo import Dymo
 from repro.routing.dsdv import Dsdv
 from repro.routing.flooding import Flooding
 
-PROTOCOLS = {
-    "AODV": Aodv,
-    "OLSR": Olsr,
-    "DYMO": Dymo,
-    "DSDV": Dsdv,
-    "FLOODING": Flooding,
-}
+register("routing", "AODV")(Aodv)
+register("routing", "OLSR")(Olsr)
+register("routing", "DYMO")(Dymo)
+register("routing", "DSDV")(Dsdv)
+register("routing", "FLOODING")(Flooding)
+
+#: Read-only mapping alias over the registry namespace (kept for callers
+#: that iterate or index protocols by name; late registrations appear here
+#: automatically).
+PROTOCOLS = RegistryView("routing")
 
 
 def make_protocol(name: str, node, rng, **kwargs) -> RoutingProtocol:
-    """Instantiate a protocol by its (case-insensitive) name."""
-    from repro.util.errors import ConfigError
+    """Instantiate a protocol by its (case-insensitive) registered name.
 
-    key = name.upper()
-    if key not in PROTOCOLS:
-        raise ConfigError(
-            f"unknown routing protocol {name!r}; known: {sorted(PROTOCOLS)}"
-        )
-    return PROTOCOLS[key](node, rng, **kwargs)
+    Thin wrapper over ``registry.resolve("routing", name)``; an unknown
+    name raises :class:`~repro.util.errors.ConfigError` listing the live
+    set of registered protocols.
+    """
+    return resolve("routing", name)(node, rng, **kwargs)
 
 
 __all__ = [

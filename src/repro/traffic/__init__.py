@@ -1,6 +1,69 @@
-"""Application-layer traffic: CBR sources and sinks (paper Table I)."""
+"""Application-layer traffic: pluggable sources and sinks.
 
+Table I's CBR generator is the default entry of the ``traffic`` registry
+namespace; a Poisson on/off source ships alongside it, and third-party
+generators register with the same decorator (see
+:mod:`repro.core.registry`).  A factory receives the originating node, the
+destination, the scenario and a dedicated RNG stream, and returns a
+started-able :class:`~repro.traffic.base.TrafficSource`;
+``Scenario.traffic_options`` is forwarded as extra keyword arguments.
+"""
+
+from repro.core.registry import register
+from repro.traffic.base import TrafficSource
 from repro.traffic.cbr import CbrSource
+from repro.traffic.poisson import PoissonOnOffSource
 from repro.traffic.sink import Sink
 
-__all__ = ["CbrSource", "Sink"]
+
+@register("traffic", "cbr")
+def _make_cbr(node, dst, *, scenario, flow_id, rng, **options) -> CbrSource:
+    """Table I's constant-bit-rate source, shaped by the scenario's
+    ``cbr_rate_pps``/``cbr_size_bytes`` knobs and traffic window.
+
+    The start jitter (which breaks the lock-step phase of many sources
+    started together) is the same expression the pre-registry wiring used,
+    so default-scenario runs are bit-identical.
+    """
+    kwargs = dict(
+        rate_pps=scenario.cbr_rate_pps,
+        size_bytes=scenario.cbr_size_bytes,
+        start_s=scenario.traffic_start_s,
+        stop_s=scenario.traffic_stop_s,
+        flow_id=flow_id,
+        jitter_s=min(0.05, 1.0 / scenario.cbr_rate_pps / 4.0),
+        rng=rng,
+    )
+    kwargs.update(options)  # traffic_options may override any default
+    return CbrSource(node, dst, **kwargs)
+
+
+# Historical per-flow stream name ("cbr-<flow>"), predating the registry;
+# keeping it makes registry-dispatched default runs bit-identical.
+_make_cbr.rng_stream_prefix = "cbr"
+
+
+@register("traffic", "poisson")
+def _make_poisson(
+    node, dst, *, scenario, flow_id, rng, **options
+) -> PoissonOnOffSource:
+    """Bursty Poisson on/off source over the scenario's traffic window;
+    ``traffic_options`` supplies ``on_mean_s``/``off_mean_s``."""
+    kwargs = dict(
+        rate_pps=scenario.cbr_rate_pps,
+        size_bytes=scenario.cbr_size_bytes,
+        start_s=scenario.traffic_start_s,
+        stop_s=scenario.traffic_stop_s,
+        flow_id=flow_id,
+        rng=rng,
+    )
+    kwargs.update(options)  # traffic_options may override any default
+    return PoissonOnOffSource(node, dst, **kwargs)
+
+
+__all__ = [
+    "CbrSource",
+    "PoissonOnOffSource",
+    "Sink",
+    "TrafficSource",
+]

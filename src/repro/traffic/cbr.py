@@ -12,9 +12,10 @@ import numpy as np
 
 from repro.des.event import Event
 from repro.net.node import Node
+from repro.traffic.base import TrafficSource
 
 
-class CbrSource:
+class CbrSource(TrafficSource):
     """Emits fixed-size packets at a fixed rate over a time window.
 
     Args:

@@ -1,0 +1,131 @@
+"""Poisson on/off traffic source.
+
+The second built-in entry of the ``traffic`` registry — and the proof that
+the traffic seam is real: a bursty, memoryless source that exercises the
+MAC and routing layers very differently from Table I's clockwork CBR.
+
+During an ON period packets arrive as a Poisson process (exponential
+inter-arrival times with mean ``1 / rate_pps``); ON and OFF period
+lengths are themselves exponential with configurable means — the classic
+Markov-modulated on/off model used for VANET safety-beacon and infotainment
+traffic studies.  With ``off_mean_s = 0`` it degenerates to a plain
+Poisson source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.des.event import Event
+from repro.net.node import Node
+from repro.traffic.base import TrafficSource
+
+
+class PoissonOnOffSource(TrafficSource):
+    """Bursty traffic: exponential on/off gating over a Poisson process.
+
+    Args:
+        node: the originating node.
+        dst: destination node id.
+        rate_pps: mean packet rate *during ON periods*.
+        size_bytes: payload size.
+        start_s: no emissions before this time.
+        stop_s: no emissions at or after this time.
+        flow_id: tag carried by every packet for per-flow metrics.
+        on_mean_s: mean ON-period duration.
+        off_mean_s: mean OFF-period duration (0 = always on).
+        rng: generator for every exponential draw (reproducible given the
+            same seed — the simulation passes a named stream).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        dst: int,
+        rate_pps: float = 5.0,
+        size_bytes: int = 512,
+        start_s: float = 10.0,
+        stop_s: float = 90.0,
+        flow_id: Optional[int] = None,
+        on_mean_s: float = 5.0,
+        off_mean_s: float = 5.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_pps <= 0:
+            raise ValueError(f"rate_pps must be > 0, got {rate_pps}")
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0, got {size_bytes}")
+        if stop_s <= start_s:
+            raise ValueError(
+                f"need stop_s > start_s, got [{start_s}, {stop_s}]"
+            )
+        if on_mean_s <= 0:
+            raise ValueError(f"on_mean_s must be > 0, got {on_mean_s}")
+        if off_mean_s < 0:
+            raise ValueError(f"off_mean_s must be >= 0, got {off_mean_s}")
+        self._node = node
+        self._dst = dst
+        self._rate = float(rate_pps)
+        self._size = int(size_bytes)
+        self._start = float(start_s)
+        self._stop = float(stop_s)
+        self.flow_id = flow_id if flow_id is not None else node.node_id
+        self._on_mean = float(on_mean_s)
+        self._off_mean = float(off_mean_s)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._seq = 0
+        self._on_until = 0.0
+        self._event: Optional[Event] = None
+        self._started = False
+        self.packets_sent = 0
+
+    def start(self) -> None:
+        """Schedule the first ON period (call once, before running)."""
+        if self._started:
+            raise RuntimeError("Poisson source already started")
+        self._started = True
+        self._event = self._node.sim.schedule_at(self._start, self._begin_on)
+
+    def stop(self) -> None:
+        """Cancel any pending emission or period transition."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _begin_on(self) -> None:
+        now = self._node.sim.now
+        self._event = None
+        if now >= self._stop:
+            return
+        self._on_until = now + float(self._rng.exponential(self._on_mean))
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        now = self._node.sim.now
+        arrival = now + float(self._rng.exponential(1.0 / self._rate))
+        if arrival < min(self._on_until, self._stop):
+            self._event = self._node.sim.schedule_at(arrival, self._emit)
+            return
+        # The next arrival falls past this ON period (or the window): idle
+        # through the OFF gap and start a fresh ON period.
+        off_end = self._on_until + float(
+            self._rng.exponential(self._off_mean) if self._off_mean > 0
+            else 0.0
+        )
+        if off_end >= self._stop:
+            self._event = None
+            return
+        self._event = self._node.sim.schedule_at(off_end, self._begin_on)
+
+    def _emit(self) -> None:
+        self._event = None
+        if self._node.sim.now >= self._stop:
+            return
+        self._seq += 1
+        self.packets_sent += 1
+        self._node.originate_data(
+            self._dst, self._size, flow_id=self.flow_id, seq=self._seq
+        )
+        self._schedule_next()

@@ -131,9 +131,15 @@ def test_parser_requires_command(capsys):
         build_parser().parse_args([])
 
 
-def test_parser_rejects_unknown_propagation():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["run", "--propagation", "psychic"])
+def test_unknown_propagation_is_config_error_exit_2(capsys):
+    # The parser no longer hard-codes propagation choices; the registry
+    # rejects unknown names at Scenario construction, listing the live set.
+    code = main(["run", "--propagation", "psychic", *SMALL])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error (ConfigError)" in err
+    assert "unknown propagation model" in err
+    assert "psychic" in err and "two_ray" in err
 
 
 # -- sweep command + campaign flags (journal / resume / strict) ---------------

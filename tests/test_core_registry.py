@@ -1,0 +1,166 @@
+"""Component-registry tests: registration, lookup, views, dispatch hygiene."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import registry
+from repro.core.registry import Registry, RegistryView, register, resolve
+from repro.util.errors import ConfigError
+
+SRC_CORE = Path(__file__).resolve().parent.parent / "src" / "repro" / "core"
+
+
+# -- the generic Registry -----------------------------------------------------
+
+
+def test_register_and_resolve_roundtrip():
+    reg = Registry("routing", "routing protocol")
+    reg.register("GPSR", object)
+    assert reg.get("GPSR") is object
+    assert reg.names() == ("GPSR",)
+
+
+def test_lookup_is_case_insensitive_with_canonical_spelling():
+    reg = Registry("routing", "routing protocol")
+    reg.register("GPSR", object)
+    assert reg.get("gpsr") is object
+    assert reg.normalize("GpSr") == "GPSR"
+
+
+def test_duplicate_registration_rejected():
+    reg = Registry("routing", "routing protocol")
+    reg.register("GPSR", object)
+    with pytest.raises(ConfigError, match="already registered"):
+        reg.register("GPSR", int)
+    # Case-insensitively: "gpsr" collides with "GPSR".
+    with pytest.raises(ConfigError, match="already registered"):
+        reg.register("gpsr", int)
+
+
+def test_overwrite_replaces_and_updates_canonical_spelling():
+    reg = Registry("routing", "routing protocol")
+    reg.register("GPSR", object)
+    reg.register("gpsr", int, overwrite=True)
+    assert reg.get("GPSR") is int
+    assert reg.names() == ("gpsr",)
+
+
+def test_unknown_name_lists_known_choices():
+    reg = Registry("routing", "routing protocol")
+    reg.register("GPSR", object)
+    with pytest.raises(
+        ConfigError, match=r"unknown routing protocol 'OSPF'.*GPSR"
+    ):
+        reg.normalize("OSPF")
+
+
+def test_empty_name_rejected():
+    reg = Registry("routing", "routing protocol")
+    with pytest.raises(ConfigError, match="non-empty"):
+        reg.register("", object)
+
+
+def test_unregister_removes_and_unknown_unregister_raises():
+    reg = Registry("routing", "routing protocol")
+    reg.register("GPSR", object)
+    reg.unregister("gpsr")
+    assert reg.names() == ()
+    with pytest.raises(ConfigError, match="nothing removed"):
+        reg.unregister("GPSR")
+
+
+# -- module-level namespaces --------------------------------------------------
+
+
+def test_all_five_kinds_have_builtin_entries():
+    expected = {
+        "propagation": {"two_ray", "free_space", "shadowing", "nakagami"},
+        "routing": {"AODV", "OLSR", "DYMO", "DSDV", "FLOODING"},
+        "mobility": {"random", "uniform"},
+        "traffic": {"cbr", "poisson"},
+        "boundary": {"circuit", "line"},
+    }
+    assert set(registry.KINDS) == set(expected)
+    for kind, names in expected.items():
+        assert names <= set(registry.known(kind)), kind
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError, match="unknown component kind"):
+        registry.registry("quantum")
+
+
+def test_decorator_registers_third_party_component():
+    @register("routing", "TEST-NULL")
+    class NullRouting:
+        def __init__(self, node, rng):
+            pass
+
+    try:
+        assert resolve("routing", "test-null") is NullRouting
+        assert "TEST-NULL" in registry.known("routing")
+    finally:
+        registry.registry("routing").unregister("TEST-NULL")
+    assert "TEST-NULL" not in registry.known("routing")
+
+
+def test_decorator_duplicate_against_builtin_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+        @register("routing", "aodv")  # collides with builtin AODV
+        class Impostor:
+            pass
+
+
+def test_describe_points_at_implementations():
+    described = registry.describe("routing")
+    assert described["AODV"].startswith("repro.routing.aodv:")
+    assert set(described) == set(registry.known("routing"))
+
+
+# -- RegistryView (the PROTOCOLS alias) ---------------------------------------
+
+
+def test_protocols_view_has_mapping_semantics():
+    from repro.routing import PROTOCOLS, Aodv
+
+    assert PROTOCOLS["AODV"] is Aodv
+    assert PROTOCOLS["aodv"] is Aodv  # case-insensitive like the registry
+    assert "OLSR" in PROTOCOLS
+    assert len(PROTOCOLS) >= 5
+    assert sorted(PROTOCOLS) == sorted(registry.known("routing"))
+    with pytest.raises(KeyError):
+        PROTOCOLS["OSPF"]
+
+
+def test_view_reflects_late_registrations():
+    view = RegistryView("routing")
+    before = len(view)
+    register("routing", "TEST-LATE")(object)
+    try:
+        assert len(view) == before + 1
+        assert view["test-late"] is object
+    finally:
+        registry.registry("routing").unregister("TEST-LATE")
+    assert len(view) == before
+
+
+# -- dispatch hygiene ---------------------------------------------------------
+
+
+def test_no_literal_component_dispatch_in_core():
+    """Mirror of the CI grep gate: core modules must not dispatch on
+    component names with if/elif chains — the registry is the one seam."""
+    pattern = re.compile(
+        r"if (scenario|self\.scenario|base)\."
+        r"(propagation|boundary|initial_placement|traffic|protocol) =="
+    )
+    offenders = []
+    for path in SRC_CORE.rglob("*.py"):
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if pattern.search(line):
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, "\n".join(offenders)

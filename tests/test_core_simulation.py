@@ -129,3 +129,69 @@ def test_mac_stats_exposed():
     assert set(result.mac_stats) == set(range(12))
     total_data = sum(s.data_tx for s in result.mac_stats.values())
     assert total_data >= result.collector.num_delivered
+
+
+# -- registry dispatch at the simulation layer --------------------------------
+
+
+def test_unknown_propagation_rejected_at_dispatch_point():
+    """Regression: the old _propagation() if/elif silently fell back to
+    log-normal shadowing for any unrecognized name.  The registry dispatch
+    must reject it even when Scenario validation is bypassed."""
+    scenario = _small()
+    object.__setattr__(scenario, "propagation", "psychic")  # bypass checks
+    from repro.util.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="unknown propagation model"):
+        CavenetSimulation(scenario).run()
+
+
+def test_poisson_traffic_runs_end_to_end():
+    result = CavenetSimulation(
+        _small(traffic="poisson", traffic_options={"off_mean_s": 0.5})
+    ).run()
+    assert result.collector.num_originated > 0
+    assert result.pdr() > 0.5  # connected ring still delivers
+    from repro.traffic.poisson import PoissonOnOffSource
+
+    assert all(
+        isinstance(source, PoissonOnOffSource)
+        for source in result.sources.values()
+    )
+
+
+def test_traffic_options_reach_the_source():
+    result = CavenetSimulation(
+        _small(traffic_options={"rate_pps": 1.0})
+    ).run()
+    # 1 pps over a 13 s window instead of the scenario's 10 pps default.
+    assert result.collector.num_originated == 26  # 2 senders x 13 pkts
+
+
+def test_build_stages_are_overridable():
+    """run() is an orchestrator over build_* seams; a subclass can wrap a
+    single stage and inherit the rest."""
+
+    class Instrumented(CavenetSimulation):
+        def __init__(self, scenario):
+            super().__init__(scenario)
+            self.built = []
+
+        def build_channel(self, sim, streams, trace):
+            self.built.append("channel")
+            return super().build_channel(sim, streams, trace)
+
+        def build_nodes(self, sim, channel, phy_params, metrics, streams):
+            self.built.append("nodes")
+            return super().build_nodes(
+                sim, channel, phy_params, metrics, streams
+            )
+
+        def build_traffic(self, nodes, streams):
+            self.built.append("traffic")
+            return super().build_traffic(nodes, streams)
+
+    simulation = Instrumented(_small())
+    result = simulation.run()
+    assert simulation.built == ["channel", "nodes", "traffic"]
+    assert result.pdr() == pytest.approx(1.0)  # behaviour unchanged

@@ -6,6 +6,7 @@ import pytest
 
 import repro
 import repro.analysis.render
+import repro.core.registry
 import repro.des.engine
 import repro.geometry.affine
 import repro.util.rng
@@ -16,6 +17,7 @@ MODULES = [
     repro.des.engine,
     repro.geometry.affine,
     repro.analysis.render,
+    repro.core.registry,
 ]
 
 

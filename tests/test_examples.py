@@ -13,7 +13,7 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
-FAST_EXAMPLES = ["quickstart", "trace_interchange"]
+FAST_EXAMPLES = ["quickstart", "trace_interchange", "custom_components"]
 
 
 def _load(name):

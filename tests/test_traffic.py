@@ -1,8 +1,11 @@
-"""CBR source and sink tests."""
+"""Traffic-source (CBR, Poisson on/off) and sink tests."""
 
+import numpy as np
 import pytest
 
+from repro.traffic.base import TrafficSource
 from repro.traffic.cbr import CbrSource
+from repro.traffic.poisson import PoissonOnOffSource
 from repro.traffic.sink import Sink
 
 from helpers import TestNetwork, chain_coords
@@ -105,3 +108,94 @@ def test_sink_missing_seqs_detects_loss():
     # No traffic: everything "missing".
     assert sink.missing_seqs(7, 3) == [1, 2, 3]
     assert sink.flow_receptions(7) == []
+
+
+# -- Poisson on/off source ----------------------------------------------------
+
+
+def test_sources_share_the_trafficsource_interface():
+    assert issubclass(CbrSource, TrafficSource)
+    assert issubclass(PoissonOnOffSource, TrafficSource)
+
+
+def _poisson(network, **kwargs):
+    defaults = dict(
+        rate_pps=20.0, start_s=1.0, stop_s=9.0, flow_id=7,
+        rng=np.random.default_rng(5),
+    )
+    defaults.update(kwargs)
+    return PoissonOnOffSource(network.nodes[0], 1, **defaults)
+
+
+def test_poisson_emits_within_window_only():
+    network = _pair()
+    source = _poisson(network)
+    source.start()
+    network.run(until=12.0)
+    times = [e.time for e in network.metrics.originated]
+    assert source.packets_sent == len(times) > 0
+    assert all(1.0 <= t < 9.0 for t in times)
+
+
+def test_poisson_always_on_approximates_rate():
+    """With off_mean_s=0 the source is a plain Poisson process: over an
+    8 s window at 20 pps, the count concentrates around 160."""
+    network = _pair()
+    source = _poisson(network, off_mean_s=0.0, on_mean_s=1000.0)
+    source.start()
+    network.run(until=10.0)
+    assert 100 < source.packets_sent < 230  # ~5 sigma around 160
+
+
+def test_poisson_bursts_thin_the_average():
+    """Equal on/off means gate roughly half the window off."""
+    network = _pair()
+    source = _poisson(
+        network, on_mean_s=0.5, off_mean_s=0.5,
+        rng=np.random.default_rng(11),
+    )
+    source.start()
+    network.run(until=10.0)
+    assert 0 < source.packets_sent < 140  # clearly below always-on ~160
+
+
+def test_poisson_is_reproducible_by_seed():
+    counts = []
+    for _ in range(2):
+        network = _pair()
+        source = _poisson(network, rng=np.random.default_rng(42))
+        source.start()
+        network.run(until=10.0)
+        counts.append(source.packets_sent)
+    assert counts[0] == counts[1]
+
+
+def test_poisson_stop_cancels():
+    network = _pair()
+    source = _poisson(network, off_mean_s=0.0)
+    source.start()
+    network.run(until=3.0)
+    source.stop()
+    sent = source.packets_sent
+    network.run(until=9.0)
+    assert source.packets_sent == sent
+
+
+def test_poisson_double_start_rejected():
+    network = _pair()
+    source = _poisson(network)
+    source.start()
+    with pytest.raises(RuntimeError):
+        source.start()
+
+
+def test_poisson_validation():
+    network = _pair()
+    with pytest.raises(ValueError):
+        _poisson(network, rate_pps=0.0)
+    with pytest.raises(ValueError):
+        _poisson(network, on_mean_s=0.0)
+    with pytest.raises(ValueError):
+        _poisson(network, off_mean_s=-1.0)
+    with pytest.raises(ValueError):
+        _poisson(network, start_s=5.0, stop_s=5.0)
