@@ -1,0 +1,95 @@
+"""PDR under churn: AODV vs OLSR while vehicles crash and recover.
+
+The paper's evaluation assumes every vehicle stays up for the whole
+run.  This example injects seeded node churn — each relay alternates
+between up and down with exponential mean-time-between-failures /
+mean-time-to-repair draws — on the 30-vehicle circuit and compares how
+a reactive protocol (AODV) and a proactive one (OLSR) hold up: overall
+PDR with and without churn, per-window availability, and the route
+re-convergence time after each recovery.
+
+The churn schedule is drawn from the scenario seed, so every number
+printed here is exactly reproducible.
+
+Run:  python examples/fault_injection.py
+"""
+
+import dataclasses
+import math
+
+from repro.core import Scenario
+from repro.core.simulation import CavenetSimulation
+
+CHURN = [
+    {
+        "kind": "node-crash",
+        # Churn the relays; the receiver (0) and senders stay up so the
+        # comparison isolates route repair, not endpoint loss.
+        "nodes": [n for n in range(30) if n not in (0, 14, 15, 16)],
+        "mtbf_s": 15.0,
+        "mttr_s": 5.0,
+    }
+]
+
+BASE = Scenario(
+    num_nodes=30,
+    road_length_m=2500.0,
+    sim_time_s=40.0,
+    # Senders start on the far side of the circuit from the receiver,
+    # so every delivery needs the (churning) relays in between.
+    senders=(14, 15, 16),
+    receiver=0,
+    dawdle_p=0.0,
+    traffic_start_s=2.0,
+    traffic_stop_s=38.0,
+    seed=11,
+)
+
+
+def _run(protocol: str, faults) -> "object":
+    scenario = dataclasses.replace(BASE, protocol=protocol, faults=faults)
+    return CavenetSimulation(scenario).run()
+
+
+def main() -> None:
+    print(f"Scenario: {BASE.num_nodes} vehicles, "
+          f"{BASE.road_length_m:.0f} m circuit, {BASE.sim_time_s:.0f} s, "
+          f"senders {BASE.senders} -> receiver {BASE.receiver}")
+    print(f"Churn: relays fail with MTBF {CHURN[0]['mtbf_s']:.0f} s, "
+          f"repair MTTR {CHURN[0]['mttr_s']:.0f} s (seeded, reproducible)\n")
+
+    header = f"{'metric':<28}{'AODV':>12}{'OLSR':>12}"
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for protocol in ("AODV", "OLSR"):
+        clean = _run(protocol, [])
+        churned = _run(protocol, CHURN)
+        crashes = sum(
+            1 for e in churned.fault_events if e.kind == "node_down"
+        )
+        gaps = [g for g in churned.recovery_times_s().values()
+                if not math.isnan(g)]
+        rows[protocol] = {
+            "PDR (no faults)": f"{clean.pdr():.3f}",
+            "PDR (under churn)": f"{churned.pdr():.3f}",
+            "availability (PDR>=0.5)":
+                f"{churned.availability(threshold=0.5):.3f}",
+            "node crashes injected": str(crashes),
+            "mean re-convergence (s)":
+                f"{sum(gaps) / len(gaps):.2f}" if gaps else "n/a",
+        }
+    for metric in next(iter(rows.values())):
+        print(f"{metric:<28}"
+              + "".join(f"{rows[p][metric]:>12}" for p in ("AODV", "OLSR")))
+
+    print(
+        "\nReading: churn costs both protocols delivery, but the reactive\n"
+        "protocol re-discovers routes on demand after each recovery while\n"
+        "OLSR must wait for its periodic HELLO/TC exchange to re-converge —\n"
+        "the availability and re-convergence rows quantify that gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Chaos smoke: real worker failures must not change campaign results.
+
+CI runs this end-to-end check on every push (it also runs fine locally):
+
+1. ground truth — run a small fault-injected campaign serially;
+2. parallel chaos — re-run with workers while a
+   :class:`~repro.core.chaos.ChaosMonkey` SIGKILLs one worker mid-trial,
+   hangs another past its timeout and corrupts a third's result payload;
+   the retried campaign must be *bit-identical* to the ground truth and
+   telemetry must show the carnage (retries, a timeout);
+3. journalled kill + resume — a journalled campaign where one trial is
+   SIGKILLed on every attempt (a journalled failure), then resumed
+   without chaos; the merged results must again be bit-identical and
+   telemetry must show resumed trials.
+
+Exits 0 on success, 1 with a diagnostic on any mismatch.
+"""
+
+import dataclasses
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.chaos import ChaosMonkey
+from repro.core.config import Scenario
+from repro.core.journal import campaign_fingerprint, open_journal
+from repro.core.runner import TrialRunner, TrialSpec
+from repro.core.sweep import _run_scenario_trial
+from repro.metrics.collector import CampaignTelemetry
+
+BASE = Scenario(
+    num_nodes=10,
+    road_length_m=900.0,
+    sim_time_s=15.0,
+    senders=(1, 2),
+    traffic_start_s=2.0,
+    traffic_stop_s=12.0,
+    dawdle_p=0.0,
+    seed=3,
+    # Fault injection rides along so chaos also exercises the
+    # fault-model code path through worker processes.
+    faults=[{"kind": "node-crash", "nodes": [3], "at_s": 5.0, "down_s": 4.0}],
+)
+TRIALS = 4
+
+
+def make_specs():
+    return [
+        TrialSpec(
+            key=("chaos", trial),
+            fn=_run_scenario_trial,
+            args=(dataclasses.replace(BASE, seed=BASE.seed + 1000 * trial),),
+        )
+        for trial in range(TRIALS)
+    ]
+
+
+def fingerprint_of(results):
+    return [
+        (
+            r.pdr(),
+            r.collector.num_originated,
+            r.collector.num_delivered,
+            r.frames_on_air,
+            r.delay_stats().mean_s,
+            r.channel_telemetry.events_processed,
+            len(r.fault_events),
+        )
+        for r in results
+    ]
+
+
+def values_in_order(outcomes):
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    return [o.value for o in ordered]
+
+
+def main() -> int:
+    print("[1/3] ground truth: serial campaign", flush=True)
+    telemetry = CampaignTelemetry()
+    outcomes = TrialRunner(max_workers=1, telemetry=telemetry).run(make_specs())
+    if any(not o.ok for o in outcomes):
+        print("FAIL: ground-truth campaign had failures")
+        return 1
+    truth = fingerprint_of(values_in_order(outcomes))
+    timeout = max(15.0, 5.0 * max(telemetry.wall_clock_per_trial()))
+
+    print("[2/3] parallel chaos: SIGKILL + hang + corrupt, then compare")
+    chaos = ChaosMonkey(kill_on={0}, hang_on={1}, corrupt_on={2})
+    telemetry = CampaignTelemetry()
+    outcomes = TrialRunner(
+        max_workers=4,
+        trial_timeout_s=timeout,
+        max_attempts=3,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(make_specs())
+    if any(not o.ok for o in outcomes):
+        print("FAIL: chaos campaign did not recover every trial")
+        return 1
+    if telemetry.retries < 3 or telemetry.timeouts < 1:
+        print(
+            "FAIL: chaos left no trace in telemetry "
+            f"(retries={telemetry.retries}, timeouts={telemetry.timeouts})"
+        )
+        return 1
+    chaotic = fingerprint_of(values_in_order(outcomes))
+    if chaotic != truth:
+        print("FAIL: chaos campaign differs from the uninterrupted run")
+        print(f"  truth: {truth}")
+        print(f"  chaos: {chaotic}")
+        return 1
+
+    print("[3/3] journalled kill-every-attempt, then resume without chaos")
+    journal_path = str(Path(tempfile.mkdtemp(prefix="chaos-")) / "j.jsonl")
+    fingerprint = campaign_fingerprint(
+        kind="chaos-smoke", scenario=BASE.to_dict(), trials=TRIALS
+    )
+    journal = open_journal(journal_path, fingerprint, resume=False)
+    chaos = ChaosMonkey(kill_all_attempts_on={1})
+    try:
+        outcomes = TrialRunner(
+            max_workers=4, max_attempts=2, chaos=chaos
+        ).run(make_specs(), journal=journal)
+    finally:
+        journal.close()
+    failed = [o for o in outcomes if not o.ok]
+    if len(failed) != 1:
+        print(f"FAIL: expected exactly 1 journalled failure, got {len(failed)}")
+        return 1
+
+    telemetry = CampaignTelemetry()
+    journal = open_journal(journal_path, fingerprint, resume=True)
+    try:
+        outcomes = TrialRunner(max_workers=4, telemetry=telemetry).run(
+            make_specs(), journal=journal
+        )
+    finally:
+        journal.close()
+    if any(not o.ok for o in outcomes):
+        print("FAIL: resumed campaign still has failures")
+        return 1
+    if telemetry.trials_resumed == 0:
+        print("FAIL: nothing was resumed from the journal")
+        return 1
+    resumed = fingerprint_of(values_in_order(outcomes))
+    if resumed != truth:
+        print("FAIL: resumed campaign differs from the uninterrupted run")
+        print(f"  truth:   {truth}")
+        print(f"  resumed: {resumed}")
+        return 1
+    print(
+        f"OK: chaos recovered bit-identically; resume restored "
+        f"{telemetry.trials_resumed} trials and re-ran the killed one"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,12 +22,18 @@ to skip trials already in the journal after a crash, and ``--strict`` to
 exit nonzero when any trial failed (instead of silently aggregating the
 survivors).  Configuration mistakes and campaign failures surface as the
 typed errors of :mod:`repro.util.errors` and exit with code 2.
+
+Interrupting a campaign with Ctrl-C is graceful: completed trials are
+already fsync'd to the journal (when ``--journal`` is given), a partial
+telemetry summary and a resume hint go to stderr, and the process exits
+with the conventional code 130.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -152,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "components",
         help="list every registered component (propagation, routing, "
-        "mobility, traffic, boundary)",
+        "mobility, traffic, boundary, fault)",
     )
 
     return parser
@@ -288,6 +294,27 @@ def _campaign_telemetry(workers: int, journal: Optional[str] = None):
     return CampaignTelemetry()
 
 
+#: Conventional exit code for death-by-SIGINT (128 + signal number 2).
+EXIT_INTERRUPTED = 130
+
+
+def _interrupted(telemetry, journal: Optional[str]) -> int:
+    """Report a Ctrl-C'd campaign to stderr; return the 130 exit code.
+
+    Every trial that finished before the interrupt is already durable
+    (the journal fsyncs per record), so the honest summary here is the
+    telemetry counters plus how to pick the campaign back up.
+    """
+    print("\ninterrupted (SIGINT)", file=sys.stderr)
+    if telemetry is not None:
+        print(f"partial results: {telemetry.format_summary()}",
+              file=sys.stderr)
+    if journal:
+        print(f"completed trials are journalled in {journal}; "
+              "re-run with --resume to continue", file=sys.stderr)
+    return EXIT_INTERRUPTED
+
+
 def _parse_set_overrides(pairs: Optional[List[str]]) -> Dict[str, Any]:
     """Parse repeated ``--set KEY=VALUE`` flags into an override dict.
 
@@ -345,6 +372,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     result = CavenetSimulation(scenario).run()
     print(f"protocol          : {scenario.protocol}")
+    if scenario.faults:
+        print(f"fault models      : "
+              f"{', '.join(spec['kind'] for spec in scenario.faults)}")
+        print(f"fault events      : {len(result.fault_events)}")
+        avail = result.availability()
+        if not math.isnan(avail):
+            print(f"availability      : {avail:.3f}")
+        for when, gap in sorted(result.recovery_times_s().items()):
+            gap_text = f"{gap:.3f} s" if not math.isnan(gap) else "never"
+            print(f"  recovery after node_up at {when:.1f} s: {gap_text}")
     print(f"originated        : {result.collector.num_originated}")
     print(f"delivered         : {result.collector.num_delivered}")
     print(f"PDR               : {result.pdr():.3f}")
@@ -368,15 +405,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     protocols = tuple(p for p in args.protocols.split(",") if p)
     workers = _resolve_workers(args)
     telemetry = _campaign_telemetry(workers, args.journal)
-    comparison = compare_protocols(
-        scenario,
-        protocols,
-        max_workers=workers,
-        trial_timeout_s=args.trial_timeout,
-        telemetry=telemetry,
-        journal_path=args.journal,
-        resume=args.resume,
-    )
+    try:
+        comparison = compare_protocols(
+            scenario,
+            protocols,
+            max_workers=workers,
+            trial_timeout_s=args.trial_timeout,
+            telemetry=telemetry,
+            journal_path=args.journal,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        return _interrupted(telemetry, args.journal)
     if telemetry is not None:
         print(f"[{workers} workers] {telemetry.format_summary()}")
         print()
@@ -399,17 +439,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     workers = _resolve_workers(args)
     telemetry = _campaign_telemetry(workers, args.journal)
-    result = sweep_scenario(
-        scenario,
-        field=args.field,
-        values=args.values,
-        trials=args.trials,
-        max_workers=workers,
-        trial_timeout_s=args.trial_timeout,
-        telemetry=telemetry,
-        journal_path=args.journal,
-        resume=args.resume,
-    )
+    try:
+        result = sweep_scenario(
+            scenario,
+            field=args.field,
+            values=args.values,
+            trials=args.trials,
+            max_workers=workers,
+            trial_timeout_s=args.trial_timeout,
+            telemetry=telemetry,
+            journal_path=args.journal,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        return _interrupted(telemetry, args.journal)
     if telemetry is not None:
         print(f"[{workers} workers] {telemetry.format_summary()}")
         print()
@@ -460,19 +503,22 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
 
     workers = _resolve_workers(args)
     telemetry = _campaign_telemetry(workers, args.journal)
-    diagram = fundamental_diagram(
-        args.densities,
-        p=args.p,
-        num_cells=args.cells,
-        trials=args.trials,
-        steps=args.steps,
-        rng=RngStreams(args.seed),
-        max_workers=workers,
-        trial_timeout_s=args.trial_timeout,
-        telemetry=telemetry,
-        journal_path=args.journal,
-        resume=args.resume,
-    )
+    try:
+        diagram = fundamental_diagram(
+            args.densities,
+            p=args.p,
+            num_cells=args.cells,
+            trials=args.trials,
+            steps=args.steps,
+            rng=RngStreams(args.seed),
+            max_workers=workers,
+            trial_timeout_s=args.trial_timeout,
+            telemetry=telemetry,
+            journal_path=args.journal,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        return _interrupted(telemetry, args.journal)
     if telemetry is not None:
         print(f"[{workers} workers] {telemetry.format_summary()}")
     print(f"fundamental diagram: p={args.p}, L={args.cells}, "
@@ -553,3 +599,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Campaign handlers catch SIGINT themselves to print partial
+        # results; this is the backstop for every other command.
+        print("\ninterrupted (SIGINT)", file=sys.stderr)
+        return EXIT_INTERRUPTED

@@ -86,6 +86,14 @@ class Scenario:
             Rayleigh; larger is milder).
         tx_range_m / cs_range_m: PHY thresholds derived from these ranges.
         position_cache_dt_s: position-lookup cache granularity.
+        faults: declarative fault-injection specs, a tuple of mappings.
+            Each entry names a registered ``fault`` component under
+            ``"kind"`` (``"node-crash"``, ``"radio-silence"``,
+            ``"channel-degradation"``, ``"packet-blackhole"``, or any
+            third-party registration); remaining keys are passed to the
+            fault factory as keyword options.  Empty (the default) means a
+            fault-free run, bit-identical to scenarios predating this
+            field.
         seed: root seed for every random stream in the run.
     """
 
@@ -119,6 +127,7 @@ class Scenario:
     tx_range_m: float = 250.0
     cs_range_m: float = 550.0
     position_cache_dt_s: float = 0.1
+    faults: Tuple[Dict[str, Any], ...] = ()
     # Default seed chosen so the default mobility exhibits the intermittent
     # connectivity regime of the paper's evaluation (node 0 reaches the
     # senders ~75% of the time; the largest component dips to ~57%).
@@ -151,6 +160,26 @@ class Scenario:
             self, "traffic", registry.normalize("traffic", self.traffic)
         )
         object.__setattr__(self, "protocol", str(self.protocol).upper())
+        # Fault specs: canonicalize each entry's "kind" through the fault
+        # registry and store an owned deep copy, so scenario equality and
+        # fingerprints see one spelling and later caller-side mutation of
+        # the spec dicts cannot leak in.  The empty default takes the
+        # short branch and never imports repro.faults, keeping fault-free
+        # scenarios on the exact pre-fault code path.
+        if self.faults:
+            normalized = []
+            for entry in self.faults:
+                if not isinstance(entry, Mapping) or "kind" not in entry:
+                    raise ConfigError(
+                        "each faults entry must be a mapping with a 'kind' "
+                        f"key naming a registered fault model, got {entry!r}"
+                    )
+                spec = copy.deepcopy(dict(entry))
+                spec["kind"] = registry.normalize("fault", spec["kind"])
+                normalized.append(spec)
+            object.__setattr__(self, "faults", tuple(normalized))
+        else:
+            object.__setattr__(self, "faults", ())
         if not 0.0 <= self.dawdle_p <= 1.0:
             raise ConfigError(f"dawdle_p must be in [0,1], got {self.dawdle_p}")
         if self.sim_time_s <= 0:
@@ -280,6 +309,8 @@ class Scenario:
                     if value is None
                     else [[int(src), int(dst)] for src, dst in value]
                 )
+            elif field.name == "faults":
+                value = [copy.deepcopy(dict(entry)) for entry in value]
             elif isinstance(value, dict):
                 value = copy.deepcopy(value)
             out[field.name] = value

@@ -8,7 +8,7 @@ makes every such choice pluggable: a generic registry with one namespace
 per component *kind*, a :func:`register` decorator, and case-insensitive
 name resolution that fails with the live list of known choices.
 
-Five kinds exist (:data:`KINDS`):
+Six kinds exist (:data:`KINDS`):
 
 ``propagation``
     ``factory(scenario, streams) -> PropagationModel`` (see
@@ -25,6 +25,10 @@ Five kinds exist (:data:`KINDS`):
 ``traffic``
     Source factories, ``factory(node, dst, *, scenario, flow_id, rng) ->
     TrafficSource`` (see :mod:`repro.traffic`).
+``fault``
+    Fault-model factories, ``factory(context, **options) -> FaultModel``
+    (see :mod:`repro.faults`), declared per scenario via
+    ``Scenario.faults``.
 
 Built-in implementations register themselves at import time of their home
 module; the registry imports those modules lazily on first lookup, so
@@ -57,6 +61,7 @@ KINDS: Tuple[str, ...] = (
     "mobility",
     "traffic",
     "boundary",
+    "fault",
 )
 
 #: What a name in each namespace denotes — used in error messages so an
@@ -68,6 +73,7 @@ _NOUNS: Dict[str, str] = {
     "mobility": "initial placement",
     "traffic": "traffic model",
     "boundary": "boundary",
+    "fault": "fault model",
 }
 
 #: Modules whose import registers the built-in entries of each kind.
@@ -80,6 +86,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "mobility": ("repro.mobility.builders",),
     "boundary": ("repro.mobility.builders",),
     "traffic": ("repro.traffic",),
+    "fault": ("repro.faults",),
 }
 
 

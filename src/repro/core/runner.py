@@ -137,6 +137,14 @@ class TrialRunner:
         max_attempts: total tries per trial (1 = no retry).
         telemetry: optional :class:`CampaignTelemetry` receiving one
             :class:`TrialRecord` per attempt.
+        chaos: TEST-ONLY failure injector (a
+            :class:`repro.core.chaos.ChaosMonkey`).  Consulted per
+            worker launch; sabotaged attempts run the real trial and
+            then fail for real (SIGKILL, hang, corrupt payload), so the
+            retry/journal machinery is exercised end to end.  Only
+            meaningful with ``max_workers > 1`` — the serial path runs
+            in-process and is never sabotaged.  Production campaigns
+            must leave this ``None``.
     """
 
     def __init__(
@@ -146,6 +154,7 @@ class TrialRunner:
         max_attempts: int = 2,
         telemetry: Optional[CampaignTelemetry] = None,
         poll_interval_s: float = 0.02,
+        chaos: Optional["ChaosMonkey"] = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -160,6 +169,7 @@ class TrialRunner:
         self.max_attempts = int(max_attempts)
         self.telemetry = telemetry
         self.poll_interval_s = poll_interval_s
+        self.chaos = chaos
 
     # -- public API ---------------------------------------------------------
 
@@ -274,10 +284,15 @@ class TrialRunner:
 
     def _launch(self, context, spec: TrialSpec, index: int, attempt: int):
         """Start one worker process for one attempt."""
+        fn, args, kwargs = spec.fn, spec.args, spec.kwargs
+        if self.chaos is not None:
+            mode = self.chaos.mode_for(index, attempt)
+            if mode is not None:
+                fn, args, kwargs = self.chaos.wrap(fn, args, kwargs, mode)
         recv_conn, send_conn = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_main,
-            args=(spec.fn, spec.args, spec.kwargs, send_conn),
+            args=(fn, args, kwargs, send_conn),
             daemon=True,
         )
         process.start()

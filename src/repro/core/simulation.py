@@ -31,6 +31,11 @@ from repro.metrics.delay import DelayStats, delay_stats
 from repro.metrics.goodput import goodput_series, total_goodput_bps
 from repro.metrics.overhead import ControlOverhead, control_overhead, normalized_routing_load
 from repro.metrics.pdr import packet_delivery_ratio, pdr_by_flow
+from repro.metrics.resilience import (
+    availability,
+    pdr_timeline,
+    recovery_times_s,
+)
 from repro.mobility.ca_mobility import CaMobility
 from repro.mobility.trace import MobilityTrace, TracePlayer
 from repro.net.node import Node
@@ -87,8 +92,40 @@ class SimulationResult:
         return packet_delivery_ratio(self.collector, flow_id)
 
     def pdr_per_sender(self) -> Dict[int, float]:
-        """PDR per sender (flow ids are sender ids) — Fig. 11's bars."""
-        return pdr_by_flow(self.collector)
+        """PDR per sender (flow ids are sender ids) — Fig. 11's bars.
+
+        Every configured flow appears, with an explicit 0.0 when it
+        never delivered (or never even originated — a source down for
+        the whole traffic window must not vanish from the report).
+        """
+        configured = [fid for fid, _src, _dst in self.scenario.traffic_flows()]
+        return pdr_by_flow(self.collector, configured)
+
+    # -- resilience (fault-injection) accessors ------------------------------
+
+    @property
+    def fault_events(self):
+        """Fault transitions recorded during the run (empty when the
+        scenario declared no faults) — see
+        :class:`repro.metrics.collector.FaultEvent`."""
+        return self.collector.fault_events
+
+    def pdr_timeline(self, bin_s: float = 1.0):
+        """Per-window PDR ``[(window_start_s, pdr), ...]`` — the
+        dip-and-rebound curve of an outage."""
+        return pdr_timeline(self.collector, self.scenario.sim_time_s, bin_s)
+
+    def availability(
+        self, bin_s: float = 1.0, threshold: float = 0.5
+    ) -> float:
+        """Fraction of traffic-carrying windows with PDR >= threshold."""
+        return availability(
+            self.collector, self.scenario.sim_time_s, bin_s, threshold
+        )
+
+    def recovery_times_s(self) -> Dict[float, float]:
+        """Re-convergence gap after each ``node_up`` transition."""
+        return recovery_times_s(self.collector)
 
     def goodput_series(
         self, flow_id: Optional[int] = None, bin_s: float = 1.0
@@ -265,6 +302,53 @@ class CavenetSimulation:
             sources[flow_id] = source
         return sources, sinks
 
+    def build_faults(
+        self,
+        sim: Simulator,
+        nodes: List[Node],
+        channel: Channel,
+        metrics: MetricsCollector,
+        streams: RngStreams,
+    ) -> List[object]:
+        """Instantiate and arm the scenario's fault models.
+
+        Each spec in ``Scenario.faults`` resolves through the ``fault``
+        registry; the factory receives a
+        :class:`~repro.faults.base.FaultContext` plus the spec's options
+        and its own ``"fault-<index>"`` RNG stream.  An empty ``faults``
+        list returns immediately — no import of :mod:`repro.faults`, no
+        streams created, so fault-free runs stay bit-identical to runs
+        predating fault injection.
+        """
+        scenario = self.scenario
+        if not scenario.faults:
+            return []
+        from repro.faults.base import FaultContext
+
+        node_map = {node.node_id: node for node in nodes}
+        models: List[object] = []
+        for index, spec in enumerate(scenario.faults):
+            options = dict(spec)
+            kind = options.pop("kind")
+            factory = registry.resolve("fault", kind)
+            context = FaultContext(
+                sim=sim,
+                scenario=scenario,
+                nodes=node_map,
+                channel=channel,
+                metrics=metrics,
+                rng=streams.stream(f"fault-{index}"),
+            )
+            try:
+                model = factory(context, **options)
+            except TypeError as exc:
+                raise ConfigError(
+                    f"fault spec {index} ({kind!r}) has bad options: {exc}"
+                ) from exc
+            model.arm()
+            models.append(model)
+        return models
+
     def run(self, trace: Optional[MobilityTrace] = None) -> SimulationResult:
         """Execute the scenario and return its measurements.
 
@@ -295,6 +379,7 @@ class CavenetSimulation:
             node.routing.start()
 
         sources, sinks = self.build_traffic(nodes, streams)
+        self.build_faults(sim, nodes, channel, metrics, streams)
 
         sim.run(until=scenario.sim_time_s)
         metrics.record_channel(channel)

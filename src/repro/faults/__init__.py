@@ -1,0 +1,63 @@
+"""Deterministic, seeded fault injection for scenario runs.
+
+The paper's central lesson is that a single silent robustness artifact —
+the open-lane teleport wrap — invalidated every protocol comparison run
+on top of it.  This package makes disturbance conditions first-class and
+*declarative*: a scenario lists fault specs in ``Scenario.faults``, each
+naming a registered ``fault`` component, and the simulation arms them as
+ordinary DES events before traffic starts.  Every random draw a fault
+model makes comes from its own named stream of the run's root seed
+(``fault-0``, ``fault-1``, ...), so fault schedules are bit-reproducible
+across runs and across worker counts, and an empty ``faults`` list is
+bit-identical to a scenario predating this package.
+
+Built-in fault models (all times in seconds of simulation time):
+
+``node-crash``
+    Take nodes down and bring them back, either on a fixed schedule
+    (``at_s``/``down_s``) or as seeded exponential churn
+    (``mtbf_s``/``mttr_s``).  A down node drops rx/tx and wipes its
+    volatile routing state, so AODV/OLSR/DYMO must re-converge.
+``radio-silence``
+    Transmit-blackout windows at the channel layer, per-node (``nodes``)
+    or global (``nodes`` omitted), optionally repeating.
+``channel-degradation``
+    Timed extra path-loss bursts (``extra_loss_db``) applied through the
+    channel fast path, preserving scalar/vector bit-identity.
+``packet-blackhole``
+    Nodes that keep forwarding control traffic but drop transit DATA —
+    the classic routing stressor.
+
+Third-party faults register like any other component::
+
+    from repro.core.registry import register
+    from repro.faults import FaultModel
+
+    @register("fault", "gps-jammer")
+    class GpsJammer(FaultModel):
+        def __init__(self, context, at_s=0.0):
+            super().__init__(context)
+            self.at_s = float(at_s)
+        def arm(self):
+            self.context.sim.schedule_at(self.at_s, self._jam)
+
+After that, ``Scenario(faults=[{"kind": "gps-jammer", "at_s": 5.0}])``
+round-trips through JSON and runs end to end.
+"""
+
+from repro.faults.base import FaultContext, FaultModel
+from repro.faults.models import (
+    ChannelDegradation,
+    NodeCrash,
+    PacketBlackhole,
+    RadioSilence,
+)
+
+__all__ = [
+    "FaultContext",
+    "FaultModel",
+    "NodeCrash",
+    "RadioSilence",
+    "ChannelDegradation",
+    "PacketBlackhole",
+]

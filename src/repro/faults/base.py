@@ -1,0 +1,97 @@
+"""The fault-model contract: what a registered ``fault`` factory returns.
+
+A fault factory is called once per spec entry in ``Scenario.faults`` as
+``factory(context, **options) -> FaultModel`` where ``options`` is the
+spec dict minus its ``"kind"`` key.  The returned model's :meth:`arm` is
+called once, after nodes/traffic are built but before the event loop
+starts; it schedules whatever DES events the fault needs (via
+``context.sim.schedule_at``) and must not mutate simulation state
+directly at arm time.
+
+Determinism rules every fault model must follow:
+
+- Randomness only through ``context.rng`` (a per-fault named stream of
+  the run's root seed).  Draw the full schedule at arm time when
+  feasible — draws inside event callbacks interleave with other events'
+  ordering and are harder to reason about.
+- No wall-clock, no OS state: a fault schedule is a pure function of
+  (scenario, seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # imported only for annotations; avoids runtime cycles
+    from repro.core.config import Scenario
+    from repro.des.engine import Simulator
+    from repro.metrics.collector import MetricsCollector
+    from repro.phy.channel import Channel
+
+
+@dataclasses.dataclass
+class FaultContext:
+    """Everything a fault model may touch, handed to its factory.
+
+    Attributes:
+        sim: the event loop; schedule fault transitions through it.
+        scenario: the immutable scenario being run (for ``sim_time_s``,
+            node counts, flow endpoints).
+        nodes: ``{node_id: Node}`` for the run.
+        channel: the shared channel (mute/attenuation hooks).
+        metrics: the run's collector; fault transitions are recorded
+            here so resilience metrics can correlate traffic with
+            fault timelines.
+        rng: this fault's own named random stream.
+    """
+
+    sim: "Simulator"
+    scenario: "Scenario"
+    nodes: Dict[int, Any]
+    channel: "Channel"
+    metrics: "MetricsCollector"
+    rng: Any
+
+
+class FaultModel:
+    """Base class for fault models (subclassing is optional but handy).
+
+    The registry contract only requires ``arm()``; this base stores the
+    context and offers :meth:`record` for fault-event bookkeeping.
+    """
+
+    def __init__(self, context: FaultContext) -> None:
+        self.context = context
+
+    def arm(self) -> None:
+        """Schedule this fault's events on ``self.context.sim``."""
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+
+    def record(
+        self, kind: str, node: int = -1, detail: Optional[str] = None
+    ) -> None:
+        """Log a fault transition into the run's metrics collector."""
+        self.context.metrics.record_fault(kind, node, detail)
+
+    def _resolve_nodes(self, nodes: Optional[Any]) -> List[Any]:
+        """Map a spec's ``nodes`` option onto live Node objects.
+
+        ``None`` means every node; otherwise an iterable of node ids.
+        Unknown ids raise ConfigError at arm time, naming the id.
+        """
+        from repro.util.errors import ConfigError
+
+        if nodes is None:
+            return list(self.context.nodes.values())
+        resolved = []
+        for node_id in nodes:
+            if node_id not in self.context.nodes:
+                raise ConfigError(
+                    f"fault spec names node {node_id!r}, but the scenario "
+                    f"only has nodes {sorted(self.context.nodes)}"
+                )
+            resolved.append(self.context.nodes[node_id])
+        return resolved

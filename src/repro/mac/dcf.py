@@ -79,6 +79,8 @@ class Mac80211:
         self._queue = DropTailQueue(queue_capacity)
         self.stats = MacStats()
 
+        #: Crash state: a down MAC accepts nothing, reacts to nothing.
+        self._down = False
         self._current: Optional[_TxContext] = None
         self._outgoing: Optional[Frame] = None
         self._cw = params.cw_min
@@ -135,6 +137,8 @@ class Mac80211:
         the head of the interface queue.  Returns False when the queue
         dropped the packet.
         """
+        if self._down:
+            return False
         accepted = self._queue.enqueue(packet, next_hop, priority)
         if accepted:
             self._serve()
@@ -143,6 +147,47 @@ class Mac80211:
     def flush_next_hop(self, next_hop: int) -> int:
         """Drop queued packets bound for a hop routing declared dead."""
         return self._queue.remove_for_next_hop(next_hop)
+
+    # -- crash / recovery (fault injection) ----------------------------------
+
+    def fail(self):
+        """Crash the MAC: cancel timers, wipe state, flush the queue.
+
+        Returns the flushed ``(packet, next_hop)`` pairs — including the
+        exchange in service — so the owning node can record them as
+        drops.  Scheduled-but-untracked events (SIFS responses, post-CTS
+        data) are gated by ``_down`` instead of cancelled; they fire as
+        no-ops.  The frame sequence counter survives so post-recovery
+        frames cannot collide with pre-crash entries in neighbours'
+        duplicate caches.
+        """
+        self._down = True
+        flushed = []
+        if self._current is not None:
+            flushed.append((self._current.packet, self._current.next_hop))
+            self._current = None
+        self._outgoing = None
+        for attr in ("_timer", "_response_timer", "_nav_wakeup"):
+            event = getattr(self, attr)
+            if event is not None:
+                event.cancel()
+                setattr(self, attr, None)
+        self._timer_kind = ""
+        self._cw = self._params.cw_min
+        self._backoff_slots = None
+        self._need_backoff = False
+        self._nav_until = 0.0
+        self._dup_cache.clear()
+        while True:
+            head = self._queue.dequeue()
+            if head is None:
+                break
+            flushed.append(head)
+        return flushed
+
+    def recover(self) -> None:
+        """Bring a crashed MAC back up (state was wiped at crash time)."""
+        self._down = False
 
     # -- serving the queue ---------------------------------------------------
 
@@ -203,6 +248,8 @@ class Mac80211:
 
     def on_medium_busy(self) -> None:
         """Physical carrier went busy: freeze any pending access timers."""
+        if self._down:
+            return
         self._need_backoff = True
         if self._timer is not None:
             if self._timer_kind == "backoff" and self._backoff_slots:
@@ -214,10 +261,14 @@ class Mac80211:
 
     def on_medium_idle(self) -> None:
         """Physical carrier went idle: resume the access procedure."""
+        if self._down:
+            return
         self._begin_access()
 
     def on_tx_done(self) -> None:
         """Our own frame left the air; arm response timers if needed."""
+        if self._down:
+            return
         frame = self._outgoing
         self._outgoing = None
         if frame is None:
@@ -239,6 +290,8 @@ class Mac80211:
 
     def on_frame_received(self, frame: Frame, rx_power_w: float) -> None:
         """A frame decoded successfully at our radio."""
+        if self._down:
+            return
         me = self.address
         if frame.rx_addr == BROADCAST:
             if frame.frame_type is FrameType.DATA:
@@ -326,6 +379,9 @@ class Mac80211:
         self._radio.transmit(frame, self._params.tx_time(size, FrameType.RTS))
 
     def _send_response(self, frame_type: FrameType, to: int) -> None:
+        # Scheduled before a crash, firing after: stay silent.
+        if self._down:
+            return
         # SIFS responses (ACK/CTS) preempt contention, but a half-duplex
         # radio that started talking in the meantime cannot send one.
         if self._radio.state.value == "tx":
@@ -370,6 +426,8 @@ class Mac80211:
             self._sim.schedule(self._params.sifs_s, self._transmit_after_cts)
 
     def _transmit_after_cts(self) -> None:
+        if self._down:
+            return
         ctx = self._current
         if ctx is None or ctx.phase != "data":
             return

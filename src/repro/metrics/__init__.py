@@ -9,6 +9,7 @@ the future-work metrics the conclusion names (routing overhead, delay).
 from repro.metrics.collector import (
     CampaignTelemetry,
     ChannelTelemetry,
+    FaultEvent,
     MetricsCollector,
     TrialRecord,
 )
@@ -16,6 +17,11 @@ from repro.metrics.goodput import goodput_series, total_goodput_bps
 from repro.metrics.pdr import packet_delivery_ratio, pdr_by_flow
 from repro.metrics.delay import delay_stats, mean_delay
 from repro.metrics.overhead import control_overhead, normalized_routing_load
+from repro.metrics.resilience import (
+    availability,
+    pdr_timeline,
+    recovery_times_s,
+)
 from repro.metrics.tracefile import (
     TraceEvent,
     parse_packet_trace,
@@ -25,8 +31,12 @@ from repro.metrics.tracefile import (
 __all__ = [
     "CampaignTelemetry",
     "ChannelTelemetry",
+    "FaultEvent",
     "TrialRecord",
     "MetricsCollector",
+    "availability",
+    "pdr_timeline",
+    "recovery_times_s",
     "goodput_series",
     "total_goodput_bps",
     "packet_delivery_ratio",

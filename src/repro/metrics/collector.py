@@ -147,6 +147,8 @@ class ChannelTelemetry:
         frames_delivered: per-receiver deliveries the channel scheduled
             (signal above the receiver's carrier-sense threshold).
         frames_cs_dropped: per-receiver drops below carrier sense.
+        frames_suppressed: frames swallowed before the air by an
+            injected radio-silence fault (0 in fault-free runs).
         cache_lookups: fast-path link-cache accesses (one per frame).
         cache_rebuilds: distance-matrix rebuilds (one per position slot
             actually transmitted in).
@@ -157,6 +159,7 @@ class ChannelTelemetry:
     frames_transmitted: int
     frames_delivered: int
     frames_cs_dropped: int
+    frames_suppressed: int
     cache_lookups: int
     cache_rebuilds: int
     cache_hit_rate: float
@@ -168,6 +171,25 @@ class ChannelTelemetry:
         if self.frames_transmitted == 0:
             return 0.0
         return self.frames_delivered / self.frames_transmitted
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One fault-injection transition during a run.
+
+    Attributes:
+        kind: transition name, e.g. ``node_down``/``node_up``,
+            ``radio_silence_on``/``off``, ``channel_degraded``/
+            ``restored``, ``blackhole_on``/``off``.
+        node: affected node id (-1 for channel-global transitions).
+        time: simulation time of the transition.
+        detail: free-form extra (e.g. ``"10 dB"``), ``None`` usually.
+    """
+
+    kind: str
+    node: int
+    time: float
+    detail: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -216,6 +238,9 @@ class MetricsCollector:
         self.delivered: List[DeliveredEvent] = []
         self.transmissions: List[TransmissionEvent] = []
         self.drops: Dict[str, int] = collections.defaultdict(int)
+        #: Fault-injection transitions, in simulation order (empty for a
+        #: fault-free run; see :mod:`repro.faults`).
+        self.fault_events: List[FaultEvent] = []
         self._delivered_uids = set()
         #: PHY/channel telemetry snapshot, filled by :meth:`record_channel`
         #: at the end of a run (``None`` until then).
@@ -278,12 +303,21 @@ class MetricsCollector:
             frames_transmitted=channel.frames_transmitted,
             frames_delivered=channel.frames_delivered,
             frames_cs_dropped=channel.frames_cs_dropped,
+            frames_suppressed=getattr(channel, "frames_suppressed", 0),
             cache_lookups=channel.cache_lookups,
             cache_rebuilds=channel.cache_rebuilds,
             cache_hit_rate=channel.cache_hit_rate,
             events_processed=self._sim.events_processed,
         )
         return self.channel
+
+    def record_fault(
+        self, kind: str, node: int = -1, detail: Optional[str] = None
+    ) -> None:
+        """A fault model (or a faulted node) logged a transition."""
+        self.fault_events.append(
+            FaultEvent(kind=kind, node=node, time=self._sim.now, detail=detail)
+        )
 
     def packet_dropped(self, packet: Packet, node: int, reason: str) -> None:
         """A packet was discarded (reason examples: ``no_route``,

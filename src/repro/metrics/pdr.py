@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.metrics.collector import MetricsCollector
 
@@ -30,9 +30,21 @@ def packet_delivery_ratio(
     return received / sent
 
 
-def pdr_by_flow(collector: MetricsCollector) -> Dict[int, float]:
-    """PDR of every flow that originated at least one packet."""
-    flows = sorted(
-        {e.flow_id for e in collector.originated if e.flow_id is not None}
-    )
-    return {flow: packet_delivery_ratio(collector, flow) for flow in flows}
+def pdr_by_flow(
+    collector: MetricsCollector, flows: Optional[Iterable[int]] = None
+) -> Dict[int, float]:
+    """PDR of every observed — and every configured — flow.
+
+    The report covers the union of flows seen in ``originated``, flows
+    seen in ``delivered`` (a flow can deliver without originating when a
+    trace is replayed partially), and the explicitly ``flows`` passed by
+    the caller (the scenario's configured flow ids).  A configured flow
+    that never sent a packet — say its source crashed at t=0 — appears
+    with an explicit 0.0 instead of silently vanishing from the dict,
+    so fault runs cannot hide dead flows.
+    """
+    seen = {e.flow_id for e in collector.originated if e.flow_id is not None}
+    seen |= {e.flow_id for e in collector.delivered if e.flow_id is not None}
+    if flows is not None:
+        seen |= set(flows)
+    return {flow: packet_delivery_ratio(collector, flow) for flow in sorted(seen)}

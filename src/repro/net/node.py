@@ -48,6 +48,11 @@ class Node:
         self.mac.attach_upper(self._mac_receive, self._mac_failure)
         self.routing: Optional["RoutingProtocol"] = None
         self._sinks: List[Callable[[Packet, int], None]] = []
+        #: Fault state (see :mod:`repro.faults`): a down node neither
+        #: sends nor receives; a blackhole node forwards control but
+        #: drops transit DATA.
+        self.up = True
+        self.blackhole = False
 
     # -- wiring ------------------------------------------------------------
 
@@ -82,6 +87,11 @@ class Node:
             seq=seq,
         )
         self.metrics.data_originated(packet)
+        if not self.up:
+            # Offered load still counts (the application tried), so
+            # PDR-under-churn reflects the outage instead of hiding it.
+            self.drop(packet, "node_down")
+            return packet
         if self.routing is None:
             raise RuntimeError(f"node {self.node_id} has no routing agent")
         self.routing.route_output(packet)
@@ -96,6 +106,11 @@ class Node:
         (ns-2's PriQueue behaviour): route maintenance must not starve
         behind a data backlog.
         """
+        if not self.up:
+            # Before the transmission metric: a dead node's attempts must
+            # not inflate control overhead.
+            self.metrics.packet_dropped(packet, self.node_id, "node_down")
+            return
         self.metrics.transmission(packet, self.node_id, next_hop)
         accepted = self.mac.enqueue(
             packet, next_hop, priority=not packet.is_data
@@ -123,6 +138,10 @@ class Node:
                 self.metrics.data_delivered(packet, self.node_id)
                 for sink in self._sinks:
                     sink(packet, prev_hop)
+            elif self.blackhole:
+                # Transit DATA is eaten; control and local delivery are
+                # untouched, so routes keep pointing through us.
+                self.drop(packet, "blackhole")
             elif self.routing is not None:
                 # Loop guard at the single forwarding dispatch point: every
                 # protocol's data path passes here, so a TTL-immortal loop
@@ -133,6 +152,36 @@ class Node:
                 self.drop(packet, "no_routing_agent")
         elif self.routing is not None:
             self.routing.recv_control(packet, prev_hop)
+
+    # -- fault injection -----------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash this node: radio deaf, MAC wiped, routing state gone.
+
+        Idempotent — a second crash while already down is a no-op, so
+        overlapping fault specs cannot double-count drops.  Queued and
+        in-service packets are recorded as ``node_down`` drops; the
+        routing protocol's volatile state is reset so the network must
+        re-converge around (and later back to) this node.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.radio.disable()
+        for packet, _next_hop in self.mac.fail():
+            self.drop(packet, "node_down")
+        if self.routing is not None:
+            self.routing.reset_state()
+        self.metrics.record_fault("node_down", self.node_id)
+
+    def recover(self) -> None:
+        """Bring a crashed node back up with amnesia (cold boot)."""
+        if self.up:
+            return
+        self.up = True
+        self.radio.enable()
+        self.mac.recover()
+        self.metrics.record_fault("node_up", self.node_id)
 
     def _mac_failure(self, packet: Packet, next_hop: int) -> None:
         if self.routing is not None:

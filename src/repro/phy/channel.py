@@ -125,8 +125,15 @@ class Channel:
         self.frames_transmitted = 0
         self.frames_delivered = 0
         self.frames_cs_dropped = 0
+        #: Frames suppressed by a radio-silence fault (never put on the
+        #: air, so not counted in ``frames_transmitted``).
+        self.frames_suppressed = 0
         self.cache_lookups = 0
         self.cache_rebuilds = 0
+        # Fault-injection state (see repro.faults): muted senders'
+        # frames are suppressed; attenuation scales every received power.
+        self._muted: set = set()
+        self._attenuation = 1.0
         # Link cache, valid for one positions object (= one position slot).
         self._cached_positions: Optional[np.ndarray] = None
         self._dist: Optional[np.ndarray] = None
@@ -165,6 +172,38 @@ class Channel:
         if self.cache_lookups == 0:
             return 0.0
         return 1.0 - self.cache_rebuilds / self.cache_lookups
+
+    # -- fault hooks --------------------------------------------------------
+
+    def mute(self, node_id: Optional[int] = None) -> None:
+        """Suppress every frame ``node_id`` offers (``None``: all senders).
+
+        The sender's radio/MAC behave normally — airtime is spent,
+        ACK timeouts run — but nothing reaches any receiver, exactly an
+        RF blackout.  Driven by the ``radio-silence`` fault model.
+        """
+        self._muted.add(node_id)
+
+    def unmute(self, node_id: Optional[int] = None) -> None:
+        """Lift a :meth:`mute` (unknown ids are ignored)."""
+        self._muted.discard(node_id)
+
+    def set_attenuation(self, factor: float) -> None:
+        """Scale every received power by ``factor`` (1.0 = no fault).
+
+        Applied identically on the vectorized and scalar receive paths
+        (one IEEE-754 multiply per link either way), so the fast path's
+        bit-identity contract holds during degradation bursts.  Sets the
+        factor absolutely; the ``channel-degradation`` fault restores
+        1.0 when its burst ends.  Cached per-sender rows bake the factor
+        into their filtered powers, so they are invalidated here; the
+        distance and power matrices are attenuation-free and survive.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"attenuation factor must be > 0, got {factor}")
+        if factor != self._attenuation:
+            self._attenuation = factor
+            self._rows = {}
 
     # -- link cache ---------------------------------------------------------
 
@@ -210,6 +249,8 @@ class Channel:
                 powers = self._power_matrix[sender_id][ids]
             else:
                 powers = self._propagation.rx_power_vector(tx_power, dist_row)
+            if self._attenuation != 1.0:
+                powers = powers * self._attenuation
             mask = (powers >= self._cs_thresholds) & (ids != sender_id)
             idx = np.nonzero(mask)[0]
             radio_list = self._radio_list
@@ -228,6 +269,9 @@ class Channel:
 
     def transmit(self, sender_id: int, frame: Frame, duration_s: float) -> None:
         """Fan a transmission out to every radio that can detect it."""
+        if self._muted and (sender_id in self._muted or None in self._muted):
+            self.frames_suppressed += 1
+            return
         self.frames_transmitted += 1
         if not self._fast_path:
             self._transmit_scalar(sender_id, frame, duration_s)
@@ -244,6 +288,8 @@ class Channel:
         else:
             mask_other, state, delay_row = row
             all_powers = self._propagation.rx_power_from_cache(state)
+            if self._attenuation != 1.0:
+                all_powers = all_powers * self._attenuation
             idx = np.nonzero(
                 mask_other & (all_powers >= self._cs_thresholds)
             )[0]
@@ -276,6 +322,8 @@ class Channel:
             delta = positions[node_id] - sender_pos
             distance = float(np.hypot(delta[0], delta[1]))
             power = self._propagation.rx_power(tx_power, distance)
+            if self._attenuation != 1.0:
+                power = power * self._attenuation
             if power < radio.params.cs_threshold_w:
                 self.frames_cs_dropped += 1
                 continue

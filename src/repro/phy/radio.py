@@ -82,6 +82,9 @@ class Radio:
         self._capture_ratio = params.capture_ratio
         self._mac: Optional[MacCallbacks] = None
         self._signals: List[_Signal] = []
+        #: Power state: a disabled radio (crashed node) ignores arriving
+        #: signals entirely — nothing is detectable, nothing decodable.
+        self.enabled = True
         self._transmitting = False
         self._tx_end = 0.0
         #: Cumulative seconds spent transmitting (energy accounting).
@@ -121,6 +124,24 @@ class Radio:
         """Physical carrier sense: any detectable signal, or own TX."""
         return self._transmitting or bool(self._signals)
 
+    # -- power state (fault injection) -------------------------------------
+
+    def disable(self) -> None:
+        """Power the receiver down (node crash).
+
+        In-flight arrivals are corrupted, not removed: their
+        ``_signal_end`` events are already scheduled and must find their
+        signal in the list.  New arrivals are ignored at
+        :meth:`signal_start` while disabled.
+        """
+        self.enabled = False
+        for signal in self._signals:
+            signal.corrupted = True
+
+    def enable(self) -> None:
+        """Power the receiver back up (node recovery)."""
+        self.enabled = True
+
     # -- transmit path -----------------------------------------------------
 
     def transmit(self, frame: Frame, duration_s: float) -> None:
@@ -155,6 +176,8 @@ class Radio:
 
     def signal_start(self, frame: Frame, power_w: float, duration_s: float) -> None:
         """The channel announces an arriving signal (already above CS)."""
+        if not self.enabled:
+            return
         was_busy = self.medium_busy()
         signal = _Signal(frame, power_w, self._sim.now + duration_s)
         if self._transmitting:

@@ -192,6 +192,23 @@ class Aodv(RoutingProtocol):
         )
         self._maintenance_timer.start()
 
+    def reset_state(self) -> None:
+        """Crash-wipe: forget routes, neighbours and pending discoveries.
+
+        ``_seq``/``_rreq_id`` survive (RFC 3561 wants sequence numbers
+        monotone across reboots so stale routes lose to fresh ones).
+        """
+        for discovery in self._pending.values():
+            discovery.timer.cancel()
+        self._pending.clear()
+        for queue in self._buffer.values():
+            for packet, _deadline in queue:
+                self.node.drop(packet, "node_down")
+        self._buffer.clear()
+        self.table = RouteTable()
+        self._seen_rreqs.clear()
+        self._neighbors.clear()
+
     # -- introspection ---------------------------------------------------------
 
     def next_hop_for(self, dst: int):

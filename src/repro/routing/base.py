@@ -46,6 +46,18 @@ class RoutingProtocol(abc.ABC):
     def start(self) -> None:
         """Arm periodic timers.  Called once after all nodes are built."""
 
+    def reset_state(self) -> None:
+        """Wipe volatile routing state (a node crash, see :mod:`repro.faults`).
+
+        Called when the owning node fails: drop route tables, neighbour
+        sets, duplicate caches and pending discoveries — everything the
+        protocol learned from the network — but KEEP monotone sequence
+        counters (post-recovery messages must not be mistaken for stale
+        ones) and leave periodic timers armed (they draw from the node's
+        RNG stream per firing; their sends are gated at the node while it
+        is down).  Stateless protocols inherit this no-op.
+        """
+
     # -- introspection ---------------------------------------------------------
 
     def next_hop_for(self, dst: int) -> Optional[int]:

@@ -142,6 +142,23 @@ class Dymo(RoutingProtocol):
         entry = self.table.lookup(dst, self.sim.now)
         return entry.next_hop if entry is not None else None
 
+    def reset_state(self) -> None:
+        """Crash-wipe: forget routes, neighbours and pending discoveries.
+
+        ``_seq``/``_msg_id`` survive so post-recovery routing messages
+        are never mistaken for stale ones.
+        """
+        for discovery in self._pending.values():
+            discovery.timer.cancel()
+        self._pending.clear()
+        for queue in self._buffer.values():
+            for packet, _deadline in queue:
+                self.node.drop(packet, "node_down")
+        self._buffer.clear()
+        self.table = RouteTable()
+        self._seen.clear()
+        self._neighbors.clear()
+
     # -- data path --------------------------------------------------------------
 
     def route_output(self, packet: Packet) -> None:

@@ -204,6 +204,24 @@ class Olsr(RoutingProtocol):
             route = self._hna_route(dst)
         return route[0] if route is not None else None
 
+    def reset_state(self) -> None:
+        """Crash-wipe: forget every learned link, topology and route.
+
+        ``_ansn``/``_msg_seq`` survive so post-recovery TC floods are
+        never discarded as stale by nodes holding pre-crash state.
+        """
+        self._links.clear()
+        self._two_hop.clear()
+        self._mprs = set()
+        self._mpr_selectors.clear()
+        self._topology.clear()
+        self._ansn_seen.clear()
+        self._dups.clear()
+        self._routes = {}
+        self._hna.clear()
+        self._hello_rx.clear()
+        self._dirty = True
+
     # -- data path -------------------------------------------------------------
 
     def route_output(self, packet: Packet) -> None:

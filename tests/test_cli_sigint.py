@@ -1,0 +1,69 @@
+"""Ctrl-C during a CLI campaign: journal intact, summary printed, exit 130.
+
+A real subprocess gets a real SIGINT mid-sweep — anything less (calling
+the handler directly, raising KeyboardInterrupt in-process) would miss
+the interaction between the interpreter's signal handling and the
+campaign loop that this regression test exists to pin down.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _wait_for_journalled_trial(path: Path, deadline_s: float) -> int:
+    """Block until the journal holds >= 1 trial record; return the count."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if path.exists():
+            lines = path.read_text().splitlines()
+            if len(lines) >= 2:  # header + at least one trial
+                return len(lines) - 1
+        time.sleep(0.05)
+    raise AssertionError("no trial reached the journal before the deadline")
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals only")
+def test_sigint_mid_sweep_exits_130_with_partial_summary(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    # Enough sweep points that the campaign cannot finish before the
+    # signal lands, each point quick enough to journal a trial early.
+    argv = [
+        sys.executable, "-m", "repro", "sweep",
+        "--nodes", "10", "--road", "900", "--time", "10",
+        "--senders", "1,2", "--p", "0.0", "--seed", "3",
+        "--field", "seed", "--values", ",".join(str(v) for v in range(40)),
+        "--journal", str(journal),
+    ]
+    env = {**os.environ, "PYTHONPATH": SRC, "PYTHONUNBUFFERED": "1"}
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        completed_before = _wait_for_journalled_trial(journal, deadline_s=60.0)
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60.0)
+    finally:
+        proc.kill()
+
+    assert proc.returncode == 130, (stdout, stderr)
+    assert "interrupted (SIGINT)" in stderr
+    assert "partial results:" in stderr
+    assert "--resume" in stderr  # the hint names the recovery path
+
+    # Every trial journalled before the interrupt is durable and valid.
+    lines = journal.read_text().splitlines()
+    assert len(lines) - 1 >= completed_before
+    header = json.loads(lines[0])
+    assert "fingerprint" in header
+    for line in lines[1:]:
+        assert "key" in json.loads(line)

@@ -74,13 +74,19 @@ def test_unregister_removes_and_unknown_unregister_raises():
 # -- module-level namespaces --------------------------------------------------
 
 
-def test_all_five_kinds_have_builtin_entries():
+def test_all_six_kinds_have_builtin_entries():
     expected = {
         "propagation": {"two_ray", "free_space", "shadowing", "nakagami"},
         "routing": {"AODV", "OLSR", "DYMO", "DSDV", "FLOODING"},
         "mobility": {"random", "uniform"},
         "traffic": {"cbr", "poisson"},
         "boundary": {"circuit", "line"},
+        "fault": {
+            "node-crash",
+            "radio-silence",
+            "channel-degradation",
+            "packet-blackhole",
+        },
     }
     assert set(registry.KINDS) == set(expected)
     for kind, names in expected.items():

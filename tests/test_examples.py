@@ -13,7 +13,12 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
-FAST_EXAMPLES = ["quickstart", "trace_interchange", "custom_components"]
+FAST_EXAMPLES = [
+    "quickstart",
+    "trace_interchange",
+    "custom_components",
+    "fault_injection",
+]
 
 
 def _load(name):

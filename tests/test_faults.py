@@ -1,0 +1,229 @@
+"""Fault-injection subsystem: registry, scenario plumbing, model behavior.
+
+The acceptance test at the bottom is the headline property from the
+issue: a seeded node-crash produces a measurable outage *and* a
+measurable re-convergence (recovery time > 0, post-recovery PDR rebound)
+for every routing protocol under test.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core import registry
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+from repro.util.errors import ConfigError
+
+CRASH = {"kind": "node-crash", "nodes": [0], "at_s": 10.0, "down_s": 8.0}
+
+
+def _tiny(**overrides) -> Scenario:
+    base = dict(
+        num_nodes=10,
+        road_length_m=900.0,
+        sim_time_s=15.0,
+        senders=(1, 2),
+        receiver=0,
+        dawdle_p=0.0,
+        traffic_start_s=2.0,
+        traffic_stop_s=12.0,
+        seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+# -- registry namespace -------------------------------------------------------
+
+
+def test_fault_is_a_registry_namespace():
+    assert "fault" in registry.KINDS
+    assert set(registry.known("fault")) >= {
+        "node-crash",
+        "radio-silence",
+        "channel-degradation",
+        "packet-blackhole",
+    }
+    from repro.faults.models import NodeCrash
+
+    assert registry.resolve("fault", "node-crash") is NodeCrash
+
+
+# -- Scenario plumbing --------------------------------------------------------
+
+
+def test_faults_default_empty_and_in_to_dict():
+    scenario = _tiny()
+    assert scenario.faults == ()
+    assert scenario.to_dict()["faults"] == []
+
+
+def test_faults_normalize_kind_spelling():
+    scenario = _tiny(faults=[{"kind": "NODE-CRASH", "nodes": [0]}])
+    assert scenario.faults[0]["kind"] == "node-crash"
+
+
+def test_faults_entry_must_be_mapping_with_kind():
+    with pytest.raises(ConfigError, match="'kind'"):
+        _tiny(faults=["node-crash"])
+    with pytest.raises(ConfigError, match="'kind'"):
+        _tiny(faults=[{"nodes": [0]}])
+    with pytest.raises(ConfigError, match="unknown fault model"):
+        _tiny(faults=[{"kind": "meteor-strike"}])
+
+
+def test_faults_round_trip_dict_json_and_overrides(tmp_path):
+    scenario = _tiny(faults=[dict(CRASH), {"kind": "radio-silence"}])
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    path = tmp_path / "scenario.json"
+    scenario.save(path)
+    assert Scenario.load(path) == scenario
+
+    # Overriding an unrelated field keeps the fault plan verbatim.
+    reseeded = scenario.with_overrides({"seed": 99})
+    assert reseeded.faults == scenario.faults
+    # Overriding the fault plan itself replaces it wholesale.
+    cleared = scenario.with_overrides({"faults": []})
+    assert cleared.faults == ()
+
+
+def test_faults_tuple_is_deep_copied_from_input():
+    spec = {"kind": "node-crash", "nodes": [0], "at_s": 10.0, "down_s": 8.0}
+    scenario = _tiny(faults=[spec])
+    spec["at_s"] = 999.0
+    spec["nodes"].append(5)
+    assert scenario.faults[0]["at_s"] == 10.0
+    assert scenario.faults[0]["nodes"] == [0]
+
+
+# -- model option validation --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "fault, message",
+    [
+        ({"kind": "node-crash", "at_s": 5.0, "mtbf_s": 3.0, "mttr_s": 1.0},
+         "not both"),
+        ({"kind": "node-crash", "mtbf_s": 3.0}, "mttr_s"),
+        ({"kind": "node-crash", "nodes": [99], "at_s": 1.0}, "names node 99"),
+        ({"kind": "node-crash", "at_s": 1.0, "down_s": 0.0}, "down_s"),
+        ({"kind": "radio-silence", "duration_s": -1.0}, "duration_s"),
+        ({"kind": "radio-silence", "duration_s": 5.0, "repeat_every_s": 2.0},
+         "repeat_every_s"),
+        ({"kind": "channel-degradation", "extra_loss_db": 0.0},
+         "extra_loss_db"),
+        ({"kind": "packet-blackhole"}, "nodes"),
+        ({"kind": "node-crash", "warp_factor": 9}, "warp_factor"),
+    ],
+)
+def test_invalid_fault_options_raise_config_error(fault, message):
+    with pytest.raises(ConfigError, match=message):
+        CavenetSimulation(_tiny(faults=[fault])).run()
+
+
+# -- per-model behavior -------------------------------------------------------
+
+
+def test_radio_silence_suppresses_frames():
+    quiet = CavenetSimulation(_tiny(faults=[
+        {"kind": "radio-silence", "at_s": 4.0, "duration_s": 6.0},
+    ])).run()
+    loud = CavenetSimulation(_tiny()).run()
+    assert quiet.channel_telemetry.frames_suppressed > 0
+    assert loud.channel_telemetry.frames_suppressed == 0
+    assert quiet.pdr() < loud.pdr()
+    kinds = [e.kind for e in quiet.fault_events]
+    assert kinds == ["radio_silence_on", "radio_silence_off"]
+
+
+def test_channel_degradation_tanks_pdr_while_active():
+    degraded = CavenetSimulation(_tiny(faults=[
+        {"kind": "channel-degradation", "extra_loss_db": 60.0,
+         "at_s": 4.0, "duration_s": 6.0},
+    ])).run()
+    clean = CavenetSimulation(_tiny()).run()
+    assert degraded.pdr() < clean.pdr()
+    kinds = [e.kind for e in degraded.fault_events]
+    assert kinds == ["channel_degraded", "channel_restored"]
+    assert degraded.fault_events[0].detail == "60 dB"
+
+
+def test_packet_blackhole_drops_transit_traffic():
+    # A 2 km road forces multi-hop routes (the fault-free run delivers
+    # everything in 4 hops); turning every relay into a blackhole
+    # severs them all, and the drops are attributed to the fault.
+    scenario = _tiny(
+        road_length_m=2000.0,
+        num_nodes=20,
+        senders=(10,),
+        faults=[{"kind": "packet-blackhole",
+                 "nodes": [n for n in range(20) if n not in (0, 10)]}],
+    )
+    result = CavenetSimulation(scenario).run()
+    assert result.collector.drops.get("blackhole", 0) > 0
+    assert result.pdr() < 1.0
+    assert {e.kind for e in result.fault_events} == {"blackhole_on"}
+
+
+def test_node_crash_churn_mode_cycles_deterministically():
+    scenario = _tiny(faults=[
+        {"kind": "node-crash", "nodes": [3, 4], "mtbf_s": 4.0,
+         "mttr_s": 2.0},
+    ])
+    first = CavenetSimulation(scenario).run()
+    second = CavenetSimulation(scenario).run()
+    events = [(e.kind, e.node, e.time) for e in first.fault_events]
+    assert events == [(e.kind, e.node, e.time) for e in second.fault_events]
+    downs = [e for e in first.fault_events if e.kind == "node_down"]
+    ups = [e for e in first.fault_events if e.kind == "node_up"]
+    assert downs and ups
+    assert {e.node for e in downs} <= {3, 4}
+
+
+def test_empty_faults_change_nothing():
+    # The lazy fault stage must not perturb RNG draws or event counts:
+    # faults=() and an absent faults field are the same simulation.
+    with_field = CavenetSimulation(_tiny(faults=[])).run()
+    baseline = CavenetSimulation(_tiny()).run()
+    assert with_field.pdr() == baseline.pdr()
+    assert (with_field.channel_telemetry.events_processed
+            == baseline.channel_telemetry.events_processed)
+    assert with_field.fault_events == []
+
+
+# -- acceptance: measurable outage and re-convergence -------------------------
+
+
+@pytest.mark.parametrize("protocol", ["AODV", "OLSR", "DYMO"])
+def test_node_crash_shows_outage_then_reconvergence(protocol):
+    scenario = _tiny(
+        sim_time_s=30.0,
+        traffic_stop_s=28.0,
+        protocol=protocol,
+        faults=[dict(CRASH)],  # receiver down over [10 s, 18 s)
+    )
+    result = CavenetSimulation(scenario).run()
+
+    kinds = [(e.kind, e.node, e.time) for e in result.fault_events]
+    assert kinds == [("node_down", 0, 10.0), ("node_up", 0, 18.0)]
+
+    timeline = dict(result.pdr_timeline(bin_s=1.0))
+    outage = [p for t, p in timeline.items()
+              if 10.0 <= t < 18.0 and not math.isnan(p)]
+    post = [p for t, p in timeline.items()
+            if 20.0 <= t < 28.0 and not math.isnan(p)]
+    assert outage and post
+    mean_outage = sum(outage) / len(outage)
+    mean_post = sum(post) / len(post)
+    # The outage bites and the protocol re-converges afterwards.
+    assert mean_outage < 0.7
+    assert mean_post > 0.9
+    assert mean_post > mean_outage
+
+    gaps = result.recovery_times_s()
+    assert list(gaps) == [18.0]
+    assert gaps[18.0] > 0.0 and not math.isnan(gaps[18.0])
+    assert result.availability(threshold=0.5) < 1.0

@@ -48,6 +48,29 @@ def test_pdr_per_flow():
     }
 
 
+def test_pdr_by_flow_includes_silent_configured_flows():
+    # A configured flow that never originated a packet must appear with
+    # an explicit 0.0 — its absence would hide a totally dead sender.
+    collector = _collector_with_traffic()
+    table = pdr_by_flow(collector, flows=[1, 2, 3])
+    assert table == {
+        1: pytest.approx(0.75),
+        2: pytest.approx(0.0),
+        3: pytest.approx(0.0),
+    }
+    assert list(table) == [1, 2, 3]  # sorted, deterministic order
+
+
+def test_pdr_by_flow_includes_delivered_only_flows():
+    # Deliveries with no matching origination (e.g. after a collector
+    # reset) still surface rather than being silently dropped.
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+    packet = Packet("DATA", 5, 0, 512, 0.0, flow_id=7)
+    collector.data_delivered(packet)
+    assert 7 in pdr_by_flow(collector)
+
+
 def test_pdr_empty_flow_is_zero():
     sim = Simulator()
     collector = MetricsCollector(sim)
@@ -131,3 +154,55 @@ def test_transmission_partition():
     collector = _collector_with_traffic()
     assert len(collector.control_transmissions()) == 2
     assert collector.data_transmissions() == []
+
+
+# -- resilience metrics -------------------------------------------------------
+
+
+def test_pdr_timeline_bins_by_origination_time():
+    from repro.metrics.resilience import pdr_timeline
+
+    collector = _collector_with_traffic()
+    timeline = pdr_timeline(collector, sim_time_s=5.0, bin_s=1.0)
+    assert [start for start, _ in timeline] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    by_start = dict(timeline)
+    # Window [1, 2): flow-1 packet 0 (delivered) + flow-2 packet (lost).
+    assert by_start[1.0] == pytest.approx(0.5)
+    # Window [4, 5): flow-1 packet 3, never delivered.
+    assert by_start[4.0] == pytest.approx(0.0)
+    # Window [0, 1): nothing offered -> NaN, not 0.0.
+    assert np.isnan(by_start[0.0])
+    with pytest.raises(ValueError):
+        pdr_timeline(collector, sim_time_s=5.0, bin_s=0.0)
+
+
+def test_availability_counts_only_traffic_carrying_windows():
+    from repro.metrics.resilience import availability
+
+    collector = _collector_with_traffic()
+    # Carrying windows: [1,2)=0.5, [2,3)=0.5, [3,4)=0.5, [4,5)=0.0.
+    assert availability(collector, 5.0, bin_s=1.0, threshold=0.5) == (
+        pytest.approx(3 / 4)
+    )
+    # Only window [3, 4) (a lone delivered flow-1 packet) clears 0.9.
+    assert availability(collector, 5.0, threshold=0.9) == pytest.approx(1 / 4)
+    empty = MetricsCollector(Simulator())
+    assert np.isnan(availability(empty, 5.0))
+
+
+def test_recovery_times_measure_gap_to_next_delivery():
+    from repro.metrics.resilience import recovery_times_s
+
+    sim = Simulator()
+    collector = MetricsCollector(sim)
+    packet = Packet("DATA", 1, 0, 512, 0.0, flow_id=1)
+    collector.data_originated(packet)
+    sim.schedule(2.0, collector.record_fault, "node_down", 0)
+    sim.schedule(3.0, collector.record_fault, "node_up", 0)
+    sim.schedule(3.4, collector.data_delivered, packet)
+    sim.schedule(8.0, collector.record_fault, "node_up", 0)
+    sim.run()
+    gaps = recovery_times_s(collector)
+    assert gaps[3.0] == pytest.approx(0.4)
+    assert np.isnan(gaps[8.0])  # nothing delivered after the second one
+    assert len(gaps) == 2  # node_down events are not recovery points

@@ -84,3 +84,24 @@ def test_core_never_raises_bare_builtins():
         if banned.search(line)
     ]
     assert not offenders, f"bare builtin raises in core/: {offenders}"
+
+
+def test_core_and_faults_never_swallow_exceptions():
+    """Crash-safety and fault-injection code must never eat an exception
+    whole (``except ...: pass`` or a bare ``except:``) — that hides
+    exactly the failures the chaos harness exists to surface.  Mirrors
+    the CI grep gate."""
+    src = pathlib.Path(__file__).resolve().parent.parent / "src/repro"
+    swallowed = re.compile(
+        r"except[^:\n]*:\s*(?:pass\s*$|\n\s*pass\b)", re.MULTILINE
+    )
+    bare = re.compile(r"except\s*:")
+    offenders = []
+    for package in ("core", "faults"):
+        for path in sorted((src / package).glob("*.py")):
+            text = path.read_text()
+            if swallowed.search(text):
+                offenders.append(f"{path.name}: except-pass")
+            if bare.search(text):
+                offenders.append(f"{path.name}: bare except")
+    assert not offenders, f"swallowed exceptions: {offenders}"
