@@ -1,0 +1,111 @@
+"""CI perf-regression gate over the committed benchmark baseline.
+
+Compares a metric from the current benchmark artifact against the
+committed baseline (``benchmarks/baseline/BENCH_channel.json``) and
+fails the job when throughput regresses past the hard floor:
+
+* current < 80% of baseline  ->  ``::error::`` + exit 1 (gate fails)
+* current < 90% of baseline  ->  ``::warning::`` (gate passes, flagged)
+* otherwise                  ->  OK (improvements update the printed
+  headroom; refresh the baseline file when they stick)
+
+The metric is a dotted path into the benchmark JSON, default
+``fast.frames_per_s`` — the vectorized channel path whose regression
+history this gate exists to protect.  CI timing noise on shared
+runners is real, which is why the hard floor sits at -20% with a
+-10% early-warning band rather than a tight threshold.
+
+Run:  python scripts/bench_gate.py \
+          --baseline benchmarks/baseline/BENCH_channel.json \
+          --current benchmarks/out/BENCH_channel.json
+"""
+
+import argparse
+import json
+import sys
+
+FAIL_RATIO = 0.80
+WARN_RATIO = 0.90
+
+
+def lookup(document, dotted):
+    """Resolve a dotted path (``fast.frames_per_s``) into a number."""
+    value = document
+    for key in dotted.split("."):
+        if not isinstance(value, dict) or key not in value:
+            raise SystemExit(
+                f"::error::metric path {dotted!r} not found in benchmark "
+                f"JSON (missing key {key!r})"
+            )
+        value = value[key]
+    if not isinstance(value, (int, float)):
+        raise SystemExit(
+            f"::error::metric {dotted!r} is {type(value).__name__}, "
+            "expected a number"
+        )
+    return float(value)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="benchmarks/baseline/BENCH_channel.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--current", default="benchmarks/out/BENCH_channel.json",
+        help="freshly produced benchmark JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--metric", default="fast.frames_per_s",
+        help="dotted path of the gated metric (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as handle:
+            baseline_doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"::error::cannot read baseline {args.baseline}: {exc}"
+        )
+    try:
+        with open(args.current) as handle:
+            current_doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"::error::cannot read current benchmark {args.current}: {exc}"
+        )
+
+    baseline = lookup(baseline_doc, args.metric)
+    current = lookup(current_doc, args.metric)
+    if baseline <= 0:
+        raise SystemExit(
+            f"::error::baseline {args.metric} is {baseline:g}; the gate "
+            "needs a positive baseline — refresh "
+            f"{args.baseline} from a healthy run"
+        )
+
+    ratio = current / baseline
+    summary = (
+        f"{args.metric}: current {current:,.1f} vs baseline "
+        f"{baseline:,.1f} ({ratio:.1%} of baseline)"
+    )
+    if ratio < FAIL_RATIO:
+        print(
+            f"::error::perf regression — {summary}; the floor is "
+            f"{FAIL_RATIO:.0%}"
+        )
+        return 1
+    if ratio < WARN_RATIO:
+        print(
+            f"::warning::perf drift — {summary}; the failure floor is "
+            f"{FAIL_RATIO:.0%}"
+        )
+        return 0
+    print(f"perf gate OK — {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

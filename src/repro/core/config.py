@@ -86,6 +86,20 @@ class Scenario:
             Rayleigh; larger is milder).
         tx_range_m / cs_range_m: PHY thresholds derived from these ranges.
         position_cache_dt_s: position-lookup cache granularity.
+        spatial: neighbor-culling strategy, a registered ``spatial``
+            component: ``"dense"`` (exact O(N^2) link cache, the
+            default) or ``"grid"`` (uniform-grid cell hash; per-slot
+            rebuilds and receive fan-outs only visit nodes within the
+            cull radius — the city-scale path).  With deterministic
+            propagation and the default cull radius, grid results are
+            bit-identical to dense; stochastic models consume the RNG
+            per visited link, so grid runs differ from dense there
+            (each is still seeded and reproducible on its own).
+        cull_radius_m: grid cull radius (= cell size) in metres;
+            ``None`` derives it from ``cs_range_m``, the maximum link
+            range.  Must be >= ``cs_range_m`` — culling inside carrier
+            sense would silently drop detectable links, so that is a
+            :class:`ConfigError`.
         faults: declarative fault-injection specs, a tuple of mappings.
             Each entry names a registered ``fault`` component under
             ``"kind"`` (``"node-crash"``, ``"radio-silence"``,
@@ -127,6 +141,8 @@ class Scenario:
     tx_range_m: float = 250.0
     cs_range_m: float = 550.0
     position_cache_dt_s: float = 0.1
+    spatial: str = "dense"
+    cull_radius_m: Optional[float] = None
     faults: Tuple[Dict[str, Any], ...] = ()
     # Default seed chosen so the default mobility exhibits the intermittent
     # connectivity regime of the paper's evaluation (node 0 reaches the
@@ -159,7 +175,22 @@ class Scenario:
         object.__setattr__(
             self, "traffic", registry.normalize("traffic", self.traffic)
         )
+        object.__setattr__(
+            self, "spatial", registry.normalize("spatial", self.spatial)
+        )
         object.__setattr__(self, "protocol", str(self.protocol).upper())
+        if self.cull_radius_m is not None:
+            if self.cull_radius_m <= 0:
+                raise ConfigError(
+                    f"cull_radius_m must be > 0, got {self.cull_radius_m}"
+                )
+            if self.cull_radius_m < self.cs_range_m:
+                raise ConfigError(
+                    f"cull_radius_m={self.cull_radius_m:g} is smaller than "
+                    f"the maximum link range (cs_range_m={self.cs_range_m:g})"
+                    "; spatial culling inside carrier sense would silently "
+                    "drop detectable links"
+                )
         # Fault specs: canonicalize each entry's "kind" through the fault
         # registry and store an owned deep copy, so scenario equality and
         # fingerprints see one spelling and later caller-side mutation of

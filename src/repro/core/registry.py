@@ -8,7 +8,7 @@ makes every such choice pluggable: a generic registry with one namespace
 per component *kind*, a :func:`register` decorator, and case-insensitive
 name resolution that fails with the live list of known choices.
 
-Six kinds exist (:data:`KINDS`):
+Seven kinds exist (:data:`KINDS`):
 
 ``propagation``
     ``factory(scenario, streams) -> PropagationModel`` (see
@@ -29,6 +29,10 @@ Six kinds exist (:data:`KINDS`):
     Fault-model factories, ``factory(context, **options) -> FaultModel``
     (see :mod:`repro.faults`), declared per scenario via
     ``Scenario.faults``.
+``spatial``
+    Neighbor-culling index factories, ``factory(scenario) -> index or
+    None`` (see :mod:`repro.phy.spatial`); ``None`` keeps the exact
+    dense link cache.
 
 Built-in implementations register themselves at import time of their home
 module; the registry imports those modules lazily on first lookup, so
@@ -62,6 +66,7 @@ KINDS: Tuple[str, ...] = (
     "traffic",
     "boundary",
     "fault",
+    "spatial",
 )
 
 #: What a name in each namespace denotes — used in error messages so an
@@ -74,6 +79,7 @@ _NOUNS: Dict[str, str] = {
     "traffic": "traffic model",
     "boundary": "boundary",
     "fault": "fault model",
+    "spatial": "spatial index",
 }
 
 #: Modules whose import registers the built-in entries of each kind.
@@ -87,6 +93,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "boundary": ("repro.mobility.builders",),
     "traffic": ("repro.traffic",),
     "fault": ("repro.faults",),
+    "spatial": ("repro.phy.spatial",),
 }
 
 

@@ -211,6 +211,19 @@ class CavenetSimulation:
             self.scenario, streams
         )
 
+    def build_spatial(self):
+        """Resolve the scenario's neighbor-culling index (None = dense).
+
+        The factory comes from the ``spatial`` registry; the built-in
+        ``"grid"`` entry derives its cell size from the carrier-sense
+        radius (or ``Scenario.cull_radius_m``) and raises
+        :class:`~repro.util.errors.ConfigError` if the cull radius does
+        not cover the maximum link range.
+        """
+        return registry.resolve("spatial", self.scenario.spatial)(
+            self.scenario
+        )
+
     def build_channel(
         self, sim: Simulator, streams: RngStreams, trace: MobilityTrace
     ) -> Tuple[Channel, PhyParams]:
@@ -228,7 +241,9 @@ class CavenetSimulation:
         phy_params = PhyParams.for_ranges(
             propagation, scenario.tx_range_m, scenario.cs_range_m
         )
-        channel = Channel(sim, propagation, provider.positions)
+        channel = Channel(
+            sim, propagation, provider.positions, spatial=self.build_spatial()
+        )
         return channel, phy_params
 
     def build_nodes(

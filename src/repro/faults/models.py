@@ -191,6 +191,14 @@ class ChannelDegradation(FaultModel):
     bursts too.  Bursts set the attenuation absolutely (no stacking);
     overlapping degradation faults are a configuration error in spirit,
     and the later event wins.
+
+    Invalidation is cell-precise: ``Channel.set_attenuation`` drops only
+    the cached per-sender rows whose powers baked the old factor
+    (deterministic propagation); the spatial index's grid cells and the
+    attenuation-free distance state survive every burst edge, so a
+    degradation fault on a city-scale grid run never re-buckets a single
+    node — only the touched senders' rows are rebuilt on their next
+    frame.
     """
 
     def __init__(

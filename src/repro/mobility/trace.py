@@ -75,6 +75,18 @@ class MobilityTrace:
         """The ``(T, 2)`` path of one node (copy)."""
         return self.positions[:, node, :].copy()
 
+    def bounds(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """Axis-aligned extent ``((x_min, y_min), (x_max, y_max))``.
+
+        The spatial-indexing diagnostics and the scale benchmark use
+        this to report the simulated area (and thus vehicle density)
+        a trace covers; the grid index itself needs no bounds — its
+        cell hash is unbounded by construction.
+        """
+        low = self.positions.reshape(-1, 2).min(axis=0)
+        high = self.positions.reshape(-1, 2).max(axis=0)
+        return (float(low[0]), float(low[1])), (float(high[0]), float(high[1]))
+
     def speeds(self) -> np.ndarray:
         """Per-segment speeds, shape ``(T-1, N)``, in m/s.
 

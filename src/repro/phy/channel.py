@@ -37,6 +37,23 @@ valid").  :class:`CachedPositionProvider` and
 :class:`~repro.mobility.trace.TracePlayer` both do; a provider that mutates
 and returns one array in place must be wrapped or used with
 ``fast_path=False``.
+
+Spatial culling
+---------------
+
+At city scale the dense rebuild (a full ``N x N`` distance matrix per
+position slot) and the per-transmission visit of every radio are the
+O(N^2) bottlenecks.  Passing a spatial index (``spatial=``, built from
+the ``spatial`` registry — see :mod:`repro.phy.spatial`) switches both to
+sparse: the per-slot rebuild re-buckets nodes into a uniform grid in
+O(N log N), and each sender's row visits only the candidates within the
+cull radius.  Nodes outside the radius are accounted as carrier-sense
+drops — which, for deterministic propagation with the cull radius
+covering the maximum link range, is exactly what the dense path would
+have decided, so deliveries, powers, delays and every counter stay
+bit-identical.  Stochastic propagation draws fading per visited link, so
+culling changes RNG consumption relative to dense (documented in
+docs/API.md); the run remains seeded and self-consistent.
 """
 
 from __future__ import annotations
@@ -104,8 +121,22 @@ class Channel:
       above the carrier-sense threshold);
     * ``frames_cs_dropped`` — per-receiver drops below carrier sense;
     * ``cache_lookups`` / ``cache_rebuilds`` — fast-path link-cache
-      accesses and distance-matrix rebuilds (a lookup that needs no rebuild
-      is a hit).
+      accesses and distance-matrix (or grid-bucket) rebuilds (a lookup
+      that needs no rebuild is a hit);
+    * ``links_evaluated`` — links whose distance/power a row build
+      actually computed; with spatial culling this grows ~O(k) per row
+      instead of O(N), which is the whole point.
+
+    Args:
+        sim: the discrete-event simulator.
+        propagation: large-scale path-loss model.
+        positions: callable returning the current ``(N, 2)`` matrix.
+        propagation_delay: schedule deliveries after distance/c.
+        fast_path: keep the vectorized link cache (the scalar reference
+            loop ignores ``spatial`` — it exists to be exact and slow).
+        spatial: optional neighbor-culling index (see
+            :mod:`repro.phy.spatial`) implementing ``rebuild(positions)``
+            and ``candidates(node)``; ``None`` keeps the dense path.
     """
 
     def __init__(
@@ -115,12 +146,14 @@ class Channel:
         positions: Callable[[], np.ndarray],
         propagation_delay: bool = True,
         fast_path: bool = True,
+        spatial: Optional[object] = None,
     ) -> None:
         self._sim = sim
         self._propagation = propagation
         self._positions = positions
         self._prop_delay = propagation_delay
         self._fast_path = fast_path
+        self._spatial = spatial
         self._radios: Dict[int, "Radio"] = {}
         self.frames_transmitted = 0
         self.frames_delivered = 0
@@ -130,6 +163,7 @@ class Channel:
         self.frames_suppressed = 0
         self.cache_lookups = 0
         self.cache_rebuilds = 0
+        self.links_evaluated = 0
         # Fault-injection state (see repro.faults): muted senders'
         # frames are suppressed; attenuation scales every received power.
         self._muted: set = set()
@@ -156,6 +190,11 @@ class Channel:
     def num_radios(self) -> int:
         """Number of registered radios."""
         return len(self._radios)
+
+    @property
+    def spatial(self) -> Optional[object]:
+        """The neighbor-culling index, or ``None`` on the dense path."""
+        return self._spatial
 
     def invalidate_link_cache(self) -> None:
         """Force a rebuild on the next transmission.
@@ -195,20 +234,31 @@ class Channel:
         (one IEEE-754 multiply per link either way), so the fast path's
         bit-identity contract holds during degradation bursts.  Sets the
         factor absolutely; the ``channel-degradation`` fault restores
-        1.0 when its burst ends.  Cached per-sender rows bake the factor
-        into their filtered powers, so they are invalidated here; the
-        distance and power matrices are attenuation-free and survive.
+        1.0 when its burst ends.  Invalidation is as narrow as the
+        staleness: only *deterministic* per-sender rows bake the factor
+        into their filtered powers, so only those are dropped here;
+        stochastic rows apply the factor per frame and survive, and the
+        attenuation-free structures — the distance/power matrices and
+        the spatial index's grid cells — always survive, so a burst
+        never forces an O(N^2) (or even O(N log N)) rebuild.
         """
         if factor <= 0.0:
             raise ValueError(f"attenuation factor must be > 0, got {factor}")
         if factor != self._attenuation:
             self._attenuation = factor
-            self._rows = {}
+            if self._propagation.deterministic:
+                self._rows = {}
 
     # -- link cache ---------------------------------------------------------
 
     def _refresh_cache(self, positions: np.ndarray) -> None:
-        """Rebuild the per-slot link cache for a new positions matrix."""
+        """Rebuild the per-slot link cache for a new positions matrix.
+
+        Dense: the full pairwise distance matrix (and, when possible,
+        the received-power matrix) in one vectorized shot.  Spatial:
+        re-bucket the nodes into the grid — O(N log N) instead of
+        O(N^2) — and defer all distance work to the per-sender rows.
+        """
         self.cache_rebuilds += 1
         self._cached_positions = positions
         self._rows = {}
@@ -221,13 +271,17 @@ class Channel:
                 [radio.cs_threshold_w for radio in self._radio_list],
                 dtype=float,
             )
+        self._dist = None
+        self._power_matrix = None
+        if self._spatial is not None:
+            self._spatial.rebuild(positions)
+            return
         # Full pairwise distances: dist[s, j] = |positions[j] - positions[s]|,
         # the same subtraction + hypot the scalar loop performs per pair.
         diff = positions[None, :, :] - positions[:, None, :]
         self._dist = np.hypot(diff[..., 0], diff[..., 1])
         # For deterministic propagation with one shared transmit power the
         # whole received-power matrix is precomputed in a single batch.
-        self._power_matrix = None
         if self._propagation.deterministic and self._radio_list:
             tx_powers = {radio.tx_power_w for radio in self._radio_list}
             if len(tx_powers) == 1:
@@ -236,9 +290,33 @@ class Channel:
                 )
 
     def _build_row(self, sender_id: int) -> tuple:
-        """Materialize the per-sender row of the link cache."""
+        """Materialize the per-sender row of the link cache.
+
+        Dense rows cover every registered radio; culled rows cover only
+        the spatial index's candidates, selected *through* the
+        registration-order mask so receivers are visited in the same
+        relative order either way.  The distance arithmetic is the
+        identical elementwise subtraction + hypot on the identical
+        operands, so a culled row's values are bit-equal to the dense
+        row's values at the surviving indices.
+        """
         ids = self._radio_ids
-        dist_row = self._dist[sender_id][ids]
+        if self._spatial is not None:
+            positions = self._cached_positions
+            keep = np.zeros(len(positions), dtype=bool)
+            keep[self._spatial.candidates(sender_id)] = True
+            keep_reg = keep[ids]
+            reg_idx = np.nonzero(keep_reg)[0]
+            sel_ids = ids[keep_reg]
+            delta = positions[sel_ids] - positions[sender_id]
+            dist_row = np.hypot(delta[:, 0], delta[:, 1])
+            thresholds = self._cs_thresholds[keep_reg]
+        else:
+            reg_idx = None
+            sel_ids = ids
+            dist_row = self._dist[sender_id][ids]
+            thresholds = self._cs_thresholds
+        self.links_evaluated += len(dist_row)
         tx_power = self._radios[sender_id].tx_power_w
         if self._prop_delay:
             delays = dist_row / SPEED_OF_LIGHT
@@ -251,17 +329,18 @@ class Channel:
                 powers = self._propagation.rx_power_vector(tx_power, dist_row)
             if self._attenuation != 1.0:
                 powers = powers * self._attenuation
-            mask = (powers >= self._cs_thresholds) & (ids != sender_id)
+            mask = (powers >= thresholds) & (sel_ids != sender_id)
             idx = np.nonzero(mask)[0]
+            pick = idx if reg_idx is None else reg_idx[idx]
             radio_list = self._radio_list
             row = (
-                [radio_list[k] for k in idx.tolist()],
+                [radio_list[k] for k in pick.tolist()],
                 powers[idx].tolist(),
                 delays[idx].tolist(),
             )
         else:
             state = self._propagation.link_cache_row(tx_power, dist_row)
-            row = (ids != sender_id, state, delays)
+            row = (sel_ids != sender_id, state, delays, reg_idx, thresholds)
         self._rows[sender_id] = row
         return row
 
@@ -286,15 +365,14 @@ class Channel:
         if self._propagation.deterministic:
             radios, powers, delays = row
         else:
-            mask_other, state, delay_row = row
+            mask_other, state, delay_row, reg_idx, thresholds = row
             all_powers = self._propagation.rx_power_from_cache(state)
             if self._attenuation != 1.0:
                 all_powers = all_powers * self._attenuation
-            idx = np.nonzero(
-                mask_other & (all_powers >= self._cs_thresholds)
-            )[0]
+            idx = np.nonzero(mask_other & (all_powers >= thresholds))[0]
+            pick = idx if reg_idx is None else reg_idx[idx]
             radio_list = self._radio_list
-            radios = [radio_list[k] for k in idx.tolist()]
+            radios = [radio_list[k] for k in pick.tolist()]
             powers = all_powers[idx].tolist()
             delays = delay_row[idx].tolist()
         self.frames_delivered += len(radios)

@@ -24,6 +24,17 @@ Stochastic models (Nakagami, log-normal shadowing) additionally define a
 Nakagami, ``d > d0`` for shadowing) in ascending index order.  NumPy's
 ``Generator`` fills arrays in exactly that order, so a vectorized batch
 consumes the RNG identically to a loop of scalar calls.
+
+The batch a model sees need not cover every node: with spatial culling
+(:mod:`repro.phy.spatial`) the channel hands :meth:`link_cache_row` a
+*masked* distance row holding only the links within the cull radius.
+Every method here is elementwise, so masked rows produce bit-identical
+values at the surviving indices; for stochastic models, however, the
+draw order is per *row* — one variate per eligible link of the batch it
+was given — so a culled run consumes the RNG differently from a dense
+run whenever culling removes eligible links.  That divergence is the
+documented cost of culling under stochastic fading (deterministic
+models are unaffected; see docs/API.md, "Spatial indexing").
 """
 
 from __future__ import annotations
@@ -112,6 +123,11 @@ class PropagationModel(abc.ABC):
         distances are.  For deterministic models it is the received-power
         row itself; stochastic models cache the fading-free part so that
         :meth:`rx_power_from_cache` only has to draw per-frame fading.
+
+        ``distances_m`` may be a masked (culled) subset of a sender's
+        links; the cached state — and, for stochastic models, the
+        per-frame draw order — then covers exactly that subset (see the
+        module docstring).
         """
         if self.deterministic:
             return self.rx_power_vector(tx_power_w, distances_m)

@@ -1,0 +1,177 @@
+"""Spatial neighbor culling for the channel's receive fan-out.
+
+At city scale (thousands of vehicles) the dense link cache rebuilds an
+``N x N`` distance matrix per position slot and visits every radio per
+transmission — O(N^2) work that collapses somewhere past a few hundred
+nodes.  But the carrier-sense threshold already makes deliveries *local*:
+a signal below it is dropped by the channel, so the receive fan-out only
+ever needs the nodes within the maximum link range.  A uniform grid
+(cell hash) over the lane geometry yields exactly that neighborhood in
+O(1) per sender: with the cell size at least the cull radius, every node
+within the radius of a sender lies in the sender's own cell or one of
+its eight neighbors, so a 3 x 3 cell scan is a guaranteed superset of
+the in-range nodes (nodes exactly *on* the radius or on a cell boundary
+included — the containment argument uses closed inequalities
+throughout).
+
+Culling is **exact** for deterministic propagation when the cull radius
+covers the maximum link range (the distance at which received power
+falls to the carrier-sense threshold): every culled link would have been
+dropped by the threshold filter anyway, so the delivered frame set,
+received powers, propagation delays and telemetry counters are
+bit-identical to the dense path — the contract the scale smoke and the
+grid-vs-golden regression tests lock in.  Stochastic models (Nakagami,
+log-normal shadowing) draw fading per *visited* link, so culling changes
+RNG consumption: a grid run with stochastic propagation is seeded and
+deterministic in its own right, but not draw-for-draw identical to the
+dense run (see docs/API.md, "Spatial indexing").
+
+Selection is declarative: ``Scenario(spatial="grid")`` resolves through
+the ``spatial`` registry namespace (``"dense"`` — the default — keeps
+the exact O(N^2) path), and the cell size derives from the scenario's
+carrier-sense radius unless ``cull_radius_m`` overrides it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.registry import register
+from repro.util.errors import ConfigError
+
+#: Relative offsets of the 3 x 3 cell neighborhood scanned per sender.
+_NEIGHBORHOOD: Tuple[Tuple[int, int], ...] = tuple(
+    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+)
+
+
+class UniformGridIndex:
+    """Uniform-grid cell hash over the node position matrix.
+
+    Nodes are bucketed by ``floor(position / cell_size)`` per axis;
+    :meth:`candidates` returns every node in the 3 x 3 neighborhood of
+    a query node's cell.  With ``cell_size_m >= cull radius`` that set
+    is a superset of all nodes within the radius, and the channel's
+    carrier-sense filter does the exact trimming — the index never has
+    to compute a distance itself.
+
+    Args:
+        cell_size_m: grid pitch in metres (= the cull radius; larger
+            cells only widen the candidate superset).
+    """
+
+    def __init__(self, cell_size_m: float) -> None:
+        if cell_size_m <= 0:
+            raise ConfigError(
+                f"spatial cell size must be > 0 m, got {cell_size_m}"
+            )
+        self.cell_size_m = float(cell_size_m)
+        self._cells: Dict[Tuple[int, int], np.ndarray] = {}
+        self._coords: Optional[np.ndarray] = None
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes covered by the last :meth:`rebuild` (0 before any)."""
+        return 0 if self._coords is None else len(self._coords)
+
+    @property
+    def num_occupied_cells(self) -> int:
+        """Non-empty grid cells after the last :meth:`rebuild`."""
+        return len(self._cells)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Average nodes per occupied cell (0.0 before any rebuild)."""
+        if not self._cells:
+            return 0.0
+        return self.num_nodes / self.num_occupied_cells
+
+    def rebuild(self, positions: np.ndarray) -> None:
+        """Re-bucket every node for a new ``(N, 2)`` position matrix.
+
+        O(N log N) (one lexsort); called once per position slot by the
+        channel, in place of the dense path's O(N^2) distance matrix.
+        """
+        positions = np.asarray(positions, dtype=float)
+        coords = np.floor(positions / self.cell_size_m).astype(np.int64)
+        self._coords = coords
+        cells: Dict[Tuple[int, int], np.ndarray] = {}
+        if len(coords):
+            order = np.lexsort((coords[:, 1], coords[:, 0]))
+            sorted_coords = coords[order]
+            change = np.any(np.diff(sorted_coords, axis=0) != 0, axis=1)
+            starts = np.concatenate(([0], np.nonzero(change)[0] + 1))
+            ends = np.concatenate((starts[1:], [len(order)]))
+            for start, end in zip(starts, ends):
+                key = (
+                    int(sorted_coords[start, 0]),
+                    int(sorted_coords[start, 1]),
+                )
+                cells[key] = order[start:end]
+        self._cells = cells
+
+    def candidates(self, node: int) -> np.ndarray:
+        """Indices of every node in the 3 x 3 neighborhood of ``node``.
+
+        A superset of all nodes within ``cell_size_m`` of ``node``
+        (including ``node`` itself); empty neighbor cells contribute
+        nothing.  Order is unspecified — the channel re-orders through
+        its registration mask, so culled and dense paths iterate
+        receivers identically.
+        """
+        if self._coords is None:
+            raise ConfigError(
+                "spatial index queried before rebuild(); the channel "
+                "must rebuild the index for each position slot first"
+            )
+        cx = int(self._coords[node, 0])
+        cy = int(self._coords[node, 1])
+        cells = self._cells
+        chunks = [
+            arr
+            for arr in (
+                cells.get((cx + dx, cy + dy)) for dx, dy in _NEIGHBORHOOD
+            )
+            if arr is not None
+        ]
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+
+# -- registry entries ---------------------------------------------------------
+#
+# Factories take the scenario and return either ``None`` (dense: the channel
+# keeps its exact O(N^2) link cache) or an index object implementing
+# ``rebuild(positions)`` / ``candidates(node)``.  The cull radius defaults to
+# the scenario's carrier-sense range — the maximum link range by construction
+# (PhyParams.for_ranges derives the CS threshold from it) — so the default
+# grid configuration is always in the bit-identical regime.
+
+
+def cull_radius_for(scenario) -> float:
+    """The effective cull radius of a scenario (explicit or CS-derived)."""
+    if scenario.cull_radius_m is not None:
+        return float(scenario.cull_radius_m)
+    return float(scenario.cs_range_m)
+
+
+@register("spatial", "dense")
+def _make_dense(scenario) -> None:
+    """Exact O(N^2) link cache — no culling (scenario knobs: none)."""
+    return None
+
+
+@register("spatial", "grid")
+def _make_grid(scenario) -> UniformGridIndex:
+    """Uniform-grid culling (knob: cull_radius_m, default cs_range_m)."""
+    radius = cull_radius_for(scenario)
+    if radius < scenario.cs_range_m:
+        raise ConfigError(
+            f"cull_radius_m={radius:g} is smaller than the maximum link "
+            f"range (cs_range_m={scenario.cs_range_m:g}); culling inside "
+            "carrier sense would silently drop detectable links"
+        )
+    return UniformGridIndex(cell_size_m=radius)

@@ -74,7 +74,7 @@ def test_unregister_removes_and_unknown_unregister_raises():
 # -- module-level namespaces --------------------------------------------------
 
 
-def test_all_six_kinds_have_builtin_entries():
+def test_all_seven_kinds_have_builtin_entries():
     expected = {
         "propagation": {"two_ray", "free_space", "shadowing", "nakagami"},
         "routing": {"AODV", "OLSR", "DYMO", "DSDV", "FLOODING"},
@@ -87,6 +87,7 @@ def test_all_six_kinds_have_builtin_entries():
             "channel-degradation",
             "packet-blackhole",
         },
+        "spatial": {"dense", "grid"},
     }
     assert set(registry.KINDS) == set(expected)
     for kind, names in expected.items():

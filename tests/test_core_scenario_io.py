@@ -82,6 +82,11 @@ scenario_dicts = st.fixed_dictionaries(
         "propagation": st.sampled_from(
             ["two_ray", "free_space", "shadowing", "nakagami", "TWO_RAY"]
         ),
+        # Spatial culling: any spelling normalizes to the canonical name,
+        # and cull radii at or above the default cs_range_m (550) are the
+        # only valid ones (smaller is a ConfigError, tested elsewhere).
+        "spatial": st.sampled_from(["dense", "grid", "GRID", "Dense"]),
+        "cull_radius_m": st.sampled_from([None, 550.0, 600.0, 1250.0]),
         "seed": st.integers(0, 2**31),
     },
 )
