@@ -18,8 +18,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.ca.vehicle import VehicleState
+from repro.kernels import resolve_backend
 from repro.util.errors import InvariantViolation
 from repro.util.validate import check_positive, check_probability
+
+#: Shared empty draw array for deterministic (p = 0) steps.
+_NO_DRAWS = np.empty(0, dtype=np.float64)
 
 
 class _LaneArrays:
@@ -51,6 +55,9 @@ class MultiLaneRoad:
             destination lane; defaults to ``v_max`` (conservative — a
             follower at top speed cannot hit the merger).
         rng: generator for dawdling and lane-change draws.
+        kernels: kernel backend (name or instance) executing the per-lane
+            update loops; see :mod:`repro.kernels`.  Bit-identical across
+            backends — dawdle draws are pre-drawn per lane in lane order.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class MultiLaneRoad:
         p_change: float = 1.0,
         safety_gap_back: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        kernels="auto",
     ) -> None:
         check_positive("num_cells", num_cells)
         check_probability("p", p)
@@ -86,6 +94,7 @@ class MultiLaneRoad:
             int(safety_gap_back) if safety_gap_back is not None else int(v_max)
         )
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._kernels = resolve_backend(kernels)
         self._time = 0
 
         self._lanes: List[_LaneArrays] = [_LaneArrays() for _ in range(num_lanes)]
@@ -139,6 +148,19 @@ class MultiLaneRoad:
     def lane_velocities(self, lane: int) -> np.ndarray:
         """Velocities aligned with :meth:`lane_positions` (copy)."""
         return self._lanes[lane].velocities.copy()
+
+    def lane_ids(self, lane: int) -> np.ndarray:
+        """Stable vehicle ids aligned with :meth:`lane_positions` (copy)."""
+        return self._lanes[lane].ids.copy()
+
+    def lane_shifted(self, lane: int) -> np.ndarray:
+        """Per-vehicle wrapped-last-step flags for ``lane`` (copy)."""
+        return self._lanes[lane].shifted.copy()
+
+    @property
+    def kernels(self):
+        """The kernel backend executing the per-lane update loops."""
+        return self._kernels
 
     def mean_velocity(self) -> float:
         """Average velocity over every vehicle on the road."""
@@ -216,7 +238,9 @@ class MultiLaneRoad:
         for k, lane in enumerate(self._lanes):
             if len(lane.positions) == 0:
                 continue
-            gaps_same = _cyclic_gaps(lane.positions, self._num_cells)
+            gaps_same = self._kernels.cyclic_gaps(
+                lane.positions, self._num_cells
+            )
             want = np.minimum(lane.velocities + 1, self._v_max)
             blocked = gaps_same < want
             if not blocked.any():
@@ -309,21 +333,28 @@ class MultiLaneRoad:
                 )[order]
 
     def _movement_stage(self) -> None:
+        # Per-lane NaS update as one kernel call; sorted cyclic positions
+        # are ring order, so the single-lane kernel applies unchanged.
+        # Dawdle draws are pre-drawn per lane in lane order — the identical
+        # RNG stream on every backend.
         for k, lane in enumerate(self._lanes):
             n = len(lane.positions)
             if n == 0:
                 continue
-            gaps = _cyclic_gaps(lane.positions, self._num_cells)
-            vel = np.minimum(lane.velocities + 1, self._v_max)
-            vel = np.minimum(vel, gaps)
-            if self._p > 0.0:
-                dawdle = self._rng.random(n) < self._p
-                vel = np.where(dawdle, np.maximum(vel - 1, 0), vel)
+            pos = lane.positions.copy()
+            vel = lane.velocities.copy()
+            gaps = np.empty(n, dtype=np.int64)
+            wrapped = np.empty(n, dtype=bool)
+            use_draws = self._p > 0.0
+            draws = self._rng.random(n) if use_draws else _NO_DRAWS
+            bad = self._kernels.nasch_step(
+                pos, vel, gaps, wrapped, draws, use_draws,
+                self._p, self._v_max, self._num_cells,
+            )
             # Guard: gap positivity per lane (same check as the single-lane
             # model) — a stale gap after a bad lane-change commit would
             # surface here, before vehicles can collide.
-            if np.any(vel > gaps) or np.any(vel < 0):
-                bad = int(np.argmax((vel > gaps) | (vel < 0)))
+            if bad >= 0:
                 raise InvariantViolation(
                     "vehicle would outrun its gap",
                     step=self._time,
@@ -333,9 +364,7 @@ class MultiLaneRoad:
                     velocity=int(vel[bad]),
                     gap=int(gaps[bad]),
                 )
-            new_pos = lane.positions + vel
-            wrapped = new_pos >= self._num_cells
-            lane.positions = new_pos % self._num_cells
+            lane.positions = pos
             lane.velocities = vel
             lane.wraps = lane.wraps + wrapped
             lane.shifted = wrapped

@@ -26,11 +26,15 @@ import numpy as np
 
 from repro.ca.boundary import Boundary
 from repro.ca.vehicle import VehicleState
+from repro.kernels import resolve_backend
 from repro.util.errors import InvariantViolation
 from repro.util.validate import check_positive, check_probability
 
 #: Paper default: v_max = 135 km/h at 7.5 m cells and 1 s steps = 5 cells/step.
 DEFAULT_V_MAX = 5
+
+#: Shared empty draw array for deterministic (p = 0) steps.
+_NO_DRAWS = np.empty(0, dtype=np.float64)
 
 
 class NagelSchreckenberg:
@@ -57,6 +61,10 @@ class NagelSchreckenberg:
             fresh seeded generator so runs are reproducible by default.
         injection_rate: for :attr:`Boundary.OPEN` only — probability per step
             that a new vehicle enters at cell 0 when it is free.
+        kernels: kernel backend (name or instance) executing the cyclic
+            update loop; see :mod:`repro.kernels`.  Every backend is
+            bit-identical — dawdle draws are pre-drawn from ``rng`` in
+            ring order regardless of backend.
     """
 
     def __init__(
@@ -72,6 +80,7 @@ class NagelSchreckenberg:
         rng: Optional[np.random.Generator] = None,
         injection_rate: float = 0.0,
         lane: int = 0,
+        kernels="auto",
     ) -> None:
         check_positive("num_cells", num_cells)
         check_probability("p", p)
@@ -85,6 +94,7 @@ class NagelSchreckenberg:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._injection_rate = float(injection_rate)
         self._lane = int(lane)
+        self._kernels = resolve_backend(kernels)
         self._time = 0
         self._next_id = 0
 
@@ -181,6 +191,16 @@ class NagelSchreckenberg:
     def time(self) -> int:
         """Number of steps executed so far."""
         return self._time
+
+    @property
+    def lane(self) -> int:
+        """The lane index this automaton models."""
+        return self._lane
+
+    @property
+    def kernels(self):
+        """The kernel backend executing the cyclic update loop."""
+        return self._kernels
 
     @property
     def density(self) -> float:
@@ -297,6 +317,7 @@ class NagelSchreckenberg:
             "ids": self._ids.tolist(),
             "wraps": self._wraps.tolist(),
             "shifted": self._shifted.tolist(),
+            "kernels": self._kernels.name,
             "rng_state": self._rng.bit_generator.state,
         }
 
@@ -317,6 +338,7 @@ class NagelSchreckenberg:
         model._ids = np.asarray(state["ids"], dtype=np.int64)
         model._wraps = np.asarray(state["wraps"], dtype=np.int64)
         model._shifted = np.asarray(state["shifted"], dtype=bool)
+        model._kernels = resolve_backend(state.get("kernels", "auto"))
         model._rng = np.random.default_rng()
         model._rng.bit_generator.state = state["rng_state"]
         # Positions of a running model are in *ring order* (rotated, not
@@ -347,12 +369,69 @@ class NagelSchreckenberg:
         :class:`~repro.util.errors.InvariantViolation` with the step, lane
         and offending vehicle so the state is reproducible.
         """
-        pos, vel = self._positions, self._velocities
-        n = len(pos)
+        n = len(self._positions)
         if n == 0:
             self._inject_if_open()
             self._time += 1
             return
+        if self._boundary.cyclic_cells:
+            self._step_cyclic(n)
+        else:
+            self._step_open(n)
+        self._time += 1
+
+    def _step_cyclic(self, n: int) -> None:
+        """Cyclic-lane update: rules 1-3 as one kernel-backend call.
+
+        Dawdle variates are pre-drawn (``rng.random(n)``, exactly when
+        ``p > 0``) so the RNG stream is identical on every backend; the
+        kernel leaves positions untouched on an invariant violation, so
+        the raised state is the pre-step configuration.
+        """
+        pos = self._positions.copy()
+        vel = self._velocities.copy()
+        gaps = np.empty(n, dtype=np.int64)
+        wrapped = np.empty(n, dtype=bool)
+        use_draws = self._p > 0.0
+        draws = self._rng.random(n) if use_draws else _NO_DRAWS
+        bad = self._kernels.nasch_step(
+            pos, vel, gaps, wrapped, draws, use_draws,
+            self._p, self._v_max, self._num_cells,
+        )
+        # Guard: gap positivity — moving farther than the gap ahead means
+        # two vehicles would share a cell next step.
+        if bad >= 0:
+            raise InvariantViolation(
+                "vehicle would outrun its gap",
+                step=self._time,
+                lane=self._lane,
+                vehicle_id=int(self._ids[bad]),
+                cell=int(self._positions[bad]),
+                velocity=int(vel[bad]),
+                gap=int(gaps[bad]),
+            )
+        self._positions = pos
+        self._velocities = vel
+        self._wraps = self._wraps + wrapped
+        self._shifted = wrapped
+        # Guard: closed lanes conserve vehicles.
+        if len(self._positions) != n:
+            raise InvariantViolation(
+                "vehicle count changed on a closed lane",
+                step=self._time,
+                lane=self._lane,
+                before=n,
+                after=len(self._positions),
+            )
+
+    def _step_open(self, n: int) -> None:
+        """OPEN-boundary update (vehicle exit/injection): numpy path.
+
+        Open lanes change population mid-step, which the fixed-shape
+        kernels do not model; the cost profile that motivated them is
+        cyclic campaigns, so this path keeps the original expressions.
+        """
+        pos, vel = self._positions, self._velocities
         gaps = self.gaps()
         # Rule 1: accelerate towards v_max.
         vel = np.minimum(vel + 1, self._v_max)
@@ -362,8 +441,6 @@ class NagelSchreckenberg:
         if self._p > 0.0:
             dawdle = self._rng.random(n) < self._p
             vel = np.where(dawdle, np.maximum(vel - 1, 0), vel)
-        # Guard: gap positivity — moving farther than the gap ahead means
-        # two vehicles would share a cell next step.
         if np.any(vel > gaps) or np.any(vel < 0):
             bad = int(np.argmax((vel > gaps) | (vel < 0)))
             raise InvariantViolation(
@@ -375,32 +452,15 @@ class NagelSchreckenberg:
                 velocity=int(vel[bad]),
                 gap=int(gaps[bad]),
             )
-        # Rule 3: move.
+        # Rule 3: move; vehicles running off the end leave the lane.
         new_pos = pos + vel
-        if self._boundary.cyclic_cells:
-            wrapped = new_pos >= self._num_cells
-            self._positions = new_pos % self._num_cells
-            self._velocities = vel
-            self._wraps = self._wraps + wrapped
-            self._shifted = wrapped
-            # Guard: closed lanes conserve vehicles.
-            if len(self._positions) != n:
-                raise InvariantViolation(
-                    "vehicle count changed on a closed lane",
-                    step=self._time,
-                    lane=self._lane,
-                    before=n,
-                    after=len(self._positions),
-                )
-        else:
-            keep = new_pos < self._num_cells
-            self._positions = new_pos[keep]
-            self._velocities = vel[keep]
-            self._ids = self._ids[keep]
-            self._wraps = self._wraps[keep]
-            self._shifted = np.zeros(keep.sum(), dtype=bool)
-            self._inject_if_open()
-        self._time += 1
+        keep = new_pos < self._num_cells
+        self._positions = new_pos[keep]
+        self._velocities = vel[keep]
+        self._ids = self._ids[keep]
+        self._wraps = self._wraps[keep]
+        self._shifted = np.zeros(keep.sum(), dtype=bool)
+        self._inject_if_open()
 
     def run(self, steps: int) -> None:
         """Advance the automaton by ``steps`` steps."""

@@ -77,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run one network scenario")
     _add_scenario_arguments(run)
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run with cProfile and print the top 20 "
+        "functions by cumulative time to stderr",
+    )
+    run.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="dump raw pstats profile data to FILE (implies --profile); "
+        "inspect with `python -m pstats FILE` or snakeviz",
+    )
 
     compare = commands.add_parser(
         "compare", help="compare protocols over the same mobility"
@@ -370,7 +383,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.simulation import CavenetSimulation
 
     scenario = _scenario_from(args)
-    result = CavenetSimulation(scenario).run()
+    if args.profile or args.profile_out:
+        result = _profiled_run(scenario, args.profile_out)
+    else:
+        result = CavenetSimulation(scenario).run()
     print(f"protocol          : {scenario.protocol}")
     if scenario.faults:
         print(f"fault models      : "
@@ -395,6 +411,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"goodput {result.mean_goodput_bps(sender):>9,.0f} bps"
         )
     return 0
+
+
+def _profiled_run(scenario, profile_out: Optional[str]):
+    """Run one scenario under cProfile; report to stderr, data to disk.
+
+    The table goes to stderr so the run's normal stdout summary stays
+    machine-parseable; the raw pstats dump (when requested) is the
+    input for flame-graph tools.  This is how the compiled-kernel
+    targets were chosen — see docs/API.md "Compiled kernels".
+    """
+    import cProfile
+    import pstats
+
+    from repro.core.simulation import CavenetSimulation
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = CavenetSimulation(scenario).run()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative")
+    print("profile: top 20 functions by cumulative time", file=sys.stderr)
+    stats.print_stats(20)
+    if profile_out:
+        stats.dump_stats(profile_out)
+        print(f"profile data written to {profile_out}", file=sys.stderr)
+    return result
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

@@ -100,6 +100,13 @@ class Scenario:
             range.  Must be >= ``cs_range_m`` — culling inside carrier
             sense would silently drop detectable links, so that is a
             :class:`ConfigError`.
+        kernels: kernel backend, a registered ``kernels`` component:
+            ``"auto"`` (the default — best backend available on this
+            machine), ``"python"`` (explicit-loop reference),
+            ``"vector"`` (numpy), ``"numba"`` or ``"cjit"`` (compiled;
+            these warn once and fall back when their toolchain is
+            absent).  Every backend computes bit-identical results —
+            the choice affects wall clock only, never the trajectory.
         faults: declarative fault-injection specs, a tuple of mappings.
             Each entry names a registered ``fault`` component under
             ``"kind"`` (``"node-crash"``, ``"radio-silence"``,
@@ -143,6 +150,7 @@ class Scenario:
     position_cache_dt_s: float = 0.1
     spatial: str = "dense"
     cull_radius_m: Optional[float] = None
+    kernels: str = "auto"
     faults: Tuple[Dict[str, Any], ...] = ()
     # Default seed chosen so the default mobility exhibits the intermittent
     # connectivity regime of the paper's evaluation (node 0 reaches the
@@ -177,6 +185,9 @@ class Scenario:
         )
         object.__setattr__(
             self, "spatial", registry.normalize("spatial", self.spatial)
+        )
+        object.__setattr__(
+            self, "kernels", registry.normalize("kernels", self.kernels)
         )
         object.__setattr__(self, "protocol", str(self.protocol).upper())
         if self.cull_radius_m is not None:

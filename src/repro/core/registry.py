@@ -8,7 +8,7 @@ makes every such choice pluggable: a generic registry with one namespace
 per component *kind*, a :func:`register` decorator, and case-insensitive
 name resolution that fails with the live list of known choices.
 
-Seven kinds exist (:data:`KINDS`):
+Eight kinds exist (:data:`KINDS`):
 
 ``propagation``
     ``factory(scenario, streams) -> PropagationModel`` (see
@@ -33,6 +33,11 @@ Seven kinds exist (:data:`KINDS`):
     Neighbor-culling index factories, ``factory(scenario) -> index or
     None`` (see :mod:`repro.phy.spatial`); ``None`` keeps the exact
     dense link cache.
+``kernels``
+    Kernel-backend factories, ``factory(scenario=None) ->
+    KernelBackend`` (see :mod:`repro.kernels`) — where the hot inner
+    loops (CA stepping, DCF bookkeeping, link-cache rows) execute;
+    every backend is bit-identical, only speed differs.
 
 Built-in implementations register themselves at import time of their home
 module; the registry imports those modules lazily on first lookup, so
@@ -67,6 +72,7 @@ KINDS: Tuple[str, ...] = (
     "boundary",
     "fault",
     "spatial",
+    "kernels",
 )
 
 #: What a name in each namespace denotes — used in error messages so an
@@ -80,6 +86,7 @@ _NOUNS: Dict[str, str] = {
     "boundary": "boundary",
     "fault": "fault model",
     "spatial": "spatial index",
+    "kernels": "kernel backend",
 }
 
 #: Modules whose import registers the built-in entries of each kind.
@@ -94,6 +101,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "traffic": ("repro.traffic",),
     "fault": ("repro.faults",),
     "spatial": ("repro.phy.spatial",),
+    "kernels": ("repro.kernels",),
 }
 
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core import registry
 from repro.core.config import Scenario
 from repro.des.engine import Simulator
+from repro.kernels import DcfBook
 from repro.mac.dcf import MacStats
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.delay import DelayStats, delay_stats
@@ -242,7 +243,11 @@ class CavenetSimulation:
             propagation, scenario.tx_range_m, scenario.cs_range_m
         )
         channel = Channel(
-            sim, propagation, provider.positions, spatial=self.build_spatial()
+            sim,
+            propagation,
+            provider.positions,
+            spatial=self.build_spatial(),
+            kernels=scenario.kernels,
         )
         return channel, phy_params
 
@@ -258,9 +263,12 @@ class CavenetSimulation:
 
         Each node gets its own ``"mac-<id>"`` and ``"routing-<id>"``
         streams; the protocol comes from the ``routing`` registry via
-        :func:`repro.routing.make_protocol`.
+        :func:`repro.routing.make_protocol`.  All MACs share one
+        :class:`~repro.kernels.dcf_book.DcfBook` (struct-of-arrays
+        contention state) on the scenario's kernel backend.
         """
         scenario = self.scenario
+        book = DcfBook(kernels=scenario.kernels)
         nodes: List[Node] = []
         for node_id in range(scenario.num_nodes):
             node = Node(
@@ -271,6 +279,7 @@ class CavenetSimulation:
                 scenario.mac_params,
                 metrics,
                 rng=streams.stream(f"mac-{node_id}"),
+                dcf_book=book,
             )
             protocol = make_protocol(
                 scenario.protocol,

@@ -1,0 +1,144 @@
+"""Registry-selectable kernel backends for the simulator's hot loops.
+
+The ``kernels`` registry namespace names *where* the hot inner loops
+run — NaSch CA stepping, DCF bookkeeping, link-cache row construction
+— without changing *what* they compute (every backend is bit-identical
+to the pure-Python reference; see :mod:`repro.kernels.pyref` for the
+rules that make that guarantee hold).
+
+Built-in backends:
+
+``auto`` (the scenario default)
+    Best available: ``$REPRO_KERNELS`` override if set, else numba,
+    else generated C (``cjit``), else the numpy ``vector`` backend.
+    The probing is silent — ``auto`` means "whatever runs here".
+``python``
+    The explicit-loop reference (ground truth for identity tests).
+``vector``
+    The numpy expressions the components ran inline before this
+    package existed; always available.
+``numba``
+    ``@njit`` over the reference loops; warns once and falls back to
+    ``python`` when numba is not installed (per-loop bit-identity is
+    preserved by the no-RNG / no-transcendentals kernel rules).
+``cjit``
+    A generated-C translation compiled with the system C compiler;
+    warns once and falls back to ``vector`` when no compiler exists.
+
+Backend instances are process-local singletons (their scratch buffers
+make them stateful but cheap to share; runs are single-threaded), so
+``resolve_backend("auto")`` probes compilers at most once per process.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Set
+
+from repro.core.registry import register
+from repro.core import registry as _registry
+from repro.kernels.base import KernelBackend, KernelUnavailable
+from repro.kernels.dcf_book import DcfBook
+from repro.kernels.vector import VectorBackend
+
+__all__ = [
+    "DcfBook",
+    "KernelBackend",
+    "KernelUnavailable",
+    "VectorBackend",
+    "resolve_backend",
+]
+
+#: Singleton cache: canonical backend name -> constructed instance.
+_BACKENDS: Dict[str, KernelBackend] = {}
+#: Backend names whose fallback warning already fired this process.
+_WARNED: Set[str] = set()
+
+
+def _fallback(name: str, fallback_name: str, reason: str) -> KernelBackend:
+    if name not in _WARNED:
+        _WARNED.add(name)
+        warnings.warn(
+            f"kernels={name!r} unavailable ({reason}); "
+            f"falling back to kernels={fallback_name!r} "
+            f"(bit-identical, slower)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return resolve_backend(fallback_name)
+
+
+@register("kernels", "python")
+def make_python(scenario=None) -> KernelBackend:
+    """Pure-Python reference loops (the bit-identity ground truth)."""
+    return KernelBackend()
+
+
+@register("kernels", "vector")
+def make_vector(scenario=None) -> KernelBackend:
+    """Vectorized numpy kernels (always available)."""
+    return VectorBackend()
+
+
+@register("kernels", "numba")
+def make_numba(scenario=None) -> KernelBackend:
+    """Numba ``@njit`` kernels; python fallback when numba is absent."""
+    from repro.kernels.numba_backend import NumbaBackend
+
+    try:
+        return NumbaBackend()
+    except KernelUnavailable as exc:
+        return _fallback("numba", "python", str(exc))
+
+
+@register("kernels", "cjit")
+def make_cjit(scenario=None) -> KernelBackend:
+    """Generated-C kernels; vector fallback when no compiler exists."""
+    from repro.kernels.cjit import CjitBackend
+
+    try:
+        return CjitBackend()
+    except KernelUnavailable as exc:
+        return _fallback("cjit", "vector", str(exc))
+
+
+@register("kernels", "auto")
+def make_auto(scenario=None) -> KernelBackend:
+    """Best backend that runs here (env override, numba, cjit, vector)."""
+    override = os.environ.get("REPRO_KERNELS")
+    if override:
+        return resolve_backend(override)
+    try:
+        from repro.kernels.numba_backend import NumbaBackend
+
+        return NumbaBackend()
+    except KernelUnavailable:
+        pass
+    try:
+        from repro.kernels.cjit import CjitBackend
+
+        return CjitBackend()
+    except KernelUnavailable:
+        pass
+    return VectorBackend()
+
+
+def resolve_backend(spec="auto") -> KernelBackend:
+    """The backend instance for ``spec``.
+
+    ``spec`` may be a :class:`KernelBackend` instance (returned as-is,
+    the injection hook for tests and third-party code) or a registry
+    name — resolved case-insensitively through the ``kernels``
+    namespace, so registered third-party backends work anywhere a
+    built-in name does.  Instances are cached per canonical name;
+    unavailable compiled backends warn once and fall back.
+    """
+    if isinstance(spec, KernelBackend):
+        return spec
+    canonical = _registry.normalize("kernels", spec)
+    backend = _BACKENDS.get(canonical)
+    if backend is None:
+        backend = _registry.resolve("kernels", canonical)(None)
+        _BACKENDS[canonical] = backend
+    return backend

@@ -1,0 +1,160 @@
+"""The kernel-backend contract (and its pure-Python implementation).
+
+A *kernel backend* supplies the hot inner loops of a run — the NaSch
+update, link-cache row construction and DCF bookkeeping — behind a
+fixed method surface.  Components (``NagelSchreckenberg``,
+``MultiLaneRoad``, ``Channel``, ``DcfBook``) take a backend (or its
+registry name) at construction and call only these methods, so
+swapping ``kernels="python"`` for ``kernels="numba"`` or
+``kernels="cjit"`` changes *where* the loops execute and nothing about
+what they compute: every backend is bit-identical by contract, and the
+default-scenario goldens plus the grid-vs-dense identity tests run
+under multiple backends to enforce it.
+
+:class:`KernelBackend` doubles as the ``"python"`` backend: its
+methods wrap the reference loops of :mod:`repro.kernels.pyref`
+directly (with a per-link scalar-``np.hypot`` distance loop, the same
+shape as the channel's ``fast_path=False`` reference).  Subclasses
+override whichever methods they can execute faster —
+:class:`~repro.kernels.vector.VectorBackend` with the numpy
+expressions the components used before this package existed, the
+compiled backends with machine code generated from the pyref loops.
+
+Third-party backends subclass this class and register a factory under
+the ``kernels`` namespace; see docs/API.md "Compiled kernels".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import pyref
+
+
+def _restore_backend(name: str) -> "KernelBackend":
+    """Unpickle hook: re-resolve a backend by registry name.
+
+    Backends hold process-local resources (ctypes handles, JIT
+    dispatchers) that cannot cross a pickle boundary, so journals and
+    copies serialise only the name and rebuild on load — falling back
+    (with the usual one-time warning) if the named backend is
+    unavailable on the restoring machine.
+    """
+    from repro.kernels import resolve_backend
+
+    return resolve_backend(name)
+
+
+class KernelUnavailable(RuntimeError):
+    """A backend cannot run here (missing JIT package, no C compiler).
+
+    Raised by backend constructors; :func:`repro.kernels.resolve_backend`
+    catches it, warns once, and falls back to an always-available
+    backend — a machine without numba or a compiler still runs every
+    scenario, just slower.
+    """
+
+
+class KernelBackend:
+    """Pure-Python reference backend (``kernels="python"``).
+
+    The ground truth the compiled backends are verified against.  All
+    methods operate on the caller's preallocated numpy arrays; scratch
+    buffers are cached per backend instance (runs are single-threaded
+    per process, and backend instances are process-local singletons).
+    """
+
+    #: Canonical registry name of this backend.
+    name = "python"
+    #: Whether the hot loops run as machine code.
+    compiled = False
+
+    def __init__(self) -> None:
+        self._keep_scratch: dict = {}
+
+    def __reduce__(self):
+        return (_restore_backend, (self.name,))
+
+    # -- CA ------------------------------------------------------------------
+
+    def nasch_step(self, pos, vel, gaps_out, wrapped_out, draws,
+                   use_draws, p, v_max, num_cells) -> int:
+        """One NaSch update in place; see :func:`pyref.nasch_step`."""
+        return pyref.nasch_step(
+            pos, vel, gaps_out, wrapped_out, draws, use_draws,
+            p, v_max, num_cells,
+        )
+
+    def cyclic_gaps(self, pos, num_cells) -> np.ndarray:
+        """Gap to the vehicle ahead on a cyclic lane (ring order)."""
+        out = np.empty(len(pos), dtype=np.int64)
+        if len(pos):
+            pyref.cyclic_gaps(pos, num_cells, out)
+        return out
+
+    # -- PHY link-cache rows -------------------------------------------------
+
+    def row_select(self, cand, ids, num_positions):
+        """``(sel_ids, reg_idx)``: the registered radios within the
+        spatial candidate set, in registration order."""
+        cand = np.ascontiguousarray(cand, dtype=np.int64)
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        keep = self._keep(num_positions)
+        sel_ids = np.empty(len(ids), dtype=np.int64)
+        reg_idx = np.empty(len(ids), dtype=np.int64)
+        k = pyref.row_select(cand, ids, keep, sel_ids, reg_idx)
+        return sel_ids[:k], reg_idx[:k]
+
+    def row_distances(self, positions, sel_ids, sender_id) -> np.ndarray:
+        """Sender-to-receiver distances for one row.
+
+        The reference loop calls scalar ``np.hypot`` per link — the
+        same ufunc the vectorized path applies elementwise, so the
+        values are bit-equal (this is the one place a kernel touches
+        transcendental math, and it stays on the numpy ufunc on every
+        backend for exactly that reason).
+        """
+        sender_pos = positions[sender_id]
+        out = np.empty(len(sel_ids), dtype=np.float64)
+        for i, node in enumerate(sel_ids.tolist()):
+            delta = positions[node] - sender_pos
+            out[i] = np.hypot(delta[0], delta[1])
+        return out
+
+    def row_filter(self, powers, thresholds, sel_ids, sender_id):
+        """Indices (into the row) above carrier sense, sender excluded."""
+        sel_ids = np.ascontiguousarray(sel_ids, dtype=np.int64)
+        out = np.empty(len(powers), dtype=np.int64)
+        k = pyref.row_filter(
+            np.ascontiguousarray(powers, dtype=np.float64),
+            np.ascontiguousarray(thresholds, dtype=np.float64),
+            sel_ids, sender_id, out,
+        )
+        return out[:k]
+
+    # -- DCF struct-of-arrays bookkeeping ------------------------------------
+
+    def dcf_consume_backoffs(self, slots, started, idx, now, slot_s) -> None:
+        """Debit elapsed whole slots from the pending backoffs in ``idx``."""
+        pyref.dcf_consume_backoffs(
+            slots, started, np.ascontiguousarray(idx, dtype=np.int64),
+            now, slot_s,
+        )
+
+    def dcf_expired_navs(self, nav, now) -> np.ndarray:
+        """MAC indices whose armed NAV has expired at ``now``."""
+        out = np.empty(len(nav), dtype=np.int64)
+        k = pyref.dcf_expired_navs(nav, now, out)
+        return out[:k]
+
+    # -- internals -----------------------------------------------------------
+
+    def _keep(self, num_positions: int) -> np.ndarray:
+        scratch = self._keep_scratch.get(num_positions)
+        if scratch is None:
+            scratch = np.zeros(num_positions, dtype=bool)
+            self._keep_scratch[num_positions] = scratch
+        return scratch
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<kernel backend {self.name!r} compiled={self.compiled}>"

@@ -1,0 +1,122 @@
+"""Struct-of-arrays ledger for per-MAC DCF contention state.
+
+Each :class:`~repro.mac.dcf.Mac80211` historically kept its contention
+window, pending backoff slots and NAV horizon as Python instance
+attributes.  :class:`DcfBook` hoists that state into shared numpy
+arrays — one slot per MAC, handed out by :meth:`register` — so the
+whole population's bookkeeping lives in three cache-friendly vectors
+that batched kernels can sweep without touching Python objects.
+
+Two access styles coexist deliberately:
+
+* **Scalar updates** (:meth:`consume_backoff`, :meth:`double_cw`,
+  :meth:`reset`) are plain Python arithmetic on a single array cell.
+  The DES delivers MAC transitions one event at a time, and a
+  compiled call for one subtraction costs more than the subtraction —
+  so these stay inline and are identical on every backend by
+  construction.
+* **Batched sweeps** (:meth:`consume_backoffs`, :meth:`expired_navs`)
+  route through the kernel backend and exist for whole-population
+  passes (a busy-medium broadcast freezing many backoffs at one
+  instant, a NAV audit).  The scalar and batched forms compute the
+  same truncating arithmetic; ``tests/test_kernels.py`` holds them
+  equivalent.
+
+Encoding notes: ``backoff_slots[i] < 0`` (the ``_NO_BACKOFF`` sentinel)
+means "no draw taken yet" — the old ``_backoff_slots is None`` — which
+is distinct from ``0`` ("draw taken and fully consumed"); ``nav_until``
+is an absolute time, ``0.0`` meaning "never armed".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ``backoff_slots`` value meaning "no backoff drawn" (old ``None``).
+_NO_BACKOFF = -1
+
+_GROW = 16
+
+
+class DcfBook:
+    """Shared struct-of-arrays DCF state for a population of MACs."""
+
+    def __init__(self, kernels="vector"):
+        from repro.kernels import resolve_backend
+
+        self._backend = resolve_backend(kernels)
+        self._count = 0
+        cap = _GROW
+        self.cw = np.zeros(cap, dtype=np.int64)
+        self.backoff_slots = np.full(cap, _NO_BACKOFF, dtype=np.int64)
+        self.backoff_started = np.zeros(cap, dtype=np.float64)
+        self.need_backoff = np.zeros(cap, dtype=bool)
+        self.nav_until = np.zeros(cap, dtype=np.float64)
+
+    @property
+    def backend(self):
+        """The kernel backend batched sweeps execute on."""
+        return self._backend
+
+    def __len__(self) -> int:
+        return self._count
+
+    def register(self, cw_min: int) -> int:
+        """Claim a slot for one MAC; returns its index into the arrays."""
+        i = self._count
+        if i == len(self.cw):
+            self._grow()
+        self.cw[i] = cw_min
+        self.backoff_slots[i] = _NO_BACKOFF
+        self.backoff_started[i] = 0.0
+        self.need_backoff[i] = False
+        self.nav_until[i] = 0.0
+        self._count += 1
+        return i
+
+    # -- scalar updates (inline arithmetic; backend-independent) -------------
+
+    def consume_backoff(self, i: int, now: float, slot_s: float) -> None:
+        """Freeze MAC ``i``'s countdown: debit whole elapsed slots."""
+        slots = int(self.backoff_slots[i])
+        if slots > 0:
+            consumed = int((now - float(self.backoff_started[i])) / slot_s)
+            self.backoff_slots[i] = max(slots - consumed, 0)
+
+    def double_cw(self, i: int, cw_max: int) -> None:
+        """Binary-exponential CW growth after a failed exchange."""
+        self.cw[i] = min(2 * (int(self.cw[i]) + 1) - 1, cw_max)
+
+    def reset(self, i: int, cw_min: int) -> None:
+        """Return MAC ``i`` to post-success contention state."""
+        self.cw[i] = cw_min
+        self.backoff_slots[i] = _NO_BACKOFF
+        self.need_backoff[i] = True
+
+    # -- batched sweeps (backend-routed) -------------------------------------
+
+    def consume_backoffs(self, idx, now: float, slot_s: float) -> None:
+        """Batched :meth:`consume_backoff` over the MAC indices ``idx``."""
+        self._backend.dcf_consume_backoffs(
+            self.backoff_slots, self.backoff_started, idx, now, slot_s,
+        )
+
+    def expired_navs(self, now: float) -> np.ndarray:
+        """Indices of registered MACs whose armed NAV has expired."""
+        return self._backend.dcf_expired_navs(
+            self.nav_until[: self._count], now,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _grow(self) -> None:
+        cap = len(self.cw) + _GROW
+        self.cw = np.resize(self.cw, cap)
+        slots = np.full(cap, _NO_BACKOFF, dtype=np.int64)
+        slots[: self._count] = self.backoff_slots[: self._count]
+        self.backoff_slots = slots
+        self.backoff_started = np.resize(self.backoff_started, cap)
+        need = np.zeros(cap, dtype=bool)
+        need[: self._count] = self.need_backoff[: self._count]
+        self.need_backoff = need
+        self.nav_until = np.resize(self.nav_until, cap)

@@ -1,0 +1,152 @@
+"""Pure-Python reference kernels: the bit-identity ground truth.
+
+Every function here is the explicit-loop statement of one hot inner
+loop — the NaSch update, link-cache row construction, DCF bookkeeping.
+They are written in the *nopython* subset shared by Numba and a
+line-for-line C translation (see :mod:`repro.kernels.cjit`): plain
+``for`` loops over preallocated int64/float64/bool arrays, no Python
+containers, no allocation, results returned as counts or indices.  That
+single restriction is what lets the compiled backends be generated
+*from* these functions (``numba.njit`` wraps them directly; the C
+source mirrors them statement for statement) and then be proven
+bit-identical against them.
+
+Bit-identity rules the kernels obey (see docs/API.md "Compiled
+kernels"):
+
+* **No RNG inside a kernel.**  Randomness (dawdle draws, backoff
+  draws) is drawn by the caller from the owning component's generator
+  in the documented order and passed in as a pre-drawn variate array,
+  so every backend consumes the stream identically.
+* **No transcendental math inside a kernel.**  Distances (hypot) and
+  received powers come in as arrays computed by the shared numpy code;
+  kernels only do integer state evolution, IEEE +,-,*,/ and
+  comparisons — operations that are exact (or correctly rounded) on
+  every backend, so results match bit for bit across python, numba and
+  generated C.
+* **First-index tie-breaking.**  Where the vectorized code reports
+  ``argmax`` of a violation mask, kernels report the first offending
+  index; output index lists preserve input order.
+"""
+
+from __future__ import annotations
+
+
+def nasch_step(pos, vel, gaps_out, wrapped_out, draws, use_draws,
+               p, v_max, num_cells):
+    """One NaSch update (accelerate/brake/dawdle/move) on a cyclic lane.
+
+    ``pos``/``vel`` are int64 arrays in ring order and are updated in
+    place; ``gaps_out`` (int64) and ``wrapped_out`` (bool) are scratch
+    outputs.  ``draws`` holds the pre-drawn dawdle variates (consumed
+    only when ``use_draws``; the caller draws ``rng.random(n)`` exactly
+    when ``p > 0``, preserving stream order).  Returns the first index
+    whose post-dawdle velocity violates the gap invariant — in which
+    case ``pos`` is left untouched and no movement happens — or -1 on
+    success.
+    """
+    n = pos.shape[0]
+    bad = -1
+    for i in range(n):
+        if n == 1:
+            gap = num_cells - 1
+        else:
+            gap = (pos[(i + 1) % n] - pos[i] - 1) % num_cells
+        gaps_out[i] = gap
+        v = vel[i] + 1
+        if v > v_max:
+            v = v_max
+        if v > gap:
+            v = gap
+        if use_draws and draws[i] < p:
+            v = v - 1
+            if v < 0:
+                v = 0
+        vel[i] = v
+        if (v > gap or v < 0) and bad < 0:
+            bad = i
+    if bad >= 0:
+        return bad
+    for i in range(n):
+        new_pos = pos[i] + vel[i]
+        if new_pos >= num_cells:
+            new_pos -= num_cells
+            wrapped_out[i] = True
+        else:
+            wrapped_out[i] = False
+        pos[i] = new_pos
+    return -1
+
+
+def cyclic_gaps(pos, num_cells, out):
+    """Free cells ahead of each vehicle on a cyclic lane (ring order)."""
+    n = pos.shape[0]
+    if n == 1:
+        out[0] = num_cells - 1
+        return
+    for i in range(n):
+        out[i] = (pos[(i + 1) % n] - pos[i] - 1) % num_cells
+
+
+def row_select(cand, ids, keep, sel_ids, reg_idx):
+    """Filter registered radios through a spatial candidate set.
+
+    ``keep`` is a bool scratch of length num-positions (overwritten);
+    ``sel_ids``/``reg_idx`` are int64 outputs of length ``len(ids)``.
+    Returns the number of surviving radios; survivors keep the
+    registration order of ``ids`` (the scalar-loop visit order).
+    """
+    for i in range(keep.shape[0]):
+        keep[i] = False
+    for i in range(cand.shape[0]):
+        keep[cand[i]] = True
+    k = 0
+    for j in range(ids.shape[0]):
+        if keep[ids[j]]:
+            sel_ids[k] = ids[j]
+            reg_idx[k] = j
+            k += 1
+    return k
+
+
+def row_filter(powers, thresholds, sel_ids, sender, out_idx):
+    """Receiver selection: above carrier sense and not the sender.
+
+    Writes surviving indices (into the row arrays, in order) to
+    ``out_idx`` and returns their count.  NaN powers compare false and
+    are dropped, matching ``powers >= thresholds`` under numpy.
+    """
+    k = 0
+    for i in range(powers.shape[0]):
+        if powers[i] >= thresholds[i] and sel_ids[i] != sender:
+            out_idx[k] = i
+            k += 1
+    return k
+
+
+def dcf_consume_backoffs(slots, started, idx, now, slot_s):
+    """Freeze pending backoffs: debit whole elapsed slots (batched).
+
+    For each MAC index in ``idx`` with a positive slot count, subtracts
+    ``int(elapsed / slot_s)`` and clamps at zero — the identical
+    truncating arithmetic :class:`~repro.mac.dcf.Mac80211` applies on
+    a medium-busy transition.
+    """
+    for j in range(idx.shape[0]):
+        i = idx[j]
+        if slots[i] > 0:
+            consumed = int((now - started[i]) / slot_s)
+            remaining = slots[i] - consumed
+            if remaining < 0:
+                remaining = 0
+            slots[i] = remaining
+
+
+def dcf_expired_navs(nav, now, out_idx):
+    """Indices whose armed NAV (> 0) has expired (<= now), batched."""
+    k = 0
+    for i in range(nav.shape[0]):
+        if nav[i] > 0.0 and nav[i] <= now:
+            out_idx[k] = i
+            k += 1
+    return k

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.des.engine import Simulator
 from repro.des.event import Event
+from repro.kernels.dcf_book import DcfBook
 from repro.mac.frames import Frame, FrameType
 from repro.mac.params import Mac80211Params
 from repro.net.address import BROADCAST
@@ -62,7 +63,15 @@ class _TxContext:
 
 
 class Mac80211:
-    """One node's DCF entity, between the network layer and its radio."""
+    """One node's DCF entity, between the network layer and its radio.
+
+    Contention state (CW, pending backoff slots, NAV horizon) lives in a
+    :class:`~repro.kernels.dcf_book.DcfBook` — a struct-of-arrays ledger
+    shared by every MAC of a simulation when the caller passes one in
+    (``build_nodes`` does), or private to this MAC otherwise.  Scalar
+    transitions stay inline Python (the DES delivers them one event at a
+    time); population-wide sweeps go through the book's batched kernels.
+    """
 
     def __init__(
         self,
@@ -71,6 +80,7 @@ class Mac80211:
         params: Mac80211Params,
         rng: Optional[np.random.Generator] = None,
         queue_capacity: int = 50,
+        book: Optional[DcfBook] = None,
     ) -> None:
         self._sim = sim
         self._radio = radio
@@ -83,13 +93,10 @@ class Mac80211:
         self._down = False
         self._current: Optional[_TxContext] = None
         self._outgoing: Optional[Frame] = None
-        self._cw = params.cw_min
-        self._backoff_slots: Optional[int] = None
-        self._need_backoff = False
+        self._book = book if book is not None else DcfBook()
+        self._slot = self._book.register(params.cw_min)
         self._timer: Optional[Event] = None
         self._timer_kind = ""
-        self._backoff_started = 0.0
-        self._nav_until = 0.0
         self._nav_wakeup: Optional[Event] = None
         self._response_timer: Optional[Event] = None
         self._seq_counter = 0
@@ -125,6 +132,16 @@ class Mac80211:
     def queue(self) -> DropTailQueue:
         """The interface queue."""
         return self._queue
+
+    @property
+    def book(self) -> DcfBook:
+        """The struct-of-arrays ledger holding this MAC's contention state."""
+        return self._book
+
+    @property
+    def book_slot(self) -> int:
+        """This MAC's index into :attr:`book`'s arrays."""
+        return self._slot
 
     # -- network-layer entry points -----------------------------------------
 
@@ -173,10 +190,11 @@ class Mac80211:
                 event.cancel()
                 setattr(self, attr, None)
         self._timer_kind = ""
-        self._cw = self._params.cw_min
-        self._backoff_slots = None
-        self._need_backoff = False
-        self._nav_until = 0.0
+        book, i = self._book, self._slot
+        book.cw[i] = self._params.cw_min
+        book.backoff_slots[i] = -1
+        book.need_backoff[i] = False
+        book.nav_until[i] = 0.0
         self._dup_cache.clear()
         while True:
             head = self._queue.dequeue()
@@ -212,11 +230,14 @@ class Mac80211:
             return
         if self._outgoing is not None:
             return  # mid-transmission; on_tx_done resumes
+        book, i = self._book, self._slot
         if not self._medium_free():
-            self._need_backoff = True
+            book.need_backoff[i] = True
             return
-        if self._need_backoff and self._backoff_slots is None:
-            self._backoff_slots = int(self._rng.integers(0, self._cw + 1))
+        if book.need_backoff[i] and book.backoff_slots[i] < 0:
+            book.backoff_slots[i] = int(
+                self._rng.integers(0, int(book.cw[i]) + 1)
+            )
         self._timer_kind = "difs"
         self._timer = self._sim.schedule(self._params.difs_s, self._difs_done)
 
@@ -224,25 +245,29 @@ class Mac80211:
         self._timer = None
         if not self._medium_free():
             return
-        if self._backoff_slots:
+        book, i = self._book, self._slot
+        slots = int(book.backoff_slots[i])
+        if slots > 0:
             self._timer_kind = "backoff"
-            self._backoff_started = self._sim.now
+            book.backoff_started[i] = self._sim.now
             self._timer = self._sim.schedule(
-                self._backoff_slots * self._params.slot_s, self._backoff_done
+                slots * self._params.slot_s, self._backoff_done
             )
         else:
-            self._backoff_slots = None
-            self._need_backoff = False
+            book.backoff_slots[i] = -1
+            book.need_backoff[i] = False
             self._transmit_current()
 
     def _backoff_done(self) -> None:
         self._timer = None
-        self._backoff_slots = None
-        self._need_backoff = False
+        self._book.backoff_slots[self._slot] = -1
+        self._book.need_backoff[self._slot] = False
         self._transmit_current()
 
     def _medium_free(self) -> bool:
-        return not self._radio.medium_busy() and self._sim.now >= self._nav_until
+        return not self._radio.medium_busy() and (
+            self._sim.now >= float(self._book.nav_until[self._slot])
+        )
 
     # -- radio callbacks ------------------------------------------------------
 
@@ -250,12 +275,12 @@ class Mac80211:
         """Physical carrier went busy: freeze any pending access timers."""
         if self._down:
             return
-        self._need_backoff = True
+        self._book.need_backoff[self._slot] = True
         if self._timer is not None:
-            if self._timer_kind == "backoff" and self._backoff_slots:
-                elapsed = self._sim.now - self._backoff_started
-                consumed = int(elapsed / self._params.slot_s)
-                self._backoff_slots = max(self._backoff_slots - consumed, 0)
+            if self._timer_kind == "backoff":
+                self._book.consume_backoff(
+                    self._slot, self._sim.now, self._params.slot_s
+                )
             self._timer.cancel()
             self._timer = None
 
@@ -315,7 +340,7 @@ class Mac80211:
         elif frame.frame_type is FrameType.ACK:
             self._on_response(FrameType.ACK)
         elif frame.frame_type is FrameType.RTS:
-            if self._sim.now >= self._nav_until:
+            if self._sim.now >= float(self._book.nav_until[self._slot]):
                 self._sim.schedule(
                     self._params.sifs_s, self._send_response, FrameType.CTS,
                     frame.tx_addr,
@@ -455,27 +480,26 @@ class Mac80211:
         self.stats.retransmissions += 1
         if ctx.use_rts:
             ctx.phase = "rts"
-        self._cw = min(2 * (self._cw + 1) - 1, self._params.cw_max)
-        self._backoff_slots = int(self._rng.integers(0, self._cw + 1))
-        self._need_backoff = True
+        book, i = self._book, self._slot
+        book.double_cw(i, self._params.cw_max)
+        book.backoff_slots[i] = int(self._rng.integers(0, int(book.cw[i]) + 1))
+        book.need_backoff[i] = True
         self._begin_access()
 
     def _complete(self) -> None:
         """Finish the current exchange (success or final drop) and move on."""
         self._current = None
-        self._cw = self._params.cw_min
         # Post-transmission backoff: the standard requires a fresh backoff
         # before the next frame, which also de-synchronises flooding storms.
-        self._need_backoff = True
-        self._backoff_slots = None
+        self._book.reset(self._slot, self._params.cw_min)
         self._serve()
 
     # -- NAV -----------------------------------------------------------------
 
     def _update_nav(self, until: float) -> None:
-        if until <= self._nav_until:
+        if until <= float(self._book.nav_until[self._slot]):
             return
-        self._nav_until = until
+        self._book.nav_until[self._slot] = until
         if self._nav_wakeup is not None:
             self._nav_wakeup.cancel()
         self._nav_wakeup = self._sim.schedule(

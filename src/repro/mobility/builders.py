@@ -66,6 +66,7 @@ def _place_random(
         v_max=scenario.v_max,
         boundary=boundary,
         rng=rng,
+        kernels=scenario.kernels,
     )
 
 
@@ -81,4 +82,5 @@ def _place_uniform(
         v_max=scenario.v_max,
         boundary=boundary,
         rng=rng,
+        kernels=scenario.kernels,
     )

@@ -92,12 +92,33 @@ class CaMobility(MobilityModel):
         """The lane geometry."""
         return self._layout
 
+    def _lane_arrays(self):
+        """Yield ``(lane_index, cells, vehicle_ids)`` per lane.
+
+        Reads the automaton's arrays directly instead of materialising
+        :class:`VehicleState` records (which costs a ``gaps()``
+        recomputation plus one object per vehicle per call — measurable
+        on the per-step sampling path).
+        """
+        model = self._model
+        if isinstance(model, MultiLaneRoad):
+            for k in range(model.num_lanes):
+                yield k, model.lane_positions(k), model.lane_ids(k)
+        else:
+            yield model.lane, model.positions, model.vehicle_ids
+
     def current_positions(self) -> np.ndarray:
-        """Plane positions of all nodes right now, shape ``(N, 2)``."""
+        """Plane positions of all nodes right now, shape ``(N, 2)``.
+
+        ``cell_to_plane`` stays a per-vehicle scalar call: the arc-length
+        parametrisation must evaluate with exactly the same float
+        operations as always so recorded traces are bit-stable.
+        """
         positions = np.empty((self._num_nodes, 2))
-        for vehicle in self._model.vehicles():
-            lane = self._layout.lane(vehicle.lane)
-            positions[vehicle.vehicle_id] = lane.cell_to_plane(vehicle.cell)
+        for lane_idx, cells, ids in self._lane_arrays():
+            lane = self._layout.lane(lane_idx)
+            for cell, vehicle_id in zip(cells.tolist(), ids.tolist()):
+                positions[vehicle_id] = lane.cell_to_plane(cell)
         return positions
 
     def sample(self, duration_s: float, interval_s: float = 1.0) -> MobilityTrace:
@@ -129,9 +150,10 @@ class CaMobility(MobilityModel):
             shifted_since_last = np.zeros(self._num_nodes, dtype=bool)
             for _ in range(steps_per_sample):
                 self._model.step()
-                for vehicle in self._model.vehicles():
-                    if vehicle.shifted and not self._lane_closed(vehicle.lane):
-                        shifted_since_last[vehicle.vehicle_id] = True
+                # Only open lanes can teleport; when every lane is
+                # closed the scan would never set a flag, so skip it.
+                if teleports_possible:
+                    self._accumulate_shifts(shifted_since_last)
             positions[row] = self.current_positions()
             teleported[row] = shifted_since_last
         return MobilityTrace(
@@ -139,6 +161,21 @@ class CaMobility(MobilityModel):
             positions=positions,
             teleported=teleported if teleports_possible else None,
         )
+
+    def _accumulate_shifts(self, shifted_since_last: np.ndarray) -> None:
+        """OR this step's wrap flags (open lanes only) into the row."""
+        model = self._model
+        if isinstance(model, MultiLaneRoad):
+            for k in range(model.num_lanes):
+                if self._lane_closed(k):
+                    continue
+                shifted = model.lane_shifted(k)
+                if shifted.any():
+                    shifted_since_last[model.lane_ids(k)[shifted]] = True
+        elif not self._lane_closed(model.lane):
+            shifted = model.shifted
+            if shifted.any():
+                shifted_since_last[model.vehicle_ids[shifted]] = True
 
     def _lane_closed(self, lane_id: int) -> bool:
         return self._layout.lane(lane_id).shape.closed

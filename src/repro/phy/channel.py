@@ -63,6 +63,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.des.engine import Simulator
+from repro.kernels import resolve_backend
 from repro.mac.frames import Frame
 from repro.mobility.trace import TracePlayer
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel
@@ -137,6 +138,11 @@ class Channel:
         spatial: optional neighbor-culling index (see
             :mod:`repro.phy.spatial`) implementing ``rebuild(positions)``
             and ``candidates(node)``; ``None`` keeps the dense path.
+        kernels: kernel backend (name or instance) executing the
+            deterministic row-build loops (candidate selection, receiver
+            filtering); see :mod:`repro.kernels`.  Bit-identical across
+            backends — powers and distances stay on the shared numpy
+            arithmetic, kernels only select and filter.
     """
 
     def __init__(
@@ -147,6 +153,7 @@ class Channel:
         propagation_delay: bool = True,
         fast_path: bool = True,
         spatial: Optional[object] = None,
+        kernels="auto",
     ) -> None:
         self._sim = sim
         self._propagation = propagation
@@ -154,6 +161,7 @@ class Channel:
         self._prop_delay = propagation_delay
         self._fast_path = fast_path
         self._spatial = spatial
+        self._kernels = resolve_backend(kernels)
         self._radios: Dict[int, "Radio"] = {}
         self.frames_transmitted = 0
         self.frames_delivered = 0
@@ -303,14 +311,13 @@ class Channel:
         ids = self._radio_ids
         if self._spatial is not None:
             positions = self._cached_positions
-            keep = np.zeros(len(positions), dtype=bool)
-            keep[self._spatial.candidates(sender_id)] = True
-            keep_reg = keep[ids]
-            reg_idx = np.nonzero(keep_reg)[0]
-            sel_ids = ids[keep_reg]
-            delta = positions[sel_ids] - positions[sender_id]
-            dist_row = np.hypot(delta[:, 0], delta[:, 1])
-            thresholds = self._cs_thresholds[keep_reg]
+            sel_ids, reg_idx = self._kernels.row_select(
+                self._spatial.candidates(sender_id), ids, len(positions)
+            )
+            dist_row = self._kernels.row_distances(
+                positions, sel_ids, sender_id
+            )
+            thresholds = self._cs_thresholds[reg_idx]
         else:
             reg_idx = None
             sel_ids = ids
@@ -329,8 +336,9 @@ class Channel:
                 powers = self._propagation.rx_power_vector(tx_power, dist_row)
             if self._attenuation != 1.0:
                 powers = powers * self._attenuation
-            mask = (powers >= thresholds) & (sel_ids != sender_id)
-            idx = np.nonzero(mask)[0]
+            idx = self._kernels.row_filter(
+                powers, thresholds, sel_ids, sender_id
+            )
             pick = idx if reg_idx is None else reg_idx[idx]
             radio_list = self._radio_list
             row = (

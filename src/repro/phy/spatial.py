@@ -70,6 +70,10 @@ class UniformGridIndex:
         self.cell_size_m = float(cell_size_m)
         self._cells: Dict[Tuple[int, int], np.ndarray] = {}
         self._coords: Optional[np.ndarray] = None
+        # Per-cell candidate memo: every sender in one cell shares the
+        # same 3 x 3 neighborhood, so the concatenation is done once per
+        # occupied cell per rebuild instead of once per sender.
+        self._neighborhoods: Dict[Tuple[int, int], np.ndarray] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -111,6 +115,7 @@ class UniformGridIndex:
                 )
                 cells[key] = order[start:end]
         self._cells = cells
+        self._neighborhoods = {}
 
     def candidates(self, node: int) -> np.ndarray:
         """Indices of every node in the 3 x 3 neighborhood of ``node``.
@@ -128,6 +133,9 @@ class UniformGridIndex:
             )
         cx = int(self._coords[node, 0])
         cy = int(self._coords[node, 1])
+        cached = self._neighborhoods.get((cx, cy))
+        if cached is not None:
+            return cached
         cells = self._cells
         chunks = [
             arr
@@ -137,8 +145,11 @@ class UniformGridIndex:
             if arr is not None
         ]
         if len(chunks) == 1:
-            return chunks[0]
-        return np.concatenate(chunks)
+            result = chunks[0]
+        else:
+            result = np.concatenate(chunks)
+        self._neighborhoods[(cx, cy)] = result
+        return result
 
 
 # -- registry entries ---------------------------------------------------------

@@ -1,0 +1,171 @@
+"""The CI perf gate's exit-code contract (scripts/bench_gate.py).
+
+CI tells three outcomes apart by exit code alone, so each is pinned
+here: 0 for a healthy artifact, 1 for a real perf regression (ratio
+floor or an absolute ``--floor``), and 2 — the CLI's ConfigError
+convention — for every way the gate itself can be mis-wired: a missing
+or unreadable baseline, JSON that isn't an object, a metric path the
+schema no longer contains, a non-numeric metric, a malformed
+``--floor`` spec.  The exit-2 paths also must say *which* file or flag
+is wrong on stderr, because that line is all a broken CI job shows.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "bench_gate.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def _artifact(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+def _run(tmp_path, baseline, current, extra=()):
+    argv = [
+        "--baseline", _artifact(tmp_path, "baseline.json", baseline),
+        "--current", _artifact(tmp_path, "current.json", current),
+        "--metric", "fast.frames_per_s",
+    ]
+    return bench_gate.main(argv + list(extra))
+
+
+# -- exit 0: healthy ----------------------------------------------------------
+
+
+def test_gate_passes_when_current_matches_baseline(tmp_path, capsys):
+    doc = {"fast": {"frames_per_s": 1000.0}}
+    assert _run(tmp_path, doc, doc) == 0
+    assert "perf gate OK" in capsys.readouterr().out
+
+
+def test_gate_warns_but_passes_in_the_drift_band(tmp_path, capsys):
+    baseline = {"fast": {"frames_per_s": 1000.0}}
+    current = {"fast": {"frames_per_s": 850.0}}  # 85%: warn, don't fail
+    assert _run(tmp_path, baseline, current) == 0
+    assert "::warning::perf drift" in capsys.readouterr().out
+
+
+def test_gate_passes_with_floor_met(tmp_path, capsys):
+    doc = {
+        "fast": {"frames_per_s": 1000.0},
+        "end_to_end": {"n3000": {"speedup": 6.5}},
+    }
+    assert _run(
+        tmp_path, doc, doc, ["--floor", "end_to_end.n3000.speedup=5.0"]
+    ) == 0
+    assert "perf floor OK" in capsys.readouterr().out
+
+
+# -- exit 1: real regressions -------------------------------------------------
+
+
+def test_gate_fails_below_the_ratio_floor(tmp_path, capsys):
+    baseline = {"fast": {"frames_per_s": 1000.0}}
+    current = {"fast": {"frames_per_s": 700.0}}  # 70% < the 80% floor
+    assert _run(tmp_path, baseline, current) == 1
+    assert "::error::perf regression" in capsys.readouterr().out
+
+
+def test_gate_fails_when_absolute_floor_is_broken(tmp_path, capsys):
+    doc = {
+        "fast": {"frames_per_s": 1000.0},
+        "end_to_end": {"n3000": {"speedup": 3.2}},
+    }
+    assert _run(
+        tmp_path, doc, doc, ["--floor", "end_to_end.n3000.speedup=5.0"]
+    ) == 1
+    assert "::error::perf floor broken" in capsys.readouterr().out
+
+
+# -- exit 2: gate misconfiguration --------------------------------------------
+
+
+def _expect_config_error(capsys, fragment):
+    captured = capsys.readouterr()
+    assert "error (ConfigError):" in captured.err
+    assert fragment in captured.err
+    assert "::error::" in captured.out  # the CI annotation twin
+
+
+def test_missing_baseline_exits_2(tmp_path, capsys):
+    current = _artifact(
+        tmp_path, "current.json", {"fast": {"frames_per_s": 1.0}}
+    )
+    missing = str(tmp_path / "nope.json")
+    assert bench_gate.main(
+        ["--baseline", missing, "--current", current]
+    ) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "cannot read baseline")
+
+
+def test_invalid_json_exits_2(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    current = _artifact(
+        tmp_path, "current.json", {"fast": {"frames_per_s": 1.0}}
+    )
+    assert bench_gate.main(
+        ["--baseline", str(bad), "--current", current]
+    ) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "not valid JSON")
+
+
+def test_non_object_json_exits_2(tmp_path, capsys):
+    doc = {"fast": {"frames_per_s": 1.0}}
+    assert _run(tmp_path, [1, 2, 3], doc) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "expected a JSON object")
+
+
+def test_missing_metric_path_exits_2(tmp_path, capsys):
+    baseline = {"fast": {"frames_per_s": 1000.0}}
+    current = {"renamed": {"frames_per_s": 1000.0}}  # schema drifted
+    assert _run(tmp_path, baseline, current) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "out of sync")
+
+
+def test_non_numeric_metric_exits_2(tmp_path, capsys):
+    doc = {"fast": {"frames_per_s": "quick"}}
+    assert _run(tmp_path, doc, doc) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "expected a number")
+
+
+def test_boolean_metric_is_not_a_number(tmp_path, capsys):
+    # bool is an int subclass; the gate must still reject it.
+    doc = {"fast": {"frames_per_s": True}}
+    assert _run(tmp_path, doc, doc) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "expected a number")
+
+
+def test_nonpositive_baseline_exits_2(tmp_path, capsys):
+    baseline = {"fast": {"frames_per_s": 0.0}}
+    current = {"fast": {"frames_per_s": 1000.0}}
+    assert _run(tmp_path, baseline, current) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "positive baseline")
+
+
+@pytest.mark.parametrize("spec", ["no-equals", "=5.0", "metric=fast"])
+def test_malformed_floor_spec_exits_2(tmp_path, capsys, spec):
+    doc = {"fast": {"frames_per_s": 1000.0}}
+    assert _run(tmp_path, doc, doc, ["--floor", spec]) == \
+        bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "--floor")
+
+
+def test_floor_metric_missing_from_current_exits_2(tmp_path, capsys):
+    doc = {"fast": {"frames_per_s": 1000.0}}
+    assert _run(
+        tmp_path, doc, doc, ["--floor", "end_to_end.n3000.speedup=5.0"]
+    ) == bench_gate.EXIT_CONFIG
+    _expect_config_error(capsys, "out of sync")

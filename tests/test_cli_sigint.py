@@ -40,7 +40,7 @@ def test_sigint_mid_sweep_exits_130_with_partial_summary(tmp_path):
         sys.executable, "-m", "repro", "sweep",
         "--nodes", "10", "--road", "900", "--time", "10",
         "--senders", "1,2", "--p", "0.0", "--seed", "3",
-        "--field", "seed", "--values", ",".join(str(v) for v in range(40)),
+        "--field", "seed", "--values", ",".join(str(v) for v in range(400)),
         "--journal", str(journal),
     ]
     env = {**os.environ, "PYTHONPATH": SRC, "PYTHONUNBUFFERED": "1"}

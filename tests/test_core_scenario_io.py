@@ -87,6 +87,12 @@ scenario_dicts = st.fixed_dictionaries(
         # only valid ones (smaller is a ConfigError, tested elsewhere).
         "spatial": st.sampled_from(["dense", "grid", "GRID", "Dense"]),
         "cull_radius_m": st.sampled_from([None, 550.0, 600.0, 1250.0]),
+        # Kernel backends: any spelling normalizes; every name is valid
+        # on every machine (unavailable toolchains fall back at build
+        # time, not at configuration time).
+        "kernels": st.sampled_from(
+            ["auto", "python", "vector", "numba", "cjit", "AUTO", "Python"]
+        ),
         "seed": st.integers(0, 2**31),
     },
 )
@@ -150,6 +156,14 @@ def test_with_overrides_top_level_and_nested():
     assert s.protocol == "OLSR"
     assert s.mac_params.cw_min == 15
     assert s.mac_params.cw_max == Scenario().mac_params.cw_max
+
+
+def test_with_overrides_kernels_normalizes_case():
+    # The CLI's `--set kernels=CJIT` lands here; any spelling of a
+    # registered backend canonicalizes, unknown names are ConfigError.
+    assert Scenario().with_overrides({"kernels": "CJIT"}).kernels == "cjit"
+    with pytest.raises(ConfigError, match="unknown kernel backend"):
+        Scenario().with_overrides({"kernels": "fortran"})
 
 
 def test_with_overrides_can_add_option_keys():

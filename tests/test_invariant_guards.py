@@ -11,7 +11,6 @@ A final block asserts the guards stay silent on healthy runs.
 import numpy as np
 import pytest
 
-import repro.ca.multilane as multilane_mod
 from repro.ca.multilane import MultiLaneRoad
 from repro.ca.nasch import Boundary, NagelSchreckenberg
 from repro.des.engine import Simulator
@@ -71,12 +70,33 @@ def test_des_starvation_guard_tolerates_long_legit_bursts():
 # -- cellular automata --------------------------------------------------------
 
 
+class _CorruptGapKernels:
+    """A kernel backend whose gap computation is broken (always -1).
+
+    The update loops live behind the kernel-backend seam now, so gap
+    corruption is injected there: velocities still accelerate, gaps come
+    out impossible, and the kernel reports the first vehicle as the
+    violator — the model must convert that into an InvariantViolation.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def nasch_step(self, pos, vel, gaps_out, wrapped_out, draws,
+                   use_draws, p, v_max, num_cells):
+        gaps_out[:] = -1
+        vel[:] = np.minimum(vel + 1, v_max)
+        return 0
+
+
 def test_nasch_gap_positivity_guard():
     model = NagelSchreckenberg(num_cells=30, num_vehicles=5, p=0.0)
-    n = len(model.positions)
     # A corrupted gap computation (here: an impossible negative gap) must
     # trip the guard instead of letting two vehicles share a cell.
-    model.gaps = lambda: np.full(n, -1, dtype=np.int64)
+    model._kernels = _CorruptGapKernels(model._kernels)
     with pytest.raises(InvariantViolation, match="outrun its gap") as excinfo:
         model.step()
     context = excinfo.value.context
@@ -85,15 +105,9 @@ def test_nasch_gap_positivity_guard():
     assert "vehicle_id" in context and "cell" in context
 
 
-def test_multilane_gap_positivity_guard(monkeypatch):
+def test_multilane_gap_positivity_guard():
     road = MultiLaneRoad(30, 1, [4], p=0.0)
-    monkeypatch.setattr(
-        multilane_mod,
-        "_cyclic_gaps",
-        lambda positions, num_cells: np.full(
-            len(positions), -1, dtype=np.int64
-        ),
-    )
+    road._kernels = _CorruptGapKernels(road._kernels)
     with pytest.raises(InvariantViolation, match="outrun its gap") as excinfo:
         road.step()
     assert excinfo.value.context["lane"] == 0

@@ -1,0 +1,356 @@
+"""Kernel backends: bit-identity, fallback, resolution, serialization.
+
+The ``kernels`` namespace promises that every backend computes the
+same thing — only the clock changes.  This suite holds the backends to
+that promise at three levels: per-kernel (randomized array inputs
+through each method, compared elementwise against the pure-Python
+reference), per-model (full NaSch / multilane trajectories under a
+shared seed), and per-ledger (DcfBook's scalar updates versus its
+batched backend-routed sweeps).  Around the identity core sit the
+plumbing tests: warn-once fallback when numba is missing (an import
+blocker makes that deterministic on any machine), case-insensitive
+registry resolution, singleton caching, the ``REPRO_KERNELS``
+override, and pickling backends by name across a journal boundary.
+"""
+
+import pickle
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels_pkg
+from repro.ca.multilane import MultiLaneRoad
+from repro.ca.nasch import Boundary, NagelSchreckenberg
+from repro.kernels import DcfBook, KernelBackend, resolve_backend
+from repro.kernels.vector import VectorBackend
+
+
+def _distinct_backends():
+    """One instance per distinct backend importable on this machine.
+
+    ``numba`` and ``cjit`` may silently resolve to their fallbacks
+    (python / vector) where the toolchain is missing; deduplicating by
+    resolved name keeps the identity sweep meaningful either way.
+    """
+    seen = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for name in ("python", "vector", "numba", "cjit", "auto"):
+            backend = resolve_backend(name)
+            seen[backend.name] = backend
+    return sorted(seen.values(), key=lambda b: b.name)
+
+
+BACKENDS = _distinct_backends()
+REFERENCE = resolve_backend("python")
+
+
+@pytest.fixture(params=BACKENDS, ids=lambda b: b.name)
+def backend(request):
+    return request.param
+
+
+# -- per-kernel randomized equivalence ----------------------------------------
+
+
+def _random_lane(rng, n, num_cells, v_max):
+    pos = np.sort(rng.choice(num_cells, size=n, replace=False)).astype(
+        np.int64
+    )
+    vel = rng.integers(0, v_max + 1, size=n).astype(np.int64)
+    return pos, vel
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_nasch_step_matches_reference(backend, seed):
+    rng = np.random.default_rng(seed)
+    n, num_cells, v_max, p = 40, 200, 5, 0.3
+    pos0, vel0 = _random_lane(rng, n, num_cells, v_max)
+    draws = rng.random(n)
+
+    states = []
+    for impl in (REFERENCE, backend):
+        pos, vel = pos0.copy(), vel0.copy()
+        gaps = np.empty(n, dtype=np.int64)
+        wrapped = np.empty(n, dtype=bool)
+        bad = impl.nasch_step(
+            pos, vel, gaps, wrapped, draws, True, p, v_max, num_cells
+        )
+        states.append((bad, pos, vel, gaps, wrapped))
+
+    (bad_ref, *ref), (bad_obs, *obs) = states
+    assert bad_obs == bad_ref == -1
+    for ref_arr, obs_arr in zip(ref, obs):
+        np.testing.assert_array_equal(obs_arr, ref_arr)
+
+
+def test_nasch_step_single_vehicle_and_wrap(backend):
+    """n=1 uses the full-ring gap, and wrap flags match the reference."""
+    pos = np.array([198], dtype=np.int64)
+    vel = np.array([3], dtype=np.int64)
+    gaps = np.empty(1, dtype=np.int64)
+    wrapped = np.empty(1, dtype=bool)
+    draws = np.empty(0, dtype=np.float64)
+    bad = backend.nasch_step(pos, vel, gaps, wrapped, draws, False, 0.0,
+                             5, 200)
+    assert bad == -1
+    assert pos.tolist() == [2] and vel.tolist() == [4]
+    assert gaps.tolist() == [199] and wrapped.tolist() == [True]
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 17])
+def test_cyclic_gaps_matches_reference(backend, n):
+    rng = np.random.default_rng(n)
+    num_cells = 60
+    pos = np.sort(rng.choice(num_cells, size=n, replace=False)).astype(
+        np.int64
+    )
+    np.testing.assert_array_equal(
+        backend.cyclic_gaps(pos, num_cells),
+        REFERENCE.cyclic_gaps(pos, num_cells),
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_row_select_matches_reference(backend, seed):
+    rng = np.random.default_rng(seed)
+    num_positions = 50
+    cand = rng.choice(num_positions, size=rng.integers(0, 30), replace=False)
+    ids = rng.permutation(num_positions)[: rng.integers(1, num_positions)]
+    got = backend.row_select(cand, ids, num_positions)
+    want = REFERENCE.row_select(cand, ids, num_positions)
+    for got_arr, want_arr in zip(got, want):
+        np.testing.assert_array_equal(got_arr, want_arr)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_row_distances_and_filter_match_reference(backend, seed):
+    rng = np.random.default_rng(100 + seed)
+    num_nodes = 30
+    positions = rng.uniform(-500.0, 500.0, size=(num_nodes, 2))
+    sel_ids = np.arange(num_nodes, dtype=np.int64)
+    sender = int(rng.integers(num_nodes))
+
+    dist_ref = REFERENCE.row_distances(positions, sel_ids, sender)
+    dist_obs = backend.row_distances(positions, sel_ids, sender)
+    # Bit-equal, not approximately equal: hypot stays on the numpy
+    # ufunc on every backend (the no-transcendentals rule).
+    np.testing.assert_array_equal(dist_obs, dist_ref)
+
+    powers = rng.uniform(0.0, 2e-9, size=num_nodes)
+    powers[rng.integers(num_nodes)] = np.nan  # NaN drops on every backend
+    thresholds = np.full(num_nodes, 1e-9)
+    np.testing.assert_array_equal(
+        backend.row_filter(powers, thresholds, sel_ids, sender),
+        REFERENCE.row_filter(powers, thresholds, sel_ids, sender),
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_dcf_kernels_match_reference(backend, seed):
+    rng = np.random.default_rng(200 + seed)
+    n = 25
+    slots0 = rng.integers(-1, 30, size=n).astype(np.int64)
+    started = rng.uniform(0.0, 1.0, size=n)
+    idx = rng.choice(n, size=rng.integers(0, n), replace=False)
+    now, slot_s = 1.5, 20e-6
+
+    slots_ref, slots_obs = slots0.copy(), slots0.copy()
+    REFERENCE.dcf_consume_backoffs(slots_ref, started, idx, now, slot_s)
+    backend.dcf_consume_backoffs(slots_obs, started, idx, now, slot_s)
+    np.testing.assert_array_equal(slots_obs, slots_ref)
+
+    nav = rng.uniform(-0.5, 2.0, size=n)
+    nav[rng.random(n) < 0.3] = 0.0  # "never armed" entries
+    np.testing.assert_array_equal(
+        backend.dcf_expired_navs(nav, now),
+        REFERENCE.dcf_expired_navs(nav, now),
+    )
+
+
+# -- full-model trajectory identity -------------------------------------------
+
+
+def _nasch_trajectory(kernels, steps=60):
+    model = NagelSchreckenberg(
+        num_cells=120, num_vehicles=30, p=0.3, v_max=5,
+        boundary=Boundary.PERIODIC, rng=np.random.default_rng(7),
+        kernels=kernels,
+    )
+    frames = []
+    for _ in range(steps):
+        model.step()
+        frames.append(
+            (model.positions.tolist(), model.velocities.tolist())
+        )
+    return frames
+
+
+def _multilane_trajectory(kernels, steps=60):
+    road = MultiLaneRoad(
+        num_cells=100, num_lanes=2, vehicles_per_lane=[20, 15],
+        p=0.25, v_max=5, p_change=0.8,
+        rng=np.random.default_rng(13), kernels=kernels,
+    )
+    frames = []
+    for _ in range(steps):
+        road.step()
+        frames.append(
+            [
+                (road.lane_positions(k).tolist(),
+                 road.lane_ids(k).tolist())
+                for k in range(road.num_lanes)
+            ]
+        )
+    return frames
+
+
+def test_nasch_trajectory_identical_across_backends(backend):
+    assert _nasch_trajectory(backend) == _nasch_trajectory("python")
+
+
+def test_multilane_trajectory_identical_across_backends(backend):
+    assert _multilane_trajectory(backend) == _multilane_trajectory("python")
+
+
+# -- DcfBook ------------------------------------------------------------------
+
+
+def test_dcf_book_registers_and_grows_past_initial_capacity():
+    book = DcfBook(kernels="python")
+    indices = [book.register(cw_min=31) for _ in range(40)]  # > _GROW
+    assert indices == list(range(40))
+    assert len(book) == 40
+    assert book.cw[39] == 31
+    assert book.backoff_slots[39] == -1  # no draw taken yet
+    assert book.nav_until[39] == 0.0
+    # Growth preserved earlier state (sentinel included).
+    assert set(book.backoff_slots[:40].tolist()) == {-1}
+
+
+def test_dcf_book_scalar_and_batched_sweeps_agree(backend):
+    def populated():
+        book = DcfBook(kernels=backend)
+        rng = np.random.default_rng(31)
+        for _ in range(20):
+            book.register(cw_min=15)
+        book.backoff_slots[:20] = rng.integers(-1, 25, size=20)
+        book.backoff_started[:20] = rng.uniform(0.0, 1.0, size=20)
+        return book
+
+    now, slot_s = 1.25, 20e-6
+    scalar, batched = populated(), populated()
+    for i in range(20):
+        scalar.consume_backoff(i, now, slot_s)
+    batched.consume_backoffs(np.arange(20), now, slot_s)
+    np.testing.assert_array_equal(
+        batched.backoff_slots[:20], scalar.backoff_slots[:20]
+    )
+
+
+def test_dcf_book_cw_scalar_updates():
+    book = DcfBook(kernels="python")
+    i = book.register(cw_min=15)
+    book.double_cw(i, cw_max=1023)
+    assert book.cw[i] == 31
+    book.reset(i, cw_min=15)
+    assert book.cw[i] == 15
+    assert book.backoff_slots[i] == -1
+    assert bool(book.need_backoff[i])
+
+
+# -- resolution, fallback, caching --------------------------------------------
+
+
+class _NumbaImportBlocker:
+    """Meta-path hook making ``import numba`` fail deterministically."""
+
+    def find_module(self, name, path=None):
+        return self if name == "numba" or name.startswith("numba.") else None
+
+    def find_spec(self, name, path=None, target=None):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError(f"{name} blocked by test fixture")
+        return None
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Hide numba (even if installed) and clear the backend caches, so
+    the fallback path runs identically on every machine."""
+    blocker = _NumbaImportBlocker()
+    monkeypatch.setattr(sys, "meta_path", [blocker] + sys.meta_path)
+    for module in [m for m in sys.modules if
+                   m == "numba" or m.startswith("numba.")]:
+        monkeypatch.delitem(sys.modules, module)
+    monkeypatch.setattr(kernels_pkg, "_BACKENDS", {})
+    monkeypatch.setattr(kernels_pkg, "_WARNED", set())
+    yield
+
+
+def test_missing_numba_warns_once_and_falls_back(no_numba):
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        backend = resolve_backend("numba")
+    assert backend.name == "python"
+    assert not backend.compiled
+    # Second resolution: cached, silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = resolve_backend("numba")
+    assert again is backend
+
+
+def test_missing_numba_fallback_is_bit_identical(no_numba):
+    with pytest.warns(RuntimeWarning):
+        fallen = resolve_backend("numba")
+    assert _nasch_trajectory(fallen) == _nasch_trajectory("python")
+
+
+def test_resolve_backend_normalizes_case_and_caches():
+    assert resolve_backend("PYTHON") is resolve_backend("python")
+    assert resolve_backend("Vector").name == "vector"
+
+
+def test_resolve_backend_passes_instances_through():
+    mine = VectorBackend()
+    assert resolve_backend(mine) is mine
+
+
+def test_auto_honors_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "vector")
+    monkeypatch.setattr(kernels_pkg, "_BACKENDS", {})
+    monkeypatch.setattr(kernels_pkg, "_WARNED", set())
+    assert resolve_backend("auto").name == "vector"
+
+
+def test_unknown_backend_name_rejected():
+    from repro.util.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="unknown kernel backend"):
+        resolve_backend("fortran")
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_backends_pickle_by_name(backend):
+    clone = pickle.loads(pickle.dumps(backend))
+    assert isinstance(clone, KernelBackend)
+    assert clone.name == backend.name
+    assert clone is resolve_backend(backend.name)
+
+
+def test_model_with_compiled_backend_pickles():
+    """Journals pickle whole models; the backend must cross by name."""
+    model = NagelSchreckenberg(
+        num_cells=50, num_vehicles=10, p=0.2,
+        rng=np.random.default_rng(3), kernels="auto",
+    )
+    model.step()
+    clone = pickle.loads(pickle.dumps(model))
+    assert clone.positions.tolist() == model.positions.tolist()
+    clone.step()
+    model.step()
+    assert clone.positions.tolist() == model.positions.tolist()

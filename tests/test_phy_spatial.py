@@ -157,12 +157,14 @@ class _Log:
         pass
 
 
-def _run_channel(spatial, positions_list, attenuate_at=None):
+def _run_channel(spatial, positions_list, attenuate_at=None,
+                 kernels="auto"):
     """Drive scripted broadcasts over static boundary-heavy positions."""
     positions = np.array(positions_list, dtype=float)
     sim = Simulator()
     channel = Channel(
-        sim, TwoRayGround(), lambda: positions, spatial=spatial
+        sim, TwoRayGround(), lambda: positions, spatial=spatial,
+        kernels=kernels,
     )
     params = PhyParams.for_ranges(TwoRayGround(), 250.0, 550.0)
     logs = []
@@ -197,16 +199,33 @@ _BOUNDARY_POSITIONS = [
 ]
 
 
-def test_grid_event_stream_identical_to_dense_on_boundaries():
-    channel_d, logs_d = _run_channel(None, _BOUNDARY_POSITIONS)
+@pytest.mark.parametrize("kernels", ["python", "auto"])
+def test_grid_event_stream_identical_to_dense_on_boundaries(kernels):
+    """Grid-vs-dense identity must hold under the reference loops and
+    under the best backend on this machine — one event stream, four
+    (spatial, kernel) combinations."""
+    channel_d, logs_d = _run_channel(None, _BOUNDARY_POSITIONS,
+                                     kernels=kernels)
     channel_g, logs_g = _run_channel(
-        UniformGridIndex(550.0), _BOUNDARY_POSITIONS
+        UniformGridIndex(550.0), _BOUNDARY_POSITIONS, kernels=kernels
     )
     assert logs_d == logs_g
     assert channel_d.frames_delivered == channel_g.frames_delivered
     assert channel_d.frames_cs_dropped == channel_g.frames_cs_dropped
     # Culling must actually have culled something to be a meaningful test.
     assert channel_g.links_evaluated < channel_d.links_evaluated
+
+
+def test_event_stream_identical_across_backends():
+    """The same (spatial, positions) run must emit byte-equal event
+    streams whichever kernel backend builds the rows."""
+    _, logs_py = _run_channel(UniformGridIndex(550.0), _BOUNDARY_POSITIONS,
+                              kernels="python")
+    _, logs_auto = _run_channel(UniformGridIndex(550.0), _BOUNDARY_POSITIONS,
+                                kernels="auto")
+    _, logs_vec = _run_channel(UniformGridIndex(550.0), _BOUNDARY_POSITIONS,
+                               kernels="vector")
+    assert logs_py == logs_auto == logs_vec
 
 
 def test_grid_identical_to_dense_through_attenuation_burst():
@@ -223,11 +242,15 @@ def test_grid_identical_to_dense_through_attenuation_burst():
 # -- end-to-end bit-identity (the PR 4 goldens, grid path) --------------------
 
 
-def test_grid_matches_pr4_golden_on_default_scenario():
+@pytest.mark.parametrize("kernels", ["python", "auto"])
+def test_grid_matches_pr4_golden_on_default_scenario(kernels):
     """The default 30-node Table I scenario under spatial="grid" must
     reproduce the dense golden numbers bit-for-bit (deterministic
-    two-ray propagation, cull radius = CS range = max link range)."""
-    result = CavenetSimulation(Scenario(spatial="grid")).run()
+    two-ray propagation, cull radius = CS range = max link range) —
+    under the reference kernels and the best compiled backend alike."""
+    result = CavenetSimulation(
+        Scenario(spatial="grid", kernels=kernels)
+    ).run()
     observed = (
         result.pdr(),
         result.collector.num_originated,

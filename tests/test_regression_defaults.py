@@ -24,8 +24,14 @@ GOLDEN = {
 
 
 @pytest.mark.parametrize("protocol", sorted(GOLDEN))
-def test_default_scenario_is_bit_identical(protocol):
-    result = CavenetSimulation(Scenario(protocol=protocol)).run()
+@pytest.mark.parametrize("kernels", ["python", "auto"])
+def test_default_scenario_is_bit_identical(protocol, kernels):
+    """Every kernel backend must land on the same goldens: ``python`` is
+    the explicit-loop reference, ``auto`` is the best backend available
+    on this machine (vector, cjit or numba) — the pre-kernel numbers
+    must survive both."""
+    scenario = Scenario(protocol=protocol, kernels=kernels)
+    result = CavenetSimulation(scenario).run()
     observed = (
         result.pdr(),
         result.collector.num_originated,
