@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Supervisor chaos smoke: supervision must never change campaign results.
+
+CI runs this end-to-end check on every push (it also runs fine locally):
+
+1. ground truth — run a small fault-injected campaign serially;
+2. supervised chaos — re-run under ``local-supervised`` while a
+   :class:`~repro.core.chaos.ChaosMonkey` SIGKILLs one worker, mutes
+   another's heartbeats (the monitor must classify it *hung* and reclaim
+   its lease well before the long TTL), corrupts a third's payload and
+   plants a foreign lease on a fourth (contention: wait out, reclaim,
+   run exactly once) — results must be *bit-identical* to the ground
+   truth and telemetry must show the supervision (reclaims, missed
+   heartbeats, backoffs);
+3. breaker trip — kill *every* attempt of enough trials to open the
+   circuit breaker; the campaign must still complete bit-identically via
+   the degradation ladder (supervised → chaos-free pool → serial);
+4. journalled kill + lease expiry + resume — a journalled supervised
+   campaign is killed leaving a stale lease behind; the resume must
+   reclaim the expired lease, finish, and match the truth — then the
+   journal is compacted and must still resume with identical state.
+
+Exits 0 on success, 1 with a diagnostic on any mismatch.
+"""
+
+import dataclasses
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.chaos import ChaosMonkey
+from repro.core.config import Scenario
+from repro.core.journal import (
+    campaign_fingerprint,
+    compact_journal,
+    inspect_journal,
+    open_journal,
+    read_completed,
+    read_lease_state,
+)
+from repro.core.runner import TrialRunner, TrialSpec
+from repro.core.sweep import _run_scenario_trial
+from repro.metrics.collector import CampaignTelemetry
+
+BASE = Scenario(
+    num_nodes=10,
+    road_length_m=900.0,
+    sim_time_s=15.0,
+    senders=(1, 2),
+    traffic_start_s=2.0,
+    traffic_stop_s=12.0,
+    dawdle_p=0.0,
+    seed=3,
+    backend="local-supervised",
+    faults=[{"kind": "node-crash", "nodes": [3], "at_s": 5.0, "down_s": 4.0}],
+)
+TRIALS = 5
+
+
+def make_specs():
+    return [
+        TrialSpec(
+            key=("supervised", trial),
+            fn=_run_scenario_trial,
+            args=(dataclasses.replace(BASE, seed=BASE.seed + 1000 * trial),),
+        )
+        for trial in range(TRIALS)
+    ]
+
+
+def fingerprint_of(results):
+    return [
+        (
+            r.pdr(),
+            r.collector.num_originated,
+            r.collector.num_delivered,
+            r.frames_on_air,
+            r.delay_stats().mean_s,
+            r.channel_telemetry.events_processed,
+            len(r.fault_events),
+        )
+        for r in results
+    ]
+
+
+def values_in_order(outcomes):
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    return [o.value for o in ordered]
+
+
+def main() -> int:
+    print("[1/4] ground truth: serial campaign", flush=True)
+    telemetry = CampaignTelemetry()
+    outcomes = TrialRunner(max_workers=1, telemetry=telemetry).run(make_specs())
+    if any(not o.ok for o in outcomes):
+        print("FAIL: ground-truth campaign had failures")
+        return 1
+    truth = fingerprint_of(values_in_order(outcomes))
+
+    print("[2/4] supervised chaos: SIGKILL + mute + corrupt + contention")
+    chaos = ChaosMonkey(kill_on={0}, mute_on={1}, corrupt_on={2},
+                        contend_on={3})
+    telemetry = CampaignTelemetry()
+    started = time.monotonic()
+    outcomes = TrialRunner(
+        max_workers=4,
+        backend="local-supervised",
+        lease_ttl_s=120.0,  # only heartbeat monitoring can catch the mute
+        heartbeat_interval_s=0.1,
+        max_attempts=3,
+        retry_backoff_base_s=0.01,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(make_specs())
+    elapsed = time.monotonic() - started
+    if any(not o.ok for o in outcomes):
+        print("FAIL: supervised chaos campaign did not recover every trial")
+        return 1
+    if telemetry.heartbeats_missed < 1:
+        print("FAIL: the muted worker was not caught by heartbeat monitoring")
+        return 1
+    if telemetry.leases_reclaimed < 2:
+        print(
+            "FAIL: expected lease reclaims for the killed/muted workers, "
+            f"got {telemetry.leases_reclaimed}"
+        )
+        return 1
+    if not any(e.kind == "lease-contended" for e in telemetry.events):
+        print("FAIL: lease contention was never planted")
+        return 1
+    if elapsed > 90.0:
+        print(
+            f"FAIL: supervised recovery took {elapsed:.0f}s — the muted "
+            "worker was waited out via the lease TTL instead of being "
+            "killed as hung"
+        )
+        return 1
+    chaotic = fingerprint_of(values_in_order(outcomes))
+    if chaotic != truth:
+        print("FAIL: supervised chaos campaign differs from the truth")
+        print(f"  truth: {truth}")
+        print(f"  chaos: {chaotic}")
+        return 1
+
+    print("[3/4] breaker trip: kill-all until the breaker degrades the run")
+    chaos = ChaosMonkey(kill_all_attempts_on={0, 1, 2})
+    telemetry = CampaignTelemetry()
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        lease_ttl_s=30.0,
+        max_attempts=2,
+        breaker_threshold=3,
+        retry_backoff_base_s=0.01,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(make_specs())
+    if any(not o.ok for o in outcomes):
+        print("FAIL: breaker-tripped campaign did not complete")
+        return 1
+    if telemetry.breaker_trips != 1 or telemetry.degradations < 1:
+        print(
+            "FAIL: breaker telemetry missing "
+            f"(trips={telemetry.breaker_trips}, "
+            f"degradations={telemetry.degradations})"
+        )
+        return 1
+    degraded = fingerprint_of(values_in_order(outcomes))
+    if degraded != truth:
+        print("FAIL: degraded campaign differs from the truth")
+        return 1
+
+    print("[4/4] journalled kill + stale lease, resume, then compact")
+    journal_path = str(Path(tempfile.mkdtemp(prefix="sup-chaos-")) / "j.jsonl")
+    fingerprint = campaign_fingerprint(
+        kind="supervisor-chaos-smoke", scenario=BASE.to_dict(), trials=TRIALS
+    )
+    journal = open_journal(journal_path, fingerprint, resume=False)
+    chaos = ChaosMonkey(kill_all_attempts_on={1})
+    try:
+        outcomes = TrialRunner(
+            max_workers=4,
+            backend="local-supervised",
+            lease_ttl_s=30.0,
+            max_attempts=2,
+            breaker_threshold=100,  # keep the breaker out of this leg
+            retry_backoff_base_s=0.01,
+            chaos=chaos,
+        ).run(make_specs()[:4], journal=journal)
+        # Leave a stale foreign lease behind, as if another runner died
+        # holding trial 4: the resume must wait it out (it is already
+        # expired) and reclaim without double-running.
+        journal.record_lease(
+            ("supervised", 4), "dead-runner", 1, ttl_s=0.001
+        )
+    finally:
+        journal.close()
+    time.sleep(0.05)  # let the planted lease expire
+
+    telemetry = CampaignTelemetry()
+    journal = open_journal(journal_path, fingerprint, resume=True)
+    try:
+        outcomes = TrialRunner(
+            max_workers=4, backend="local-supervised", telemetry=telemetry
+        ).run(make_specs(), journal=journal)
+    finally:
+        journal.close()
+    if any(not o.ok for o in outcomes):
+        print("FAIL: resumed supervised campaign still has failures")
+        return 1
+    if telemetry.trials_resumed == 0:
+        print("FAIL: nothing was resumed from the journal")
+        return 1
+    if not any(
+        e.kind == "lease-reclaimed" and e.key == ("supervised", 4)
+        for e in telemetry.events
+    ):
+        print("FAIL: the stale lease on trial 4 was never reclaimed")
+        return 1
+    resumed = fingerprint_of(values_in_order(outcomes))
+    if resumed != truth:
+        print("FAIL: resumed campaign differs from the truth")
+        return 1
+
+    # Compaction round-trip: resume-relevant state must be untouched.
+    completed_before = sorted(read_completed(journal_path, fingerprint))
+    leases_before = read_lease_state(journal_path, fingerprint)
+    bytes_before, bytes_after = compact_journal(journal_path)
+    if bytes_after > bytes_before:
+        print("FAIL: compaction grew the journal "
+              f"({bytes_before} -> {bytes_after})")
+        return 1
+    if sorted(read_completed(journal_path, fingerprint)) != completed_before:
+        print("FAIL: compaction changed the journal's completed trials")
+        return 1
+    if read_lease_state(journal_path, fingerprint) != leases_before:
+        print("FAIL: compaction changed the journal's live leases")
+        return 1
+    stats = inspect_journal(journal_path)
+    if stats.superseded != 0 or stats.heartbeats != 0:
+        print("FAIL: compaction left superseded records behind")
+        return 1
+    # The behavioral proof: a resume from the compacted journal replays
+    # every trial from disk and still matches the serial truth.
+    telemetry = CampaignTelemetry()
+    journal = open_journal(journal_path, fingerprint, resume=True)
+    try:
+        outcomes = TrialRunner(
+            max_workers=4, backend="local-supervised", telemetry=telemetry
+        ).run(make_specs(), journal=journal)
+    finally:
+        journal.close()
+    if telemetry.trials_resumed != TRIALS:
+        print(
+            "FAIL: compacted journal resumed "
+            f"{telemetry.trials_resumed}/{TRIALS} trials"
+        )
+        return 1
+    if fingerprint_of(values_in_order(outcomes)) != truth:
+        print("FAIL: compacted-journal resume differs from the truth")
+        return 1
+
+    print(
+        "OK: supervised chaos, breaker degradation and lease-expiry resume "
+        f"all bit-identical; compaction saved {bytes_before - bytes_after} "
+        f"bytes and kept resume state"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

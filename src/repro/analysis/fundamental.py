@@ -94,9 +94,12 @@ def fundamental_diagram(
     rng: Optional[RngStreams] = None,
     max_workers: int = 1,
     trial_timeout_s: Optional[float] = None,
+    max_attempts: int = 2,
     telemetry: Optional[CampaignTelemetry] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    backend: str = "auto",
+    lease_ttl_s: float = 30.0,
 ) -> FundamentalDiagram:
     """Sweep densities and measure the ensemble-average flow.
 
@@ -143,7 +146,11 @@ def fundamental_diagram(
     runner = TrialRunner(
         max_workers=max_workers,
         trial_timeout_s=trial_timeout_s,
+        max_attempts=max_attempts,
         telemetry=telemetry,
+        backend=backend,
+        lease_ttl_s=lease_ttl_s,
+        retry_seed=streams.seed,
     )
     try:
         outcomes = runner.run(specs, journal=journal)

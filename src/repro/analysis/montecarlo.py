@@ -72,6 +72,8 @@ def monte_carlo(
     telemetry: Optional[CampaignTelemetry] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    backend: str = "auto",
+    lease_ttl_s: float = 30.0,
 ) -> MonteCarloResult:
     """Run ``experiment`` ``trials`` times with independent generators.
 
@@ -115,6 +117,9 @@ def monte_carlo(
         trial_timeout_s=trial_timeout_s,
         max_attempts=max_attempts,
         telemetry=telemetry,
+        backend=backend,
+        lease_ttl_s=lease_ttl_s,
+        retry_seed=streams.seed,
     )
     try:
         outcomes = runner.run(specs, journal=journal)

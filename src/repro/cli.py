@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the everyday uses of the tool:
+Eight commands cover the everyday uses of the tool:
 
 * ``run``         — one network scenario, printed metrics;
 * ``compare``     — several protocols over the same mobility (Fig. 11);
@@ -8,7 +8,8 @@ Seven commands cover the everyday uses of the tool:
 * ``trace``       — generate a mobility trace and export it (ns-2/CSV/JSON);
 * ``fundamental`` — the flow-density diagram (Fig. 4);
 * ``spacetime``   — an ASCII space-time diagram (Fig. 5);
-* ``components``  — list every registered component, per namespace.
+* ``components``  — list every registered component, per namespace;
+* ``journal``     — ``inspect`` or ``compact`` a trial journal file.
 
 Scenario-taking commands (``run``, ``compare``, ``sweep``, ``trace``)
 accept ``--scenario FILE`` to load a declarative scenario saved by
@@ -18,15 +19,21 @@ either source — ``--set seed=7 --set mac_params.cw_min=31``.
 
 Campaign commands (``compare``, ``sweep``, ``fundamental``) take
 ``--journal FILE`` to durably record every completed trial, ``--resume``
-to skip trials already in the journal after a crash, and ``--strict`` to
-exit nonzero when any trial failed (instead of silently aggregating the
-survivors).  Configuration mistakes and campaign failures surface as the
-typed errors of :mod:`repro.util.errors` and exit with code 2.
+to skip trials already in the journal after a crash (``--resume``
+without ``--journal`` is rejected at argument-parse time), and
+``--strict`` to exit nonzero when any trial failed (instead of silently
+aggregating the survivors).  ``--backend`` picks the execution backend
+(``local-serial``, ``local-process``, ``local-supervised``;
+see :mod:`repro.core.backend`), with ``--lease-ttl`` and
+``--max-retries`` tuning the supervised backend's lease duration and
+retry budget.  Configuration mistakes and campaign failures surface as
+the typed errors of :mod:`repro.util.errors` and exit with code 2.
 
-Interrupting a campaign with Ctrl-C is graceful: completed trials are
-already fsync'd to the journal (when ``--journal`` is given), a partial
-telemetry summary and a resume hint go to stderr, and the process exits
-with the conventional code 130.
+Interrupting a campaign is graceful for both Ctrl-C and a polite kill:
+completed trials are already fsync'd to the journal (when ``--journal``
+is given), a partial telemetry summary and a resume hint go to stderr,
+and the process exits with the conventional code — 130 for SIGINT, 143
+for SIGTERM.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import signal
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -171,7 +179,33 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "components",
         help="list every registered component (propagation, routing, "
-        "mobility, traffic, boundary, fault)",
+        "mobility, traffic, boundary, fault, spatial, kernels, backend)",
+    )
+
+    journal = commands.add_parser(
+        "journal", help="inspect or compact a trial journal file"
+    )
+    journal_commands = journal.add_subparsers(
+        dest="journal_command", required=True
+    )
+    inspect = journal_commands.add_parser(
+        "inspect",
+        help="print the journal's fingerprint, trial/lease/heartbeat "
+        "counts and torn-tail status",
+    )
+    inspect.add_argument("path", help="journal file to inspect")
+    compact = journal_commands.add_parser(
+        "compact",
+        help="drop superseded lease/heartbeat records and rewrite the "
+        "journal atomically (resume state is unchanged)",
+    )
+    compact.add_argument("path", help="journal file to compact")
+    compact.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the compacted journal here instead of replacing "
+        "the original in place",
     )
 
     return parser
@@ -237,6 +271,29 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="kill and retry any trial exceeding this wall-clock bound "
         "(needs --workers > 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend: local-serial, local-process, "
+        "local-supervised, or auto (default; see `repro components`)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="lease_ttl",
+        help="supervised backend: how long one worker owns one trial "
+        "before its lease must be extended or reclaimed (default 30)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="max_retries",
+        help="re-attempts per trial after its first try (default 1)",
     )
 
 
@@ -309,23 +366,60 @@ def _campaign_telemetry(workers: int, journal: Optional[str] = None):
 
 #: Conventional exit code for death-by-SIGINT (128 + signal number 2).
 EXIT_INTERRUPTED = 130
+#: Conventional exit code for death-by-SIGTERM (128 + signal number 15).
+EXIT_TERMINATED = 143
+
+#: Which signal actually interrupted us — SIGTERM is delivered as a
+#: KeyboardInterrupt (see :func:`_handle_sigterm`) so campaign handlers
+#: have exactly one interruption path; this global remembers the true
+#: origin for the exit code and the stderr message.
+_interrupt_signal = "SIGINT"
+
+
+def _handle_sigterm(signum, frame) -> None:
+    """Treat a polite kill exactly like Ctrl-C (plus the right exit code).
+
+    Schedulers and timeouts send SIGTERM where humans send SIGINT; both
+    deserve the same graceful shutdown — journal already durable, partial
+    telemetry printed, a ``--resume`` hint — rather than an abrupt death
+    that *looks* like data loss.
+    """
+    global _interrupt_signal
+    _interrupt_signal = "SIGTERM"
+    raise KeyboardInterrupt
+
+
+def _install_signal_handlers() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path (best-effort).
+
+    Only the main thread may set handlers, and embedders may run the CLI
+    elsewhere — failure to install is fine, it just means SIGTERM keeps
+    its abrupt default behaviour there.
+    """
+    try:
+        signal.signal(signal.SIGTERM, _handle_sigterm)
+    except (ValueError, OSError):
+        pass
 
 
 def _interrupted(telemetry, journal: Optional[str]) -> int:
-    """Report a Ctrl-C'd campaign to stderr; return the 130 exit code.
+    """Report an interrupted campaign to stderr; return 130/143.
 
     Every trial that finished before the interrupt is already durable
     (the journal fsyncs per record), so the honest summary here is the
     telemetry counters plus how to pick the campaign back up.
     """
-    print("\ninterrupted (SIGINT)", file=sys.stderr)
+    print(f"\ninterrupted ({_interrupt_signal})", file=sys.stderr)
     if telemetry is not None:
         print(f"partial results: {telemetry.format_summary()}",
               file=sys.stderr)
     if journal:
         print(f"completed trials are journalled in {journal}; "
               "re-run with --resume to continue", file=sys.stderr)
-    return EXIT_INTERRUPTED
+    return (
+        EXIT_TERMINATED if _interrupt_signal == "SIGTERM"
+        else EXIT_INTERRUPTED
+    )
 
 
 def _parse_set_overrides(pairs: Optional[List[str]]) -> Dict[str, Any]:
@@ -349,6 +443,28 @@ def _parse_set_overrides(pairs: Optional[List[str]]) -> Dict[str, Any]:
         except json.JSONDecodeError:
             value = raw
         overrides[key] = value
+    return overrides
+
+
+def _max_attempts(args: argparse.Namespace) -> int:
+    """``--max-retries`` N means N re-attempts on top of the first try."""
+    from repro.util.errors import ConfigError
+
+    retries = getattr(args, "max_retries", None)
+    if retries is None:
+        return 2
+    if retries < 0:
+        raise ConfigError(f"--max-retries must be >= 0, got {retries}")
+    return retries + 1
+
+
+def _backend_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """Scenario overrides implied by ``--backend`` / ``--lease-ttl``."""
+    overrides: Dict[str, Any] = {}
+    if getattr(args, "backend", None):
+        overrides["backend"] = args.backend
+    if getattr(args, "lease_ttl", None) is not None:
+        overrides["lease_ttl_s"] = args.lease_ttl
     return overrides
 
 
@@ -447,6 +563,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.experiment import compare_protocols
 
     scenario = _scenario_from(args)
+    backend_overrides = _backend_overrides(args)
+    if backend_overrides:
+        scenario = scenario.with_overrides(backend_overrides)
     protocols = tuple(p for p in args.protocols.split(",") if p)
     workers = _resolve_workers(args)
     telemetry = _campaign_telemetry(workers, args.journal)
@@ -456,6 +575,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             protocols,
             max_workers=workers,
             trial_timeout_s=args.trial_timeout,
+            max_attempts=_max_attempts(args),
             telemetry=telemetry,
             journal_path=args.journal,
             resume=args.resume,
@@ -482,6 +602,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.sweep import sweep_scenario
 
     scenario = _scenario_from(args)
+    backend_overrides = _backend_overrides(args)
+    if backend_overrides:
+        scenario = scenario.with_overrides(backend_overrides)
     workers = _resolve_workers(args)
     telemetry = _campaign_telemetry(workers, args.journal)
     try:
@@ -492,6 +615,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             trials=args.trials,
             max_workers=workers,
             trial_timeout_s=args.trial_timeout,
+            max_attempts=_max_attempts(args),
             telemetry=telemetry,
             journal_path=args.journal,
             resume=args.resume,
@@ -558,9 +682,14 @@ def _cmd_fundamental(args: argparse.Namespace) -> int:
             rng=RngStreams(args.seed),
             max_workers=workers,
             trial_timeout_s=args.trial_timeout,
+            max_attempts=_max_attempts(args),
             telemetry=telemetry,
             journal_path=args.journal,
             resume=args.resume,
+            backend=args.backend or "auto",
+            lease_ttl_s=(
+                args.lease_ttl if args.lease_ttl is not None else 30.0
+            ),
         )
     except KeyboardInterrupt:
         return _interrupted(telemetry, args.journal)
@@ -617,6 +746,52 @@ def _cmd_components(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from repro.core.journal import compact_journal, inspect_journal
+
+    if args.journal_command == "inspect":
+        stats = inspect_journal(args.path)
+        print(f"journal           : {stats.path}")
+        print(f"fingerprint       : {stats.fingerprint}")
+        print(f"schema            : {stats.schema}")
+        print(f"size              : {stats.size_bytes:,} bytes")
+        print(f"records           : {stats.records}")
+        print(f"  trials ok       : {stats.trials_ok}")
+        print(f"  trials failed   : {stats.trials_failed}")
+        print(f"  distinct done   : {stats.distinct_completed}")
+        print(f"  leases          : {stats.leases} "
+              f"(live {stats.live_leases}, expired {stats.expired_leases})")
+        print(f"  heartbeats      : {stats.heartbeats}")
+        print(f"  events          : {stats.events}")
+        print(f"  superseded      : {stats.superseded}")
+        torn = "yes (tolerated on resume)" if stats.torn_tail else "no"
+        print(f"torn tail         : {torn}")
+        return 0
+    before, after = compact_journal(args.path, output=args.output)
+    target = args.output or args.path
+    saved = before - after
+    print(f"compacted {args.path} -> {target}: "
+          f"{before:,} -> {after:,} bytes ({saved:,} saved)")
+    return 0
+
+
+def _validate_args(args: argparse.Namespace) -> None:
+    """Cross-flag validation at parse time, before any work starts.
+
+    ``--resume`` reads completed trials *from* the journal, so without
+    ``--journal`` it can only ever silently re-run everything — reject it
+    up front with the flag to add rather than mid-campaign.
+    """
+    from repro.util.errors import ConfigError
+
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        raise ConfigError(
+            "--resume needs --journal FILE (resume reads completed trials "
+            "from the journal; add --journal pointing at the file the "
+            "interrupted campaign was writing)"
+        )
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -625,6 +800,7 @@ _COMMANDS = {
     "fundamental": _cmd_fundamental,
     "spacetime": _cmd_spacetime,
     "components": _cmd_components,
+    "journal": _cmd_journal,
 }
 
 
@@ -638,14 +814,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     from repro.util.errors import ReproError
 
+    _install_signal_handlers()
     args = build_parser().parse_args(argv)
     try:
+        _validate_args(args)
         return _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
-        # Campaign handlers catch SIGINT themselves to print partial
-        # results; this is the backstop for every other command.
-        print("\ninterrupted (SIGINT)", file=sys.stderr)
-        return EXIT_INTERRUPTED
+        # Campaign handlers catch the interrupt themselves to print
+        # partial results; this is the backstop for every other command.
+        print(f"\ninterrupted ({_interrupt_signal})", file=sys.stderr)
+        return (
+            EXIT_TERMINATED if _interrupt_signal == "SIGTERM"
+            else EXIT_INTERRUPTED
+        )

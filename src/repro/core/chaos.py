@@ -28,8 +28,12 @@ import signal
 import time
 from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
-#: Sabotage modes, in the order chaos checks them.
-MODES = ("sigkill", "hang", "corrupt")
+#: Sabotage modes, in the order chaos checks them.  ``mute`` (heartbeat
+#: suppression) only differs from ``hang`` under the supervised backend,
+#: which additionally disables the worker's heartbeat thread for muted
+#: attempts — the monitor must then classify the worker as *hung* (no
+#: heartbeats) rather than merely *slow* (heartbeats but no result).
+MODES = ("sigkill", "hang", "corrupt", "mute")
 
 
 def _explode() -> None:
@@ -57,8 +61,9 @@ def sabotage(fn: Callable[..., Any], args, kwargs, mode: str) -> Any:
         # Death without cleanup: the parent sees the pipe close with no
         # result, exactly like an OOM kill or segfault.
         os.kill(os.getpid(), signal.SIGKILL)
-    elif mode == "hang":
-        # Never return: the parent's trial_timeout_s must terminate us.
+    elif mode in ("hang", "mute"):
+        # Never return: the parent's supervision (timeout, lease cap, or
+        # missed-heartbeat detection for "mute") must terminate us.
         while True:  # pragma: no cover - killed from outside
             time.sleep(3600.0)
     elif mode == "corrupt":
@@ -78,6 +83,16 @@ class ChaosMonkey:
             raises while unpickling in the parent.
         kill_all_attempts_on: indices whose *every* attempt is SIGKILLed
             — the trial ends as a journalled failure.
+        mute_on: indices whose first attempt goes silent after computing
+            — under the supervised backend its heartbeats are suppressed
+            too, so the monitor must SIGKILL it as *hung* and reclaim
+            the lease (elsewhere it behaves like ``hang_on``).
+        contend_on: indices whose trial starts under a short-lived lease
+            held by a foreign owner ("chaos-ghost").  This is
+            parent-side sabotage consumed only by the supervised
+            backend: it must wait the lease out, reclaim it with the
+            next attempt number, and still produce the identical
+            result exactly once.
 
     Indices refer to positions in the spec sequence handed to
     ``TrialRunner.run`` (after journal-resume filtering).
@@ -89,11 +104,15 @@ class ChaosMonkey:
         hang_on: Iterable[int] = (),
         corrupt_on: Iterable[int] = (),
         kill_all_attempts_on: Iterable[int] = (),
+        mute_on: Iterable[int] = (),
+        contend_on: Iterable[int] = (),
     ) -> None:
         self.kill_on = frozenset(kill_on)
         self.hang_on = frozenset(hang_on)
         self.corrupt_on = frozenset(corrupt_on)
         self.kill_all_attempts_on = frozenset(kill_all_attempts_on)
+        self.mute_on = frozenset(mute_on)
+        self.contend_on = frozenset(contend_on)
 
     def mode_for(self, index: int, attempt: int) -> Optional[str]:
         """The sabotage mode for this attempt, or ``None`` to run clean."""
@@ -107,7 +126,13 @@ class ChaosMonkey:
             return "hang"
         if index in self.corrupt_on:
             return "corrupt"
+        if index in self.mute_on:
+            return "mute"
         return None
+
+    def contends_for(self, index: int) -> bool:
+        """Whether this trial starts under a foreign (ghost) lease."""
+        return index in self.contend_on
 
     def wrap(
         self, fn: Callable[..., Any], args, kwargs, mode: str

@@ -107,6 +107,16 @@ class Scenario:
             these warn once and fall back when their toolchain is
             absent).  Every backend computes bit-identical results —
             the choice affects wall clock only, never the trajectory.
+        backend: campaign execution backend, a registered ``backend``
+            component: ``"auto"`` (the default — serial for one worker,
+            the process pool otherwise), ``"local-serial"``,
+            ``"local-process"`` or ``"local-supervised"`` (the
+            lease/heartbeat-supervised pool).  Every backend produces
+            bit-identical campaign results; the choice affects failure
+            handling only.
+        lease_ttl_s: supervised backend only — how long one worker owns
+            one trial before the monitor must extend (slow) or reclaim
+            (hung/dead) the lease.
         faults: declarative fault-injection specs, a tuple of mappings.
             Each entry names a registered ``fault`` component under
             ``"kind"`` (``"node-crash"``, ``"radio-silence"``,
@@ -151,6 +161,8 @@ class Scenario:
     spatial: str = "dense"
     cull_radius_m: Optional[float] = None
     kernels: str = "auto"
+    backend: str = "auto"
+    lease_ttl_s: float = 30.0
     faults: Tuple[Dict[str, Any], ...] = ()
     # Default seed chosen so the default mobility exhibits the intermittent
     # connectivity regime of the paper's evaluation (node 0 reaches the
@@ -189,7 +201,14 @@ class Scenario:
         object.__setattr__(
             self, "kernels", registry.normalize("kernels", self.kernels)
         )
+        object.__setattr__(
+            self, "backend", registry.normalize("backend", self.backend)
+        )
         object.__setattr__(self, "protocol", str(self.protocol).upper())
+        if self.lease_ttl_s <= 0:
+            raise ConfigError(
+                f"lease_ttl_s must be > 0, got {self.lease_ttl_s}"
+            )
         if self.cull_radius_m is not None:
             if self.cull_radius_m <= 0:
                 raise ConfigError(

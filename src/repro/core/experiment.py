@@ -98,6 +98,7 @@ def compare_protocols(
     trace: Optional[MobilityTrace] = None,
     max_workers: int = 1,
     trial_timeout_s: Optional[float] = None,
+    max_attempts: int = 2,
     telemetry: Optional[CampaignTelemetry] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
@@ -144,7 +145,11 @@ def compare_protocols(
     runner = TrialRunner(
         max_workers=max_workers,
         trial_timeout_s=trial_timeout_s,
+        max_attempts=max_attempts,
         telemetry=telemetry,
+        backend=base_scenario.backend,
+        lease_ttl_s=base_scenario.lease_ttl_s,
+        retry_seed=base_scenario.seed,
     )
     try:
         outcomes = runner.run(specs, journal=journal)

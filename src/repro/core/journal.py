@@ -45,13 +45,20 @@ import hashlib
 import json
 import os
 import pickle
+import time
 import zlib
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.util.errors import ConfigError, JournalCorruptError
 
 #: Journal format version.  Bump on any incompatible line-format change.
+#: Lease/heartbeat/event records (the supervised execution backend) ride
+#: inside schema 1: older journals simply contain none of them, and the
+#: completed-trial reader skips any kind it is not aggregating.
 SCHEMA_VERSION = 1
+
+#: Record kinds a schema-1 journal may contain after the header.
+RECORD_KINDS = ("trial", "lease", "heartbeat", "event")
 
 
 def canonical_json(payload: Any) -> str:
@@ -112,6 +119,34 @@ class JournalEntry:
     wall_clock_s: float
 
 
+@dataclasses.dataclass(frozen=True)
+class LeaseRecord:
+    """The latest lease on one trial, as read back from a journal.
+
+    A lease is *ownership with an expiry*: the owner claimed the trial up
+    to ``deadline_unix`` (wall-clock seconds).  A runner that finds an
+    unexpired lease held by someone else must wait it out; an expired
+    lease may be reclaimed (with ``attempt + 1``) without risking a
+    double-count, because results are only ever taken from ``trial``
+    records — the lease merely serialises *who runs it next*.
+
+    Attributes:
+        key_id: canonical trial-key identity (:func:`trial_key_id`).
+        owner: opaque owner id (host/pid/worker of the claimant).
+        attempt: 1-based attempt number this lease covers.
+        deadline_unix: wall-clock expiry (``time.time()`` seconds).
+    """
+
+    key_id: str
+    owner: str
+    attempt: int
+    deadline_unix: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the lease has lapsed (``now`` defaults to wall clock)."""
+        return (time.time() if now is None else now) >= self.deadline_unix
+
+
 class TrialJournal:
     """Append-only record of completed trials, safe to resume from.
 
@@ -140,9 +175,11 @@ class TrialJournal:
         self.fingerprint = str(fingerprint)
         self._fsync = bool(fsync)
         self._completed: Dict[str, JournalEntry] = {}
+        self._leases: Dict[str, LeaseRecord] = {}
         has_content = os.path.exists(self.path) and os.path.getsize(self.path) > 0
         if resume and has_content:
             self._completed = read_completed(self.path, self.fingerprint)
+            self._leases = read_lease_state(self.path, self.fingerprint)
             self._file = open(self.path, "ab")
         else:
             self._file = open(self.path, "wb")
@@ -161,6 +198,15 @@ class TrialJournal:
         """Completed trials loaded at open time, keyed by key identity."""
         return self._completed
 
+    @property
+    def leases(self) -> Dict[str, LeaseRecord]:
+        """Live lease state: latest lease per *incomplete* trial key.
+
+        Loaded from the file on resume, then kept current as this
+        process records leases and trial completions of its own.
+        """
+        return self._leases
+
     # -- writing ------------------------------------------------------------
 
     def record_success(
@@ -177,16 +223,18 @@ class TrialJournal:
                 pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), 1
             )
         ).decode("ascii")
+        key_id = trial_key_id(key)
         self._write_line(
             {
                 "kind": "trial",
-                "key": trial_key_id(key),
+                "key": key_id,
                 "status": "ok",
                 "attempts": int(attempts),
                 "wall_clock_s": float(wall_clock_s),
                 "value": payload,
             }
         )
+        self._leases.pop(key_id, None)  # completion releases the lease
 
     def record_failure(self, key: Any, error: str, attempts: int) -> None:
         """Record a terminally failed trial (observability only).
@@ -195,24 +243,104 @@ class TrialJournal:
         restarted campaign retries them, which is what you want after
         fixing whatever killed them.
         """
+        key_id = trial_key_id(key)
         self._write_line(
             {
                 "kind": "trial",
-                "key": trial_key_id(key),
+                "key": key_id,
                 "status": "error",
                 "attempts": int(attempts),
                 "error": str(error)[:2000],
             }
         )
+        self._leases.pop(key_id, None)  # terminal failure releases it too
 
-    def _write_line(self, obj: Dict[str, Any]) -> None:
+    # -- supervision records -------------------------------------------------
+
+    def record_lease(
+        self,
+        key: Any,
+        owner: str,
+        attempt: int,
+        ttl_s: float,
+        deadline_unix: Optional[float] = None,
+    ) -> LeaseRecord:
+        """Durably claim (or extend/reclaim) one trial for ``owner``.
+
+        Appends an append-only ``lease`` record — later records supersede
+        earlier ones for the same key, so grant, deadline extension and
+        reclaim are all the same operation with different ``attempt`` /
+        deadline values.  Returns the resulting :class:`LeaseRecord` and
+        keeps :attr:`leases` current.
+        """
+        deadline = (
+            time.time() + float(ttl_s)
+            if deadline_unix is None
+            else float(deadline_unix)
+        )
+        key_id = trial_key_id(key)
+        self._write_line(
+            {
+                "kind": "lease",
+                "key": key_id,
+                "owner": str(owner),
+                "attempt": int(attempt),
+                "deadline": deadline,
+            }
+        )
+        lease = LeaseRecord(
+            key_id=key_id,
+            owner=str(owner),
+            attempt=int(attempt),
+            deadline_unix=deadline,
+        )
+        self._leases[key_id] = lease
+        return lease
+
+    def record_heartbeat(self, key: Any, owner: str, seq: int) -> None:
+        """Record one observed worker heartbeat (observability only).
+
+        Heartbeats are progress evidence, not results, so they skip the
+        fsync — losing the tail of a heartbeat stream to a power cut
+        changes nothing about what can be resumed.
+        """
+        self._write_line(
+            {
+                "kind": "heartbeat",
+                "key": trial_key_id(key),
+                "owner": str(owner),
+                "seq": int(seq),
+                "t": time.time(),
+            },
+            fsync=False,
+        )
+
+    def record_campaign_event(self, event: str, detail: str = "") -> None:
+        """Record a campaign-level event (e.g. a backend degradation).
+
+        These lines are what makes an after-the-fact ``repro journal
+        inspect`` able to say *why* a supervised campaign finished on a
+        lesser backend instead of crashing.
+        """
+        self._write_line(
+            {
+                "kind": "event",
+                "event": str(event),
+                "detail": str(detail)[:2000],
+                "t": time.time(),
+            }
+        )
+
+    def _write_line(
+        self, obj: Dict[str, Any], fsync: Optional[bool] = None
+    ) -> None:
         # One write() call per full line: the record is either entirely in
         # the OS buffer or entirely absent, and a crash mid-call leaves at
         # worst a torn *final* line, which the reader tolerates.
         line = json.dumps(obj, separators=(",", ":")) + "\n"
         self._file.write(line.encode("utf-8"))
         self._file.flush()
-        if self._fsync:
+        if self._fsync if fsync is None else fsync:
             os.fsync(self._file.fileno())
 
     # -- lifecycle ----------------------------------------------------------
@@ -269,6 +397,8 @@ def read_completed(
             if number == 1:
                 _check_header(obj, path, expect_fingerprint)
                 continue
+            if obj.get("kind") in ("lease", "heartbeat", "event"):
+                continue  # supervision records; not completed trials
             if obj.get("kind") != "trial":
                 raise _CorruptLine(
                     f"unexpected line kind {obj.get('kind')!r}"
@@ -318,6 +448,234 @@ def _check_header(
             f"{expect_fingerprint!r}); refusing to merge stale results — "
             "delete the journal or point --journal elsewhere"
         )
+
+
+def scan_records(
+    path: str, expect_fingerprint: Optional[str] = None
+) -> Tuple[Dict[str, Any], List[Tuple[bytes, Dict[str, Any]]], bool]:
+    """Low-level journal scan: ``(header, [(raw_line, record)], torn)``.
+
+    The raw line bytes ride along with each parsed record so tools that
+    rewrite journals (:func:`compact_journal`) can keep surviving lines
+    byte-identical instead of re-encoding pickled payloads.  Same
+    validation and torn-tail policy as :func:`read_completed`; unknown
+    record kinds are corruption, a torn final line is tolerated and
+    reported via the returned flag.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read journal {path!r}: {exc}") from exc
+    if not data:
+        raise JournalCorruptError(f"journal {path!r} is empty")
+    lines = data.split(b"\n")
+    tail_is_torn = bool(lines[-1])
+    if not tail_is_torn:
+        lines.pop()
+    header: Dict[str, Any] = {}
+    records: List[Tuple[bytes, Dict[str, Any]]] = []
+    torn = False
+    for number, raw in enumerate(lines, start=1):
+        is_final = number == len(lines)
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+            if not isinstance(obj, dict):
+                raise _CorruptLine("journal line is not an object")
+            if number == 1:
+                _check_header(obj, path, expect_fingerprint)
+                header = obj
+                continue
+            if obj.get("kind") not in RECORD_KINDS:
+                raise _CorruptLine(
+                    f"unexpected line kind {obj.get('kind')!r}"
+                )
+            records.append((raw, obj))
+        except JournalCorruptError:
+            raise
+        except Exception as exc:
+            if is_final and tail_is_torn:
+                torn = True
+                break
+            raise JournalCorruptError(
+                f"journal {path!r} line {number} is corrupt: {exc}"
+            ) from exc
+    return header, records, torn
+
+
+def read_lease_state(
+    path: str, expect_fingerprint: Optional[str] = None
+) -> Dict[str, LeaseRecord]:
+    """Live leases of a journal: latest lease per *incomplete* trial key.
+
+    A ``trial`` record (success or terminal failure) releases the key's
+    lease; later lease records supersede earlier ones.  What remains is
+    exactly the set of claims a resuming runner must arbitrate: wait out
+    the unexpired ones, reclaim the expired ones.
+    """
+    _header, records, _torn = scan_records(path, expect_fingerprint)
+    leases: Dict[str, LeaseRecord] = {}
+    for _raw, obj in records:
+        kind = obj.get("kind")
+        if kind == "lease":
+            leases[obj["key"]] = LeaseRecord(
+                key_id=obj["key"],
+                owner=str(obj.get("owner", "?")),
+                attempt=int(obj.get("attempt", 1)),
+                deadline_unix=float(obj.get("deadline", 0.0)),
+            )
+        elif kind == "trial":
+            leases.pop(obj["key"], None)
+    return leases
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalStats:
+    """What ``repro journal inspect`` reports about one journal file.
+
+    Attributes:
+        path: the file inspected.
+        fingerprint: campaign fingerprint from the header.
+        schema: schema version from the header.
+        size_bytes: file size on disk.
+        records: total records after the header (surviving lines).
+        trials_ok / trials_failed: terminal trial records by status.
+        distinct_completed: distinct keys with at least one ok record.
+        leases: lease records in the file (grants + extensions + reclaims).
+        live_leases: keys still holding an unreleased lease.
+        expired_leases: of those, how many have lapsed (reclaimable).
+        heartbeats: heartbeat records.
+        events: campaign-event records (e.g. backend degradations).
+        superseded: records a :func:`compact_journal` pass would drop.
+        torn_tail: whether the file ends in a torn (crash-residue) line.
+    """
+
+    path: str
+    fingerprint: str
+    schema: int
+    size_bytes: int
+    records: int
+    trials_ok: int
+    trials_failed: int
+    distinct_completed: int
+    leases: int
+    live_leases: int
+    expired_leases: int
+    heartbeats: int
+    events: int
+    superseded: int
+    torn_tail: bool
+
+
+def _partition_records(records):
+    """Split a record stream into what compaction keeps and drops.
+
+    Keeps, in original order: the last ``ok`` trial record per key (or
+    the last failure record for keys that never succeeded), the latest
+    lease per still-leased key, and every ``event`` record.  Drops every
+    heartbeat and everything superseded.  Returns ``(kept_raw_lines,
+    num_superseded, aggregates)`` where aggregates back
+    :class:`JournalStats`.
+    """
+    last_trial: Dict[str, int] = {}  # key -> index of record to keep
+    key_succeeded: Dict[str, bool] = {}
+    lease_latest: Dict[str, int] = {}
+    counts = {
+        "trials_ok": 0, "trials_failed": 0, "leases": 0,
+        "heartbeats": 0, "events": 0,
+    }
+    for position, (_raw, obj) in enumerate(records):
+        kind = obj.get("kind")
+        if kind == "trial":
+            key = obj["key"]
+            ok = obj.get("status") == "ok"
+            counts["trials_ok" if ok else "trials_failed"] += 1
+            if ok or not key_succeeded.get(key, False):
+                last_trial[key] = position
+            key_succeeded[key] = key_succeeded.get(key, False) or ok
+            lease_latest.pop(key, None)  # trial record releases the lease
+        elif kind == "lease":
+            counts["leases"] += 1
+            lease_latest[obj["key"]] = position
+        elif kind == "heartbeat":
+            counts["heartbeats"] += 1
+        elif kind == "event":
+            counts["events"] += 1
+    keep = set(last_trial.values()) | set(lease_latest.values())
+    kept = [
+        raw
+        for position, (raw, obj) in enumerate(records)
+        if position in keep or obj.get("kind") == "event"
+    ]
+    counts["distinct_completed"] = sum(
+        1 for succeeded in key_succeeded.values() if succeeded
+    )
+    return kept, len(records) - len(kept), counts
+
+
+def inspect_journal(path: str) -> JournalStats:
+    """Summarise a journal file without loading any trial values."""
+    header, records, torn = scan_records(path)
+    kept, superseded, counts = _partition_records(records)
+    live = read_lease_state(path)
+    expired = sum(1 for lease in live.values() if lease.expired())
+    return JournalStats(
+        path=str(path),
+        fingerprint=str(header.get("fingerprint", "?")),
+        schema=int(header.get("schema", -1)),
+        size_bytes=os.path.getsize(path),
+        records=len(records),
+        trials_ok=counts["trials_ok"],
+        trials_failed=counts["trials_failed"],
+        distinct_completed=counts["distinct_completed"],
+        leases=counts["leases"],
+        live_leases=len(live),
+        expired_leases=expired,
+        heartbeats=counts["heartbeats"],
+        events=counts["events"],
+        superseded=superseded,
+        torn_tail=torn,
+    )
+
+
+def compact_journal(
+    path: str, output: Optional[str] = None
+) -> Tuple[int, int]:
+    """Rewrite a journal without its superseded records, atomically.
+
+    Long supervised campaigns append a lease record per grant/extension
+    and a heartbeat stream per worker; none of that is needed once the
+    trials it supervised are complete.  Compaction keeps the header, the
+    terminal trial record per key, the latest lease per still-incomplete
+    key, and every event record — every surviving line byte-identical to
+    the original, so resuming from the compacted journal is exactly
+    resuming from the original.
+
+    Writes to a temp file in the same directory, fsyncs, then
+    ``os.replace``-es over ``output`` (default: in place) — a crash
+    mid-compaction leaves the original journal untouched.  A torn final
+    line is dropped (it was unreadable anyway).  Returns
+    ``(bytes_before, bytes_after)``.
+    """
+    header, records, _torn = scan_records(path)
+    kept, _superseded, _counts = _partition_records(records)
+    destination = str(output) if output is not None else str(path)
+    before = os.path.getsize(path)
+    header_line = (
+        json.dumps(header, separators=(",", ":")).encode("utf-8") + b"\n"
+    )
+    directory = os.path.dirname(os.path.abspath(destination)) or "."
+    temp_path = os.path.join(
+        directory, f".{os.path.basename(destination)}.compact.tmp"
+    )
+    with open(temp_path, "wb") as handle:
+        handle.write(header_line)
+        for raw in kept:
+            handle.write(raw + b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, destination)
+    return before, os.path.getsize(destination)
 
 
 def open_journal(

@@ -8,7 +8,7 @@ makes every such choice pluggable: a generic registry with one namespace
 per component *kind*, a :func:`register` decorator, and case-insensitive
 name resolution that fails with the live list of known choices.
 
-Eight kinds exist (:data:`KINDS`):
+Nine kinds exist (:data:`KINDS`):
 
 ``propagation``
     ``factory(scenario, streams) -> PropagationModel`` (see
@@ -38,6 +38,13 @@ Eight kinds exist (:data:`KINDS`):
     KernelBackend`` (see :mod:`repro.kernels`) — where the hot inner
     loops (CA stepping, DCF bookkeeping, link-cache rows) execute;
     every backend is bit-identical, only speed differs.
+``backend``
+    Execution-backend factories, ``factory(runner) ->
+    ExecutionBackend`` (see :mod:`repro.core.backend`) — where a
+    campaign's *trials* execute (in-process serial, a local process
+    pool, or the lease/heartbeat-supervised pool); every backend
+    produces bit-identical campaign results, only the failure-handling
+    machinery differs.
 
 Built-in implementations register themselves at import time of their home
 module; the registry imports those modules lazily on first lookup, so
@@ -73,6 +80,7 @@ KINDS: Tuple[str, ...] = (
     "fault",
     "spatial",
     "kernels",
+    "backend",
 )
 
 #: What a name in each namespace denotes — used in error messages so an
@@ -87,6 +95,7 @@ _NOUNS: Dict[str, str] = {
     "fault": "fault model",
     "spatial": "spatial index",
     "kernels": "kernel backend",
+    "backend": "execution backend",
 }
 
 #: Modules whose import registers the built-in entries of each kind.
@@ -102,6 +111,7 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "fault": ("repro.faults",),
     "spatial": ("repro.phy.spatial",),
     "kernels": ("repro.kernels",),
+    "backend": ("repro.core.backend",),
 }
 
 

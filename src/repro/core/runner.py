@@ -4,7 +4,7 @@ Every campaign this tool exists to run — the Fig. 4 fundamental diagram
 (20 trials per density), the Figs. 8-11 protocol comparisons, parameter
 sweeps, Monte-Carlo ensembles — is an embarrassingly-parallel set of
 independent ``(spec, seed)`` trials.  :class:`TrialRunner` executes such a
-set across worker processes with:
+set with:
 
 * **deterministic results** — a trial's output is a pure function of its
   :class:`TrialSpec` arguments (seeds are derived *before* submission), so
@@ -23,6 +23,16 @@ set across worker processes with:
   *resumed* (their recorded values returned without re-running) and show
   up in telemetry as ``"resumed"`` records.
 
+*Where* the trials execute is an :class:`~repro.core.backend.
+ExecutionBackend` resolved by name through the ``backend`` registry
+namespace: ``"local-serial"`` (in-process), ``"local-process"`` (the
+process pool), ``"local-supervised"`` (lease/heartbeat-supervised pool
+with deterministic retry backoff and a degradation ladder), or ``"auto"``
+(serial for ``max_workers=1``, the pool otherwise).  This class keeps the
+campaign-level concerns every backend shares — journal resume filtering,
+telemetry, the low-level worker mechanics backends borrow — and delegates
+execution itself.
+
 One process per trial keeps the failure domain small (a crashing trial
 cannot take unrelated trials with it, unlike a shared pool) and makes the
 timeout semantics exact: the stuck process is terminated, not abandoned.
@@ -37,6 +47,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import registry as _registry
 from repro.core.journal import TrialJournal, trial_key_id
 from repro.metrics.collector import CampaignTelemetry, TrialRecord
 from repro.util.errors import ConfigError
@@ -76,6 +87,11 @@ class TrialOutcome:
         attempts: how many attempts were made.
         wall_clock_s: duration of the final attempt.
         timed_out: whether the final attempt hit ``trial_timeout_s``.
+        infrastructure: whether the terminal failure was *infrastructure*
+            (worker crash, timeout, pipe/unpickle damage — things a retry
+            elsewhere could fix) rather than an exception raised by the
+            trial function itself.  Execution backends use the
+            distinction for circuit breaking and degradation.
     """
 
     key: Any
@@ -85,6 +101,7 @@ class TrialOutcome:
     attempts: int = 1
     wall_clock_s: float = 0.0
     timed_out: bool = False
+    infrastructure: bool = False
 
     @property
     def ok(self) -> bool:
@@ -130,19 +147,48 @@ class TrialRunner:
 
     Args:
         max_workers: worker processes; ``1`` runs everything in-process
-            (no pickling requirements, no timeout enforcement).
+            under the ``"auto"`` backend (no pickling requirements, no
+            timeout enforcement).
         trial_timeout_s: per-attempt wall-clock bound; a worker exceeding
-            it is terminated and the trial retried.  Only enforceable with
-            ``max_workers > 1`` (a serial trial cannot be preempted).
+            it is terminated and the trial retried.  Only enforceable by
+            the process-based backends (a serial trial cannot be
+            preempted).
         max_attempts: total tries per trial (1 = no retry).
         telemetry: optional :class:`CampaignTelemetry` receiving one
-            :class:`TrialRecord` per attempt.
+            :class:`TrialRecord` per attempt (and, under the supervised
+            backend, one :class:`~repro.metrics.collector.CampaignEvent`
+            per supervision action).
+        backend: execution-backend name resolved through the ``backend``
+            registry namespace — ``"auto"`` (default), ``"local-serial"``,
+            ``"local-process"`` or ``"local-supervised"``.
+        lease_ttl_s: supervised backend only — lease duration granted per
+            worker launch; a worker that heartbeats but runs past it gets
+            extensions, an owner that goes silent loses it.
+        heartbeat_interval_s: supervised backend only — worker heartbeat
+            period (``None`` derives it from ``lease_ttl_s``).
+        max_lease_extensions: supervised backend only — deadline
+            extensions a slow-but-alive worker may receive before being
+            treated as hung.
+        breaker_threshold: supervised backend only — consecutive
+            *infrastructure* failures (crashes, timeouts, pipe damage —
+            not trial exceptions) that open the circuit breaker and
+            degrade the campaign down the backend ladder.
+        retry_seed: supervised backend only — root seed of the per-trial
+            named RNG streams that jitter retry backoff, so retry
+            schedules are themselves reproducible.
+        retry_backoff_base_s / retry_backoff_cap_s: supervised backend
+            only — exponential backoff shape for retries.
+        campaign_retry_budget: supervised backend only — total retries
+            allowed across the whole campaign (``None`` = unlimited);
+            once spent, failing trials fail terminally instead of
+            retrying.
         chaos: TEST-ONLY failure injector (a
             :class:`repro.core.chaos.ChaosMonkey`).  Consulted per
             worker launch; sabotaged attempts run the real trial and
-            then fail for real (SIGKILL, hang, corrupt payload), so the
+            then fail for real (SIGKILL, hang, corrupt payload,
+            heartbeat suppression, lease contention), so the
             retry/journal machinery is exercised end to end.  Only
-            meaningful with ``max_workers > 1`` — the serial path runs
+            meaningful on process-based backends — the serial path runs
             in-process and is never sabotaged.  Production campaigns
             must leave this ``None``.
     """
@@ -155,6 +201,15 @@ class TrialRunner:
         telemetry: Optional[CampaignTelemetry] = None,
         poll_interval_s: float = 0.02,
         chaos: Optional["ChaosMonkey"] = None,
+        backend: str = "auto",
+        lease_ttl_s: float = 30.0,
+        heartbeat_interval_s: Optional[float] = None,
+        max_lease_extensions: int = 4,
+        breaker_threshold: int = 5,
+        retry_seed: int = 0,
+        retry_backoff_base_s: float = 0.05,
+        retry_backoff_cap_s: float = 2.0,
+        campaign_retry_budget: Optional[int] = None,
     ) -> None:
         if max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
@@ -164,12 +219,43 @@ class TrialRunner:
             raise ConfigError(
                 f"trial_timeout_s must be > 0, got {trial_timeout_s}"
             )
+        if lease_ttl_s <= 0:
+            raise ConfigError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
+        if heartbeat_interval_s is not None and heartbeat_interval_s <= 0:
+            raise ConfigError(
+                f"heartbeat_interval_s must be > 0, got {heartbeat_interval_s}"
+            )
+        if max_lease_extensions < 0:
+            raise ConfigError(
+                f"max_lease_extensions must be >= 0, got {max_lease_extensions}"
+            )
+        if breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if campaign_retry_budget is not None and campaign_retry_budget < 0:
+            raise ConfigError(
+                "campaign_retry_budget must be >= 0 or None, got "
+                f"{campaign_retry_budget}"
+            )
         self.max_workers = int(max_workers)
         self.trial_timeout_s = trial_timeout_s
         self.max_attempts = int(max_attempts)
         self.telemetry = telemetry
         self.poll_interval_s = poll_interval_s
         self.chaos = chaos
+        # Validate the backend name eagerly: an unknown backend should
+        # fail at construction with the live list of choices, not after
+        # the campaign's first trials have already run.
+        self.backend = _registry.normalize("backend", backend)
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.max_lease_extensions = int(max_lease_extensions)
+        self.breaker_threshold = int(breaker_threshold)
+        self.retry_seed = int(retry_seed)
+        self.retry_backoff_base_s = float(retry_backoff_base_s)
+        self.retry_backoff_cap_s = float(retry_backoff_cap_s)
+        self.campaign_retry_budget = campaign_retry_budget
 
     # -- public API ---------------------------------------------------------
 
@@ -209,18 +295,16 @@ class TrialRunner:
         else:
             fresh = list(enumerate(specs))
         if fresh:
-            context = None if self.max_workers == 1 else self._context()
-            if context is None:
-                for index, spec in fresh:
-                    outcomes[index] = self._run_serial(index, spec, journal)
-            else:
-                for outcome in self._run_pool(
-                    [spec for _, spec in fresh], context, journal
-                ):
-                    index = fresh[outcome.index][0]
-                    outcomes[index] = dataclasses.replace(
-                        outcome, index=index
-                    )
+            # Backends see a dense spec list (resume holes removed) with
+            # indices 0..len-1; outcome indices are remapped onto the
+            # caller's positions here, so backends never need to know
+            # about the journal's resume filtering.
+            execution = _registry.resolve("backend", self.backend)(self)
+            for outcome in execution.run(
+                [spec for _, spec in fresh], journal
+            ):
+                index = fresh[outcome.index][0]
+                outcomes[index] = dataclasses.replace(outcome, index=index)
         return [outcome for outcome in outcomes if outcome is not None]
 
     # -- serial path --------------------------------------------------------
@@ -312,109 +396,54 @@ class TrialRunner:
             deadline=deadline,
         )
 
-    def _run_pool(self, specs, context, journal=None) -> List[TrialOutcome]:
-        results: List[Optional[TrialOutcome]] = [None] * len(specs)
-        pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(specs))]
-        pending.reverse()  # pop() from the end == FIFO over trial indices
-        active: List[_Active] = []
-
-        def settle(index, attempt, status, elapsed, value=None, error=None):
-            """Record the attempt; either finish the trial or queue a retry."""
-            spec = specs[index]
-            self._record(spec.key, attempt, status, elapsed, error)
-            if status == "ok":
-                if journal is not None:
-                    journal.record_success(spec.key, value, attempt, elapsed)
-                results[index] = TrialOutcome(
-                    key=spec.key,
-                    index=index,
-                    value=value,
-                    attempts=attempt,
-                    wall_clock_s=elapsed,
-                )
-            elif attempt < self.max_attempts:
-                pending.insert(0, (index, attempt + 1))
-            else:
-                if journal is not None:
-                    journal.record_failure(spec.key, error or "", attempt)
-                results[index] = TrialOutcome(
-                    key=spec.key,
-                    index=index,
-                    error=error,
-                    attempts=attempt,
-                    wall_clock_s=elapsed,
-                    timed_out=status == "timeout",
-                )
-
-        try:
-            while pending or active:
-                while pending and len(active) < self.max_workers:
-                    index, attempt = pending.pop()
-                    try:
-                        active.append(
-                            self._launch(context, specs[index], index, attempt)
-                        )
-                    except Exception:
-                        # Cannot start a worker (resources, pickling, ...):
-                        # degrade this trial to an in-process run.
-                        results[index] = self._run_serial(
-                            index, specs[index], journal
-                        )
-                progressed = False
-                still_active: List[_Active] = []
-                now = time.monotonic()
-                for worker in active:
-                    finished = self._poll(worker, now, settle)
-                    if finished:
-                        progressed = True
-                    else:
-                        still_active.append(worker)
-                active = still_active
-                if active and not progressed:
-                    time.sleep(self.poll_interval_s)
-        finally:
-            for worker in active:  # interrupted: leave no stragglers behind
-                worker.process.terminate()
-                worker.process.join()
-                worker.conn.close()
-        return [outcome for outcome in results if outcome is not None]
-
     def _poll(self, worker: _Active, now: float, settle) -> bool:
-        """Check one in-flight worker; returns True when it was settled."""
+        """Check one in-flight worker; returns True when it was settled.
+
+        ``settle`` receives an ``infra=`` flag distinguishing
+        *infrastructure* failures — parent-diagnosed damage (pipe closed,
+        unpickle failure, suspect exit code, crash, timeout) that a retry
+        on healthy infrastructure could fix — from trial errors the
+        worker itself reported.  The supervised backend's circuit breaker
+        counts only the former.
+        """
         elapsed = now - worker.started
         if worker.conn.poll():
+            infra = False
             try:
                 status, payload = worker.conn.recv()
             except (EOFError, OSError):
-                status, payload = (
+                status, payload, infra = (
                     "error",
                     "worker pipe closed before a result arrived",
+                    True,
                 )
             except Exception as exc:
                 # The payload crossed the pipe but failed to *unpickle* on
                 # this side (e.g. its class raises in __setstate__).  That
                 # must count as a failed attempt and retry — not escape and
                 # kill the whole campaign loop.
-                status, payload = (
+                status, payload, infra = (
                     "error",
                     f"result could not be unpickled: {exc!r}",
+                    True,
                 )
             worker.process.join()
             worker.conn.close()
             if status == "ok" and worker.process.exitcode not in (None, 0):
                 # The worker died after sending but with a failure exit:
                 # treat the result as suspect and retry the attempt.
-                status, payload = (
+                status, payload, infra = (
                     "error",
                     "worker exited with code "
                     f"{worker.process.exitcode} after sending its result",
+                    True,
                 )
             if status == "ok":
                 settle(worker.index, worker.attempt, "ok", elapsed, payload)
             else:
                 settle(
                     worker.index, worker.attempt, "error", elapsed,
-                    error=payload,
+                    error=payload, infra=infra,
                 )
             return True
         if not worker.process.is_alive():
@@ -423,7 +452,7 @@ class TrialRunner:
             worker.conn.close()
             settle(
                 worker.index, worker.attempt, "error", elapsed,
-                error=f"worker crashed (exit code {exitcode})",
+                error=f"worker crashed (exit code {exitcode})", infra=True,
             )
             return True
         if worker.deadline is not None and now >= worker.deadline:
@@ -434,6 +463,7 @@ class TrialRunner:
                 worker.index, worker.attempt, "timeout", elapsed,
                 error="trial exceeded trial_timeout_s="
                       f"{self.trial_timeout_s}",
+                infra=True,
             )
             return True
         return False
@@ -452,6 +482,11 @@ class TrialRunner:
                 )
             )
 
+    def _record_event(self, kind: str, key=None, detail: str = "") -> None:
+        """Forward one supervision event to telemetry (if attached)."""
+        if self.telemetry is not None:
+            self.telemetry.record_event(kind, key=key, detail=detail)
+
 
 def run_trials(
     specs: Sequence[TrialSpec],
@@ -460,6 +495,8 @@ def run_trials(
     max_attempts: int = 2,
     telemetry: Optional[CampaignTelemetry] = None,
     journal: Optional[TrialJournal] = None,
+    backend: str = "auto",
+    lease_ttl_s: float = 30.0,
 ) -> List[TrialOutcome]:
     """Convenience wrapper: build a :class:`TrialRunner` and run ``specs``."""
     return TrialRunner(
@@ -467,4 +504,6 @@ def run_trials(
         trial_timeout_s=trial_timeout_s,
         max_attempts=max_attempts,
         telemetry=telemetry,
+        backend=backend,
+        lease_ttl_s=lease_ttl_s,
     ).run(specs, journal=journal)

@@ -132,6 +132,11 @@ def sweep_scenario(
     identical to an uninterrupted run.  The journal is fingerprinted with
     the scenario, grid and seeds — resuming with a *different* sweep
     definition is rejected, not merged.
+
+    The scenario's ``backend``/``lease_ttl_s`` fields choose the
+    execution backend (``"auto"``, ``"local-serial"``, ``"local-process"``
+    or ``"local-supervised"``) and its lease duration — see
+    :mod:`repro.core.backend`.
     """
     if trials < 1:
         raise ConfigError(f"trials must be >= 1, got {trials}")
@@ -167,6 +172,9 @@ def sweep_scenario(
         trial_timeout_s=trial_timeout_s,
         max_attempts=max_attempts,
         telemetry=telemetry,
+        backend=base.backend,
+        lease_ttl_s=base.lease_ttl_s,
+        retry_seed=base.seed,
     )
     try:
         outcomes = runner.run(specs, journal=journal)

@@ -41,6 +41,30 @@ class TrialRecord:
         return self.status == "ok"
 
 
+@dataclasses.dataclass(frozen=True)
+class CampaignEvent:
+    """One supervision event inside a campaign (not a trial attempt).
+
+    The supervised execution backend emits these alongside the per-attempt
+    :class:`TrialRecord` stream: lease grants/extensions/reclaims, missed
+    heartbeats, retry backoffs, circuit-breaker trips and backend
+    degradations.  They answer "what did the supervisor *do*" where trial
+    records answer "what did the trials *return*".
+
+    Attributes:
+        kind: event name — ``"lease-granted"``, ``"lease-extended"``,
+            ``"lease-reclaimed"``, ``"lease-contended"``,
+            ``"heartbeat-missed"``, ``"worker-dead"``, ``"retry-backoff"``,
+            ``"breaker-open"`` or ``"degraded"``.
+        key: the trial key involved (``None`` for campaign-wide events).
+        detail: free-text diagnostics (owner ids, deadlines, ladder rung).
+    """
+
+    kind: str
+    key: object = None
+    detail: str = ""
+
+
 class CampaignTelemetry:
     """Progress/health accounting for a long-running trial campaign.
 
@@ -54,6 +78,7 @@ class CampaignTelemetry:
         self, on_record: Optional[Callable[["TrialRecord"], None]] = None
     ) -> None:
         self.records: List[TrialRecord] = []
+        self.events: List[CampaignEvent] = []
         self._on_record = on_record
 
     def record(self, record: TrialRecord) -> None:
@@ -61,6 +86,15 @@ class CampaignTelemetry:
         self.records.append(record)
         if self._on_record is not None:
             self._on_record(record)
+
+    def record_event(
+        self, kind: str, key: object = None, detail: str = ""
+    ) -> None:
+        """Append one supervision event (called by execution backends)."""
+        self.events.append(CampaignEvent(kind=kind, key=key, detail=detail))
+
+    def _count_events(self, *kinds: str) -> int:
+        return sum(1 for e in self.events if e.kind in kinds)
 
     # -- aggregates ---------------------------------------------------------
 
@@ -95,6 +129,36 @@ class CampaignTelemetry:
             if r.attempt > 1 and r.status != "resumed"
         )
 
+    @property
+    def leases_granted(self) -> int:
+        """Leases granted (first claims, not extensions or reclaims)."""
+        return self._count_events("lease-granted")
+
+    @property
+    def leases_extended(self) -> int:
+        """Deadline extensions granted to slow-but-alive workers."""
+        return self._count_events("lease-extended")
+
+    @property
+    def leases_reclaimed(self) -> int:
+        """Expired leases taken over (dead/hung owner, or a resume)."""
+        return self._count_events("lease-reclaimed")
+
+    @property
+    def heartbeats_missed(self) -> int:
+        """Workers SIGKILLed for going silent past the heartbeat budget."""
+        return self._count_events("heartbeat-missed")
+
+    @property
+    def degradations(self) -> int:
+        """Times the campaign dropped down the backend ladder."""
+        return self._count_events("degraded")
+
+    @property
+    def breaker_trips(self) -> int:
+        """Circuit-breaker openings (consecutive infrastructure failures)."""
+        return self._count_events("breaker-open")
+
     def wall_clock_per_trial(self) -> List[float]:
         """Durations of the successful attempts, in completion order."""
         return [r.wall_clock_s for r in self.records if r.ok]
@@ -114,6 +178,12 @@ class CampaignTelemetry:
             "failed": float(self.trials_failed),
             "timeouts": float(self.timeouts),
             "retries": float(self.retries),
+            "leases_granted": float(self.leases_granted),
+            "leases_extended": float(self.leases_extended),
+            "leases_reclaimed": float(self.leases_reclaimed),
+            "heartbeats_missed": float(self.heartbeats_missed),
+            "breaker_trips": float(self.breaker_trips),
+            "degradations": float(self.degradations),
             "total_wall_clock_s": self.total_wall_clock_s,
             "mean_trial_s": (
                 sum(durations) / len(durations) if durations else 0.0
@@ -129,12 +199,19 @@ class CampaignTelemetry:
             if s["resumed"]
             else ""
         )
+        supervision = ""
+        if s["leases_reclaimed"] or s["degradations"]:
+            supervision = (
+                f", {int(s['leases_reclaimed'])} leases reclaimed, "
+                f"{int(s['degradations'])} backend degradations"
+            )
         return (
             f"{int(s['completed'])} trials ok, {resumed}"
             f"{int(s['failed'])} failed "
             f"({int(s['timeouts'])} timeouts, {int(s['retries'])} retries), "
             f"{s['total_wall_clock_s']:.2f}s busy, "
             f"{s['mean_trial_s']:.2f}s/trial mean"
+            f"{supervision}"
         )
 
 

@@ -236,3 +236,82 @@ def test_strict_makes_failed_trials_fatal(monkeypatch, capsys):
     assert _sweep_with_induced_failures(monkeypatch, ["--strict"]) == 1
     captured = capsys.readouterr()
     assert "--strict" in captured.err
+
+
+def test_resume_without_journal_names_the_missing_flag(capsys):
+    # Rejected at argument-validation time: the hint must name --journal
+    # and no campaign work may have started (the error comes instantly).
+    code = main(
+        ["sweep", "--field", "num_nodes", "--values", "10,12",
+         "--resume", *SMALL]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error (ConfigError)" in err
+    assert "--journal" in err  # the usage hint names the fix
+
+
+def test_sweep_supervised_backend_matches_default(tmp_path, capsys):
+    base = ["sweep", "--field", "num_nodes", "--values", "10,12", *SMALL]
+    assert main(base) == 0
+    default_out = capsys.readouterr().out
+    assert main([
+        *base, "--workers", "2", "--backend", "local-supervised",
+        "--lease-ttl", "20", "--max-retries", "2",
+    ]) == 0
+    supervised_out = capsys.readouterr().out
+    # Identical aggregates: the backend affects failure handling only.
+    table = [l for l in default_out.splitlines() if l.startswith(" ")]
+    sup_table = [l for l in supervised_out.splitlines() if l.startswith(" ")]
+    assert table == sup_table
+
+
+def test_negative_max_retries_rejected(capsys):
+    code = main(
+        ["sweep", "--field", "num_nodes", "--values", "10",
+         "--max-retries", "-1", *SMALL]
+    )
+    assert code == 2
+    assert "--max-retries" in capsys.readouterr().err
+
+
+def test_components_lists_backend_namespace(capsys):
+    assert main(["components"]) == 0
+    out = capsys.readouterr().out
+    assert "backend (execution backend" in out
+    assert "local-supervised" in out
+
+
+def test_journal_inspect_and_compact_commands(tmp_path, capsys):
+    journal = str(tmp_path / "sweep.jsonl")
+    assert main([
+        "sweep", "--field", "num_nodes", "--values", "10,12", *SMALL,
+        "--workers", "2", "--backend", "local-supervised",
+        "--journal", journal,
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["journal", "inspect", journal]) == 0
+    out = capsys.readouterr().out
+    assert "fingerprint" in out
+    assert "trials ok       : 2" in out
+    assert "torn tail         : no" in out
+
+    assert main(["journal", "compact", journal]) == 0
+    out = capsys.readouterr().out
+    assert "compacted" in out
+    # Compacted journal still resumes the identical campaign.  (The
+    # backend is a Scenario field, so it is part of the fingerprint —
+    # the resume must name the same one.)
+    assert main([
+        "sweep", "--field", "num_nodes", "--values", "10,12", *SMALL,
+        "--workers", "2", "--backend", "local-supervised",
+        "--journal", journal, "--resume",
+    ]) == 0
+    assert "2 resumed from journal" in capsys.readouterr().out
+
+
+def test_journal_inspect_missing_file_is_typed_error(tmp_path, capsys):
+    code = main(["journal", "inspect", str(tmp_path / "nope.jsonl")])
+    assert code == 2
+    assert "error (" in capsys.readouterr().err

@@ -1,0 +1,68 @@
+"""SIGTERM during a CLI campaign: same grace as Ctrl-C, exit 143.
+
+Schedulers, CI timeouts and ``kill`` all deliver SIGTERM; the CLI must
+treat it exactly like SIGINT — journal already durable, partial summary
+and a ``--resume`` hint on stderr — distinguished only by the
+conventional exit code (128 + 15).  A real subprocess gets a real
+signal, matching the SIGINT regression test it mirrors.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _wait_for_journalled_trial(path: Path, deadline_s: float) -> int:
+    """Block until the journal holds >= 1 trial record; return the count."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if path.exists():
+            lines = path.read_text().splitlines()
+            if len(lines) >= 2:  # header + at least one trial
+                return len(lines) - 1
+        time.sleep(0.05)
+    raise AssertionError("no trial reached the journal before the deadline")
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals only")
+def test_sigterm_mid_sweep_exits_143_with_partial_summary(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+    argv = [
+        sys.executable, "-m", "repro", "sweep",
+        "--nodes", "10", "--road", "900", "--time", "10",
+        "--senders", "1,2", "--p", "0.0", "--seed", "3",
+        "--field", "seed", "--values", ",".join(str(v) for v in range(400)),
+        "--journal", str(journal),
+    ]
+    env = {**os.environ, "PYTHONPATH": SRC, "PYTHONUNBUFFERED": "1"}
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        completed_before = _wait_for_journalled_trial(journal, deadline_s=60.0)
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=60.0)
+    finally:
+        proc.kill()
+
+    assert proc.returncode == 143, (stdout, stderr)
+    assert "interrupted (SIGTERM)" in stderr
+    assert "partial results:" in stderr
+    assert "--resume" in stderr  # the hint names the recovery path
+
+    # Every trial journalled before the terminate is durable and valid.
+    lines = journal.read_text().splitlines()
+    assert len(lines) - 1 >= completed_before
+    header = json.loads(lines[0])
+    assert "fingerprint" in header
+    for line in lines[1:]:
+        assert "key" in json.loads(line)

@@ -1,0 +1,337 @@
+"""Execution backends: registry wiring, supervision, and bit-identity.
+
+The contract under test is the tentpole one: every backend returns the
+exact values of an undisturbed serial run — supervision (leases,
+heartbeats, retries, circuit breaking) changes *failure handling*, never
+results.  Chaos sabotage (SIGKILL, hang, corrupt, heartbeat mute, lease
+contention) is the adversary; serial execution is the ground truth.
+"""
+
+import time
+
+import pytest
+
+from repro.core import registry
+from repro.core.backend import (
+    LocalProcessBackend,
+    LocalSerialBackend,
+    SupervisedBackend,
+    retry_backoff_schedule,
+)
+from repro.core.chaos import ChaosMonkey
+from repro.core.journal import campaign_fingerprint, open_journal
+from repro.core.runner import TrialRunner, TrialSpec
+from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import ConfigError
+
+
+def _square(x):
+    return x * x
+
+
+def _slow_square(x, delay_s):
+    time.sleep(delay_s)
+    return x * x
+
+
+def _specs(n=6):
+    return [TrialSpec(key=i, fn=_square, args=(i,)) for i in range(n)]
+
+
+def _values(outcomes):
+    return [o.value for o in outcomes]
+
+
+TRUTH = [i * i for i in range(6)]
+
+
+# -- registry wiring ----------------------------------------------------------
+
+
+def test_backend_namespace_registered():
+    names = set(registry.known("backend"))
+    assert {"auto", "local-serial", "local-process", "local-supervised"} <= (
+        names
+    )
+
+
+def test_auto_picks_serial_for_one_worker_and_pool_otherwise():
+    factory = registry.resolve("backend", "auto")
+    assert isinstance(factory(TrialRunner(max_workers=1)), LocalSerialBackend)
+    assert isinstance(factory(TrialRunner(max_workers=3)), LocalProcessBackend)
+
+
+def test_named_backends_resolve_to_their_classes():
+    for name, cls in (
+        ("local-serial", LocalSerialBackend),
+        ("local-process", LocalProcessBackend),
+        ("local-supervised", SupervisedBackend),
+    ):
+        backend = registry.resolve("backend", name)(TrialRunner())
+        assert isinstance(backend, cls)
+        assert backend.name == name
+
+
+def test_unknown_backend_rejected_at_construction():
+    with pytest.raises(ConfigError, match="unknown execution backend"):
+        TrialRunner(backend="teleport")
+
+
+def test_supervision_parameters_validated():
+    with pytest.raises(ConfigError, match="lease_ttl_s"):
+        TrialRunner(lease_ttl_s=0)
+    with pytest.raises(ConfigError, match="heartbeat_interval_s"):
+        TrialRunner(heartbeat_interval_s=-1)
+    with pytest.raises(ConfigError, match="max_lease_extensions"):
+        TrialRunner(max_lease_extensions=-1)
+    with pytest.raises(ConfigError, match="breaker_threshold"):
+        TrialRunner(breaker_threshold=0)
+    with pytest.raises(ConfigError, match="campaign_retry_budget"):
+        TrialRunner(campaign_retry_budget=-1)
+
+
+# -- bit-identity across backends ---------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "backend", ["local-serial", "local-process", "local-supervised"]
+)
+def test_every_backend_matches_serial_truth(backend):
+    outcomes = TrialRunner(
+        max_workers=2, backend=backend, trial_timeout_s=30.0
+    ).run(_specs())
+    assert _values(outcomes) == TRUTH
+
+
+def test_supervised_grants_one_lease_per_trial():
+    telemetry = CampaignTelemetry()
+    TrialRunner(
+        max_workers=2, backend="local-supervised", telemetry=telemetry
+    ).run(_specs())
+    assert telemetry.leases_granted == 6
+    assert telemetry.leases_reclaimed == 0
+
+
+# -- chaos: every sabotage mode recovers bit-identically ----------------------
+
+
+def test_supervised_survives_sigkill_corrupt_and_hang():
+    telemetry = CampaignTelemetry()
+    chaos = ChaosMonkey(kill_on={0}, corrupt_on={1}, hang_on={2})
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        trial_timeout_s=1.0,
+        lease_ttl_s=5.0,
+        max_attempts=3,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(_specs())
+    assert _values(outcomes) == TRUTH
+    assert telemetry.leases_reclaimed >= 3  # one per sabotaged trial
+    assert telemetry.retries == 3
+
+
+def test_supervised_kills_muted_worker_as_hung():
+    """Heartbeat suppression: the monitor must SIGKILL, not wait out TTL."""
+    telemetry = CampaignTelemetry()
+    chaos = ChaosMonkey(mute_on={1})
+    started = time.monotonic()
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        lease_ttl_s=60.0,  # the lease alone would stall for a minute
+        heartbeat_interval_s=0.05,
+        max_attempts=2,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(_specs())
+    elapsed = time.monotonic() - started
+    assert _values(outcomes) == TRUTH
+    assert telemetry.heartbeats_missed >= 1
+    assert telemetry.leases_reclaimed >= 1
+    assert elapsed < 30.0  # caught by missed heartbeats, not the lease TTL
+
+
+def test_supervised_extends_lease_for_slow_but_alive_worker():
+    """Healthy heartbeats past the lease deadline mean *slow*, not hung."""
+    telemetry = CampaignTelemetry()
+    specs = [TrialSpec(key=0, fn=_slow_square, args=(3, 0.6))]
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        lease_ttl_s=0.15,
+        heartbeat_interval_s=0.03,
+        max_lease_extensions=10,
+        telemetry=telemetry,
+    ).run(specs)
+    assert _values(outcomes) == [9]
+    assert outcomes[0].attempts == 1  # never killed, only extended
+    assert telemetry.leases_extended >= 1
+
+
+def test_supervised_waits_out_and_reclaims_contended_lease():
+    telemetry = CampaignTelemetry()
+    chaos = ChaosMonkey(contend_on={2})
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        lease_ttl_s=5.0,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(_specs())
+    assert _values(outcomes) == TRUTH
+    kinds = [e.kind for e in telemetry.events]
+    assert "lease-contended" in kinds
+    assert "lease-reclaimed" in kinds
+    # Exactly one result for the contended trial: no double-count.
+    assert sum(1 for o in outcomes if o.key == 2) == 1
+
+
+# -- deterministic retry schedule ---------------------------------------------
+
+
+def test_retry_backoff_schedule_is_pure_and_bounded():
+    a = retry_backoff_schedule(7, ("rho", 3), 5, base_s=0.05, cap_s=2.0)
+    b = retry_backoff_schedule(7, ("rho", 3), 5, base_s=0.05, cap_s=2.0)
+    assert a == b
+    assert len(a) == 4
+    for k, delay in enumerate(a):
+        ceiling = min(2.0, 0.05 * 2**k)
+        assert 0.5 * ceiling <= delay < ceiling
+    # Different trials and different seeds get different jitter.
+    assert a != retry_backoff_schedule(7, ("rho", 4), 5)
+    assert a != retry_backoff_schedule(8, ("rho", 3), 5)
+
+
+def _retry_events(workers):
+    telemetry = CampaignTelemetry()
+    chaos = ChaosMonkey(kill_on={1, 3})
+    TrialRunner(
+        max_workers=workers,
+        backend="local-supervised",
+        lease_ttl_s=5.0,
+        max_attempts=3,
+        retry_seed=11,
+        retry_backoff_base_s=0.001,  # keep the test fast
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(_specs())
+    return sorted(
+        (e.key, e.detail)
+        for e in telemetry.events
+        if e.kind == "retry-backoff"
+    )
+
+
+def test_retry_schedule_identical_across_worker_counts():
+    serial_like = _retry_events(workers=1)
+    parallel = _retry_events(workers=4)
+    assert serial_like == parallel
+    assert len(serial_like) == 2  # one backoff per killed trial
+
+
+# -- circuit breaker and degradation ladder -----------------------------------
+
+
+def test_breaker_trip_completes_campaign_via_degradation():
+    telemetry = CampaignTelemetry()
+    chaos = ChaosMonkey(kill_all_attempts_on={0, 1, 2})
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        lease_ttl_s=5.0,
+        max_attempts=2,
+        breaker_threshold=3,
+        retry_backoff_base_s=0.001,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(_specs())
+    # Sabotage killed every attempt of three trials, yet degradation
+    # (chaos-free pool, then serial rescue) still completes everything.
+    assert _values(outcomes) == TRUTH
+    assert telemetry.breaker_trips == 1
+    assert telemetry.degradations >= 1
+
+
+def test_campaign_retry_budget_caps_total_retries():
+    telemetry = CampaignTelemetry()
+    chaos = ChaosMonkey(kill_on={0, 1, 2, 3})
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="local-supervised",
+        lease_ttl_s=5.0,
+        max_attempts=3,
+        campaign_retry_budget=2,
+        breaker_threshold=100,  # keep the breaker out of this test
+        retry_backoff_base_s=0.001,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(_specs())
+    # Budget allowed only two retries; the serial rescue still recovers
+    # the trials whose retries were denied (they failed as infra).
+    assert _values(outcomes) == TRUTH
+    assert telemetry.retries == 2
+    kinds = [e.kind for e in telemetry.events]
+    assert "retry-budget-exhausted" in kinds
+
+
+# -- journal integration ------------------------------------------------------
+
+
+def test_supervised_journals_leases_and_resumes_bit_identically(tmp_path):
+    path = str(tmp_path / "sup.jsonl")
+    fingerprint = campaign_fingerprint(kind="backend-test", n=6)
+    chaos = ChaosMonkey(kill_on={1}, kill_all_attempts_on={4})
+    journal = open_journal(path, fingerprint, resume=False)
+    try:
+        first = TrialRunner(
+            max_workers=2,
+            backend="local-supervised",
+            lease_ttl_s=5.0,
+            max_attempts=2,
+            retry_backoff_base_s=0.001,
+            chaos=chaos,
+        ).run(_specs(), journal=journal)
+    finally:
+        journal.close()
+    assert _values(first) == TRUTH  # serial rescue saved trial 4
+
+    journal = open_journal(path, fingerprint, resume=True)
+    telemetry = CampaignTelemetry()
+    try:
+        second = TrialRunner(
+            max_workers=2, backend="local-supervised", telemetry=telemetry
+        ).run(_specs(), journal=journal)
+    finally:
+        journal.close()
+    assert _values(second) == TRUTH
+    assert telemetry.trials_resumed == 6  # nothing re-ran
+
+
+def test_expired_foreign_lease_is_reclaimed_not_double_run(tmp_path):
+    """A lease left by a dead owner delays the trial but never duplicates
+    it: exactly one fresh result, counted once."""
+    path = str(tmp_path / "lease.jsonl")
+    fingerprint = campaign_fingerprint(kind="backend-test", n=6)
+    journal = open_journal(path, fingerprint, resume=False)
+    journal.record_lease(2, "dead-owner", 1, ttl_s=0.2)
+    journal.close()
+
+    time.sleep(0.25)  # let the foreign lease expire
+    journal = open_journal(path, fingerprint, resume=True)
+    telemetry = CampaignTelemetry()
+    try:
+        outcomes = TrialRunner(
+            max_workers=2,
+            backend="local-supervised",
+            lease_ttl_s=5.0,
+            telemetry=telemetry,
+        ).run(_specs(), journal=journal)
+    finally:
+        journal.close()
+    assert _values(outcomes) == TRUTH
+    assert sum(1 for o in outcomes if o.key == 2) == 1
+    assert any(
+        e.kind == "lease-reclaimed" and e.key == 2 for e in telemetry.events
+    )

@@ -358,3 +358,155 @@ def test_monte_carlo_resume_matches_fresh(tmp_path):
     assert telemetry.trials_resumed == 5
     np.testing.assert_array_equal(resumed.samples, truth.samples)
     np.testing.assert_array_equal(resumed.mean, truth.mean)
+
+
+# -- supervision records: leases, heartbeats, events --------------------------
+
+
+def test_lease_records_supersede_and_trials_release(tmp_path):
+    from repro.core.journal import read_lease_state
+
+    path = str(tmp_path / "lease.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_lease((0, 0), "owner-a", 1, ttl_s=60.0)
+        journal.record_lease((0, 0), "owner-b", 2, ttl_s=60.0)  # supersedes
+        journal.record_lease((1, 0), "owner-a", 1, ttl_s=60.0)
+        journal.record_success((1, 0), 1, attempts=1, wall_clock_s=0.1)
+    leases = read_lease_state(path, FP)
+    # Trial (1,0) completed, so its lease is released; (0,0) holds the
+    # *latest* claim only.
+    assert set(leases) == {trial_key_id((0, 0))}
+    lease = leases[trial_key_id((0, 0))]
+    assert lease.owner == "owner-b"
+    assert lease.attempt == 2
+    assert not lease.expired()
+
+
+def test_lease_expiry_is_wall_clock(tmp_path):
+    path = str(tmp_path / "lease.jsonl")
+    with TrialJournal(path, FP) as journal:
+        lease = journal.record_lease((0, 0), "o", 1, ttl_s=0.05)
+    assert not lease.expired(now=lease.deadline_unix - 0.01)
+    assert lease.expired(now=lease.deadline_unix)
+
+
+def test_resume_loads_live_lease_state(tmp_path):
+    path = str(tmp_path / "lease.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_lease((0, 0), "prior-owner", 1, ttl_s=3600.0)
+    with TrialJournal(path, FP, resume=True) as journal:
+        assert trial_key_id((0, 0)) in journal.leases
+        assert journal.leases[trial_key_id((0, 0))].owner == "prior-owner"
+
+
+def test_supervision_records_are_invisible_to_read_completed(tmp_path):
+    path = str(tmp_path / "mixed.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_lease((0, 0), "o", 1, ttl_s=60.0)
+        journal.record_heartbeat((0, 0), "o", seq=1)
+        journal.record_campaign_event("degraded", "supervised->process")
+        journal.record_success((0, 0), 42, attempts=1, wall_clock_s=0.1)
+    completed = read_completed(path, FP)
+    assert completed[trial_key_id((0, 0))].value == 42
+    assert len(completed) == 1
+
+
+# -- inspect / compact --------------------------------------------------------
+
+
+def _write_busy_journal(path):
+    """A journal with superseded records worth compacting."""
+    with TrialJournal(path, FP) as journal:
+        journal.record_lease((0, 0), "a", 1, ttl_s=60.0)
+        journal.record_heartbeat((0, 0), "a", seq=1)
+        journal.record_heartbeat((0, 0), "a", seq=2)
+        journal.record_failure((0, 0), "first try died", attempts=1)
+        journal.record_lease((0, 0), "a", 2, ttl_s=60.0)
+        journal.record_success((0, 0), 7, attempts=2, wall_clock_s=0.2)
+        journal.record_lease((1, 0), "a", 1, ttl_s=3600.0)
+        journal.record_campaign_event("breaker-open", "3 consecutive")
+
+
+def test_inspect_journal_counts_every_record_kind(tmp_path):
+    from repro.core.journal import inspect_journal
+
+    path = str(tmp_path / "busy.jsonl")
+    _write_busy_journal(path)
+    stats = inspect_journal(path)
+    assert stats.fingerprint == FP
+    assert stats.schema == SCHEMA_VERSION
+    assert stats.trials_ok == 1
+    assert stats.trials_failed == 1
+    assert stats.distinct_completed == 1
+    assert stats.leases == 3
+    assert stats.live_leases == 1  # (1,0) was never completed
+    assert stats.heartbeats == 2
+    assert stats.events == 1
+    assert not stats.torn_tail
+    assert stats.size_bytes > 0
+    assert stats.superseded > 0
+
+
+def test_compact_preserves_resume_state_and_shrinks(tmp_path):
+    from repro.core.journal import compact_journal, read_lease_state
+
+    path = str(tmp_path / "busy.jsonl")
+    _write_busy_journal(path)
+    before_completed = read_completed(path, FP)
+    before_leases = read_lease_state(path, FP)
+
+    bytes_before, bytes_after = compact_journal(path)
+    assert bytes_after < bytes_before
+
+    # Resume-relevant state is byte-for-byte what it was: completed
+    # values, live leases, and the fingerprint all survive.
+    assert read_completed(path, FP) == before_completed
+    assert read_lease_state(path, FP) == before_leases
+    from repro.core.journal import inspect_journal
+
+    stats = inspect_journal(path)
+    assert stats.heartbeats == 0  # heartbeats are always superseded
+    assert stats.superseded == 0  # nothing left to drop: idempotent
+    again_before, again_after = compact_journal(path)
+    assert again_before == again_after
+
+
+def test_compact_to_separate_output_leaves_original(tmp_path):
+    from repro.core.journal import compact_journal
+
+    path = str(tmp_path / "busy.jsonl")
+    out = str(tmp_path / "compacted.jsonl")
+    _write_busy_journal(path)
+    original = open(path, "rb").read()
+    compact_journal(path, output=out)
+    assert open(path, "rb").read() == original
+    assert read_completed(out, FP) == read_completed(path, FP)
+
+
+def test_compacted_journal_resumes_a_real_campaign(tmp_path):
+    """The flagship round-trip: run half, compact, resume — identical."""
+    from repro.core.journal import compact_journal
+
+    path = str(tmp_path / "campaign.jsonl")
+    specs = _specs(6)
+    truth = [o.value for o in TrialRunner().run(specs)]
+
+    journal = open_journal(path, FP, resume=False)
+    try:
+        TrialRunner(max_workers=2, backend="local-supervised").run(
+            specs[:3], journal=journal
+        )
+    finally:
+        journal.close()
+    compact_journal(path)
+
+    journal = open_journal(path, FP, resume=True)
+    telemetry = CampaignTelemetry()
+    try:
+        outcomes = TrialRunner(
+            max_workers=2, backend="local-supervised", telemetry=telemetry
+        ).run(specs, journal=journal)
+    finally:
+        journal.close()
+    assert [o.value for o in outcomes] == truth
+    assert telemetry.trials_resumed == 3  # the compacted half was kept

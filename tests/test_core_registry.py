@@ -74,7 +74,7 @@ def test_unregister_removes_and_unknown_unregister_raises():
 # -- module-level namespaces --------------------------------------------------
 
 
-def test_all_eight_kinds_have_builtin_entries():
+def test_all_nine_kinds_have_builtin_entries():
     expected = {
         "propagation": {"two_ray", "free_space", "shadowing", "nakagami"},
         "routing": {"AODV", "OLSR", "DYMO", "DSDV", "FLOODING"},
@@ -89,6 +89,9 @@ def test_all_eight_kinds_have_builtin_entries():
         },
         "spatial": {"dense", "grid"},
         "kernels": {"python", "vector", "numba", "cjit", "auto"},
+        "backend": {
+            "auto", "local-serial", "local-process", "local-supervised",
+        },
     }
     assert set(registry.KINDS) == set(expected)
     for kind, names in expected.items():

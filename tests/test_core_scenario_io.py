@@ -93,6 +93,19 @@ scenario_dicts = st.fixed_dictionaries(
         "kernels": st.sampled_from(
             ["auto", "python", "vector", "numba", "cjit", "AUTO", "Python"]
         ),
+        # Execution backends: any spelling normalizes; the choice never
+        # affects results, so every value is round-trip safe.
+        "backend": st.sampled_from(
+            [
+                "auto",
+                "local-serial",
+                "local-process",
+                "local-supervised",
+                "AUTO",
+                "Local-Supervised",
+            ]
+        ),
+        "lease_ttl_s": st.sampled_from([0.5, 5.0, 30.0, 300.0]),
         "seed": st.integers(0, 2**31),
     },
 )
@@ -164,6 +177,16 @@ def test_with_overrides_kernels_normalizes_case():
     assert Scenario().with_overrides({"kernels": "CJIT"}).kernels == "cjit"
     with pytest.raises(ConfigError, match="unknown kernel backend"):
         Scenario().with_overrides({"kernels": "fortran"})
+
+
+def test_with_overrides_backend_normalizes_and_validates():
+    # The CLI's `--backend` flag lands here as a scenario override.
+    s = Scenario().with_overrides({"backend": "Local-Supervised"})
+    assert s.backend == "local-supervised"
+    with pytest.raises(ConfigError, match="unknown execution backend"):
+        Scenario().with_overrides({"backend": "teleport"})
+    with pytest.raises(ConfigError, match="lease_ttl_s"):
+        Scenario(lease_ttl_s=0.0)
 
 
 def test_with_overrides_can_add_option_keys():
