@@ -1,0 +1,99 @@
+"""Radio technologies and channel effects: DSSS vs 802.11p past an obstacle.
+
+The paper's Table I fixes one radio: 2 Mbps 802.11 DSSS at 914 MHz.
+The PHY realism layer makes that a pluggable *tech profile* — this
+example reruns the reference circuit under the default profile and
+under ``80211p`` (5.9 GHz DSRC, whose MAC picks a 3-27 Mbps MCS per
+link from the cached SNR), then drops an obstacle on one sector of the
+circuit (a ``Scenario.effects`` entry) and shows the shadowed sector
+eating into delivery.
+
+The circuit maps onto a ring of radius ``road_length / (2*pi)`` centred
+on the origin, so a polygon straddling the ring's x > 0 sector shadows
+exactly the links that cross (or sit inside) that sector — everything
+else is bit-identical to the unobstructed run.
+
+Run:  python examples/tech_profiles.py
+"""
+
+import dataclasses
+import math
+
+from repro.core import Scenario
+from repro.core.simulation import CavenetSimulation
+
+ROAD_M = 2500.0
+RADIUS_M = ROAD_M / (2.0 * math.pi)  # ~398 m
+
+#: A building straddling the circuit's easternmost sector: the ring
+#: passes straight through this rectangle, so links crossing the sector
+#: (and nodes driving through it) lose an extra 20 dB.
+OBSTACLE = [
+    {
+        "kind": "obstacle",
+        "polygons": [
+            [[RADIUS_M - 100.0, -120.0], [RADIUS_M + 60.0, -120.0],
+             [RADIUS_M + 60.0, 120.0], [RADIUS_M - 100.0, 120.0]],
+        ],
+        "extra_loss_db": 20.0,
+    }
+]
+
+BASE = Scenario(
+    num_nodes=30,
+    road_length_m=ROAD_M,
+    sim_time_s=30.0,
+    # Senders sit across the ring from the receiver, so deliveries are
+    # multi-hop along the arcs — one of which passes the obstacle.
+    senders=(14, 15, 16),
+    receiver=0,
+    dawdle_p=0.0,
+    traffic_start_s=2.0,
+    traffic_stop_s=28.0,
+    seed=11,
+)
+
+
+def _run(tech: str, effects) -> "object":
+    scenario = dataclasses.replace(BASE, tech=tech, effects=effects)
+    return CavenetSimulation(scenario).run()
+
+
+def main() -> None:
+    print(f"Scenario: {BASE.num_nodes} vehicles, {ROAD_M:.0f} m circuit "
+          f"(ring radius {RADIUS_M:.0f} m), {BASE.sim_time_s:.0f} s, "
+          f"senders {BASE.senders} -> receiver {BASE.receiver}")
+    print("Obstacle: 160 x 240 m block on the eastern sector, "
+          f"{OBSTACLE[0]['extra_loss_db']:.0f} dB extra loss on "
+          "links through it\n")
+
+    cases = [
+        ("DSSS 2 Mbps", "80211-dsss", []),
+        ("802.11p DSRC", "80211p", []),
+        ("DSSS + obstacle", "80211-dsss", OBSTACLE),
+        ("802.11p + obstacle", "80211p", OBSTACLE),
+    ]
+    header = (f"{'case':<20}{'PDR':>8}{'goodput bps':>14}"
+              f"{'delay ms':>10}{'energy J':>10}")
+    print(header)
+    print("-" * len(header))
+    for label, tech, effects in cases:
+        result = _run(tech, effects)
+        goodput = sum(
+            result.mean_goodput_bps(s) for s in BASE.senders
+        ) / len(BASE.senders)
+        delay_ms = result.delay_stats().mean_s * 1000.0
+        energy = result.collector.energy
+        print(f"{label:<20}{result.pdr():>8.3f}{goodput:>14,.0f}"
+              f"{delay_ms:>10.2f}{energy.total_j:>10.2f}")
+
+    print(
+        "\nReading: 802.11p's SNR-driven MCS ladder trades the fixed\n"
+        "2 Mbps DSSS rate for 3-27 Mbps per link, and the obstacle only\n"
+        "hurts flows whose multi-hop path crosses the shadowed sector —\n"
+        "the unobstructed arc (and every run's mobility) is untouched."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -179,7 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "components",
         help="list every registered component (propagation, routing, "
-        "mobility, traffic, boundary, fault, spatial, kernels, backend)",
+        "mobility, traffic, boundary, fault, spatial, kernels, backend, "
+        "tech, effect)",
     )
 
     journal = commands.add_parser(
@@ -253,6 +254,12 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         default="two_ray",
         help="any registered propagation model (two_ray, free_space, "
         "shadowing, nakagami, ...; see `repro components`)",
+    )
+    parser.add_argument(
+        "--tech",
+        default="80211-dsss",
+        help="any registered radio-technology profile (80211-dsss, "
+        "80211p, ...; see `repro components`)",
     )
 
 
@@ -488,6 +495,7 @@ def _scenario_from(args: argparse.Namespace):
             traffic_start_s=args.time * 0.1,
             traffic_stop_s=stop,
             propagation=args.propagation,
+            tech=args.tech,
             seed=args.seed,
         )
     if overrides:
@@ -521,6 +529,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"mean delay        : {delay.mean_s * 1000:.2f} ms")
     overhead = result.control_overhead()
     print(f"control packets   : {overhead.packets}")
+    energy = result.collector.energy
+    if energy is not None:
+        print(f"energy consumed   : {energy.total_j:.2f} J "
+              f"({energy.mean_j:.2f} J/node)")
     for sender in scenario.senders:
         print(
             f"  sender {sender:>2}: PDR {result.pdr(sender):.3f}  "

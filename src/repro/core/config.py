@@ -78,6 +78,15 @@ class Scenario:
             every built-in traffic model reads these as its rate/size.
         traffic_start_s / traffic_stop_s: emission window (10 s - 90 s).
         mac_params: 802.11 DCF configuration.
+        tech: radio technology profile, a registered ``tech`` component:
+            ``"80211-dsss"`` (Table I's 2 Mbps DSSS radio, built from
+            ``mac_params`` — the default, bit-identical to scenarios
+            predating this field) or ``"80211p"`` (5.9 GHz DSRC with a
+            3-27 Mbps SNR-adaptive MCS ladder).  See
+            :mod:`repro.phy.tech`.
+        tech_options: extra keyword arguments for the tech factory
+            (e.g. ``{"noise_figure_db": 8.0}`` or a replacement
+            ``mcs`` table).
         propagation: a registered ``propagation`` component: ``"two_ray"``,
             ``"free_space"``, ``"shadowing"`` or ``"nakagami"``
             (Nakagami-m fading over a two-ray mean).
@@ -125,6 +134,15 @@ class Scenario:
             fault factory as keyword options.  Empty (the default) means a
             fault-free run, bit-identical to scenarios predating this
             field.
+        effects: declarative channel-effect stack, a tuple of mappings.
+            Each entry names a registered ``effect`` component under
+            ``"kind"`` (``"db-offset"``, ``"random-loss"``,
+            ``"obstacle"``, or any third-party registration); remaining
+            keys are passed to the effect factory as keyword options.
+            Effects apply to every link's receive power in list order
+            (see :mod:`repro.phy.effects` for the ordering/determinism
+            contract).  Empty (the default) means an untouched channel,
+            bit-identical to scenarios predating this field.
         seed: root seed for every random stream in the run.
     """
 
@@ -151,6 +169,8 @@ class Scenario:
     mac_params: Mac80211Params = dataclasses.field(
         default_factory=Mac80211Params
     )
+    tech: str = "80211-dsss"
+    tech_options: Dict[str, Any] = dataclasses.field(default_factory=dict)
     propagation: str = "two_ray"
     shadowing_sigma_db: float = 4.0
     shadowing_exponent: float = 2.7
@@ -164,6 +184,7 @@ class Scenario:
     backend: str = "auto"
     lease_ttl_s: float = 30.0
     faults: Tuple[Dict[str, Any], ...] = ()
+    effects: Tuple[Dict[str, Any], ...] = ()
     # Default seed chosen so the default mobility exhibits the intermittent
     # connectivity regime of the paper's evaluation (node 0 reaches the
     # senders ~75% of the time; the largest component dips to ~57%).
@@ -204,6 +225,9 @@ class Scenario:
         object.__setattr__(
             self, "backend", registry.normalize("backend", self.backend)
         )
+        object.__setattr__(
+            self, "tech", registry.normalize("tech", self.tech)
+        )
         object.__setattr__(self, "protocol", str(self.protocol).upper())
         if self.lease_ttl_s <= 0:
             raise ConfigError(
@@ -241,6 +265,24 @@ class Scenario:
             object.__setattr__(self, "faults", tuple(normalized))
         else:
             object.__setattr__(self, "faults", ())
+        # Channel-effect specs: same normalization contract as faults —
+        # canonical "kind" spelling, owned deep copies, and the empty
+        # default never imports repro.phy.effects.
+        if self.effects:
+            normalized_effects = []
+            for entry in self.effects:
+                if not isinstance(entry, Mapping) or "kind" not in entry:
+                    raise ConfigError(
+                        "each effects entry must be a mapping with a 'kind' "
+                        f"key naming a registered channel effect, got "
+                        f"{entry!r}"
+                    )
+                spec = copy.deepcopy(dict(entry))
+                spec["kind"] = registry.normalize("effect", spec["kind"])
+                normalized_effects.append(spec)
+            object.__setattr__(self, "effects", tuple(normalized_effects))
+        else:
+            object.__setattr__(self, "effects", ())
         if not 0.0 <= self.dawdle_p <= 1.0:
             raise ConfigError(f"dawdle_p must be in [0,1], got {self.dawdle_p}")
         if self.sim_time_s <= 0:
@@ -370,7 +412,7 @@ class Scenario:
                     if value is None
                     else [[int(src), int(dst)] for src, dst in value]
                 )
-            elif field.name == "faults":
+            elif field.name in ("faults", "effects"):
                 value = [copy.deepcopy(dict(entry)) for entry in value]
             elif isinstance(value, dict):
                 value = copy.deepcopy(value)
@@ -520,6 +562,7 @@ class Scenario:
             "Packets Generation Rate": f"{self.cbr_rate_pps:.0f} packets/s",
             "Packet Size": f"{self.cbr_size_bytes} bytes",
             "MAC Protocol": "IEEE802.11 DCF",
+            "PHY Profile": self.tech,
             "MAC Rate": f"{self.mac_params.data_rate_bps / 1e6:.0f} Mbps",
             "RTS/CTS": rts,
             "Transmission Range": f"{self.tx_range_m:.0f} m",

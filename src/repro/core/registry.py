@@ -8,7 +8,7 @@ makes every such choice pluggable: a generic registry with one namespace
 per component *kind*, a :func:`register` decorator, and case-insensitive
 name resolution that fails with the live list of known choices.
 
-Nine kinds exist (:data:`KINDS`):
+Eleven kinds exist (:data:`KINDS`):
 
 ``propagation``
     ``factory(scenario, streams) -> PropagationModel`` (see
@@ -45,6 +45,17 @@ Nine kinds exist (:data:`KINDS`):
     pool, or the lease/heartbeat-supervised pool); every backend
     produces bit-identical campaign results, only the failure-handling
     machinery differs.
+``tech``
+    Radio-technology profiles, ``factory(scenario, **options) ->
+    TechProfile`` (see :mod:`repro.phy.tech`) — frequency, bandwidth,
+    noise figure, per-MCS SNR->rate table, tx-power range and energy
+    draw; ``Scenario.tech_options`` is forwarded as the keyword
+    arguments.
+``effect``
+    Channel-effect factories, ``factory(scenario, streams, name,
+    **options) -> ChannelEffect`` (see :mod:`repro.phy.effects`),
+    declared per scenario via ``Scenario.effects`` and applied as an
+    ordered stack to every link's receive power.
 
 Built-in implementations register themselves at import time of their home
 module; the registry imports those modules lazily on first lookup, so
@@ -81,6 +92,8 @@ KINDS: Tuple[str, ...] = (
     "spatial",
     "kernels",
     "backend",
+    "tech",
+    "effect",
 )
 
 #: What a name in each namespace denotes — used in error messages so an
@@ -96,6 +109,8 @@ _NOUNS: Dict[str, str] = {
     "spatial": "spatial index",
     "kernels": "kernel backend",
     "backend": "execution backend",
+    "tech": "tech profile",
+    "effect": "channel effect",
 }
 
 #: Modules whose import registers the built-in entries of each kind.
@@ -112,6 +127,8 @@ _BUILTIN_MODULES: Dict[str, Tuple[str, ...]] = {
     "spatial": ("repro.phy.spatial",),
     "kernels": ("repro.kernels",),
     "backend": ("repro.core.backend",),
+    "tech": ("repro.phy.tech",),
+    "effect": ("repro.phy.effects",),
 }
 
 

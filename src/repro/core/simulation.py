@@ -41,7 +41,7 @@ from repro.mobility.ca_mobility import CaMobility
 from repro.mobility.trace import MobilityTrace, TracePlayer
 from repro.net.node import Node
 from repro.phy.channel import CachedPositionProvider, Channel
-from repro.phy.energy import EnergyMeter, EnergyParams
+from repro.phy.energy import EnergyMeter
 from repro.phy.params import PhyParams
 from repro.phy.propagation import PropagationModel
 from repro.routing import make_protocol
@@ -212,6 +212,55 @@ class CavenetSimulation:
             self.scenario, streams
         )
 
+    def build_tech(self):
+        """Resolve the scenario's radio-technology profile.
+
+        The factory comes from the ``tech`` registry and receives the
+        scenario plus ``Scenario.tech_options`` as keyword arguments.
+        Deterministic and stream-free, so calling it more than once per
+        run (``build_nodes`` for the MACs, :meth:`run` for the energy
+        meters) costs nothing and cannot perturb RNG state.
+        """
+        scenario = self.scenario
+        factory = registry.resolve("tech", scenario.tech)
+        try:
+            return factory(scenario, **scenario.tech_options)
+        except TypeError as exc:
+            raise ConfigError(
+                f"tech profile {scenario.tech!r} has bad options: {exc}"
+            ) from exc
+
+    def build_effects(self, streams: RngStreams) -> List[object]:
+        """Instantiate the scenario's channel-effect stack, in order.
+
+        Each spec in ``Scenario.effects`` resolves through the
+        ``effect`` registry; the factory receives the scenario, the
+        run's :class:`~repro.util.rng.RngStreams` and a per-effect
+        stream-name prefix (``"effect-<index>"`` — per-frame effects
+        derive per-sender streams from it).  An empty ``effects`` list
+        returns immediately — no import of :mod:`repro.phy.effects`,
+        no streams created, so effect-free runs stay bit-identical to
+        runs predating the effect stack.
+        """
+        scenario = self.scenario
+        if not scenario.effects:
+            return []
+        effects: List[object] = []
+        for index, spec in enumerate(scenario.effects):
+            options = dict(spec)
+            kind = options.pop("kind")
+            factory = registry.resolve("effect", kind)
+            try:
+                effect = factory(
+                    scenario, streams, f"effect-{index}", **options
+                )
+            except TypeError as exc:
+                raise ConfigError(
+                    f"effect spec {index} ({kind!r}) has bad options: {exc}"
+                ) from exc
+            effects.append(effect)
+        return effects
+
     def build_spatial(self):
         """Resolve the scenario's neighbor-culling index (None = dense).
 
@@ -248,6 +297,7 @@ class CavenetSimulation:
             provider.positions,
             spatial=self.build_spatial(),
             kernels=scenario.kernels,
+            effects=self.build_effects(streams),
         )
         return channel, phy_params
 
@@ -269,6 +319,7 @@ class CavenetSimulation:
         """
         scenario = self.scenario
         book = DcfBook(kernels=scenario.kernels)
+        tech = self.build_tech()
         nodes: List[Node] = []
         for node_id in range(scenario.num_nodes):
             node = Node(
@@ -280,6 +331,7 @@ class CavenetSimulation:
                 metrics,
                 rng=streams.stream(f"mac-{node_id}"),
                 dcf_book=book,
+                tech=tech,
             )
             protocol = make_protocol(
                 scenario.protocol,
@@ -395,8 +447,12 @@ class CavenetSimulation:
         metrics = MetricsCollector(sim)
 
         nodes = self.build_nodes(sim, channel, phy_params, metrics, streams)
+        # Energy draw comes from the tech profile (per-technology
+        # figures); the default profile's params equal EnergyParams(),
+        # so default runs meter identically to before.
+        energy_params = self.build_tech().energy
         energy = {
-            node.node_id: EnergyMeter(sim, node.radio, EnergyParams())
+            node.node_id: EnergyMeter(sim, node.radio, energy_params)
             for node in nodes
         }
         for node in nodes:
@@ -407,6 +463,7 @@ class CavenetSimulation:
 
         sim.run(until=scenario.sim_time_s)
         metrics.record_channel(channel)
+        metrics.record_energy(energy)
 
         return SimulationResult(
             scenario=scenario,

@@ -186,11 +186,16 @@ class ChannelDegradation(FaultModel):
     During a burst every received power is scaled by
     ``10 ** (-extra_loss_db / 10)`` — links near the decode threshold
     drop out, shrinking the connectivity graph without touching any
-    node.  The scale factor is applied identically on the vectorized and
-    scalar receive paths, so PR 2's bit-identity contract holds during
-    bursts too.  Bursts set the attenuation absolutely (no stacking);
-    overlapping degradation faults are a configuration error in spirit,
-    and the later event wins.
+    node.  Since the PHY realism layer landed, this model is a thin
+    adapter over the channel's internal fault offset: ``set_attenuation``
+    drives a dedicated :class:`~repro.phy.effects.DbOffset` that the
+    channel applies *after* the static effect stack and *before* any
+    per-frame effects, identically on the vectorized and scalar receive
+    paths — so PR 2's bit-identity contract holds during bursts too, and
+    a degradation burst composes deterministically with configured
+    ``Scenario.effects``.  Bursts set the attenuation absolutely (no
+    stacking); overlapping degradation faults are a configuration error
+    in spirit, and the later event wins.
 
     Invalidation is cell-precise: ``Channel.set_attenuation`` drops only
     the cached per-sender rows whose powers baked the old factor

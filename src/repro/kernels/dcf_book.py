@@ -52,6 +52,11 @@ class DcfBook:
         self.backoff_started = np.zeros(cap, dtype=np.float64)
         self.need_backoff = np.zeros(cap, dtype=bool)
         self.nav_until = np.zeros(cap, dtype=np.float64)
+        #: Rate (bps) of each MAC's most recent DATA transmission —
+        #: written by :class:`~repro.mac.dcf.Mac80211` from its tech
+        #: profile's SNR->MCS selection; ``0.0`` until the first DATA
+        #: frame.  Telemetry only: no kernel reads it back.
+        self.last_rate_bps = np.zeros(cap, dtype=np.float64)
 
     @property
     def backend(self):
@@ -71,6 +76,7 @@ class DcfBook:
         self.backoff_started[i] = 0.0
         self.need_backoff[i] = False
         self.nav_until[i] = 0.0
+        self.last_rate_bps[i] = 0.0
         self._count += 1
         return i
 
@@ -120,3 +126,4 @@ class DcfBook:
         need[: self._count] = self.need_backoff[: self._count]
         self.need_backoff = need
         self.nav_until = np.resize(self.nav_until, cap)
+        self.last_rate_bps = np.resize(self.last_rate_bps, cap)

@@ -27,6 +27,7 @@ from repro.mac.params import Mac80211Params
 from repro.net.address import BROADCAST
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
+from repro.phy.tech import TechProfile
 
 
 class MacStats:
@@ -71,6 +72,17 @@ class Mac80211:
     (``build_nodes`` does), or private to this MAC otherwise.  Scalar
     transitions stay inline Python (the DES delivers them one event at a
     time); population-wide sweeps go through the book's batched kernels.
+
+    Rates come from a :class:`~repro.phy.tech.TechProfile` (``tech=``;
+    defaults to the non-adaptive profile mirroring ``params``, which is
+    bit-identical to the fixed-rate code it replaced).  With an
+    adaptive profile, each unicast DATA frame is sent at the MCS the
+    receiver's cached mean SNR selects — a deterministic table lookup,
+    no RNG — and the chosen rate is recorded in the book's
+    ``last_rate_bps`` column.  Control frames (RTS/CTS/ACK) always use
+    the profile's basic rate; response timeouts stay on ``params``
+    (legacy basic rate), which is conservative — never shorter than
+    the actual response airtime.
     """
 
     def __init__(
@@ -81,10 +93,15 @@ class Mac80211:
         rng: Optional[np.random.Generator] = None,
         queue_capacity: int = 50,
         book: Optional[DcfBook] = None,
+        tech: Optional[TechProfile] = None,
     ) -> None:
         self._sim = sim
         self._radio = radio
         self._params = params
+        self._tech = (
+            tech if tech is not None else TechProfile.from_mac_params(params)
+        )
+        self._noise_floor_w = self._tech.noise_floor_w
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._queue = DropTailQueue(queue_capacity)
         self.stats = MacStats()
@@ -350,6 +367,21 @@ class Mac80211:
 
     # -- transmission ---------------------------------------------------------
 
+    def _rate_for(self, next_hop: int) -> float:
+        """Data rate (bps) for the next DATA frame to ``next_hop``.
+
+        Non-adaptive profiles (the default) short-circuit to their
+        single MCS without ever computing an SNR — zero extra work on
+        the bit-identity path.  Adaptive profiles send broadcast at the
+        lowest (most robust) MCS and unicast at the rate the receiver's
+        cached mean SNR selects.
+        """
+        tech = self._tech
+        if not tech.adaptive or next_hop == BROADCAST:
+            return tech.mcs[0][1]
+        snr = self._radio.link_snr_db(next_hop, self._noise_floor_w)
+        return tech.rate_for_snr_db(snr)
+
     def _transmit_current(self) -> None:
         ctx = self._current
         if ctx is None or not self._medium_free():
@@ -377,18 +409,21 @@ class Mac80211:
         )
         self._outgoing = frame
         self.stats.data_tx += 1
-        self._radio.transmit(frame, self._params.tx_time(size, FrameType.DATA))
+        rate = self._rate_for(ctx.next_hop)
+        self._book.last_rate_bps[self._slot] = rate
+        self._radio.transmit(frame, self._tech.frame_airtime(size, rate))
 
     def _transmit_rts(self, ctx: _TxContext) -> None:
         size = self._params.frame_size(FrameType.RTS)
         data_size = self._params.frame_size(
             FrameType.DATA, ctx.packet.size_bytes
         )
-        # Reserve through CTS + DATA + ACK.
+        # Reserve through CTS + DATA + ACK (the DATA leg at the rate the
+        # link's SNR selects, so the NAV tracks rate adaptation).
         duration = (
             3 * self._params.sifs_s
             + self._params.cts_tx_time()
-            + self._params.tx_time(data_size, FrameType.DATA)
+            + self._tech.frame_airtime(data_size, self._rate_for(ctx.next_hop))
             + self._params.ack_tx_time()
         )
         frame = Frame(
@@ -401,7 +436,9 @@ class Mac80211:
         )
         self._outgoing = frame
         self.stats.rts_tx += 1
-        self._radio.transmit(frame, self._params.tx_time(size, FrameType.RTS))
+        self._radio.transmit(
+            frame, self._tech.frame_airtime(size, self._tech.basic_rate_bps)
+        )
 
     def _send_response(self, frame_type: FrameType, to: int) -> None:
         # Scheduled before a crash, firing after: stay silent.
@@ -431,7 +468,7 @@ class Mac80211:
         else:
             self.stats.cts_tx += 1
         self._radio.transmit(
-            frame, self._params.tx_time(size, frame_type)
+            frame, self._tech.frame_airtime(size, self._tech.basic_rate_bps)
         )
 
     # -- responses and retries --------------------------------------------------

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.des.engine import Simulator
 from repro.net.packet import Packet
@@ -251,6 +251,30 @@ class ChannelTelemetry:
 
 
 @dataclasses.dataclass(frozen=True)
+class EnergyTelemetry:
+    """Per-node radio energy accounting for one run (ns-2 EnergyModel).
+
+    Attributes:
+        consumed_j: joules consumed per node id, from the tech
+            profile's TX/RX/idle power draws over the radio's airtime
+            counters.
+        total_j: joules consumed by all radios together.
+        depleted_nodes: node ids whose battery hit zero during the run.
+    """
+
+    consumed_j: Dict[int, float]
+    total_j: float
+    depleted_nodes: Tuple[int, ...]
+
+    @property
+    def mean_j(self) -> float:
+        """Mean joules consumed per node."""
+        if not self.consumed_j:
+            return 0.0
+        return self.total_j / len(self.consumed_j)
+
+
+@dataclasses.dataclass(frozen=True)
 class FaultEvent:
     """One fault-injection transition during a run.
 
@@ -322,6 +346,9 @@ class MetricsCollector:
         #: PHY/channel telemetry snapshot, filled by :meth:`record_channel`
         #: at the end of a run (``None`` until then).
         self.channel: Optional[ChannelTelemetry] = None
+        #: Per-node energy telemetry snapshot, filled by
+        #: :meth:`record_energy` at the end of a run (``None`` until then).
+        self.energy: Optional[EnergyTelemetry] = None
 
     # -- recording hooks ----------------------------------------------------
 
@@ -387,6 +414,29 @@ class MetricsCollector:
             events_processed=self._sim.events_processed,
         )
         return self.channel
+
+    def record_energy(self, meters) -> EnergyTelemetry:
+        """Snapshot per-node energy meters (typically post-run).
+
+        ``meters`` is duck-typed: a ``{node_id: meter}`` mapping whose
+        values expose :meth:`~repro.phy.energy.EnergyMeter.consumed_j`
+        and ``depleted``, keeping this module free of a PHY dependency.
+        """
+        consumed = {
+            node_id: meter.consumed_j() for node_id, meter in meters.items()
+        }
+        self.energy = EnergyTelemetry(
+            consumed_j=consumed,
+            total_j=float(sum(consumed.values())),
+            depleted_nodes=tuple(
+                sorted(
+                    node_id
+                    for node_id, meter in meters.items()
+                    if meter.depleted
+                )
+            ),
+        )
+        return self.energy
 
     def record_fault(
         self, kind: str, node: int = -1, detail: Optional[str] = None

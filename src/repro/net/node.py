@@ -40,13 +40,15 @@ class Node:
         rng: Optional[np.random.Generator] = None,
         queue_capacity: int = 50,
         dcf_book=None,
+        tech=None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.metrics = metrics
         self.radio = Radio(sim, node_id, phy_params, channel)
         self.mac = Mac80211(
-            sim, self.radio, mac_params, rng, queue_capacity, book=dcf_book
+            sim, self.radio, mac_params, rng, queue_capacity,
+            book=dcf_book, tech=tech,
         )
         self.mac.attach_upper(self._mac_receive, self._mac_failure)
         self.routing: Optional["RoutingProtocol"] = None

@@ -54,11 +54,27 @@ have decided, so deliveries, powers, delays and every counter stay
 bit-identical.  Stochastic propagation draws fading per visited link, so
 culling changes RNG consumption relative to dense (documented in
 docs/API.md); the run remains seeded and self-consistent.
+
+Channel effects
+---------------
+
+An ordered stack of :class:`repro.phy.effects.ChannelEffect` instances
+(``effects=``, built from the ``effect`` registry) post-processes every
+link's receive power.  The canonical application order — propagation
+model, then static effects in stack order, then the internal
+fault-degradation offset, then per-frame effects in stack order — is
+enforced identically on the cached-row, per-frame and scalar paths, so
+an empty stack is bit-identical to no stack at all and the fast paths
+stay bit-identical to the reference loop.  Static effects bake into
+the cached deterministic rows; per-frame effects (which may draw RNG)
+switch deterministic propagation onto the per-frame row format, the
+same one stochastic propagation uses.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +82,7 @@ from repro.des.engine import Simulator
 from repro.kernels import resolve_backend
 from repro.mac.frames import Frame
 from repro.mobility.trace import TracePlayer
+from repro.phy.effects import ChannelEffect, DbOffset
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel
 
 
@@ -143,6 +160,10 @@ class Channel:
             filtering); see :mod:`repro.kernels`.  Bit-identical across
             backends — powers and distances stay on the shared numpy
             arithmetic, kernels only select and filter.
+        effects: ordered channel-effect stack (see
+            :mod:`repro.phy.effects`) applied to every link's receive
+            power after the propagation model; an empty stack is the
+            bit-identical default.
     """
 
     def __init__(
@@ -154,6 +175,7 @@ class Channel:
         fast_path: bool = True,
         spatial: Optional[object] = None,
         kernels="auto",
+        effects: Sequence[ChannelEffect] = (),
     ) -> None:
         self._sim = sim
         self._propagation = propagation
@@ -173,9 +195,27 @@ class Channel:
         self.cache_rebuilds = 0
         self.links_evaluated = 0
         # Fault-injection state (see repro.faults): muted senders'
-        # frames are suppressed; attenuation scales every received power.
+        # frames are suppressed; the internal dB-offset effect scales
+        # every received power (driven by set_attenuation).
         self._muted: set = set()
-        self._attenuation = 1.0
+        self._fault_offset = DbOffset()
+        # Channel-effect stack, split by application time: static
+        # effects bake into cached rows, per-frame effects apply at
+        # transmit time (and may draw RNG).
+        self._static_effects: Tuple[ChannelEffect, ...] = tuple(
+            e for e in effects if not e.per_frame
+        )
+        self._frame_effects: Tuple[ChannelEffect, ...] = tuple(
+            e for e in effects if e.per_frame
+        )
+        # Deterministic rows can be fully filtered at build time only
+        # when no effect re-randomizes per frame.
+        self._det_fast = propagation.deterministic and not self._frame_effects
+        # SNR cache (rate adaptation), valid for one positions object;
+        # kept separate from the link cache so its hits/misses never
+        # perturb the cache_lookups/cache_rebuilds telemetry.
+        self._snr_positions: Optional[np.ndarray] = None
+        self._snr_cache: Dict[tuple, float] = {}
         # Link cache, valid for one positions object (= one position slot).
         self._cached_positions: Optional[np.ndarray] = None
         self._dist: Optional[np.ndarray] = None
@@ -245,17 +285,66 @@ class Channel:
         1.0 when its burst ends.  Invalidation is as narrow as the
         staleness: only *deterministic* per-sender rows bake the factor
         into their filtered powers, so only those are dropped here;
-        stochastic rows apply the factor per frame and survive, and the
+        per-frame rows apply the factor per frame and survive, and the
         attenuation-free structures — the distance/power matrices and
         the spatial index's grid cells — always survive, so a burst
         never forces an O(N^2) (or even O(N log N)) rebuild.
+
+        Internally this drives the channel's own
+        :class:`~repro.phy.effects.DbOffset` instance, which sits at a
+        fixed point of the effect stack (after static effects, before
+        per-frame effects) on every receive path — the
+        ``channel-degradation`` fault is a thin adapter over it.
         """
         if factor <= 0.0:
             raise ValueError(f"attenuation factor must be > 0, got {factor}")
-        if factor != self._attenuation:
-            self._attenuation = factor
-            if self._propagation.deterministic:
+        if factor != self._fault_offset.factor:
+            self._fault_offset.factor = factor
+            if self._det_fast:
                 self._rows = {}
+            self._snr_cache = {}
+
+    # -- link quality (rate adaptation) -------------------------------------
+
+    def link_snr_db(
+        self, sender_id: int, receiver_id: int, noise_floor_w: float
+    ) -> float:
+        """Mean SNR (dB) of the link, for SNR->MCS rate adaptation.
+
+        Deterministic by construction: built from the propagation
+        model's *mean* receive power (no fading draw — RNG consumption
+        is untouched), shaded by the static effect stack and the fault
+        offset, over the caller's noise floor.  ``-inf`` when the mean
+        power is driven to zero (e.g. by an obstacle with infinite
+        loss).  Cached per position slot, keyed by (sender, receiver,
+        noise floor), in a cache separate from the link rows so the
+        channel telemetry counters stay untouched.
+        """
+        positions = self._positions()
+        if positions is not self._snr_positions:
+            self._snr_positions = positions
+            self._snr_cache = {}
+        key = (sender_id, receiver_id, noise_floor_w)
+        snr = self._snr_cache.get(key)
+        if snr is None:
+            sender_pos = positions[sender_id]
+            delta = positions[receiver_id] - sender_pos
+            distance = float(np.hypot(delta[0], delta[1]))
+            tx_power = self._radios[sender_id].tx_power_w
+            power = self._propagation.mean_rx_power(tx_power, distance)
+            for effect in self._static_effects:
+                power = effect.apply_link(
+                    power, sender_id, receiver_id, positions
+                )
+            power = self._fault_offset.apply_link(
+                power, sender_id, receiver_id, positions
+            )
+            if power <= 0.0 or noise_floor_w <= 0.0:
+                snr = float("-inf")
+            else:
+                snr = 10.0 * math.log10(power / noise_floor_w)
+            self._snr_cache[key] = snr
+        return snr
 
     # -- link cache ---------------------------------------------------------
 
@@ -334,21 +423,48 @@ class Channel:
                 powers = self._power_matrix[sender_id][ids]
             else:
                 powers = self._propagation.rx_power_vector(tx_power, dist_row)
-            if self._attenuation != 1.0:
-                powers = powers * self._attenuation
-            idx = self._kernels.row_filter(
-                powers, thresholds, sel_ids, sender_id
-            )
-            pick = idx if reg_idx is None else reg_idx[idx]
-            radio_list = self._radio_list
-            row = (
-                [radio_list[k] for k in pick.tolist()],
-                powers[idx].tolist(),
-                delays[idx].tolist(),
-            )
+            # Static effects bake into the cached row (stack order, then
+            # the fault offset — the canonical order of every path).
+            for effect in self._static_effects:
+                powers = effect.apply_row(
+                    powers, sender_id, sel_ids, self._cached_positions
+                )
+            if self._det_fast:
+                powers = self._fault_offset.apply_row(
+                    powers, sender_id, sel_ids, self._cached_positions
+                )
+                idx = self._kernels.row_filter(
+                    powers, thresholds, sel_ids, sender_id
+                )
+                pick = idx if reg_idx is None else reg_idx[idx]
+                radio_list = self._radio_list
+                row = (
+                    [radio_list[k] for k in pick.tolist()],
+                    powers[idx].tolist(),
+                    delays[idx].tolist(),
+                )
+            else:
+                # Per-frame effects in play: keep the statically-shaded
+                # powers and finish (fault offset + per-frame stack +
+                # filtering) per transmission, like stochastic rows.
+                row = (
+                    sel_ids != sender_id,
+                    powers,
+                    delays,
+                    reg_idx,
+                    thresholds,
+                    sel_ids,
+                )
         else:
             state = self._propagation.link_cache_row(tx_power, dist_row)
-            row = (sel_ids != sender_id, state, delays, reg_idx, thresholds)
+            row = (
+                sel_ids != sender_id,
+                state,
+                delays,
+                reg_idx,
+                thresholds,
+                sel_ids,
+            )
         self._rows[sender_id] = row
         return row
 
@@ -370,13 +486,27 @@ class Channel:
         row = self._rows.get(sender_id)
         if row is None:
             row = self._build_row(sender_id)
-        if self._propagation.deterministic:
+        if self._det_fast:
             radios, powers, delays = row
         else:
-            mask_other, state, delay_row, reg_idx, thresholds = row
-            all_powers = self._propagation.rx_power_from_cache(state)
-            if self._attenuation != 1.0:
-                all_powers = all_powers * self._attenuation
+            mask_other, state, delay_row, reg_idx, thresholds, sel_ids = row
+            if self._propagation.deterministic:
+                # Static effects are already baked into the cached row.
+                all_powers = state
+            else:
+                all_powers = self._propagation.rx_power_from_cache(state)
+                for effect in self._static_effects:
+                    all_powers = effect.apply_row(
+                        all_powers, sender_id, sel_ids,
+                        self._cached_positions,
+                    )
+            all_powers = self._fault_offset.apply_row(
+                all_powers, sender_id, sel_ids, self._cached_positions
+            )
+            for effect in self._frame_effects:
+                all_powers = effect.apply_frame(
+                    all_powers, sender_id, sel_ids
+                )
             idx = np.nonzero(mask_other & (all_powers >= thresholds))[0]
             pick = idx if reg_idx is None else reg_idx[idx]
             radio_list = self._radio_list
@@ -408,8 +538,17 @@ class Channel:
             delta = positions[node_id] - sender_pos
             distance = float(np.hypot(delta[0], delta[1]))
             power = self._propagation.rx_power(tx_power, distance)
-            if self._attenuation != 1.0:
-                power = power * self._attenuation
+            # Canonical effect order, scalar form: static stack, fault
+            # offset, per-frame stack — same float ops, same results.
+            for effect in self._static_effects:
+                power = effect.apply_link(
+                    power, sender_id, node_id, positions
+                )
+            power = self._fault_offset.apply_link(
+                power, sender_id, node_id, positions
+            )
+            for effect in self._frame_effects:
+                power = effect.apply_frame_link(power, sender_id, node_id)
             if power < radio.params.cs_threshold_w:
                 self.frames_cs_dropped += 1
                 continue

@@ -10,9 +10,14 @@ hearer).  The :class:`Radio` keeps cumulative TX/RX airtime counters;
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 from repro.des.engine import Simulator
-from repro.phy.radio import Radio
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    # Imported lazily so repro.phy.tech (-> energy) stays importable
+    # from repro.phy.propagation without a radio -> params cycle.
+    from repro.phy.radio import Radio
 
 
 @dataclasses.dataclass(frozen=True)

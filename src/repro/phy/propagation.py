@@ -46,6 +46,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.registry import register
+from repro.phy.tech import DSSS_FREQUENCY_HZ
 
 #: Speed of light, m/s.
 SPEED_OF_LIGHT = 299_792_458.0
@@ -174,7 +175,7 @@ class FreeSpace(PropagationModel):
 
     def __init__(
         self,
-        frequency_hz: float = 914e6,
+        frequency_hz: float = DSSS_FREQUENCY_HZ,
         gain_tx: float = 1.0,
         gain_rx: float = 1.0,
         system_loss: float = 1.0,
@@ -228,7 +229,7 @@ class TwoRayGround(PropagationModel):
 
     def __init__(
         self,
-        frequency_hz: float = 914e6,
+        frequency_hz: float = DSSS_FREQUENCY_HZ,
         gain_tx: float = 1.0,
         gain_rx: float = 1.0,
         height_tx_m: float = 1.5,
@@ -382,7 +383,7 @@ class LogNormalShadowing(PropagationModel):
         path_loss_exponent: float = 2.7,
         sigma_db: float = 4.0,
         reference_distance_m: float = 1.0,
-        frequency_hz: float = 914e6,
+        frequency_hz: float = DSSS_FREQUENCY_HZ,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         if path_loss_exponent <= 0:

@@ -124,6 +124,16 @@ class Radio:
         """Physical carrier sense: any detectable signal, or own TX."""
         return self._transmitting or bool(self._signals)
 
+    def link_snr_db(self, receiver_id: int, noise_floor_w: float) -> float:
+        """Mean SNR (dB) of the link from this radio to ``receiver_id``.
+
+        Delegates to the channel's slot-cached, deterministic SNR (no
+        fading draw); the MAC's rate adaptation is the caller.
+        """
+        return self._channel.link_snr_db(
+            self._node_id, receiver_id, noise_floor_w
+        )
+
     # -- power state (fault injection) -------------------------------------
 
     def disable(self) -> None:

@@ -282,6 +282,30 @@ def test_components_lists_backend_namespace(capsys):
     assert "local-supervised" in out
 
 
+def test_components_lists_every_registered_namespace(capsys):
+    """Regression gate: a registry namespace added without surfacing in
+    ``repro components`` is invisible to users — every kind in
+    ``registry.KINDS`` must print a section with at least one entry."""
+    from repro.core import registry
+
+    assert main(["components"]) == 0
+    out = capsys.readouterr().out
+    for kind in registry.KINDS:
+        noun = registry.registry(kind).noun
+        assert f"{kind} ({noun}" in out, f"namespace {kind} not listed"
+    # The PHY realism namespaces specifically, with their builtins.
+    assert "tech (tech profile" in out
+    assert "80211p" in out
+    assert "effect (channel effect" in out
+    assert "obstacle" in out
+
+
+def test_run_accepts_tech_flag_and_reports_energy(capsys):
+    assert main(["run", *SMALL, "--tech", "80211P"]) == 0
+    out = capsys.readouterr().out
+    assert "energy consumed" in out
+
+
 def test_journal_inspect_and_compact_commands(tmp_path, capsys):
     journal = str(tmp_path / "sweep.jsonl")
     assert main([

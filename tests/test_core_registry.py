@@ -74,7 +74,7 @@ def test_unregister_removes_and_unknown_unregister_raises():
 # -- module-level namespaces --------------------------------------------------
 
 
-def test_all_nine_kinds_have_builtin_entries():
+def test_all_eleven_kinds_have_builtin_entries():
     expected = {
         "propagation": {"two_ray", "free_space", "shadowing", "nakagami"},
         "routing": {"AODV", "OLSR", "DYMO", "DSDV", "FLOODING"},
@@ -92,6 +92,8 @@ def test_all_nine_kinds_have_builtin_entries():
         "backend": {
             "auto", "local-serial", "local-process", "local-supervised",
         },
+        "tech": {"80211-dsss", "80211p"},
+        "effect": {"db-offset", "random-loss", "obstacle"},
     }
     assert set(registry.KINDS) == set(expected)
     for kind, names in expected.items():

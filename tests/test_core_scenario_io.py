@@ -106,6 +106,33 @@ scenario_dicts = st.fixed_dictionaries(
             ]
         ),
         "lease_ttl_s": st.sampled_from([0.5, 5.0, 30.0, 300.0]),
+        # Radio technology profiles: any spelling normalizes to the
+        # canonical name; options ride along as a JSON-native mapping.
+        "tech": st.sampled_from(
+            ["80211-dsss", "80211p", "80211-DSSS", "80211P"]
+        ),
+        "tech_options": st.sampled_from(
+            [{}, {"noise_figure_db": 8.0}, {"basic_rate_bps": 2e6}]
+        ),
+        # Channel effects: same spec shape as faults (list of dicts with
+        # a normalized "kind"); polygons stay JSON-native nested lists.
+        "effects": st.sampled_from(
+            [
+                (),
+                ({"kind": "db-offset", "offset_db": 3.0},),
+                ({"kind": "DB-Offset", "offset_db": 1.5},),
+                (
+                    {"kind": "random-loss", "loss_p": 0.1},
+                    {
+                        "kind": "obstacle",
+                        "polygons": [
+                            [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]]
+                        ],
+                        "extra_loss_db": 10.0,
+                    },
+                ),
+            ]
+        ),
         "seed": st.integers(0, 2**31),
     },
 )

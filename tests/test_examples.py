@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "trace_interchange",
     "custom_components",
     "fault_injection",
+    "tech_profiles",
 ]
 
 

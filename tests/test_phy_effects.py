@@ -1,0 +1,243 @@
+"""Channel effects: identity contracts, geometry, and end-to-end impact.
+
+Three invariants matter here: a configured no-op stack (empty, or
+effects whose parameters make them identities) is *bit-identical* to no
+stack at all; lossy effects measurably lower delivery; and effects that
+touch only some links leave every other link's event stream untouched.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.core import registry
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+from repro.phy.effects import Obstacle, ObstacleShadowing
+from repro.util.errors import ConfigError
+
+
+def _scenario(**overrides):
+    base = dict(
+        num_nodes=14,
+        road_length_m=1200.0,
+        sim_time_s=12.0,
+        traffic_start_s=2.0,
+        traffic_stop_s=10.0,
+        senders=(6, 7),
+        receiver=0,
+        dawdle_p=0.0,
+        seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _run(**overrides):
+    return CavenetSimulation(_scenario(**overrides)).run()
+
+
+def _event_streams(result):
+    """Event tuples modulo packet uid (a process-global counter)."""
+    delivered = [
+        (e.flow_id, e.time, e.size_bytes, e.delay_s, e.hops, e.node)
+        for e in result.collector.delivered
+    ]
+    transmitted = [
+        (e.kind, e.node, e.next_hop, e.time, e.size_bytes)
+        for e in result.collector.transmissions
+    ]
+    return delivered, transmitted
+
+
+# -- registry / configuration -------------------------------------------------
+
+
+def test_effect_namespace_registers_the_builtins():
+    names = registry.known("effect")
+    assert {"db-offset", "random-loss", "obstacle"} <= set(names)
+
+
+def test_effect_kinds_normalize_and_validate():
+    s = _scenario(effects=({"kind": "DB-Offset", "offset_db": 3.0},))
+    assert s.effects[0]["kind"] == "db-offset"
+    with pytest.raises(ConfigError, match="unknown channel effect"):
+        _scenario(effects=({"kind": "wormhole"},))
+    with pytest.raises(ConfigError):
+        _scenario(effects=("db-offset",))  # spec must be a mapping
+
+
+def test_bad_effect_options_raise_config_error():
+    with pytest.raises(ConfigError, match="loss_p"):
+        CavenetSimulation(
+            _scenario(effects=({"kind": "random-loss", "loss_p": 1.5},))
+        ).run()
+    bad = _scenario(effects=({"kind": "db-offset", "gain": 3.0},))
+    with pytest.raises(ConfigError, match="bad options"):
+        CavenetSimulation(bad).run()
+
+
+# -- identity contracts -------------------------------------------------------
+
+
+def test_identity_effects_are_bit_identical_to_no_stack():
+    """A 0 dB offset and a loss_p=0 Bernoulli both return the input
+    power object unchanged — the run must not drift by one bit (and the
+    loss effect must not consume a single RNG draw)."""
+    baseline = _run()
+    noop = _run(
+        effects=(
+            {"kind": "db-offset", "offset_db": 0.0},
+            {"kind": "random-loss", "loss_p": 0.0},
+        )
+    )
+    assert _event_streams(noop) == _event_streams(baseline)
+    assert noop.frames_on_air == baseline.frames_on_air
+    assert noop.pdr() == baseline.pdr()
+
+
+def test_obstacle_away_from_every_link_is_bit_identical():
+    """Shadowing is geometric: a polygon no link ever crosses leaves
+    every event stream untouched, even though the per-frame loop runs."""
+    # The circuit ring has radius ~191 m; park the building at 10 km.
+    far = (
+        {
+            "kind": "obstacle",
+            "polygons": [
+                [[10000.0, 10000.0], [10100.0, 10000.0], [10000.0, 10100.0]]
+            ],
+            "extra_loss_db": 40.0,
+        },
+    )
+    baseline = _run()
+    obstructed = _run(effects=far)
+    assert _event_streams(obstructed) == _event_streams(baseline)
+    assert obstructed.frames_on_air == baseline.frames_on_air
+
+
+# -- lossy effects lower delivery ---------------------------------------------
+
+
+def test_db_offset_attenuation_lowers_delivery():
+    baseline = _run()
+    attenuated = _run(effects=({"kind": "db-offset", "offset_db": 60.0},))
+    # 60 dB off every link silences the circuit outright.
+    assert attenuated.frames_on_air < baseline.frames_on_air
+    assert attenuated.pdr() < baseline.pdr()
+
+
+def test_random_loss_lowers_pdr_and_is_seed_deterministic():
+    baseline = _run()
+    lossy = _run(effects=({"kind": "random-loss", "loss_p": 0.3},))
+    again = _run(effects=({"kind": "random-loss", "loss_p": 0.3},))
+    assert lossy.pdr() < baseline.pdr()
+    # Named per-sender streams: the loss pattern reproduces exactly.
+    assert _event_streams(lossy) == _event_streams(again)
+
+
+def test_obstacle_on_the_ring_lowers_pdr_but_keeps_mobility():
+    """A building over one sector of a 2500 m circuit (ring radius
+    ~398 m) shadows the multi-hop chains crossing it: delivery and
+    per-frame fanout both drop, while the mobility trace — upstream of
+    the channel — stays identical."""
+    import math
+
+    radius = 2500.0 / (2.0 * math.pi)
+    block = (
+        {
+            "kind": "obstacle",
+            "polygons": [
+                [[radius - 100.0, -120.0], [radius + 60.0, -120.0],
+                 [radius + 60.0, 120.0], [radius - 100.0, 120.0]]
+            ],
+            "extra_loss_db": 20.0,
+        },
+    )
+    kwargs = dict(
+        num_nodes=30, road_length_m=2500.0, sim_time_s=8.0,
+        traffic_start_s=2.0, traffic_stop_s=6.0,
+        senders=(14, 15, 16), receiver=0, seed=11,
+    )
+    baseline = _run(**kwargs)
+    shadowed = _run(effects=block, **kwargs)
+    assert shadowed.pdr() < baseline.pdr()
+    assert (
+        shadowed.collector.channel.delivery_fanout
+        < baseline.collector.channel.delivery_fanout
+    )
+    # Mobility is upstream of the channel: the traces are identical.
+    assert np.array_equal(
+        baseline.trace.positions, shadowed.trace.positions
+    )
+
+
+# -- obstacle geometry --------------------------------------------------------
+
+
+def test_obstacle_contains_and_blocks():
+    square = Obstacle([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    assert square.contains(5.0, 5.0)
+    assert not square.contains(15.0, 5.0)
+    # Segment crossing two edges.
+    assert square.blocks(-5.0, 5.0, 15.0, 5.0)
+    # Endpoint inside counts as blocked (the vehicle is indoors).
+    assert square.blocks(5.0, 5.0, 50.0, 50.0)
+    # Clear miss.
+    assert not square.blocks(-5.0, 20.0, 15.0, 20.0)
+    with pytest.raises(ConfigError, match=">= 3 vertices"):
+        Obstacle([[0.0, 0.0], [1.0, 1.0]])
+
+
+def test_obstacle_shadowing_scales_only_blocked_rows():
+    square = Obstacle([[4.0, -1.0], [6.0, -1.0], [6.0, 1.0], [4.0, 1.0]])
+    effect = ObstacleShadowing([square], extra_loss_db=10.0)
+    positions = np.array(
+        [[0.0, 0.0], [10.0, 0.0], [0.0, 5.0]], dtype=np.float64
+    )
+    powers = np.array([1e-6, 2e-6, 3e-6])
+    sel_ids = np.array([0, 1, 2])
+    out = effect.apply_row(powers, 0, sel_ids, positions)
+    assert out is not powers  # link 0->1 crosses the square: lazy copy
+    assert out[1] == 2e-6 * effect.factor
+    # The sender's own slot and the unshadowed 0->2 link are untouched
+    # bit-for-bit, and the scalar hook agrees with the vector hook.
+    assert out[0] == powers[0]
+    assert out[2] == powers[2]
+    assert effect.apply_link(2e-6, 0, 1, positions) == out[1]
+    assert effect.apply_link(3e-6, 0, 2, positions) == 3e-6
+    # A no-op configuration returns the very same array object.
+    noop = ObstacleShadowing([square], extra_loss_db=0.0)
+    assert noop.apply_row(powers, 0, sel_ids, positions) is powers
+
+
+# -- composition with the spatial grid / kernel backends ----------------------
+
+
+def test_obstacle_run_is_identical_across_spatial_and_kernels():
+    """Static effects bake into the cached rows on every spatial index
+    and kernel backend; all four combinations land on one event stream."""
+    import math
+
+    radius = 1200.0 / (2.0 * math.pi)
+    effects = (
+        {
+            "kind": "obstacle",
+            "polygons": [
+                [[radius - 60.0, -80.0], [radius + 40.0, -80.0],
+                 [radius + 40.0, 80.0], [radius - 60.0, 80.0]]
+            ],
+            "extra_loss_db": 30.0,
+        },
+    )
+    reference = None
+    for spatial in ("dense", "grid"):
+        for kernels in ("python", "auto"):
+            result = _run(
+                effects=effects, spatial=spatial, kernels=kernels,
+                cull_radius_m=600.0 if spatial == "grid" else None,
+            )
+            streams = _event_streams(result)
+            if reference is None:
+                reference = streams
+            else:
+                assert streams == reference, (spatial, kernels)

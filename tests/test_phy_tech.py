@@ -1,0 +1,252 @@
+"""Tech profiles: rate ladder, airtime identity, registry and end-to-end.
+
+The default ``80211-dsss`` profile is the identity bridge over
+``Mac80211Params`` (bit-identity is held by
+``test_regression_defaults``); these tests pin the profile abstraction
+itself — the inclusive SNR threshold lookup, the airtime expression,
+noise floors, option overrides — and that swapping ``tech="80211p"``
+changes per-link rates deterministically, independent of worker count.
+"""
+
+
+import pytest
+
+from repro.core import registry
+from repro.core.config import Scenario
+from repro.core.simulation import CavenetSimulation
+from repro.mac.frames import FrameType
+from repro.mac.params import Mac80211Params
+from repro.phy.energy import EnergyParams
+from repro.phy.tech import (
+    BOLTZMANN_J_PER_K,
+    DSSS_FREQUENCY_HZ,
+    REFERENCE_TEMPERATURE_K,
+    TechProfile,
+)
+from repro.util.errors import ConfigError
+
+
+def _scenario(**overrides):
+    base = dict(
+        num_nodes=14,
+        road_length_m=1200.0,
+        sim_time_s=12.0,
+        traffic_start_s=2.0,
+        traffic_stop_s=10.0,
+        senders=(6, 7),
+        receiver=0,
+        dawdle_p=0.0,
+        seed=3,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _dsss():
+    return TechProfile.from_mac_params(Mac80211Params())
+
+
+def _80211p():
+    return registry.resolve("tech", "80211p")(_scenario())
+
+
+# -- airtime identity ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("size_bytes", [64, 512, 1024, 1500])
+def test_frame_airtime_matches_mac_params_tx_time(size_bytes):
+    """Same float expression as ``Mac80211Params.tx_time`` — IEEE-754
+    equality, not approx, or event timestamps would drift."""
+    params = Mac80211Params()
+    profile = _dsss()
+    assert profile.frame_airtime(
+        size_bytes, params.data_rate_bps
+    ) == params.tx_time(size_bytes, FrameType.DATA)
+    assert profile.frame_airtime(
+        size_bytes, params.basic_rate_bps
+    ) == params.tx_time(size_bytes, FrameType.ACK)
+
+
+# -- the rate ladder ----------------------------------------------------------
+
+
+def test_rate_ladder_inclusive_thresholds_tie_toward_higher_rate():
+    p = _80211p()
+    assert p.rate_for_snr_db(4.9) == 3e6    # below lowest: lowest MCS
+    assert p.rate_for_snr_db(-50.0) == 3e6
+    assert p.rate_for_snr_db(5.0) == 3e6    # inclusive at the threshold
+    assert p.rate_for_snr_db(6.0) == 4.5e6  # tie selects the higher rung
+    assert p.rate_for_snr_db(14.999) == 9e6
+    assert p.rate_for_snr_db(27.0) == 27e6
+    assert p.rate_for_snr_db(100.0) == 27e6  # saturates at the top
+
+
+def test_adaptive_flag():
+    assert not _dsss().adaptive   # single MCS: no SNR lookups ever
+    assert _80211p().adaptive
+
+
+def test_noise_floor_is_ktb_times_noise_figure():
+    profile = _dsss()
+    thermal = BOLTZMANN_J_PER_K * REFERENCE_TEMPERATURE_K * 22e6
+    assert profile.noise_floor_w == thermal * 10.0
+    p = _80211p()
+    assert p.noise_floor_w == pytest.approx(
+        BOLTZMANN_J_PER_K * REFERENCE_TEMPERATURE_K * 10e6 * 10.0 ** 0.6
+    )
+    # The 10 MHz DSRC channel with its better front end is quieter.
+    assert p.noise_floor_w < profile.noise_floor_w
+
+
+def test_from_mac_params_copies_the_table_i_numbers():
+    params = Mac80211Params()
+    profile = _dsss()
+    assert profile.name == "80211-dsss"
+    assert profile.frequency_hz == DSSS_FREQUENCY_HZ
+    assert profile.mcs == ((0.0, params.data_rate_bps),)
+    assert profile.basic_rate_bps == params.basic_rate_bps
+    assert profile.plcp_s == params.plcp_s
+    assert profile.energy == EnergyParams()
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def test_profile_validation_rejects_bad_tables():
+    kwargs = dict(
+        name="x", frequency_hz=1e9, bandwidth_hz=1e7, noise_figure_db=6.0,
+        basic_rate_bps=1e6, plcp_s=1e-4, tx_power_min_w=1e-3,
+        tx_power_max_w=1.0,
+    )
+    with pytest.raises(ConfigError, match="empty MCS"):
+        TechProfile(mcs=(), **kwargs)
+    with pytest.raises(ConfigError, match="strictly ascending"):
+        TechProfile(mcs=((5.0, 2e6), (5.0, 3e6)), **kwargs)
+    with pytest.raises(ConfigError, match="strictly ascending"):
+        TechProfile(mcs=((5.0, 3e6), (8.0, 2e6)), **kwargs)
+    with pytest.raises(ConfigError, match="tx_power_min_w"):
+        TechProfile(
+            mcs=((0.0, 1e6),),
+            **{**kwargs, "tx_power_min_w": 2.0, "tx_power_max_w": 1.0},
+        )
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_tech_namespace_registers_the_builtins():
+    names = registry.known("tech")
+    assert "80211-dsss" in names
+    assert "80211p" in names
+
+
+def test_tech_names_normalize_case_insensitively():
+    assert registry.normalize("tech", "80211P") == "80211p"
+    assert registry.normalize("tech", "80211-DSSS") == "80211-dsss"
+    assert _scenario(tech="80211P").tech == "80211p"
+    with pytest.raises(ConfigError, match="unknown tech profile"):
+        _scenario(tech="5g-nr")
+
+
+def test_tech_options_override_profile_fields():
+    scenario = _scenario(
+        tech="80211-dsss", tech_options={"mcs": [[0.0, 1e6]]}
+    )
+    profile = CavenetSimulation(scenario).build_tech()
+    assert profile.mcs == ((0.0, 1e6),)
+    bad = _scenario(tech="80211-dsss", tech_options={"warp_factor": 9})
+    with pytest.raises(ConfigError, match="bad"):
+        CavenetSimulation(bad).build_tech()
+
+
+# -- end to end ---------------------------------------------------------------
+
+
+def test_80211p_changes_per_link_rates_and_timestamps():
+    default = CavenetSimulation(_scenario()).run()
+    dsrc = CavenetSimulation(_scenario(tech="80211p")).run()
+    # Same mobility, same offered load — only airtimes/rates moved.
+    assert (
+        default.collector.num_originated == dsrc.collector.num_originated
+    )
+    # Faster OFDM rungs shorten every DATA airtime, so the delivered
+    # event stream (timestamps, delays) cannot coincide.
+    assert _event_streams(default) != _event_streams(dsrc)
+    assert default.delay_stats().mean_s != dsrc.delay_stats().mean_s
+    assert dsrc.collector.energy is not None
+
+
+def _event_streams(result):
+    """Event tuples modulo packet uid (a process-global counter)."""
+    delivered = [
+        (e.flow_id, e.time, e.size_bytes, e.delay_s, e.hops, e.node)
+        for e in result.collector.delivered
+    ]
+    transmitted = [
+        (e.kind, e.node, e.next_hop, e.time, e.size_bytes)
+        for e in result.collector.transmissions
+    ]
+    return delivered, transmitted
+
+
+def test_80211p_is_deterministic_for_a_fixed_seed():
+    a = CavenetSimulation(_scenario(tech="80211p")).run()
+    b = CavenetSimulation(_scenario(tech="80211p")).run()
+    assert _event_streams(a) == _event_streams(b)
+    assert a.frames_on_air == b.frames_on_air
+
+
+def test_80211p_sweep_identical_across_worker_counts():
+    from repro.core.sweep import sweep_scenario
+
+    scenario = _scenario(tech="80211p")
+    serial = sweep_scenario(scenario, "seed", [3, 5], max_workers=1)
+    fanned = sweep_scenario(scenario, "seed", [3, 5], max_workers=4)
+    assert [
+        (p.value, p.pdr_mean, p.delay_mean_s) for p in serial.points
+    ] == [(p.value, p.pdr_mean, p.delay_mean_s) for p in fanned.points]
+
+
+def test_energy_telemetry_reflects_the_profile_draws():
+    frugal = _scenario(
+        tech_options={"energy": {"tx_power_w": 0.1, "rx_power_w": 0.05,
+                                 "idle_power_w": 0.01}}
+    )
+    hungry = _scenario(
+        tech_options={"energy": {"tx_power_w": 1.0, "rx_power_w": 0.8,
+                                 "idle_power_w": 0.2}}
+    )
+    low = CavenetSimulation(frugal).run()
+    high = CavenetSimulation(hungry).run()
+    assert low.collector.energy is not None
+    assert set(low.collector.energy.consumed_j) == set(range(14))
+    assert 0.0 < low.collector.energy.total_j < high.collector.energy.total_j
+    assert low.total_energy_j() == low.collector.energy.total_j
+
+
+# -- the literal gate ---------------------------------------------------------
+
+
+def test_no_rate_or_frequency_literals_outside_params_and_tech():
+    """Rates and carrier frequencies live in exactly two places —
+    ``Mac80211Params`` and the tech profiles.  A ``2e6`` or ``5.9e9``
+    hard-coded anywhere else in ``mac/`` or ``phy/`` silently bypasses
+    the profile abstraction.  Mirrors the CI grep gate."""
+    import pathlib
+    import re
+
+    src = pathlib.Path(__file__).resolve().parent.parent / "src/repro"
+    literal = re.compile(r"[0-9](\.[0-9]+)?e[69]\b")
+    offenders = []
+    for package in ("mac", "phy"):
+        for path in sorted((src / package).glob("*.py")):
+            if path.name in ("params.py", "tech.py"):
+                continue
+            for number, line in enumerate(
+                path.read_text().splitlines(), 1
+            ):
+                if literal.search(line):
+                    offenders.append(f"{package}/{path.name}:{number}")
+    assert not offenders, (
+        f"rate/frequency literals outside params.py/tech.py: {offenders}"
+    )

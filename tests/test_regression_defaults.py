@@ -41,3 +41,27 @@ def test_default_scenario_is_bit_identical(protocol, kernels):
         result.control_overhead().packets,
     )
     assert observed == GOLDEN[protocol]
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+@pytest.mark.parametrize("kernels", ["python", "auto"])
+def test_explicit_default_tech_and_empty_effects_are_bit_identical(
+    protocol, kernels
+):
+    """The PHY realism layer's identity contract: spelling out the
+    default profile and an empty effect stack routes airtimes and rates
+    through :class:`TechProfile` yet must reproduce the pre-profile
+    goldens bit-for-bit on every kernel backend."""
+    scenario = Scenario(
+        protocol=protocol, kernels=kernels, tech="80211-dsss", effects=()
+    )
+    result = CavenetSimulation(scenario).run()
+    observed = (
+        result.pdr(),
+        result.collector.num_originated,
+        result.collector.num_delivered,
+        result.frames_on_air,
+        result.delay_stats().mean_s,
+        result.control_overhead().packets,
+    )
+    assert observed == GOLDEN[protocol]
