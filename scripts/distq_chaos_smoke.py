@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Dir-queue chaos smoke: multi-host execution must never change results.
+
+CI runs this end-to-end check on every push (it also runs fine locally):
+
+1. ground truth — run a small fault-injected campaign serially, then
+   re-run it through the ``dir-queue`` backend with four workers while a
+   :class:`~repro.core.chaos.ChaosMonkey` SIGKILLs one trial's worker,
+   mutes another's heartbeats (the lease observer must see the frozen
+   claim and reclaim with a higher fencing token) and plants a foreign
+   claim on a third (contention: wait it out, take over, run exactly
+   once) — results must be *bit-identical* to the serial truth;
+2. stale fence — a paused worker holding fencing token 1 tries to
+   commit after a reclaimer was issued token 2; the commit must be
+   provably rejected (:class:`StaleLeaseError` with both tokens, a
+   stale marker on disk, no result file) and the reclaimer's commit
+   must pass through the same fence untouched;
+3. kill the scheduler — a ``repro serve`` spool job is SIGKILLed
+   mid-campaign (after at least one trial has been journalled); a
+   fresh scheduler pointed at the same spool must finish the job from
+   the journal alone, duplicate-free and bit-identical to a local
+   serial sweep of the same envelope;
+4. read-only degrade — the queue directory stops being writable
+   mid-campaign; the backend must degrade down the ladder (dir-queue →
+   local-supervised) and still complete bit-identically.
+
+Exits 0 on success, 1 with a diagnostic on any mismatch.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.chaos import ChaosMonkey
+from repro.core.config import Scenario
+from repro.core.distq import DirQueue, DirQueueBackend
+from repro.core.runner import TrialRunner, TrialSpec
+from repro.core.serve import (
+    decode_result_value,
+    serve_spool,
+    submit_job,
+    tail_results,
+)
+from repro.core.sweep import _run_scenario_trial, sweep_scenario
+from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import StaleLeaseError
+
+BASE = Scenario(
+    num_nodes=10,
+    road_length_m=900.0,
+    sim_time_s=15.0,
+    senders=(1, 2),
+    traffic_start_s=2.0,
+    traffic_stop_s=12.0,
+    dawdle_p=0.0,
+    seed=3,
+    faults=[{"kind": "node-crash", "nodes": [3], "at_s": 5.0, "down_s": 4.0}],
+)
+TRIALS = 5
+
+
+def make_specs():
+    return [
+        TrialSpec(
+            key=("distq", trial),
+            fn=_run_scenario_trial,
+            args=(dataclasses.replace(BASE, seed=BASE.seed + 1000 * trial),),
+        )
+        for trial in range(TRIALS)
+    ]
+
+
+def fingerprint_of(results):
+    return [
+        (
+            r.pdr(),
+            r.collector.num_originated,
+            r.collector.num_delivered,
+            r.frames_on_air,
+            r.delay_stats().mean_s,
+            r.channel_telemetry.events_processed,
+            len(r.fault_events),
+        )
+        for r in results
+    ]
+
+
+def values_in_order(outcomes):
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    return [o.value for o in ordered]
+
+
+def _leg_1_chaos(truth, workdir) -> bool:
+    print("[1/4] dir-queue chaos: 4 workers, SIGKILL + mute + contention")
+    chaos = ChaosMonkey(kill_on={0}, mute_on={1}, contend_on={2})
+    telemetry = CampaignTelemetry()
+    outcomes = TrialRunner(
+        max_workers=4,
+        backend="dir-queue",
+        queue_dir=str(workdir / "chaos-queue"),
+        lease_ttl_s=1.5,
+        max_attempts=3,
+        telemetry=telemetry,
+        chaos=chaos,
+    ).run(make_specs())
+    if any(not o.ok for o in outcomes):
+        print("FAIL: dir-queue chaos campaign did not recover every trial")
+        return False
+    if telemetry.claims_won < TRIALS:
+        print(f"FAIL: expected >= {TRIALS} claims, "
+              f"got {telemetry.claims_won}")
+        return False
+    if telemetry.leases_reclaimed < 1:
+        print("FAIL: the SIGKILLed/muted workers were never reclaimed")
+        return False
+    if not any(e.kind == "lease-contended" for e in telemetry.events):
+        print("FAIL: lease contention was never planted")
+        return False
+    chaotic = fingerprint_of(values_in_order(outcomes))
+    if chaotic != truth:
+        print("FAIL: dir-queue chaos campaign differs from the truth")
+        print(f"  truth: {truth}")
+        print(f"  chaos: {chaotic}")
+        return False
+    return True
+
+
+def _leg_2_stale_fence(workdir) -> bool:
+    print("[2/4] stale fence: a fenced-out worker's late commit is rejected")
+    queue = DirQueue(str(workdir / "fence-queue"), ttl_s=30.0)
+    queue.setup({"fingerprint": "fence-smoke", "ttl_s": 30.0,
+                 "quarantine_after": 3, "max_attempts": 2,
+                 "heartbeat_s": 1.0, "trial_timeout_s": None})
+    tid = queue.enqueue({"key": 0, "fn": None, "args": (), "kwargs": {},
+                         "index": 0, "chaos_mode": None, "kill_all": False})
+    stale = queue.try_claim_fresh(tid, "paused-host:111:1")
+    reclaim = queue.try_takeover(tid, "reclaimer-host:222:1", stale)
+    if stale is None or reclaim is None or reclaim.token != stale.token + 1:
+        print("FAIL: claim/takeover protocol did not issue fencing tokens")
+        return False
+    record = {"status": "ok", "value": 41, "attempts": 1, "wall_clock_s": 0.1}
+    try:
+        queue.commit_result(tid, stale.owner, stale.token, record)
+    except StaleLeaseError as error:
+        if (error.token, error.current) != (stale.token, reclaim.token):
+            print(f"FAIL: stale rejection lacked evidence: {error}")
+            return False
+    else:
+        print("FAIL: the fenced-out commit was accepted")
+        return False
+    if queue.has_result(tid):
+        print("FAIL: the rejected commit still left a result behind")
+        return False
+    if not any(m.startswith(tid) for m in queue.stale_markers()):
+        print("FAIL: no stale marker was written for the audit trail")
+        return False
+    queue.commit_result(
+        tid, reclaim.owner, reclaim.token,
+        {"status": "ok", "value": 42, "attempts": 2, "wall_clock_s": 0.1},
+    )
+    committed = queue.read_result(tid)
+    if committed["value"] != 42 or committed["token"] != reclaim.token:
+        print("FAIL: the rightful holder's commit did not land")
+        return False
+    return True
+
+
+def _is_trial_record(line: str) -> bool:
+    try:
+        return json.loads(line).get("kind") == "trial"
+    except ValueError:
+        return False  # torn tail mid-poll
+
+
+def _leg_3_kill_scheduler(workdir) -> bool:
+    print("[3/4] kill the scheduler mid-job, restart, resume from spool")
+    spool = str(workdir / "spool")
+    envelope = {
+        "scenario": BASE.to_dict(),
+        "field": "num_nodes",
+        "values": [10, 12],
+        "trials": 2,
+        "max_workers": 2,
+    }
+    name = submit_job(spool, dict(envelope))
+    job_dir = os.path.join(spool, "jobs", name)
+    journal_path = os.path.join(job_dir, "journal.jsonl")
+    done_marker = os.path.join(job_dir, "done")
+
+    context = multiprocessing.get_context("fork")
+    scheduler = context.Process(
+        target=serve_spool, args=(spool,), kwargs={"once": True}
+    )
+    scheduler.start()
+    # Wait until at least one trial has been journalled, then SIGKILL the
+    # scheduler with the job still unfinished — the exact crash window a
+    # resume must cover.
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if os.path.exists(done_marker):
+            break
+        try:
+            with open(journal_path, "r", encoding="utf-8") as handle:
+                if any(_is_trial_record(line) for line in handle):
+                    break
+        except OSError:
+            pass
+        time.sleep(0.05)
+    else:
+        print("FAIL: the scheduler never journalled a trial")
+        return False
+    killed_midway = not os.path.exists(done_marker)
+    os.kill(scheduler.pid, signal.SIGKILL)
+    scheduler.join(timeout=30)
+    if not killed_midway:
+        # The job outran the kill window; resubmitting still proves the
+        # restart path — everything must come back from the journal.
+        submit_job(spool, dict(envelope))
+
+    telemetry = CampaignTelemetry()
+    if serve_spool(spool, once=True, telemetry=telemetry) != 1:
+        print("FAIL: the restarted scheduler did not pick up the dead job")
+        return False
+    if killed_midway and telemetry.trials_resumed < 1:
+        print("FAIL: the restarted scheduler re-ran journalled trials")
+        return False
+    if not os.path.exists(done_marker):
+        print("FAIL: the resumed job never finished")
+        return False
+    with open(done_marker, "r", encoding="utf-8") as handle:
+        summary = json.load(handle)
+    if summary["ok"] != 4 or summary["failed"] != 0:
+        print(f"FAIL: resumed job summary wrong: {summary}")
+        return False
+
+    records = list(tail_results(job_dir, follow=False))
+    keys = [tuple(r["key"]) for r in records]
+    if len(keys) != len(set(keys)) or len(keys) != 4:
+        print(f"FAIL: results stream not duplicate-free: {sorted(keys)}")
+        return False
+    served = {
+        tuple(r["key"]): fingerprint_of([decode_result_value(r)])[0]
+        for r in records
+    }
+    local = sweep_scenario(BASE, "num_nodes", [10, 12], trials=2)
+    serial = {
+        (point.value, trial): fingerprint_of([result])[0]
+        for point in local.points
+        for trial, result in enumerate(point.results)
+    }
+    if served != serial:
+        print("FAIL: served campaign differs from the local serial sweep")
+        print(f"  serial: {serial}")
+        print(f"  served: {served}")
+        return False
+    return True
+
+
+def _leg_4_read_only_degrade(truth, workdir) -> bool:
+    print("[4/4] read-only queue dir: degrade down the ladder, identical")
+    original = DirQueueBackend._probe_writable
+    DirQueueBackend._probe_writable = staticmethod(lambda root: False)
+    try:
+        telemetry = CampaignTelemetry()
+        outcomes = TrialRunner(
+            max_workers=2,
+            backend="dir-queue",
+            queue_dir=str(workdir / "ro-queue"),
+            lease_ttl_s=5.0,
+            telemetry=telemetry,
+        ).run(make_specs())
+    finally:
+        DirQueueBackend._probe_writable = original
+    if any(not o.ok for o in outcomes):
+        print("FAIL: read-only degradation lost trials")
+        return False
+    degraded = [e for e in telemetry.events if e.kind == "degraded"]
+    if not degraded or "writable" not in degraded[0].detail:
+        print(f"FAIL: no read-only degradation event (got {degraded})")
+        return False
+    if fingerprint_of(values_in_order(outcomes)) != truth:
+        print("FAIL: degraded campaign differs from the truth")
+        return False
+    return True
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="distq-chaos-"))
+    print("[0/4] ground truth: serial campaign", flush=True)
+    outcomes = TrialRunner(max_workers=1).run(make_specs())
+    if any(not o.ok for o in outcomes):
+        print("FAIL: ground-truth campaign had failures")
+        return 1
+    truth = fingerprint_of(values_in_order(outcomes))
+
+    if not _leg_1_chaos(truth, workdir):
+        return 1
+    if not _leg_2_stale_fence(workdir):
+        return 1
+    if not _leg_3_kill_scheduler(workdir):
+        return 1
+    if not _leg_4_read_only_degrade(truth, workdir):
+        return 1
+    print(
+        "OK: dir-queue chaos, stale-fence rejection, scheduler kill/resume "
+        "and read-only degradation all bit-identical to serial truth"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

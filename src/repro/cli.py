@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the everyday uses of the tool:
+Eleven commands cover the everyday uses of the tool:
 
 * ``run``         — one network scenario, printed metrics;
 * ``compare``     — several protocols over the same mobility (Fig. 11);
@@ -9,7 +9,12 @@ Eight commands cover the everyday uses of the tool:
 * ``fundamental`` — the flow-density diagram (Fig. 4);
 * ``spacetime``   — an ASCII space-time diagram (Fig. 5);
 * ``components``  — list every registered component, per namespace;
-* ``journal``     — ``inspect`` or ``compact`` a trial journal file.
+* ``journal``     — ``inspect`` or ``compact`` a trial journal file;
+* ``serve``       — run the crash-safe campaign scheduler over a spool
+  directory (job envelopes in, incremental results out);
+* ``worker``      — drain dir-queue campaigns under a queue or spool
+  directory (run one per host sharing the directory);
+* ``attach``      — tail a served job's incremental per-trial results.
 
 Scenario-taking commands (``run``, ``compare``, ``sweep``, ``trace``)
 accept ``--scenario FILE`` to load a declarative scenario saved by
@@ -23,11 +28,15 @@ to skip trials already in the journal after a crash (``--resume``
 without ``--journal`` is rejected at argument-parse time), and
 ``--strict`` to exit nonzero when any trial failed (instead of silently
 aggregating the survivors).  ``--backend`` picks the execution backend
-(``local-serial``, ``local-process``, ``local-supervised``;
-see :mod:`repro.core.backend`), with ``--lease-ttl`` and
-``--max-retries`` tuning the supervised backend's lease duration and
-retry budget.  Configuration mistakes and campaign failures surface as
-the typed errors of :mod:`repro.util.errors` and exit with code 2.
+(``local-serial``, ``local-process``, ``local-supervised``,
+``dir-queue``; see :mod:`repro.core.backend` and
+:mod:`repro.core.distq`), with ``--lease-ttl`` and ``--max-retries``
+tuning lease duration and retry budget, and ``--queue-dir`` /
+``--quarantine-after`` configuring the dir-queue's shared directory and
+poison-trial threshold.  Configuration mistakes and campaign failures
+surface as the typed errors of :mod:`repro.util.errors` and exit with
+code 2; ``journal inspect`` exits 3 when the journal holds quarantined
+trials, so scripts can distinguish "needs a human" from "corrupt".
 
 Interrupting a campaign is graceful for both Ctrl-C and a polite kill:
 completed trials are already fsync'd to the journal (when ``--journal``
@@ -180,7 +189,93 @@ def build_parser() -> argparse.ArgumentParser:
         "components",
         help="list every registered component (propagation, routing, "
         "mobility, traffic, boundary, fault, spatial, kernels, backend, "
-        "tech, effect)",
+        "tech, effect, queue)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the crash-safe campaign scheduler over a spool "
+        "directory (kill it any time; it resumes from the journals)",
+    )
+    serve.add_argument("spool", help="spool directory (created if absent)")
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="one scheduling pass (recover interrupted jobs, drain "
+        "what is queued now) instead of polling forever",
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle sleep between spool scans (default 0.2)",
+    )
+    serve.add_argument(
+        "--submit",
+        default=None,
+        metavar="FILE",
+        help="first drop this job-envelope JSON file ('-' for stdin) "
+        "into the spool, then schedule",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help="drain dir-queue campaigns under a queue or spool directory "
+        "(run one per host sharing the directory)",
+    )
+    worker.add_argument(
+        "root",
+        help="a campaign's --queue-dir, or a serve spool directory "
+        "(then every job's queue is served as it appears)",
+    )
+    worker.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new queues after draining the current "
+        "ones (serve mode) instead of exiting when drained",
+    )
+    worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="idle sleep between queue scans (default 0.05)",
+    )
+    worker.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="max_trials",
+        help="exit after committing N trials (default: unlimited)",
+    )
+
+    attach = commands.add_parser(
+        "attach",
+        help="tail a served job's incremental per-trial results",
+    )
+    attach.add_argument("spool", help="the scheduler's spool directory")
+    attach.add_argument(
+        "--job",
+        default=None,
+        metavar="ID",
+        help="job id under the spool's jobs/ directory (default: the "
+        "only job, when exactly one exists)",
+    )
+    attach.add_argument(
+        "--no-follow",
+        action="store_true",
+        dest="no_follow",
+        help="print the records available now and exit instead of "
+        "following until the job finishes",
+    )
+    attach.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up (exit 2) after this long following an idle job",
     )
 
     journal = commands.add_parser(
@@ -192,7 +287,8 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = journal_commands.add_parser(
         "inspect",
         help="print the journal's fingerprint, trial/lease/heartbeat "
-        "counts and torn-tail status",
+        "counts, live lease owners and quarantined trials; exits 3 "
+        "when quarantined trials exist",
     )
     inspect.add_argument("path", help="journal file to inspect")
     compact = journal_commands.add_parser(
@@ -283,7 +379,26 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend",
         default=None,
         help="execution backend: local-serial, local-process, "
-        "local-supervised, or auto (default; see `repro components`)",
+        "local-supervised, dir-queue, or auto (default; see "
+        "`repro components`)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        dest="queue_dir",
+        help="dir-queue backend: shared job-queue directory; point other "
+        "hosts' `repro worker` at the same directory to join the "
+        "campaign (default: a private temporary directory)",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=None,
+        metavar="K",
+        dest="quarantine_after",
+        help="dir-queue backend: park a trial after it kills K distinct "
+        "workers instead of reclaiming it forever (default 3)",
     )
     parser.add_argument(
         "--lease-ttl",
@@ -370,6 +485,10 @@ def _campaign_telemetry(workers: int, journal: Optional[str] = None):
 
     return CampaignTelemetry()
 
+
+#: ``journal inspect`` found quarantined (poison) trials: the campaign
+#: finished its healthy trials but some are parked awaiting a human.
+EXIT_QUARANTINED = 3
 
 #: Conventional exit code for death-by-SIGINT (128 + signal number 2).
 EXIT_INTERRUPTED = 130
@@ -466,12 +585,16 @@ def _max_attempts(args: argparse.Namespace) -> int:
 
 
 def _backend_overrides(args: argparse.Namespace) -> Dict[str, Any]:
-    """Scenario overrides implied by ``--backend`` / ``--lease-ttl``."""
+    """Scenario overrides implied by the backend-selection flags."""
     overrides: Dict[str, Any] = {}
     if getattr(args, "backend", None):
         overrides["backend"] = args.backend
     if getattr(args, "lease_ttl", None) is not None:
         overrides["lease_ttl_s"] = args.lease_ttl
+    if getattr(args, "queue_dir", None) is not None:
+        overrides["queue_dir"] = args.queue_dir
+    if getattr(args, "quarantine_after", None) is not None:
+        overrides["quarantine_after"] = args.quarantine_after
     return overrides
 
 
@@ -759,7 +882,9 @@ def _cmd_components(args: argparse.Namespace) -> int:
 
 
 def _cmd_journal(args: argparse.Namespace) -> int:
-    from repro.core.journal import compact_journal, inspect_journal
+    from repro.core.journal import (
+        compact_journal, inspect_journal, read_lease_state, read_quarantine,
+    )
 
     if args.journal_command == "inspect":
         stats = inspect_journal(args.path)
@@ -775,15 +900,133 @@ def _cmd_journal(args: argparse.Namespace) -> int:
               f"(live {stats.live_leases}, expired {stats.expired_leases})")
         print(f"  heartbeats      : {stats.heartbeats}")
         print(f"  events          : {stats.events}")
+        print(f"  quarantined     : {stats.quarantined}")
         print(f"  superseded      : {stats.superseded}")
         torn = "yes (tolerated on resume)" if stats.torn_tail else "no"
         print(f"torn tail         : {torn}")
+        leases = read_lease_state(args.path)
+        if leases:
+            print("open leases:")
+            for key_id, lease in sorted(leases.items()):
+                parts = [f"owner {lease.owner}", f"attempt {lease.attempt}"]
+                if lease.host is not None:
+                    parts.append(f"host {lease.host}")
+                if lease.pid is not None:
+                    parts.append(f"pid {lease.pid}")
+                if lease.token is not None:
+                    parts.append(f"fencing token {lease.token}")
+                state = "expired" if lease.expired() else "live"
+                print(f"  {key_id}: {', '.join(parts)} ({state})")
+        quarantined = read_quarantine(args.path)
+        if quarantined:
+            print("quarantined trials (remove the quarantine record or "
+                  "start a fresh journal to re-run them):")
+            for key_id, record in sorted(quarantined.items()):
+                owners = ", ".join(record.owners)
+                print(f"  {key_id}: killed {len(record.owners)} distinct "
+                      f"worker(s) [{owners}] after {record.attempts} "
+                      "attempt(s)")
+                for line in record.traceback.rstrip().splitlines():
+                    print(f"    | {line}")
+            return EXIT_QUARANTINED
         return 0
     before, after = compact_journal(args.path, output=args.output)
     target = args.output or args.path
     saved = before - after
     print(f"compacted {args.path} -> {target}: "
           f"{before:,} -> {after:,} bytes ({saved:,} saved)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.serve import serve_spool, submit_job
+    from repro.metrics.collector import CampaignTelemetry
+
+    if args.submit is not None:
+        if args.submit == "-":
+            raw = json.load(sys.stdin)
+        else:
+            with open(args.submit, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        name = submit_job(args.spool, raw)
+        print(f"submitted job {name}", file=sys.stderr)
+    telemetry = CampaignTelemetry()
+    try:
+        ran = serve_spool(
+            args.spool,
+            once=args.once,
+            telemetry=telemetry,
+            poll_interval_s=args.poll,
+        )
+    except KeyboardInterrupt:
+        # Mid-job state is already durable (journal + queue); a restarted
+        # scheduler resumes it, so an interrupt is a clean shutdown here.
+        print(f"\ninterrupted ({_interrupt_signal}); jobs resume on the "
+              "next `repro serve` over this spool", file=sys.stderr)
+        return (
+            EXIT_TERMINATED if _interrupt_signal == "SIGTERM"
+            else EXIT_INTERRUPTED
+        )
+    print(f"{ran} job(s) finished; {telemetry.format_summary()}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.core.distq import run_worker_loop
+
+    try:
+        committed = run_worker_loop(
+            args.root,
+            poll_interval_s=args.poll,
+            follow=args.follow,
+            max_trials=args.max_trials,
+        )
+    except KeyboardInterrupt:
+        # In-flight claims simply expire; a peer (or this worker,
+        # restarted) reclaims them with a higher fencing token.
+        print(f"\ninterrupted ({_interrupt_signal})", file=sys.stderr)
+        return (
+            EXIT_TERMINATED if _interrupt_signal == "SIGTERM"
+            else EXIT_INTERRUPTED
+        )
+    print(f"worker drained: {committed} trial(s) committed",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_attach(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.serve import tail_results
+    from repro.util.errors import ConfigError
+
+    jobs_dir = os.path.join(args.spool, "jobs")
+    job = args.job
+    if job is None:
+        try:
+            candidates = sorted(os.listdir(jobs_dir))
+        except OSError:
+            candidates = []
+        if len(candidates) != 1:
+            raise ConfigError(
+                f"--job required: spool holds {len(candidates)} job(s) "
+                f"({', '.join(candidates) or 'none'})"
+            )
+        job = candidates[0]
+    job_dir = os.path.join(jobs_dir, job)
+    try:
+        for record in tail_results(
+            job_dir,
+            follow=not args.no_follow,
+            timeout_s=args.timeout,
+        ):
+            print(json.dumps(record, sort_keys=True), flush=True)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted ({_interrupt_signal})", file=sys.stderr)
+        return (
+            EXIT_TERMINATED if _interrupt_signal == "SIGTERM"
+            else EXIT_INTERRUPTED
+        )
     return 0
 
 
@@ -813,6 +1056,9 @@ _COMMANDS = {
     "spacetime": _cmd_spacetime,
     "components": _cmd_components,
     "journal": _cmd_journal,
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "attach": _cmd_attach,
 }
 
 

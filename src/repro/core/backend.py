@@ -57,9 +57,11 @@ from repro.core.runner import TrialOutcome, TrialRunner, TrialSpec
 from repro.util.rng import RngStreams
 
 #: The degradation ladder, most to least capable.  The circuit breaker
-#: moves a campaign down one rung at a time; the bottom rung cannot fail
-#: from infrastructure because it launches no workers.
+#: (and the dir-queue backend's directory health probe) moves a campaign
+#: down one rung at a time; the bottom rung cannot fail from
+#: infrastructure because it launches no workers.
 DEGRADATION_LADDER: Tuple[str, ...] = (
+    "dir-queue",
     "local-supervised",
     "local-process",
     "local-serial",
@@ -170,6 +172,7 @@ class LocalProcessBackend(ExecutionBackend):
                     attempts=attempt,
                     wall_clock_s=elapsed,
                 )
+                runner._emit(results[index])
             elif attempt < runner.max_attempts:
                 pending.insert(0, (index, attempt + 1))
             else:
@@ -416,6 +419,7 @@ class SupervisedBackend(ExecutionBackend):
                     attempts=attempt,
                     wall_clock_s=elapsed,
                 )
+                runner._emit(results[index])
                 return
             if infra:
                 consecutive_infra += 1

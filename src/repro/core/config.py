@@ -119,13 +119,23 @@ class Scenario:
         backend: campaign execution backend, a registered ``backend``
             component: ``"auto"`` (the default — serial for one worker,
             the process pool otherwise), ``"local-serial"``,
-            ``"local-process"`` or ``"local-supervised"`` (the
-            lease/heartbeat-supervised pool).  Every backend produces
+            ``"local-process"``, ``"local-supervised"`` (the
+            lease/heartbeat-supervised pool) or ``"dir-queue"`` (the
+            shared-directory job queue — multiple hosts mounting one
+            directory drain the same campaign; see
+            :mod:`repro.core.distq`).  Every backend produces
             bit-identical campaign results; the choice affects failure
             handling only.
-        lease_ttl_s: supervised backend only — how long one worker owns
-            one trial before the monitor must extend (slow) or reclaim
-            (hung/dead) the lease.
+        lease_ttl_s: supervised and dir-queue backends — how long one
+            worker owns one trial before the monitor must extend (slow)
+            or reclaim (hung/dead) the lease.
+        queue_dir: dir-queue backend only — the shared directory holding
+            the job queue.  ``None`` (the default) uses an ephemeral
+            per-run directory, which still exercises the full claim/
+            fencing protocol but cannot be joined by other hosts.
+        quarantine_after: dir-queue backend only — a trial that kills
+            this many *distinct* workers is quarantined (parked with its
+            traceback, never retried) instead of poisoning the campaign.
         faults: declarative fault-injection specs, a tuple of mappings.
             Each entry names a registered ``fault`` component under
             ``"kind"`` (``"node-crash"``, ``"radio-silence"``,
@@ -183,6 +193,8 @@ class Scenario:
     kernels: str = "auto"
     backend: str = "auto"
     lease_ttl_s: float = 30.0
+    queue_dir: Optional[str] = None
+    quarantine_after: int = 3
     faults: Tuple[Dict[str, Any], ...] = ()
     effects: Tuple[Dict[str, Any], ...] = ()
     # Default seed chosen so the default mobility exhibits the intermittent
@@ -232,6 +244,11 @@ class Scenario:
         if self.lease_ttl_s <= 0:
             raise ConfigError(
                 f"lease_ttl_s must be > 0, got {self.lease_ttl_s}"
+            )
+        if self.quarantine_after < 1:
+            raise ConfigError(
+                "quarantine_after must be >= 1, got "
+                f"{self.quarantine_after}"
             )
         if self.cull_radius_m is not None:
             if self.cull_radius_m <= 0:

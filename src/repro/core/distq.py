@@ -1,0 +1,1370 @@
+"""Shared-directory job queue: multi-host campaign execution over files.
+
+The supervised backend (PR 8) bounded every single-host failure mode —
+crashes, hangs, silent workers — but the paper's evaluation campaigns
+(protocol x density x channel grids, 20 seeded trials per point) want
+*several* machines chewing one durable trial queue.  The only
+coordination substrate such machines reliably share is a filesystem
+(NFS, a synced scratch dir, or plain ``/tmp`` for same-host workers), so
+this module builds the whole distributed contract out of two filesystem
+primitives that are atomic everywhere that matters:
+
+* ``O_CREAT | O_EXCL`` — at most one creator wins, ever;
+* ``rename`` within a directory — a file appears complete or not at all.
+
+On top of those:
+
+**Claims with fencing tokens.**  Every trial has at most one claim file.
+The *first* claim is arbitrated by ``O_EXCL`` on the claim file itself
+(token 1).  Every later takeover — an expired lease, a released claim —
+is arbitrated by ``O_EXCL`` on a per-generation marker file
+(``gen/<id>.g<N>``), so the token sequence is strictly monotonic and
+allocated exactly once.  A worker commits its result *through* the
+token: the commit re-reads the claim and refuses (``StaleLeaseError``)
+unless the claim still names this worker and this token.  A worker that
+was paused (laptop sleep, SIGSTOP, an NFS stall) past its lease and
+resumed after a reclaim therefore cannot clobber the reclaimer — its
+late commit is rejected and recorded, never applied.
+
+**Clock-skew-immune expiry.**  Hosts sharing an NFS export do not share
+a clock; a reclaimer that compared another host's ``time.time()``
+deadline against its own would reclaim live leases (fast clock) or never
+reclaim dead ones (slow clock).  :class:`LeaseObserver` never reads a
+remote timestamp for the decision: it watches the claim's *signature*
+(owner, token, heartbeat sequence number) and declares the lease expired
+only after the signature has stayed frozen for a full TTL of **local
+monotonic** time.  Wall-clock fields in claim files are advisory, for
+``repro journal inspect`` humans only.
+
+**Poison-trial quarantine.**  A trial whose very execution kills its
+worker (OOM, segfault in a native kernel, a chaos SIGKILL) would
+otherwise be reclaimed and re-run forever, taking a worker down each
+time and starving the queue.  Each reclaim-from-death records the dead
+owner; once ``quarantine_after`` *distinct* workers have died holding
+the same trial, the winner of the next takeover parks the trial in
+``quarantine/`` (with whatever traceback any attempt managed to leave)
+instead of running it.  Clean Python exceptions are not deaths: they
+release the claim with the attempt counter bumped and are bounded by
+``max_attempts`` like everywhere else.
+
+Layout of a queue directory::
+
+    queue/
+      manifest.json        campaign fingerprint + settings (scheduler-written)
+      tasks/<id>.task      pickled trial (key, fn, args, kwargs, chaos plan)
+      claims/<id>.claim    JSON claim: owner, host, pid, token, attempt
+      gen/<id>.g<N>        O_EXCL fencing-token allocation markers
+      hb/<id>              heartbeat file: owner, token, seq (atomic rename)
+      deaths/<id>.<h>      one marker per distinct owner that died holding <id>
+      crash/<id>.g<N>.tb   captured tracebacks per failed generation
+      stale/<id>.g<N>      rejected stale commits (evidence, not state)
+      results/<id>.result  pickled fenced result (atomic rename commit)
+      quarantine/<id>.json parked poison trials
+
+Workers (:func:`run_worker_loop`, the ``repro worker`` CLI) need nothing
+but this directory; the scheduling side
+(:class:`DirQueueBackend`, registered as ``backend="dir-queue"``) is one
+more peer that also spawns local workers, mirrors observed claims into
+the campaign journal as lease records, journals each result exactly
+once, and degrades down the PR 8 ladder (``dir-queue →
+local-supervised → local-process → local-serial``) when the shared
+directory goes read-only, stat latency spikes, or workers die faster
+than the respawn budget.
+
+Like every backend, ``dir-queue`` must be bit-identical to
+``local-serial``: trials are pure functions of their spec, so *who* runs
+them (and how many times infrastructure made them re-run) can never
+change the values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import signal
+import socket
+import tempfile
+import threading
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import chaos as _chaos
+from repro.core.backend import ExecutionBackend, SupervisedBackend
+from repro.core.journal import TrialJournal, trial_key_id
+from repro.core.registry import register
+from repro.core.runner import TrialOutcome, TrialRunner, TrialSpec
+from repro.util.errors import ConfigError, StaleLeaseError, TrialError
+
+#: Subdirectories of a queue root, created by :meth:`DirQueue.setup`.
+_SUBDIRS = (
+    "tasks", "claims", "gen", "hb", "deaths", "crash", "stale",
+    "results", "quarantine",
+)
+
+#: How many distinct dead workers park a trial, absent explicit config.
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: How many worker respawns the scheduling side pays for before deciding
+#: the queue itself is the problem and degrading, per initial worker.
+RESPAWN_BUDGET_PER_WORKER = 3
+
+#: Parent-side health probe: consecutive slow ``stat`` calls on the
+#: queue root (each slower than the latency budget) that trip a degrade.
+STAT_LATENCY_BUDGET_S = 0.5
+STAT_LATENCY_STRIKES = 3
+
+
+# -- durability + clock hooks -------------------------------------------------
+#
+# Module-level indirection so the chaos filesystem shim (tests, the
+# distq chaos smoke) can monkeypatch durability and health primitives in
+# the *parent* and have forked workers inherit the lie.  The exactly-once
+# guarantees must come from O_EXCL and rename alone; fsync only narrows
+# the power-loss window, so a lying fsync may cost durability, never
+# correctness — which is precisely what the shim exists to prove.
+
+
+def _fsync_file(fd: int) -> None:
+    os.fsync(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # cannot open directories here; durability is best-effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        return  # fs refuses directory fsync (some FUSE/NFS mounts)
+    finally:
+        os.close(fd)
+
+
+def _stat(path: str):
+    return os.stat(path)
+
+
+def worker_identity(epoch: Optional[int] = None) -> str:
+    """``host:pid:epoch`` — unique per worker *incarnation*.
+
+    Host and pid alone are not enough: pids are reused, and the
+    quarantine ledger counts *distinct* dead workers.  The epoch (a
+    caller-supplied spawn counter, or a microsecond stamp for standalone
+    workers) makes a respawned worker a new identity, so a poison trial
+    that keeps killing the respawns of one slot still accumulates
+    distinct deaths.
+    """
+    stamp = int(time.time() * 1e6) if epoch is None else int(epoch)
+    return f"{socket.gethostname()}:{os.getpid()}:{stamp}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ClaimState:
+    """One parsed claim file.
+
+    ``claimed_unix`` is advisory (it is another host's wall clock);
+    expiry decisions go through :class:`LeaseObserver` instead.
+    """
+
+    owner: str
+    host: str
+    pid: int
+    token: int
+    attempt: int
+    released: bool
+    claimed_unix: float
+
+
+#: Sentinel for a claim file that exists but cannot be parsed yet — the
+#: gap between ``O_EXCL`` creation and the content write, or NFS serving
+#: a half-cached page.  Treated as "present, in flux": never claimable
+#: fresh, and the observer restarts its TTL when real content appears.
+CLAIM_IN_FLUX = ClaimState(
+    owner="?", host="?", pid=-1, token=-1, attempt=0,
+    released=False, claimed_unix=0.0,
+)
+
+
+class LeaseObserver:
+    """Skew-free lease expiry: local monotonic watch over claim signatures.
+
+    ``expired(tid, signature)`` answers: *has this exact signature been
+    frozen for at least one TTL of my own monotonic clock?*  Any change —
+    a new owner, a bumped fencing token, a fresh heartbeat sequence
+    number — restarts the window.  No remote timestamp is ever compared,
+    so a reclaimer 30 s fast or slow behaves identically to one whose
+    clock is perfect (the clock-skew test drives exactly that).
+    """
+
+    def __init__(self, ttl_s: float) -> None:
+        if ttl_s <= 0:
+            raise ConfigError(f"ttl_s must be > 0, got {ttl_s}")
+        self.ttl_s = float(ttl_s)
+        self._seen: Dict[str, Tuple[Any, float]] = {}
+
+    def expired(self, tid: str, signature: Any) -> bool:
+        now = time.monotonic()
+        previous = self._seen.get(tid)
+        if previous is None or previous[0] != signature:
+            self._seen[tid] = (signature, now)
+            return False
+        return now - previous[1] >= self.ttl_s
+
+    def forget(self, tid: str) -> None:
+        self._seen.pop(tid, None)
+
+
+def _atomic_write(path: str, data: bytes, fsync: bool = True) -> None:
+    """Write ``data`` so ``path`` is only ever absent or complete."""
+    directory = os.path.dirname(path) or "."
+    temp = os.path.join(
+        directory, f".{os.path.basename(path)}.{os.getpid()}.tmp"
+    )
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            _fsync_file(handle.fileno())
+    os.replace(temp, path)
+    if fsync:
+        _fsync_dir(directory)
+
+
+class DirQueue:
+    """One queue directory: claims, fencing, results, quarantine.
+
+    Every method is safe to call concurrently from any number of
+    processes on any number of hosts sharing ``root``; the arbitration
+    is in the filesystem, not in this object.  Construct with
+    ``create=True`` on the scheduling side (makes the layout and
+    manifest) and ``create=False`` on workers (requires an existing
+    manifest).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        ttl_s: float = 30.0,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        max_attempts: int = 2,
+    ) -> None:
+        if quarantine_after < 1:
+            raise ConfigError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        self.root = str(root)
+        self.ttl_s = float(ttl_s)
+        self.quarantine_after = int(quarantine_after)
+        self.max_attempts = int(max_attempts)
+
+    # -- layout ---------------------------------------------------------------
+
+    def _dir(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _path(self, kind: str, name: str) -> str:
+        return os.path.join(self.root, kind, name)
+
+    @staticmethod
+    def task_id(key: Any) -> str:
+        """Filesystem-safe stable identity of one trial key."""
+        digest = hashlib.sha256(
+            trial_key_id(key).encode("utf-8")
+        ).hexdigest()
+        return digest[:20]
+
+    def setup(self, manifest: Dict[str, Any]) -> None:
+        """Create the layout and write (or verify) the manifest.
+
+        Re-running setup over an existing queue with the same campaign
+        fingerprint is the resume path — the scheduler died and came
+        back; existing claims/results are the recovered state.  A
+        *different* fingerprint is a configuration error, exactly like
+        resuming a journal from the wrong campaign.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        for sub in _SUBDIRS:
+            os.makedirs(self._dir(sub), exist_ok=True)
+        manifest_path = os.path.join(self.root, "manifest.json")
+        existing = self._read_json(manifest_path)
+        if existing is not None:
+            if existing.get("fingerprint") != manifest.get("fingerprint"):
+                raise ConfigError(
+                    f"queue dir {self.root!r} belongs to a different "
+                    f"campaign (fingerprint {existing.get('fingerprint')!r}"
+                    f" != {manifest.get('fingerprint')!r}); refusing to mix"
+                )
+            return
+        _atomic_write(
+            manifest_path,
+            json.dumps(manifest, sort_keys=True).encode("utf-8"),
+        )
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        return self._read_json(os.path.join(self.root, "manifest.json"))
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "rb") as handle:
+                return json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None
+
+    # -- tasks ----------------------------------------------------------------
+
+    def enqueue(self, task: Dict[str, Any]) -> str:
+        """Add one trial (idempotent: re-enqueueing is a no-op)."""
+        tid = self.task_id(task["key"])
+        path = self._path("tasks", f"{tid}.task")
+        if not os.path.exists(path):
+            _atomic_write(
+                path, pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        return tid
+
+    def task_ids(self) -> List[str]:
+        try:
+            names = os.listdir(self._dir("tasks"))
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".task")]
+            for name in names
+            if name.endswith(".task")
+        )
+
+    def read_task(self, tid: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path("tasks", f"{tid}.task"), "rb") as handle:
+                return pickle.loads(handle.read())
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+
+    # -- claims + fencing -----------------------------------------------------
+
+    def read_claim(self, tid: str) -> Optional[ClaimState]:
+        """The current claim: ``None`` (unclaimed), a state, or in-flux."""
+        path = self._path("claims", f"{tid}.claim")
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return CLAIM_IN_FLUX
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+            return ClaimState(
+                owner=str(obj["owner"]),
+                host=str(obj.get("host", "?")),
+                pid=int(obj.get("pid", -1)),
+                token=int(obj["token"]),
+                attempt=int(obj.get("attempt", 1)),
+                released=bool(obj.get("released", False)),
+                claimed_unix=float(obj.get("claimed_unix", 0.0)),
+            )
+        except (ValueError, KeyError, TypeError):
+            return CLAIM_IN_FLUX
+
+    def _claim_payload(
+        self, owner: str, token: int, attempt: int, released: bool
+    ) -> bytes:
+        host, pid = "?", -1
+        if owner and ":" in owner:
+            host, pid_text = owner.split(":", 2)[:2]
+            try:
+                pid = int(pid_text)
+            except ValueError:
+                pid = -1
+        return json.dumps(
+            {
+                "owner": owner,
+                "host": host,
+                "pid": pid,
+                "token": int(token),
+                "attempt": int(attempt),
+                "released": bool(released),
+                # Advisory only — another host's wall clock is never used
+                # for expiry (see LeaseObserver).
+                "claimed_unix": time.time(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def try_claim_fresh(self, tid: str, owner: str) -> Optional[ClaimState]:
+        """First-generation claim: ``O_EXCL`` on the claim file itself."""
+        path = self._path("claims", f"{tid}.claim")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        except OSError:
+            return None  # read-only dir etc.; caller's health probe reacts
+        try:
+            os.write(fd, self._claim_payload(owner, 1, 1, False))
+            _fsync_file(fd)
+        finally:
+            os.close(fd)
+        _fsync_dir(self._dir("claims"))
+        return self.read_claim(tid)
+
+    def try_takeover(
+        self,
+        tid: str,
+        owner: str,
+        current: ClaimState,
+        dead_owner: Optional[str] = None,
+    ) -> Optional[ClaimState]:
+        """Race for generation ``current.token + 1``; winner rewrites the claim.
+
+        ``dead_owner`` marks a takeover *from a corpse* (expired lease):
+        the dead identity is added to the trial's death ledger and, once
+        the ledger holds ``quarantine_after`` distinct identities, the
+        winner quarantines the trial instead of re-running it (returns
+        ``None`` after parking — there is nothing to run).  A takeover of
+        a *released* claim (clean failure, attempt already bumped) leaves
+        the ledger alone.
+
+        Exactly one contender can win any given token: the ``O_EXCL``
+        generation marker is the whole arbitration.
+        """
+        token = current.token + 1
+        marker = self._path("gen", f"{tid}.g{token}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        except OSError:
+            return None
+        try:
+            os.write(fd, owner.encode("utf-8"))
+            _fsync_file(fd)
+        finally:
+            os.close(fd)
+        if dead_owner is not None:
+            self.record_death(tid, dead_owner)
+            if len(self.distinct_deaths(tid)) >= self.quarantine_after:
+                task = self.read_task(tid)
+                key_id = (
+                    trial_key_id(task["key"]) if task is not None else tid
+                )
+                self.write_quarantine(
+                    tid,
+                    key_id=key_id,
+                    owners=self.distinct_deaths(tid),
+                    attempts=max(1, current.attempt),
+                    traceback_text=self.last_traceback(tid),
+                )
+                return None
+        attempt = max(1, current.attempt)
+        _atomic_write(
+            self._path("claims", f"{tid}.claim"),
+            self._claim_payload(owner, token, attempt, False),
+        )
+        return self.read_claim(tid)
+
+    def release(self, tid: str, claim: ClaimState, error: str) -> None:
+        """Clean-failure release: same token, attempt bumped, no owner.
+
+        The traceback is preserved per generation so a later quarantine
+        (or a human) can see what the attempts actually raised.
+        """
+        self.write_traceback(tid, claim.token, error)
+        _atomic_write(
+            self._path("claims", f"{tid}.claim"),
+            self._claim_payload("", claim.token, claim.attempt + 1, True),
+        )
+
+    def heartbeat(self, tid: str, owner: str, token: int, seq: int) -> None:
+        """Progress evidence: atomically replace the heartbeat file.
+
+        No fsync — losing heartbeats to a power cut costs nothing; the
+        observer just sees a frozen signature and reclaims.
+        """
+        _atomic_write(
+            self._path("hb", tid),
+            json.dumps(
+                {"owner": owner, "token": int(token), "seq": int(seq)}
+            ).encode("utf-8"),
+            fsync=False,
+        )
+
+    def claim_signature(self, tid: str, claim: ClaimState) -> Tuple:
+        """What the lease observer watches: identity + liveness evidence."""
+        beat = self._read_json(self._path("hb", tid))
+        seq = None
+        if (
+            beat is not None
+            and beat.get("owner") == claim.owner
+            and beat.get("token") == claim.token
+        ):
+            seq = beat.get("seq")
+        return (claim.owner, claim.token, seq)
+
+    # -- death ledger + quarantine -------------------------------------------
+
+    @staticmethod
+    def _owner_digest(owner: str) -> str:
+        return hashlib.sha256(owner.encode("utf-8")).hexdigest()[:16]
+
+    def record_death(self, tid: str, owner: str) -> None:
+        path = self._path(
+            "deaths", f"{tid}.{self._owner_digest(owner)}"
+        )
+        if not os.path.exists(path):
+            _atomic_write(path, owner.encode("utf-8"))
+
+    def distinct_deaths(self, tid: str) -> List[str]:
+        owners = []
+        try:
+            names = os.listdir(self._dir("deaths"))
+        except OSError:
+            return []
+        for name in sorted(names):
+            if not name.startswith(f"{tid}."):
+                continue
+            try:
+                with open(self._path("deaths", name), "rb") as handle:
+                    owners.append(handle.read().decode("utf-8"))
+            except OSError:
+                continue
+        return owners
+
+    def write_traceback(self, tid: str, token: int, text: str) -> None:
+        _atomic_write(
+            self._path("crash", f"{tid}.g{token}.tb"),
+            str(text)[:8000].encode("utf-8"),
+            fsync=False,
+        )
+
+    def last_traceback(self, tid: str) -> str:
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self._dir("crash"))
+                if name.startswith(f"{tid}.")
+            )
+        except OSError:
+            names = []
+        for name in reversed(names):
+            try:
+                with open(self._path("crash", name), "rb") as handle:
+                    return handle.read().decode("utf-8")
+            except OSError:
+                continue
+        return (
+            "no traceback captured: worker died without reporting "
+            "(SIGKILL/OOM/segfault)"
+        )
+
+    def write_quarantine(
+        self,
+        tid: str,
+        key_id: str,
+        owners: Sequence[str],
+        attempts: int,
+        traceback_text: str,
+    ) -> None:
+        _atomic_write(
+            self._path("quarantine", f"{tid}.json"),
+            json.dumps(
+                {
+                    "key_id": key_id,
+                    "owners": list(owners),
+                    "attempts": int(attempts),
+                    "traceback": str(traceback_text)[:8000],
+                },
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    def read_quarantine(self, tid: str) -> Optional[Dict[str, Any]]:
+        return self._read_json(self._path("quarantine", f"{tid}.json"))
+
+    # -- fenced results -------------------------------------------------------
+
+    def commit_result(
+        self,
+        tid: str,
+        owner: str,
+        token: int,
+        result: Dict[str, Any],
+    ) -> None:
+        """Commit a result through the fence, or refuse.
+
+        The claim is re-read at commit time: if it no longer names
+        ``owner`` with ``token``, this worker's lease was reclaimed while
+        it computed (or while it was paused) and the commit raises
+        :class:`StaleLeaseError` after leaving a ``stale/`` marker as
+        evidence.  The check-then-rename window is not zero, but a race
+        through it is harmless by construction: trials are deterministic,
+        so any two committed results for one trial carry identical
+        values, and the journal records the trial exactly once either
+        way.
+        """
+        claim = self.read_claim(tid)
+        current = None if claim is None else claim.token
+        if claim is None or claim.owner != owner or claim.token != token:
+            _atomic_write(
+                self._path("stale", f"{tid}.g{token}"),
+                owner.encode("utf-8"),
+                fsync=False,
+            )
+            raise StaleLeaseError(
+                f"lease for task {tid} was reclaimed (held token {token}, "
+                f"claim now {current!r}); dropping the late commit",
+                token=token,
+                current=current,
+            )
+        result = dict(result)
+        result["owner"] = owner
+        result["token"] = int(token)
+        _atomic_write(
+            self._path("results", f"{tid}.result"),
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def read_result(self, tid: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(
+                self._path("results", f"{tid}.result"), "rb"
+            ) as handle:
+                return pickle.loads(handle.read())
+        except FileNotFoundError:
+            return None
+
+    def has_result(self, tid: str) -> bool:
+        return os.path.exists(self._path("results", f"{tid}.result"))
+
+    def has_quarantine(self, tid: str) -> bool:
+        return os.path.exists(self._path("quarantine", f"{tid}.json"))
+
+    def drop_result(self, tid: str) -> None:
+        """Parent-side repair: discard an unreadable result file."""
+        try:
+            os.unlink(self._path("results", f"{tid}.result"))
+        except OSError:
+            return  # already gone, or read-only: the health probe reacts
+
+    def stale_markers(self) -> List[str]:
+        try:
+            return sorted(os.listdir(self._dir("stale")))
+        except OSError:
+            return []
+
+    def drained(self) -> bool:
+        """Every enqueued trial has a result or a quarantine decision."""
+        ids = self.task_ids()
+        return bool(ids) and all(
+            self.has_result(tid) or self.has_quarantine(tid) for tid in ids
+        )
+
+
+# -- the worker side ----------------------------------------------------------
+
+
+def _run_claimed(
+    queue: DirQueue,
+    tid: str,
+    task: Dict[str, Any],
+    claim: ClaimState,
+    me: str,
+    heartbeat_interval_s: float,
+    trial_timeout_s: Optional[float],
+) -> None:
+    """Execute one claimed trial under heartbeats and the fence.
+
+    Chaos sabotage (from the task's embedded plan) applies to fencing
+    generation 1 only — reclaimed generations run clean, which is what
+    lets a sabotaged campaign converge to the serial truth — except
+    ``kill_all``, which sabotages every generation and drives the
+    quarantine path.  A trial that outlives ``trial_timeout_s`` is
+    handled by SIGKILLing *ourselves* from the heartbeat thread: the
+    lease then freezes, a peer reclaims, and the death ledger charges
+    this incarnation — a hang is indistinguishable from a crash to the
+    rest of the protocol, which is the simplest correct semantics when
+    the trial runs in our own process.
+    """
+    fn: Callable[..., Any] = task["fn"]
+    args, kwargs = task.get("args", ()), task.get("kwargs", {})
+    mode = task.get("chaos_mode")
+    if task.get("kill_all"):
+        mode = "sigkill"
+    elif claim.token != 1:
+        mode = None
+    heartbeats_enabled = mode != "mute"
+    if mode is not None:
+        fn, args, kwargs = (
+            _chaos.sabotage, (fn, args, kwargs, mode), {},
+        )
+
+    stop = threading.Event()
+    started = time.monotonic()
+
+    def beat() -> None:
+        seq = 0
+        while not stop.wait(heartbeat_interval_s):
+            if (
+                trial_timeout_s is not None
+                and time.monotonic() - started > trial_timeout_s
+            ):
+                # Hung trial: go silent and die so a peer reclaims us.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if not heartbeats_enabled:
+                continue  # muted: keep only the watchdog half alive
+            seq += 1
+            try:
+                queue.heartbeat(tid, me, claim.token, seq)
+            except OSError:
+                return  # queue unwritable; the claim will simply expire
+
+    if heartbeats_enabled or trial_timeout_s is not None:
+        threading.Thread(target=beat, daemon=True).start()
+
+    try:
+        value = fn(*args, **kwargs)
+    except Exception as exc:
+        stop.set()
+        error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+        if claim.attempt >= queue.max_attempts:
+            try:
+                queue.commit_result(
+                    tid, me, claim.token,
+                    {
+                        "status": "error",
+                        "error": error,
+                        "attempts": claim.attempt,
+                        "wall_clock_s": time.monotonic() - started,
+                    },
+                )
+            except StaleLeaseError:
+                return  # someone reclaimed us mid-trial; their call now
+        else:
+            queue.release(tid, claim, error)
+        return
+    stop.set()
+    elapsed = time.monotonic() - started
+    try:
+        queue.commit_result(
+            tid, me, claim.token,
+            {
+                "status": "ok",
+                "value": value,
+                "attempts": claim.attempt,
+                "wall_clock_s": elapsed,
+            },
+        )
+    except StaleLeaseError:
+        return  # fenced out: drop the value; the current holder commits
+
+
+def _discover_queues(root: str) -> List[str]:
+    """Queue roots under ``root``: itself, or ``jobs/*/queue`` children.
+
+    This is what lets one ``repro worker --follow`` serve every job a
+    ``repro serve`` spool ever creates: point it at the spool directory
+    and it picks up each job's queue as the scheduler materialises it.
+    """
+    if os.path.exists(os.path.join(root, "manifest.json")):
+        return [root]
+    jobs = os.path.join(root, "jobs")
+    found = []
+    try:
+        names = sorted(os.listdir(jobs))
+    except OSError:
+        return []
+    for name in names:
+        candidate = os.path.join(jobs, name, "queue")
+        if os.path.exists(os.path.join(candidate, "manifest.json")):
+            found.append(candidate)
+    return found
+
+
+def run_worker_loop(
+    root: str,
+    owner: Optional[str] = None,
+    poll_interval_s: float = 0.05,
+    follow: bool = False,
+    max_trials: Optional[int] = None,
+) -> int:
+    """Drain queue(s) under ``root``; the ``repro worker`` entry point.
+
+    Claims trials one at a time, runs them under heartbeats, commits
+    through the fence.  Returns the number of trials this worker
+    *committed* (results it actually landed; fenced-out and released
+    attempts do not count).  Without ``follow`` the loop exits once every
+    discovered queue is drained; with it, the loop keeps polling for new
+    queues forever (serve mode) — send SIGTERM/SIGINT to stop.
+
+    ``max_trials`` is a test hook bounding how many commits this worker
+    will make before returning.
+    """
+    me = owner or worker_identity()
+    committed = 0
+    observers: Dict[str, LeaseObserver] = {}
+    while True:
+        queues = _discover_queues(root)
+        if not queues and not follow:
+            return committed  # nothing to serve (and never will be)
+        progressed = False
+        all_drained = bool(queues)
+        for queue_root in queues:
+            manifest = DirQueue._read_json(
+                os.path.join(queue_root, "manifest.json")
+            )
+            if manifest is None:
+                continue
+            queue = DirQueue(
+                queue_root,
+                ttl_s=float(manifest.get("ttl_s", 30.0)),
+                quarantine_after=int(
+                    manifest.get(
+                        "quarantine_after", DEFAULT_QUARANTINE_AFTER
+                    )
+                ),
+                max_attempts=int(manifest.get("max_attempts", 2)),
+            )
+            observer = observers.setdefault(
+                queue_root, LeaseObserver(queue.ttl_s)
+            )
+            heartbeat_s = float(
+                manifest.get("heartbeat_s", max(0.01, queue.ttl_s / 5.0))
+            )
+            timeout_s = manifest.get("trial_timeout_s")
+            timeout_s = None if timeout_s is None else float(timeout_s)
+            for tid in queue.task_ids():
+                if queue.has_result(tid) or queue.has_quarantine(tid):
+                    continue
+                all_drained = False
+                claim = queue.read_claim(tid)
+                won: Optional[ClaimState] = None
+                try:
+                    if claim is None:
+                        won = queue.try_claim_fresh(tid, me)
+                    elif claim is CLAIM_IN_FLUX:
+                        continue
+                    elif claim.released:
+                        won = queue.try_takeover(tid, me, claim)
+                    elif claim.owner != me:
+                        signature = queue.claim_signature(tid, claim)
+                        if observer.expired(tid, signature):
+                            won = queue.try_takeover(
+                                tid, me, claim, dead_owner=claim.owner
+                            )
+                            observer.forget(tid)
+                    else:
+                        # Our own live claim with no result can only mean
+                        # a previous incarnation — identities are unique
+                        # per incarnation, so a peer will reclaim it.
+                        continue
+                except OSError:
+                    continue  # queue briefly unreadable/unwritable
+                if won is None:
+                    continue
+                task = queue.read_task(tid)
+                if task is None:
+                    continue
+                progressed = True
+                _run_claimed(
+                    queue, tid, task, won, me, heartbeat_s, timeout_s
+                )
+                if queue.has_result(tid):
+                    committed += 1
+                    if max_trials is not None and committed >= max_trials:
+                        return committed
+        if all_drained and not follow:
+            return committed
+        if not progressed:
+            time.sleep(poll_interval_s)
+
+
+def _queue_worker_entry(root: str, epoch: int) -> None:
+    """Multiprocessing target for backend-spawned local workers."""
+    # The fork inherits the parent's signal handlers — under the CLI
+    # those raise KeyboardInterrupt, which would splatter a traceback
+    # when the scheduler terminates drained workers.  A plain death is
+    # the contract here; the queue protocol already survives it.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    run_worker_loop(root, owner=worker_identity(epoch))
+
+
+# -- the scheduling side ------------------------------------------------------
+
+
+class DirQueueBackend(ExecutionBackend):
+    """The ``dir-queue`` execution backend: schedule through a shared dir.
+
+    The parent enqueues every dense spec as a task file, spawns
+    ``max_workers`` local worker processes over the queue (any number of
+    foreign ``repro worker`` processes on other hosts may join the same
+    directory), then *observes*: results and quarantine decisions are
+    folded into outcomes and journalled exactly once, observed claims
+    are mirrored into the journal as lease records carrying
+    host/pid/fencing-token, and a health probe degrades the whole
+    campaign one rung down the ladder (``local-supervised``) when the
+    directory stops cooperating — unwritable (read-only remount), stat
+    latency over budget, or workers dying faster than the respawn
+    budget covers.
+    """
+
+    name = "dir-queue"
+
+    def run(self, specs, journal=None):  # noqa: C901 - one cohesive loop
+        runner = self.runner
+        specs = list(specs)
+        if not specs:
+            return []
+        queue_dir = getattr(runner, "queue_dir", None)
+        ephemeral = queue_dir is None
+        if ephemeral:
+            queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
+        quarantine_after = int(
+            getattr(runner, "quarantine_after", DEFAULT_QUARANTINE_AFTER)
+        )
+        queue = DirQueue(
+            queue_dir,
+            ttl_s=runner.lease_ttl_s,
+            quarantine_after=quarantine_after,
+            max_attempts=runner.max_attempts,
+        )
+        heartbeat_s = (
+            runner.heartbeat_interval_s
+            if runner.heartbeat_interval_s is not None
+            else max(0.01, runner.lease_ttl_s / 5.0)
+        )
+        # The manifest identity must survive a scheduler crash + resume:
+        # the resumed run hands over a *shorter* dense spec list (holes
+        # already journalled), so with a journal the stable campaign
+        # fingerprint names the queue, not the spec-set hash.
+        manifest_fingerprint = (
+            journal.fingerprint
+            if journal is not None
+            else _specs_fingerprint(specs)
+        )
+        try:
+            queue.setup(
+                {
+                    "fingerprint": manifest_fingerprint,
+                    "trials": len(specs),
+                    "ttl_s": runner.lease_ttl_s,
+                    "quarantine_after": quarantine_after,
+                    "max_attempts": runner.max_attempts,
+                    "heartbeat_s": heartbeat_s,
+                    "trial_timeout_s": runner.trial_timeout_s,
+                }
+            )
+            index_of: Dict[str, int] = {}
+            for index, spec in enumerate(specs):
+                tid = queue.enqueue(_task_payload(runner, index, spec))
+                index_of[tid] = index
+            self._plant_ghost_claims(queue, specs, journal)
+        except (OSError, pickle.PicklingError, AttributeError, TypeError) as exc:
+            # OSError: unusable directory.  The pickle family: specs that
+            # cannot cross a file boundary (closures, lambdas) — exactly
+            # what the supervised pool's fork context still handles.
+            return self._degrade(
+                specs, [None] * len(specs), journal,
+                reason=f"queue dir unusable: {exc}",
+            )
+        context = runner._context()
+        if context is None:
+            return self._degrade(
+                specs, [None] * len(specs), journal,
+                reason="multiprocessing unavailable",
+            )
+        return self._schedule(queue, specs, index_of, journal, context)
+
+    # -- scheduling loop ------------------------------------------------------
+
+    def _schedule(self, queue, specs, index_of, journal, context):
+        runner = self.runner
+        results: List[Optional[TrialOutcome]] = [None] * len(specs)
+        emit = getattr(runner, "_emit", None)
+        workers: List[Any] = []
+        epoch = 0
+        respawns_left = RESPAWN_BUDGET_PER_WORKER * runner.max_workers
+        seen_results: set = set()
+        seen_quarantine: set = set()
+        seen_stale: set = set()
+        lease_mirror: Dict[str, Tuple[str, int]] = {}
+        slow_stats = 0
+        degrade_reason = None
+
+        def spawn() -> None:
+            nonlocal epoch
+            epoch += 1
+            process = context.Process(
+                target=_queue_worker_entry,
+                args=(queue.root, epoch),
+                daemon=True,
+            )
+            process.start()
+            workers.append(process)
+
+        try:
+            for _ in range(runner.max_workers):
+                spawn()
+        except Exception as exc:
+            return self._degrade(
+                specs, results, journal,
+                reason=f"cannot spawn queue workers: {exc}",
+            )
+
+        try:
+            while any(outcome is None for outcome in results):
+                # Health probe 1: stat latency on the shared directory.
+                before = time.perf_counter()
+                try:
+                    _stat(queue.root)
+                    writable = self._probe_writable(queue.root)
+                except OSError:
+                    writable = False
+                latency = time.perf_counter() - before
+                slow_stats = (
+                    slow_stats + 1
+                    if latency > STAT_LATENCY_BUDGET_S
+                    else 0
+                )
+                if slow_stats >= STAT_LATENCY_STRIKES:
+                    degrade_reason = (
+                        f"stat latency over budget ({latency:.3f}s)"
+                    )
+                    break
+                if not writable:
+                    degrade_reason = "queue dir no longer writable"
+                    break
+
+                self._mirror_leases(
+                    queue, specs, index_of, journal, lease_mirror
+                )
+                for marker in queue.stale_markers():
+                    if marker in seen_stale:
+                        continue
+                    seen_stale.add(marker)
+                    tid = marker.split(".g", 1)[0]
+                    index = index_of.get(tid)
+                    key = specs[index].key if index is not None else None
+                    runner._record_event(
+                        "stale-commit-rejected", key=key, detail=marker
+                    )
+
+                progressed = self._collect(
+                    queue, specs, index_of, results, journal,
+                    seen_results, seen_quarantine, emit,
+                )
+
+                # Health probe 2: the worker fleet.
+                alive = [p for p in workers if p.is_alive()]
+                dead = len(workers) - len(alive)
+                workers[:] = alive
+                if dead and not queue.drained() and any(
+                    outcome is None for outcome in results
+                ):
+                    for _ in range(dead):
+                        if respawns_left <= 0:
+                            degrade_reason = (
+                                "worker respawn budget exhausted"
+                            )
+                            break
+                        respawns_left -= 1
+                        try:
+                            spawn()
+                        except Exception as exc:
+                            degrade_reason = (
+                                f"cannot respawn queue worker: {exc}"
+                            )
+                            break
+                    if degrade_reason is not None:
+                        break
+                if not progressed:
+                    time.sleep(runner.poll_interval_s)
+        finally:
+            for process in workers:
+                process.terminate()
+            for process in workers:
+                process.join()
+
+        if degrade_reason is not None:
+            results = self._degrade(
+                specs, results, journal, reason=degrade_reason
+            )
+        return [outcome for outcome in results if outcome is not None]
+
+    @staticmethod
+    def _probe_writable(root: str) -> bool:
+        probe = os.path.join(root, f".probe.{os.getpid()}")
+        try:
+            with open(probe, "wb") as handle:
+                handle.write(b"x")
+            os.unlink(probe)
+        except OSError:
+            return False
+        return True
+
+    def _mirror_leases(
+        self, queue, specs, index_of, journal, lease_mirror
+    ) -> None:
+        """Reflect observed claims into the journal + telemetry.
+
+        The journal is the campaign's single durable narrative; foreign
+        workers cannot append to it (it is not shared), so the scheduler
+        transcribes what it sees: each new ``(owner, token)`` pair
+        becomes a lease record carrying host, pid and fencing token —
+        which is exactly what ``repro journal inspect`` then prints.
+        """
+        runner = self.runner
+        for tid, index in index_of.items():
+            claim = queue.read_claim(tid)
+            if (
+                claim is None
+                or claim is CLAIM_IN_FLUX
+                or claim.released
+                or not claim.owner
+            ):
+                continue
+            signature = (claim.owner, claim.token)
+            if lease_mirror.get(tid) == signature:
+                continue
+            previous = lease_mirror.get(tid)
+            lease_mirror[tid] = signature
+            key = specs[index].key
+            if journal is not None:
+                journal.record_lease(
+                    key,
+                    claim.owner,
+                    claim.attempt,
+                    queue.ttl_s,
+                    host=claim.host,
+                    pid=claim.pid,
+                    token=claim.token,
+                )
+            if previous is None:
+                runner._record_event(
+                    "claim-won", key=key,
+                    detail=f"{claim.owner} token {claim.token}",
+                )
+            else:
+                runner._record_event(
+                    "lease-reclaimed", key=key,
+                    detail=(
+                        f"token {previous[1]} ({previous[0]}) -> "
+                        f"token {claim.token} ({claim.owner})"
+                    ),
+                )
+
+    def _collect(
+        self, queue, specs, index_of, results, journal,
+        seen_results, seen_quarantine, emit,
+    ) -> bool:
+        """Fold new results/quarantines into outcomes; True if any did."""
+        runner = self.runner
+        progressed = False
+        for tid, index in index_of.items():
+            if results[index] is not None:
+                continue
+            if tid not in seen_results and queue.has_result(tid):
+                try:
+                    record = queue.read_result(tid)
+                except Exception as exc:
+                    # A corrupt payload (chaos, torn NFS page): discard
+                    # and let the fence hand the trial to a new worker.
+                    queue.drop_result(tid)
+                    runner._record_event(
+                        "result-corrupt",
+                        key=specs[index].key,
+                        detail=repr(exc),
+                    )
+                    continue
+                if record is None:
+                    continue
+                seen_results.add(tid)
+                progressed = True
+                spec = specs[index]
+                attempts = int(record.get("attempts", 1))
+                wall = float(record.get("wall_clock_s", 0.0))
+                if record.get("status") == "ok":
+                    runner._record(spec.key, attempts, "ok", wall)
+                    if journal is not None:
+                        journal.record_success(
+                            spec.key, record.get("value"), attempts, wall
+                        )
+                    results[index] = TrialOutcome(
+                        key=spec.key,
+                        index=index,
+                        value=record.get("value"),
+                        attempts=attempts,
+                        wall_clock_s=wall,
+                    )
+                    if emit is not None:
+                        emit(results[index])
+                else:
+                    error = str(record.get("error", "unknown error"))
+                    runner._record(
+                        spec.key, attempts, "error", wall, error
+                    )
+                    if journal is not None:
+                        journal.record_failure(spec.key, error, attempts)
+                    results[index] = TrialOutcome(
+                        key=spec.key,
+                        index=index,
+                        error=error,
+                        attempts=attempts,
+                        wall_clock_s=wall,
+                    )
+            elif tid not in seen_quarantine and queue.has_quarantine(tid):
+                record = queue.read_quarantine(tid)
+                if record is None:
+                    continue
+                seen_quarantine.add(tid)
+                progressed = True
+                spec = specs[index]
+                owners = list(record.get("owners", ()))
+                attempts = int(record.get("attempts", 1))
+                error = (
+                    f"quarantined: killed {len(owners)} distinct "
+                    f"workers ({', '.join(owners)})\n"
+                    f"{record.get('traceback', '')}"
+                )
+                runner._record(spec.key, attempts, "error", 0.0, error)
+                runner._record_event(
+                    "quarantined", key=spec.key,
+                    detail=f"{len(owners)} dead workers",
+                )
+                if journal is not None:
+                    journal.record_quarantine(
+                        spec.key, owners, attempts,
+                        record.get("traceback", ""),
+                    )
+                results[index] = TrialOutcome(
+                    key=spec.key,
+                    index=index,
+                    error=error,
+                    attempts=attempts,
+                    infrastructure=True,
+                )
+        return progressed
+
+    def _plant_ghost_claims(self, queue, specs, journal) -> None:
+        """Chaos lease contention: pre-claim trials for a foreign ghost.
+
+        The ghost never heartbeats, so its signature freezes and real
+        workers must wait a full TTL of local time before winning token
+        2 — the contention path exercised end to end.
+        """
+        runner = self.runner
+        if runner.chaos is None:
+            return
+        for index, spec in enumerate(specs):
+            if not runner.chaos.contends_for(index):
+                continue
+            tid = queue.task_id(spec.key)
+            queue.try_claim_fresh(tid, "ghost-host:0:0")
+            runner._record_event("lease-contended", key=spec.key)
+
+    # -- degradation ----------------------------------------------------------
+
+    def _degrade(self, specs, results, journal, reason: str):
+        """Finish the unfinished trials one rung down, chaos-free."""
+        runner = self.runner
+        remaining = [
+            i for i, outcome in enumerate(results) if outcome is None
+        ]
+        runner._record_event(
+            "degraded",
+            detail=(
+                f"dir-queue->local-supervised ({len(remaining)} trials: "
+                f"{reason})"
+            ),
+        )
+        if journal is not None:
+            journal.record_campaign_event(
+                "degraded", f"dir-queue->local-supervised: {reason}"
+            )
+        if not remaining:
+            return results
+        saved_chaos = runner.chaos
+        runner.chaos = None  # the sabotage made its point; finish clean
+        try:
+            sub = SupervisedBackend(runner).run(
+                [specs[i] for i in remaining], journal
+            )
+        finally:
+            runner.chaos = saved_chaos
+        for outcome in sub:
+            index = remaining[outcome.index]
+            results[index] = dataclasses.replace(outcome, index=index)
+        return results
+
+
+def _task_payload(
+    runner: TrialRunner, index: int, spec: TrialSpec
+) -> Dict[str, Any]:
+    """What one task file carries across the process/host boundary.
+
+    The chaos plan rides inside the task (mode for generation 1, the
+    kill-every-generation flag) because foreign worker processes do not
+    share the runner's memory — sabotage must survive pickling just
+    like the trial itself.
+    """
+    mode = None
+    kill_all = False
+    if runner.chaos is not None:
+        kill_all = index in runner.chaos.kill_all_attempts_on
+        mode = runner.chaos.mode_for(index, 1)
+        if mode in ("hang", "corrupt"):
+            # hang would beat its heart forever (no reclaim) and corrupt
+            # detonates in the scheduler, not a worker: both are
+            # supervised-backend sabotage, meaningless here.  The trial
+            # timeout watchdog covers real hangs.
+            mode = None
+    return {
+        "key": spec.key,
+        "fn": spec.fn,
+        "args": tuple(spec.args),
+        "kwargs": dict(spec.kwargs),
+        "index": int(index),
+        "chaos_mode": mode,
+        "kill_all": kill_all,
+    }
+
+
+def _specs_fingerprint(specs: Sequence[TrialSpec]) -> str:
+    """Identity of the trial set, for the queue manifest."""
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(trial_key_id(spec.key).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def ensure_queue_usable(root: str) -> None:
+    """Eagerly validate a queue directory (the CLI's early failure path)."""
+    if not os.path.isdir(root):
+        raise ConfigError(f"queue dir {root!r} does not exist")
+    if not os.path.exists(os.path.join(root, "manifest.json")):
+        raise TrialError(
+            f"queue dir {root!r} has no manifest; start the scheduler "
+            "(repro sweep --backend dir-queue / repro serve) first"
+        )
+
+
+# -- registry entries ---------------------------------------------------------
+
+
+@register("backend", "dir-queue")
+def make_dir_queue(runner: TrialRunner) -> ExecutionBackend:
+    return DirQueueBackend(runner)
+
+
+@register("queue", "dir")
+def make_dir(root: str, **options: Any) -> DirQueue:
+    return DirQueue(root, **options)

@@ -52,13 +52,40 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.util.errors import ConfigError, JournalCorruptError
 
 #: Journal format version.  Bump on any incompatible line-format change.
-#: Lease/heartbeat/event records (the supervised execution backend) ride
+#: Lease/heartbeat/event records (the supervised execution backend) and
+#: quarantine records (the dir-queue backend's poison-trial parking) ride
 #: inside schema 1: older journals simply contain none of them, and the
 #: completed-trial reader skips any kind it is not aggregating.
 SCHEMA_VERSION = 1
 
 #: Record kinds a schema-1 journal may contain after the header.
-RECORD_KINDS = ("trial", "lease", "heartbeat", "event")
+RECORD_KINDS = ("trial", "lease", "heartbeat", "event", "quarantine")
+
+
+def fsync_directory(path: str) -> None:
+    """Flush a directory entry to disk (best-effort).
+
+    ``fsync`` on a *file* makes its bytes durable, but the file's very
+    existence — a freshly created journal, an atomically renamed claim or
+    compacted journal — lives in the parent directory's entry table, which
+    has its own cache.  A host power loss between the file fsync and the
+    directory flush can resurrect the old directory state, losing the
+    rename that the protocol treated as committed.  POSIX durability
+    therefore requires fsyncing the directory fd after ``O_CREAT`` /
+    ``os.replace``; platforms whose directories cannot be opened or synced
+    (some network filesystems) degrade silently, which matches the
+    journal's general best-effort durability posture.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # directory fds unsupported here: nothing more we can do
+    try:
+        os.fsync(fd)
+    except OSError:
+        return  # fs refuses to sync directories (e.g. some FUSE mounts)
+    finally:
+        os.close(fd)
 
 
 def canonical_json(payload: Any) -> str:
@@ -135,16 +162,49 @@ class LeaseRecord:
         owner: opaque owner id (host/pid/worker of the claimant).
         attempt: 1-based attempt number this lease covers.
         deadline_unix: wall-clock expiry (``time.time()`` seconds).
+        host: claimant hostname, when the backend knows it (dir-queue).
+        pid: claimant process id, when known.
+        token: monotonic fencing token of the claim generation, when the
+            backend fences commits (dir-queue).  A larger token always
+            supersedes a smaller one for the same key.
     """
 
     key_id: str
     owner: str
     attempt: int
     deadline_unix: float
+    host: Optional[str] = None
+    pid: Optional[int] = None
+    token: Optional[int] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the lease has lapsed (``now`` defaults to wall clock)."""
         return (time.time() if now is None else now) >= self.deadline_unix
+
+
+@dataclasses.dataclass(frozen=True)
+class QuarantineRecord:
+    """One poison trial parked by the dir-queue backend.
+
+    A trial that keeps *killing its workers* (as opposed to raising a
+    clean error, which the retry budget handles) is quarantined after it
+    has taken down ``quarantine_after`` distinct workers: retrying it
+    forever would starve the queue.  The record captures enough to
+    diagnose it offline — the distinct dead owners and the last traceback
+    any worker managed to write before dying.
+
+    Attributes:
+        key_id: canonical trial-key identity (:func:`trial_key_id`).
+        owners: distinct worker identities the trial killed.
+        attempts: attempt number the trial had reached when parked.
+        traceback: last captured traceback text (may be empty if every
+            death was too abrupt to leave one).
+    """
+
+    key_id: str
+    owners: Tuple[str, ...]
+    attempts: int
+    traceback: str
 
 
 class TrialJournal:
@@ -176,10 +236,12 @@ class TrialJournal:
         self._fsync = bool(fsync)
         self._completed: Dict[str, JournalEntry] = {}
         self._leases: Dict[str, LeaseRecord] = {}
+        self._quarantined: Dict[str, QuarantineRecord] = {}
         has_content = os.path.exists(self.path) and os.path.getsize(self.path) > 0
         if resume and has_content:
             self._completed = read_completed(self.path, self.fingerprint)
             self._leases = read_lease_state(self.path, self.fingerprint)
+            self._quarantined = read_quarantine(self.path, self.fingerprint)
             self._file = open(self.path, "ab")
         else:
             self._file = open(self.path, "wb")
@@ -190,6 +252,12 @@ class TrialJournal:
                     "fingerprint": self.fingerprint,
                 }
             )
+            if self._fsync:
+                # The header fsync made the *bytes* durable; the journal's
+                # existence itself lives in the parent directory entry.
+                fsync_directory(
+                    os.path.dirname(os.path.abspath(self.path)) or "."
+                )
 
     # -- reading ------------------------------------------------------------
 
@@ -206,6 +274,16 @@ class TrialJournal:
         process records leases and trial completions of its own.
         """
         return self._leases
+
+    @property
+    def quarantined(self) -> Dict[str, QuarantineRecord]:
+        """Quarantined (poison) trials, keyed by key identity.
+
+        A resuming runner must neither re-run these (they keep killing
+        workers) nor count them completed — they surface as terminal
+        infrastructure failures until a human un-parks them.
+        """
+        return self._quarantined
 
     # -- writing ------------------------------------------------------------
 
@@ -264,14 +342,20 @@ class TrialJournal:
         attempt: int,
         ttl_s: float,
         deadline_unix: Optional[float] = None,
+        host: Optional[str] = None,
+        pid: Optional[int] = None,
+        token: Optional[int] = None,
     ) -> LeaseRecord:
         """Durably claim (or extend/reclaim) one trial for ``owner``.
 
         Appends an append-only ``lease`` record — later records supersede
         earlier ones for the same key, so grant, deadline extension and
         reclaim are all the same operation with different ``attempt`` /
-        deadline values.  Returns the resulting :class:`LeaseRecord` and
-        keeps :attr:`leases` current.
+        deadline values.  ``host``/``pid``/``token`` carry the dir-queue
+        backend's claimant identity and fencing token when known; the
+        keys are simply absent from journals written by backends that do
+        not fence.  Returns the resulting :class:`LeaseRecord` and keeps
+        :attr:`leases` current.
         """
         deadline = (
             time.time() + float(ttl_s)
@@ -279,23 +363,66 @@ class TrialJournal:
             else float(deadline_unix)
         )
         key_id = trial_key_id(key)
-        self._write_line(
-            {
-                "kind": "lease",
-                "key": key_id,
-                "owner": str(owner),
-                "attempt": int(attempt),
-                "deadline": deadline,
-            }
-        )
+        line: Dict[str, Any] = {
+            "kind": "lease",
+            "key": key_id,
+            "owner": str(owner),
+            "attempt": int(attempt),
+            "deadline": deadline,
+        }
+        if host is not None:
+            line["host"] = str(host)
+        if pid is not None:
+            line["pid"] = int(pid)
+        if token is not None:
+            line["token"] = int(token)
+        self._write_line(line)
         lease = LeaseRecord(
             key_id=key_id,
             owner=str(owner),
             attempt=int(attempt),
             deadline_unix=deadline,
+            host=None if host is None else str(host),
+            pid=None if pid is None else int(pid),
+            token=None if token is None else int(token),
         )
         self._leases[key_id] = lease
         return lease
+
+    def record_quarantine(
+        self,
+        key: Any,
+        owners: List[str],
+        attempts: int,
+        traceback_text: str = "",
+    ) -> QuarantineRecord:
+        """Durably park a poison trial that keeps killing workers.
+
+        Releases any live lease on the key (the trial will not be run
+        again) and keeps :attr:`quarantined` current.  The record is
+        fsync-ed like a trial record: losing a quarantine decision to a
+        power cut would put the poison trial straight back on the queue.
+        """
+        key_id = trial_key_id(key)
+        distinct = tuple(dict.fromkeys(str(owner) for owner in owners))
+        self._write_line(
+            {
+                "kind": "quarantine",
+                "key": key_id,
+                "owners": list(distinct),
+                "attempts": int(attempts),
+                "traceback": str(traceback_text)[:8000],
+            }
+        )
+        record = QuarantineRecord(
+            key_id=key_id,
+            owners=distinct,
+            attempts=int(attempts),
+            traceback=str(traceback_text)[:8000],
+        )
+        self._leases.pop(key_id, None)  # quarantine releases the lease
+        self._quarantined[key_id] = record
+        return record
 
     def record_heartbeat(self, key: Any, owner: str, seq: int) -> None:
         """Record one observed worker heartbeat (observability only).
@@ -397,7 +524,7 @@ def read_completed(
             if number == 1:
                 _check_header(obj, path, expect_fingerprint)
                 continue
-            if obj.get("kind") in ("lease", "heartbeat", "event"):
+            if obj.get("kind") in ("lease", "heartbeat", "event", "quarantine"):
                 continue  # supervision records; not completed trials
             if obj.get("kind") != "trial":
                 raise _CorruptLine(
@@ -518,15 +645,47 @@ def read_lease_state(
     for _raw, obj in records:
         kind = obj.get("kind")
         if kind == "lease":
+            pid = obj.get("pid")
+            token = obj.get("token")
             leases[obj["key"]] = LeaseRecord(
                 key_id=obj["key"],
                 owner=str(obj.get("owner", "?")),
                 attempt=int(obj.get("attempt", 1)),
                 deadline_unix=float(obj.get("deadline", 0.0)),
+                host=obj.get("host"),
+                pid=None if pid is None else int(pid),
+                token=None if token is None else int(token),
             )
-        elif kind == "trial":
+        elif kind in ("trial", "quarantine"):
             leases.pop(obj["key"], None)
     return leases
+
+
+def read_quarantine(
+    path: str, expect_fingerprint: Optional[str] = None
+) -> Dict[str, QuarantineRecord]:
+    """Quarantined trials of a journal, keyed by key identity.
+
+    Later quarantine records supersede earlier ones for the same key (a
+    re-quarantine after a manual un-park); an ``ok`` trial record lifts
+    the quarantine — the operator evidently fixed and re-ran it.
+    """
+    _header, records, _torn = scan_records(path, expect_fingerprint)
+    parked: Dict[str, QuarantineRecord] = {}
+    for _raw, obj in records:
+        kind = obj.get("kind")
+        if kind == "quarantine":
+            parked[obj["key"]] = QuarantineRecord(
+                key_id=obj["key"],
+                owners=tuple(
+                    str(owner) for owner in obj.get("owners", ())
+                ),
+                attempts=int(obj.get("attempts", 1)),
+                traceback=str(obj.get("traceback", "")),
+            )
+        elif kind == "trial" and obj.get("status") == "ok":
+            parked.pop(obj["key"], None)
+    return parked
 
 
 @dataclasses.dataclass(frozen=True)
@@ -546,6 +705,7 @@ class JournalStats:
         expired_leases: of those, how many have lapsed (reclaimable).
         heartbeats: heartbeat records.
         events: campaign-event records (e.g. backend degradations).
+        quarantined: trials currently parked as poison (latest state).
         superseded: records a :func:`compact_journal` pass would drop.
         torn_tail: whether the file ends in a torn (crash-residue) line.
     """
@@ -565,6 +725,7 @@ class JournalStats:
     events: int
     superseded: int
     torn_tail: bool
+    quarantined: int = 0
 
 
 def _partition_records(records):
@@ -572,14 +733,15 @@ def _partition_records(records):
 
     Keeps, in original order: the last ``ok`` trial record per key (or
     the last failure record for keys that never succeeded), the latest
-    lease per still-leased key, and every ``event`` record.  Drops every
-    heartbeat and everything superseded.  Returns ``(kept_raw_lines,
-    num_superseded, aggregates)`` where aggregates back
-    :class:`JournalStats`.
+    lease per still-leased key, the latest quarantine per still-parked
+    key, and every ``event`` record.  Drops every heartbeat and
+    everything superseded.  Returns ``(kept_raw_lines, num_superseded,
+    aggregates)`` where aggregates back :class:`JournalStats`.
     """
     last_trial: Dict[str, int] = {}  # key -> index of record to keep
     key_succeeded: Dict[str, bool] = {}
     lease_latest: Dict[str, int] = {}
+    quarantine_latest: Dict[str, int] = {}
     counts = {
         "trials_ok": 0, "trials_failed": 0, "leases": 0,
         "heartbeats": 0, "events": 0,
@@ -594,6 +756,8 @@ def _partition_records(records):
                 last_trial[key] = position
             key_succeeded[key] = key_succeeded.get(key, False) or ok
             lease_latest.pop(key, None)  # trial record releases the lease
+            if ok:
+                quarantine_latest.pop(key, None)  # success lifts quarantine
         elif kind == "lease":
             counts["leases"] += 1
             lease_latest[obj["key"]] = position
@@ -601,7 +765,15 @@ def _partition_records(records):
             counts["heartbeats"] += 1
         elif kind == "event":
             counts["events"] += 1
-    keep = set(last_trial.values()) | set(lease_latest.values())
+        elif kind == "quarantine":
+            key = obj["key"]
+            quarantine_latest[key] = position
+            lease_latest.pop(key, None)  # quarantine releases the lease
+    keep = (
+        set(last_trial.values())
+        | set(lease_latest.values())
+        | set(quarantine_latest.values())
+    )
     kept = [
         raw
         for position, (raw, obj) in enumerate(records)
@@ -610,6 +782,7 @@ def _partition_records(records):
     counts["distinct_completed"] = sum(
         1 for succeeded in key_succeeded.values() if succeeded
     )
+    counts["quarantined"] = len(quarantine_latest)
     return kept, len(records) - len(kept), counts
 
 
@@ -635,6 +808,7 @@ def inspect_journal(path: str) -> JournalStats:
         events=counts["events"],
         superseded=superseded,
         torn_tail=torn,
+        quarantined=counts["quarantined"],
     )
 
 
@@ -675,6 +849,9 @@ def compact_journal(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temp_path, destination)
+    # The rename itself lives in the directory entry: flush it, or a
+    # power cut can resurrect the uncompacted file *and* the temp file.
+    fsync_directory(directory)
     return before, os.path.getsize(destination)
 
 

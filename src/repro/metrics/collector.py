@@ -55,7 +55,9 @@ class CampaignEvent:
         kind: event name — ``"lease-granted"``, ``"lease-extended"``,
             ``"lease-reclaimed"``, ``"lease-contended"``,
             ``"heartbeat-missed"``, ``"worker-dead"``, ``"retry-backoff"``,
-            ``"breaker-open"`` or ``"degraded"``.
+            ``"breaker-open"``, ``"degraded"``, or (dir-queue backend)
+            ``"claim-won"``, ``"stale-commit-rejected"``,
+            ``"quarantined"`` and ``"result-corrupt"``.
         key: the trial key involved (``None`` for campaign-wide events).
         detail: free-text diagnostics (owner ids, deadlines, ladder rung).
     """
@@ -150,6 +152,21 @@ class CampaignTelemetry:
         return self._count_events("heartbeat-missed")
 
     @property
+    def claims_won(self) -> int:
+        """Dir-queue first claims observed (fencing token 1)."""
+        return self._count_events("claim-won")
+
+    @property
+    def stale_commits_rejected(self) -> int:
+        """Late commits from fenced-out workers that were refused."""
+        return self._count_events("stale-commit-rejected")
+
+    @property
+    def quarantined(self) -> int:
+        """Poison trials parked after killing too many distinct workers."""
+        return self._count_events("quarantined")
+
+    @property
     def degradations(self) -> int:
         """Times the campaign dropped down the backend ladder."""
         return self._count_events("degraded")
@@ -184,6 +201,9 @@ class CampaignTelemetry:
             "heartbeats_missed": float(self.heartbeats_missed),
             "breaker_trips": float(self.breaker_trips),
             "degradations": float(self.degradations),
+            "claims_won": float(self.claims_won),
+            "stale_commits_rejected": float(self.stale_commits_rejected),
+            "quarantined": float(self.quarantined),
             "total_wall_clock_s": self.total_wall_clock_s,
             "mean_trial_s": (
                 sum(durations) / len(durations) if durations else 0.0
@@ -205,6 +225,8 @@ class CampaignTelemetry:
                 f", {int(s['leases_reclaimed'])} leases reclaimed, "
                 f"{int(s['degradations'])} backend degradations"
             )
+        if s["quarantined"]:
+            supervision += f", {int(s['quarantined'])} trials quarantined"
         return (
             f"{int(s['completed'])} trials ok, {resumed}"
             f"{int(s['failed'])} failed "

@@ -52,6 +52,35 @@ class TrialError(ReproError, RuntimeError):
         self.attempts = attempts
 
 
+class StaleLeaseError(TrialError):
+    """A fenced commit arrived from a worker whose lease was reclaimed.
+
+    The dir-queue backend stamps every claim with a monotonic fencing
+    token; a worker that was paused (laptop sleep, SIGSTOP, NFS stall)
+    past its lease and resumed later still holds the *old* token, and its
+    attempt to commit a result is rejected with this error instead of
+    racing the reclaimer's commit.  The worker's correct reaction is to
+    drop the result and move on — the trial is deterministic, so whoever
+    holds the current token produces the identical value.
+
+    Attributes:
+        token: the stale token the commit carried.
+        current: the token the claim holds now (``None`` if unreadable).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: Any = None,
+        token: Optional[int] = None,
+        current: Optional[int] = None,
+    ) -> None:
+        super().__init__(message, key=key)
+        self.token = token
+        self.current = current
+
+
 class JournalCorruptError(ReproError, RuntimeError):
     """A trial journal cannot be trusted (bad schema, fingerprint, line).
 

@@ -339,3 +339,81 @@ def test_journal_inspect_missing_file_is_typed_error(tmp_path, capsys):
     code = main(["journal", "inspect", str(tmp_path / "nope.jsonl")])
     assert code == 2
     assert "error (" in capsys.readouterr().err
+
+
+def test_serve_submit_run_and_attach_roundtrip(tmp_path, capsys):
+    from repro.core.config import Scenario
+
+    spool = str(tmp_path / "spool")
+    envelope = str(tmp_path / "job.json")
+    scenario = Scenario(
+        num_nodes=8, sim_time_s=10.0, senders=(1, 2), seed=3,
+        traffic_start_s=1.0, traffic_stop_s=8.0,
+    )
+    with open(envelope, "w") as handle:
+        json.dump(
+            {"scenario": scenario.to_dict(), "field": "num_nodes",
+             "values": [8, 10], "trials": 1, "max_workers": 2},
+            handle,
+        )
+    assert main(["serve", spool, "--once", "--submit", envelope]) == 0
+    out = capsys.readouterr().out
+    assert "1 job(s) finished" in out
+
+    assert main(["attach", spool, "--no-follow"]) == 0
+    lines = [
+        json.loads(line)
+        for line in capsys.readouterr().out.splitlines() if line
+    ]
+    assert sorted(tuple(r["key"]) for r in lines) == [(8, 0), (10, 0)]
+    assert all(r["ok"] for r in lines)
+
+    # A worker attached to the drained spool finds nothing to do.
+    assert main(["worker", spool]) == 0
+    assert "0 trial(s)" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_envelope_at_submit(tmp_path, capsys):
+    spool = str(tmp_path / "spool")
+    envelope = str(tmp_path / "bad.json")
+    with open(envelope, "w") as handle:
+        json.dump({"scenario": {}, "field": "nope", "values": [1]}, handle)
+    code = main(["serve", spool, "--once", "--submit", envelope])
+    assert code == 2
+    assert "error (ConfigError)" in capsys.readouterr().err
+
+
+def test_sweep_dir_queue_backend_matches_default(tmp_path, capsys):
+    base = ["sweep", "--field", "num_nodes", "--values", "10,12", *SMALL]
+    assert main(base) == 0
+    default_out = capsys.readouterr().out
+    assert main([
+        *base, "--workers", "2", "--backend", "dir-queue",
+        "--queue-dir", str(tmp_path / "q"), "--lease-ttl", "20",
+    ]) == 0
+    queued_out = capsys.readouterr().out
+    table = [l for l in default_out.splitlines() if l.startswith(" ")]
+    q_table = [l for l in queued_out.splitlines() if l.startswith(" ")]
+    assert table == q_table
+
+
+def test_journal_inspect_quarantined_exits_3(tmp_path, capsys):
+    from repro.core.journal import TrialJournal, campaign_fingerprint
+
+    path = str(tmp_path / "poison.jsonl")
+    fp = campaign_fingerprint(kind="test", what="cli-quarantine")
+    with TrialJournal(path, fp) as journal:
+        journal.record_lease(
+            (1, 0), "vm-a:11:1", 1, ttl_s=3600.0,
+            host="vm-a", pid=11, token=2,
+        )
+        journal.record_quarantine(
+            (0, 0), owners=["vm-a:11:1", "vm-b:22:2"], attempts=2,
+            traceback_text="Fatal Python error: Aborted",
+        )
+    assert main(["journal", "inspect", path]) == 3
+    out = capsys.readouterr().out
+    assert "quarantined" in out
+    assert "fencing token 2" in out
+    assert "vm-a" in out and "vm-b:22:2" in out
+    assert "Fatal Python error" in out

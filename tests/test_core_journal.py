@@ -510,3 +510,94 @@ def test_compacted_journal_resumes_a_real_campaign(tmp_path):
         journal.close()
     assert [o.value for o in outcomes] == truth
     assert telemetry.trials_resumed == 3  # the compacted half was kept
+
+
+# -- quarantine and fencing records -------------------------------------------
+
+
+def test_quarantine_record_roundtrips_and_releases_lease(tmp_path):
+    from repro.core.journal import read_quarantine
+
+    path = str(tmp_path / "poison.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_lease((3, 0), "vm-a:11:1", 1, ttl_s=60.0)
+        record = journal.record_quarantine(
+            (3, 0),
+            owners=["vm-a:11:1", "vm-b:22:2", "vm-a:11:1"],
+            attempts=2,
+            traceback_text="Fatal Python error: Segmentation fault",
+        )
+        # Duplicate owners collapse; the in-memory lease is released.
+        assert record.owners == ("vm-a:11:1", "vm-b:22:2")
+        assert trial_key_id((3, 0)) not in journal.leases
+        assert journal.quarantined == {trial_key_id((3, 0)): record}
+    parked = read_quarantine(path, FP)
+    assert parked == {trial_key_id((3, 0)): record}
+    assert "Segmentation fault" in parked[trial_key_id((3, 0))].traceback
+
+
+def test_ok_trial_record_lifts_a_quarantine(tmp_path):
+    from repro.core.journal import read_quarantine
+
+    path = str(tmp_path / "poison.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_quarantine((3, 0), owners=["a:1:1"], attempts=2)
+        # An operator fixed the environment and re-ran the trial.
+        journal.record_success((3, 0), 9, attempts=3, wall_clock_s=0.1)
+    assert read_quarantine(path, FP) == {}
+
+
+def test_resume_loads_quarantine_state(tmp_path):
+    path = str(tmp_path / "poison.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_quarantine((5, 0), owners=["a:1:1"], attempts=2)
+    with TrialJournal(path, FP, resume=True) as journal:
+        assert trial_key_id((5, 0)) in journal.quarantined
+
+
+def test_lease_records_carry_fencing_identity(tmp_path):
+    from repro.core.journal import read_lease_state
+
+    path = str(tmp_path / "fenced.jsonl")
+    with TrialJournal(path, FP) as journal:
+        journal.record_lease(
+            (0, 0), "nfs-a:77:2", 2, ttl_s=60.0,
+            host="nfs-a", pid=77, token=2,
+        )
+    lease = read_lease_state(path, FP)[trial_key_id((0, 0))]
+    assert (lease.host, lease.pid, lease.token) == ("nfs-a", 77, 2)
+
+
+def test_inspect_and_compact_preserve_quarantine(tmp_path):
+    from repro.core.journal import (
+        compact_journal,
+        inspect_journal,
+        read_quarantine,
+    )
+
+    path = str(tmp_path / "busy.jsonl")
+    _write_busy_journal(path)
+    with TrialJournal(path, FP, resume=True) as journal:
+        journal.record_quarantine(
+            (2, 0), owners=["a:1:1", "b:2:2"], attempts=2,
+            traceback_text="boom",
+        )
+    assert inspect_journal(path).quarantined == 1
+    before = read_quarantine(path, FP)
+    compact_journal(path)
+    assert read_quarantine(path, FP) == before
+    assert inspect_journal(path).quarantined == 1
+
+
+def test_journal_creation_fsyncs_parent_directory(tmp_path, monkeypatch):
+    """Journal birth is durable: the parent dir is fsynced so the file's
+    directory entry survives a power cut, not just its bytes."""
+    import repro.core.journal as journal_mod
+
+    synced = []
+    monkeypatch.setattr(
+        journal_mod, "fsync_directory", lambda p: synced.append(p)
+    )
+    path = str(tmp_path / "fresh.jsonl")
+    TrialJournal(path, FP).close()
+    assert synced == [str(tmp_path)]

@@ -74,7 +74,7 @@ def test_unregister_removes_and_unknown_unregister_raises():
 # -- module-level namespaces --------------------------------------------------
 
 
-def test_all_eleven_kinds_have_builtin_entries():
+def test_all_twelve_kinds_have_builtin_entries():
     expected = {
         "propagation": {"two_ray", "free_space", "shadowing", "nakagami"},
         "routing": {"AODV", "OLSR", "DYMO", "DSDV", "FLOODING"},
@@ -91,9 +91,11 @@ def test_all_eleven_kinds_have_builtin_entries():
         "kernels": {"python", "vector", "numba", "cjit", "auto"},
         "backend": {
             "auto", "local-serial", "local-process", "local-supervised",
+            "dir-queue",
         },
         "tech": {"80211-dsss", "80211p"},
         "effect": {"db-offset", "random-loss", "obstacle"},
+        "queue": {"dir"},
     }
     assert set(registry.KINDS) == set(expected)
     for kind, names in expected.items():

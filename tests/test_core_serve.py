@@ -1,0 +1,375 @@
+"""The campaign spool: envelopes, scheduling, crash recovery, attach.
+
+The scheduler's contract is that the spool directory *is* the state: any
+scheduler process pointed at it continues exactly where a killed one
+stopped, served results are bit-identical to a local serial sweep, and a
+tail of ``results.jsonl`` sees every trial exactly once no matter how
+many times the job was interrupted and resumed.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import serve
+from repro.core.config import Scenario
+from repro.core.runner import TrialRunner, TrialSpec
+from repro.core.serve import (
+    CampaignServer,
+    astream_trials,
+    build_specs,
+    decode_result_value,
+    parse_envelope,
+    serve_spool,
+    submit_job,
+    tail_results,
+)
+from repro.core.sweep import sweep_scenario
+from repro.metrics.collector import CampaignTelemetry
+from repro.util.errors import ConfigError
+
+
+def _tiny_scenario(**overrides):
+    base = dict(
+        num_nodes=6,
+        sim_time_s=5.0,
+        senders=(1, 2),
+        mobility_warmup_steps=5,
+        traffic_start_s=1.0,
+        traffic_stop_s=4.0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def _envelope(**overrides):
+    data = {
+        "scenario": _tiny_scenario().to_dict(),
+        "field": "num_nodes",
+        "values": [6, 8],
+        "trials": 1,
+        "max_workers": 2,
+    }
+    data.update(overrides)
+    return data
+
+
+# -- envelope validation ------------------------------------------------------
+
+
+def test_parse_envelope_roundtrip():
+    parsed = parse_envelope(_envelope(trials=2))
+    assert parsed.field == "num_nodes"
+    assert parsed.values == (6, 8)
+    assert parsed.trials == 2
+    assert len(parsed.job_id) == 16
+    # Identity: an identical envelope parses to the identical job id.
+    assert parse_envelope(_envelope(trials=2)).job_id == parsed.job_id
+    # Any grid change is a different campaign.
+    assert parse_envelope(_envelope(trials=3)).job_id != parsed.job_id
+
+
+def test_parse_envelope_rejects_garbage():
+    with pytest.raises(ConfigError, match="missing keys"):
+        parse_envelope({"scenario": {}})
+    with pytest.raises(ConfigError, match="unknown keys"):
+        parse_envelope(_envelope(frobnicate=True))
+    with pytest.raises(ConfigError, match="not a Scenario field"):
+        parse_envelope(_envelope(field="warp_factor"))
+    with pytest.raises(ConfigError, match="non-empty"):
+        parse_envelope(_envelope(values=[]))
+    with pytest.raises(ConfigError, match="trials"):
+        parse_envelope(_envelope(trials=0))
+    with pytest.raises(ConfigError, match="JSON object"):
+        parse_envelope([1, 2, 3])
+
+
+def test_parse_envelope_accepts_a_saved_scenario_file(tmp_path):
+    """A Scenario.save() file pasted whole into the envelope must work:
+    its format/schema header is stripped like Scenario.load does."""
+    path = str(tmp_path / "scenario.json")
+    _tiny_scenario().save(path)
+    with open(path) as handle:
+        saved = json.load(handle)
+    assert "format" in saved and "schema" in saved
+    parsed = parse_envelope(_envelope(scenario=saved))
+    assert parsed.job_id == parse_envelope(_envelope()).job_id
+    with pytest.raises(ConfigError, match="format"):
+        parse_envelope(_envelope(scenario={**saved, "format": "nope"}))
+    with pytest.raises(ConfigError, match="schema"):
+        parse_envelope(_envelope(scenario={**saved, "schema": 99}))
+
+
+def test_build_specs_matches_sweep_grid():
+    parsed = parse_envelope(_envelope(trials=2))
+    specs = build_specs(parsed)
+    assert [spec.key for spec in specs] == [
+        (6, 0), (6, 1), (8, 0), (8, 1),
+    ]
+    # Seeds derive exactly like sweep_scenario's: base + 1000 * trial.
+    assert specs[1].args[0].seed == _tiny_scenario().seed + 1000
+    assert specs[2].args[0].num_nodes == 8
+
+
+def test_submit_job_validates_before_spooling(tmp_path):
+    spool = str(tmp_path / "spool")
+    with pytest.raises(ConfigError):
+        submit_job(spool, _envelope(field="nope"))
+    # Validation happens before anything touches the spool.
+    assert not os.path.exists(os.path.join(spool, "incoming"))
+    name = submit_job(spool, _envelope())
+    assert os.path.exists(
+        os.path.join(spool, "incoming", f"{name}.json")
+    )
+    with pytest.raises(ConfigError, match="invalid job name"):
+        submit_job(spool, _envelope(), name="../escape")
+
+
+# -- scheduling ---------------------------------------------------------------
+
+
+def test_serve_once_runs_job_bit_identical_to_local_sweep(tmp_path):
+    spool = str(tmp_path / "spool")
+    name = submit_job(spool, _envelope(trials=2))
+    telemetry = CampaignTelemetry()
+    assert serve_spool(spool, once=True, telemetry=telemetry) == 1
+
+    job_dir = os.path.join(spool, "jobs", name)
+    with open(os.path.join(job_dir, "done")) as handle:
+        summary = json.load(handle)
+    assert summary == {
+        "job_id": name, "trials": 4, "ok": 4, "failed": 0, "quarantined": 0,
+    }
+    assert os.path.exists(os.path.join(spool, "done", f"{name}.json"))
+
+    records = list(tail_results(job_dir, follow=False))
+    served = {
+        tuple(r["key"]): decode_result_value(r).pdr() for r in records
+    }
+    local = sweep_scenario(
+        _tiny_scenario(), "num_nodes", [6, 8], trials=2
+    )
+    truth = {
+        (point.value, trial): result.pdr()
+        for point in local.points
+        for trial, result in enumerate(point.results)
+    }
+    assert served == truth  # bit-identical to the serial ground truth
+
+
+def test_resubmitting_identical_envelope_resumes_not_reruns(tmp_path):
+    spool = str(tmp_path / "spool")
+    name = submit_job(spool, _envelope())
+    serve_spool(spool, once=True)
+    submit_job(spool, _envelope())
+    telemetry = CampaignTelemetry()
+    serve_spool(spool, once=True, telemetry=telemetry)
+    assert telemetry.trials_resumed == 2  # the journal had everything
+    records = list(
+        tail_results(os.path.join(spool, "jobs", name), follow=False)
+    )
+    keys = [tuple(r["key"]) for r in records]
+    assert sorted(keys) == [(6, 0), (8, 0)]  # rebuilt, duplicate-free
+
+
+def test_crashed_scheduler_recovers_from_active_and_journal(tmp_path):
+    """The crash-recovery contract: an envelope stranded in active/ plus
+    a partial journal — exactly what a SIGKILLed scheduler leaves — must
+    finish with only the missing trials run, and a duplicate-free tail."""
+    spool = str(tmp_path / "spool")
+    server = CampaignServer(spool)
+    envelope = parse_envelope(_envelope(trials=2))
+
+    # Simulate the dead scheduler: envelope claimed into active/...
+    with open(
+        os.path.join(spool, "active", f"{envelope.job_id}.json"), "w"
+    ) as handle:
+        json.dump(_envelope(trials=2), handle)
+    # ...and a journal holding the first two of four trials.
+    job_dir = server.job_dir(envelope.job_id)
+    os.makedirs(job_dir, exist_ok=True)
+    from repro.core.journal import open_journal
+
+    journal = open_journal(
+        os.path.join(job_dir, "journal.jsonl"),
+        envelope.fingerprint,
+        resume=False,
+    )
+    specs = build_specs(envelope)
+    for spec in specs[:2]:
+        journal.record_success(
+            spec.key, spec.fn(*spec.args), 1, 0.1
+        )
+    journal.close()
+    # A half-written results.jsonl (torn mid-append) must not survive.
+    with open(os.path.join(job_dir, "results.jsonl"), "w") as handle:
+        handle.write('{"key": [6, 0], "ok": true')  # no newline: torn
+
+    telemetry = CampaignTelemetry()
+    assert server.run_once() == 1
+    records = list(tail_results(job_dir, follow=False))
+    keys = sorted(tuple(r["key"]) for r in records)
+    assert keys == [(6, 0), (6, 1), (8, 0), (8, 1)]
+    assert len(keys) == len(set(keys))  # rebuilt tail: no duplicates
+    assert os.path.exists(
+        os.path.join(spool, "done", f"{envelope.job_id}.json")
+    )
+
+
+def test_unusable_envelope_lands_in_failed_with_diagnosis(tmp_path):
+    spool = str(tmp_path / "spool")
+    server = CampaignServer(spool)
+    with open(os.path.join(spool, "incoming", "bad.json"), "w") as handle:
+        handle.write('{"scenario": {"warp_factor": 9}}')
+    assert server.run_once() == 1
+    assert os.path.exists(os.path.join(spool, "failed", "bad.json"))
+    with open(
+        os.path.join(spool, "failed", "bad.json.error.txt")
+    ) as handle:
+        assert "unusable job envelope" in handle.read()
+
+
+def test_job_dir_refuses_a_different_campaign(tmp_path):
+    spool = str(tmp_path / "spool")
+    server = CampaignServer(spool)
+    envelope = parse_envelope(_envelope())
+    os.makedirs(server.job_dir("fixed-id"))
+    server._write_job_json(server.job_dir("fixed-id"), envelope)
+    other = parse_envelope(_envelope(trials=3))
+    with pytest.raises(ConfigError, match="different fingerprint"):
+        server._write_job_json(server.job_dir("fixed-id"), other)
+
+
+def test_serve_forever_stops_on_event(tmp_path):
+    spool = str(tmp_path / "spool")
+    stop = threading.Event()
+    done = {}
+
+    def run():
+        done["jobs"] = serve_spool(
+            spool, once=False, poll_interval_s=0.02, stop=stop
+        )
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    name = submit_job(spool, _envelope())
+    deadline = time.monotonic() + 60
+    while not os.path.exists(
+        os.path.join(spool, "done", f"{name}.json")
+    ):
+        assert time.monotonic() < deadline
+        time.sleep(0.05)
+    stop.set()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert done["jobs"] == 1
+
+
+# -- attach -------------------------------------------------------------------
+
+
+def test_tail_results_follows_until_done_marker(tmp_path):
+    job_dir = str(tmp_path / "job")
+    os.makedirs(job_dir)
+    path = os.path.join(job_dir, "results.jsonl")
+
+    def writer():
+        with open(path, "w") as handle:
+            for i in range(4):
+                handle.write(json.dumps({"key": i, "ok": True}) + "\n")
+                handle.flush()
+                time.sleep(0.03)
+            # Torn final append: completed only after the done marker —
+            # the tail must still pick the record up before finishing.
+            handle.write('{"key": 4,')
+            handle.flush()
+            time.sleep(0.05)
+            handle.write(' "ok": true}\n')
+            handle.flush()
+        with open(os.path.join(job_dir, "done"), "w") as marker:
+            marker.write("{}\n")
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    records = list(
+        tail_results(job_dir, follow=True, poll_interval_s=0.02,
+                     timeout_s=30.0)
+    )
+    thread.join()
+    assert [r["key"] for r in records] == [0, 1, 2, 3, 4]
+
+
+def test_tail_results_timeout_raises_instead_of_hanging(tmp_path):
+    job_dir = str(tmp_path / "job")
+    os.makedirs(job_dir)
+    with pytest.raises(ConfigError, match="timed out"):
+        list(
+            tail_results(job_dir, follow=True, poll_interval_s=0.01,
+                         timeout_s=0.1)
+        )
+
+
+def test_tail_results_without_follow_returns_what_exists(tmp_path):
+    job_dir = str(tmp_path / "job")
+    os.makedirs(job_dir)
+    assert list(tail_results(job_dir, follow=False)) == []
+
+
+# -- async streaming ----------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def test_astream_trials_yields_each_key_once(tmp_path):
+    async def main():
+        runner = TrialRunner(
+            max_workers=2,
+            backend="dir-queue",
+            queue_dir=str(tmp_path / "q"),
+            lease_ttl_s=5.0,
+        )
+        specs = [TrialSpec(key=i, fn=_square, args=(i,)) for i in range(6)]
+        seen = []
+        async for outcome in astream_trials(runner, specs):
+            seen.append((outcome.key, outcome.value))
+        return seen
+
+    seen = asyncio.run(main())
+    assert sorted(seen) == [(i, i * i) for i in range(6)]
+
+
+def test_astream_trials_propagates_run_errors():
+    async def main():
+        runner = TrialRunner(max_workers=1)
+        bad_specs = None  # run() raising must surface on the async side
+        async for _ in astream_trials(runner, bad_specs):
+            raise AssertionError("nothing should be yielded")
+
+    with pytest.raises(TypeError):
+        asyncio.run(main())
+
+
+# -- wire format --------------------------------------------------------------
+
+
+def test_outcome_record_roundtrips_values():
+    from repro.core.runner import TrialOutcome
+
+    outcome = TrialOutcome(key=(6, 0), index=0, value={"pdr": 0.5},
+                           attempts=2, wall_clock_s=1.5)
+    record = serve.outcome_record(outcome)
+    assert record["key"] == [6, 0]
+    assert record["ok"] is True
+    assert record["attempts"] == 2
+    assert decode_result_value(record) == {"pdr": 0.5}
+    failed = TrialOutcome(key=1, index=1, error="boom")
+    failed_record = serve.outcome_record(failed)
+    assert failed_record["ok"] is False
+    assert failed_record["value"] is None
+    assert decode_result_value(failed_record) is None
