@@ -416,14 +416,28 @@ class DirQueue:
         _fsync_dir(self._dir("claims"))
         return self.read_claim(tid)
 
+    def highest_gen(self, tid: str, floor: int) -> int:
+        """Highest allocated fencing generation for ``tid``, at least ``floor``.
+
+        Generations are allocated contiguously upward from the claim's
+        token, so probing for successive markers finds any generation
+        whose winner died between creating the marker and rewriting the
+        claim — the orphaned-takeover window.
+        """
+        gen = max(1, int(floor))
+        while os.path.exists(self._path("gen", f"{tid}.g{gen + 1}")):
+            gen += 1
+        return gen
+
     def try_takeover(
         self,
         tid: str,
         owner: str,
         current: ClaimState,
         dead_owner: Optional[str] = None,
+        skip_orphans: bool = False,
     ) -> Optional[ClaimState]:
-        """Race for generation ``current.token + 1``; winner rewrites the claim.
+        """Race for the next generation; the winner rewrites the claim.
 
         ``dead_owner`` marks a takeover *from a corpse* (expired lease):
         the dead identity is added to the trial's death ledger and, once
@@ -433,10 +447,24 @@ class DirQueue:
         a *released* claim (clean failure, attempt already bumped) leaves
         the ledger alone.
 
+        The contested generation is ``current.token + 1`` — except with
+        ``skip_orphans``, which arbitrates past any *orphaned* markers: a
+        contender that died between winning a generation marker and
+        rewriting the claim leaves the claim frozen at N while ``g(N+1)``
+        exists, and colliding with that marker forever would wedge the
+        trial.  Callers must only skip after a full TTL of frozen claim
+        signature (the signature includes the highest marker, so a fresh
+        marker restarts the window) — otherwise a live, mid-takeover
+        winner could be raced for the generation after its own.
+
         Exactly one contender can win any given token: the ``O_EXCL``
         generation marker is the whole arbitration.
         """
-        token = current.token + 1
+        token = (
+            self.highest_gen(tid, current.token) + 1
+            if skip_orphans
+            else current.token + 1
+        )
         marker = self._path("gen", f"{tid}.g{token}")
         try:
             fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -498,7 +526,13 @@ class DirQueue:
         )
 
     def claim_signature(self, tid: str, claim: ClaimState) -> Tuple:
-        """What the lease observer watches: identity + liveness evidence."""
+        """What the lease observer watches: identity + liveness evidence.
+
+        The highest fencing marker is part of the signature so that an
+        in-flight takeover (marker won, claim not yet rewritten) restarts
+        the observer's TTL window: only a marker that then stays orphaned
+        for a full TTL justifies arbitrating past it.
+        """
         beat = self._read_json(self._path("hb", tid))
         seq = None
         if (
@@ -507,7 +541,10 @@ class DirQueue:
             and beat.get("token") == claim.token
         ):
             seq = beat.get("seq")
-        return (claim.owner, claim.token, seq)
+        return (
+            claim.owner, claim.token, seq,
+            self.highest_gen(tid, claim.token),
+        )
 
     # -- death ledger + quarantine -------------------------------------------
 
@@ -648,11 +685,31 @@ class DirQueue:
         return os.path.exists(self._path("quarantine", f"{tid}.json"))
 
     def drop_result(self, tid: str) -> None:
-        """Parent-side repair: discard an unreadable result file."""
+        """Parent-side repair: discard an unreadable result file.
+
+        The committing worker moved on the moment it renamed the result
+        in, so its claim would otherwise sit with frozen heartbeats until
+        a peer reclaims it through the dead-owner path — charging a live,
+        healthy worker to the death ledger, and a few corrupt-result
+        cycles could spuriously quarantine the trial.  Marking the claim
+        released (same token, attempt preserved — the fault is the
+        infrastructure's, not the trial's) sends the reclaim down the
+        released path, which records no death.
+        """
         try:
             os.unlink(self._path("results", f"{tid}.result"))
         except OSError:
             return  # already gone, or read-only: the health probe reacts
+        claim = self.read_claim(tid)
+        if claim is None or claim is CLAIM_IN_FLUX or claim.released:
+            return
+        try:
+            _atomic_write(
+                self._path("claims", f"{tid}.claim"),
+                self._claim_payload("", claim.token, claim.attempt, True),
+            )
+        except OSError:
+            return  # read-only queue: the health probe reacts
 
     def stale_markers(self) -> List[str]:
         try:
@@ -853,11 +910,24 @@ def run_worker_loop(
                         continue
                     elif claim.released:
                         won = queue.try_takeover(tid, me, claim)
+                        if won is None:
+                            # Lost the race for the next generation — or
+                            # its winner died before rewriting the claim
+                            # (the orphaned marker would collide forever).
+                            # After a full TTL of frozen signature, skip
+                            # past whatever it left behind.
+                            signature = queue.claim_signature(tid, claim)
+                            if observer.expired(tid, signature):
+                                won = queue.try_takeover(
+                                    tid, me, claim, skip_orphans=True
+                                )
+                                observer.forget(tid)
                     elif claim.owner != me:
                         signature = queue.claim_signature(tid, claim)
                         if observer.expired(tid, signature):
                             won = queue.try_takeover(
-                                tid, me, claim, dead_owner=claim.owner
+                                tid, me, claim, dead_owner=claim.owner,
+                                skip_orphans=True,
                             )
                             observer.forget(tid)
                     else:
@@ -962,10 +1032,16 @@ class DirQueueBackend(ExecutionBackend):
                     "trial_timeout_s": runner.trial_timeout_s,
                 }
             )
-            index_of: Dict[str, int] = {}
+            # Duplicate keys (a sweep with repeated values) hash to one
+            # task id and run once; the single result fans out to every
+            # spec index that named it — exactly what serial does, since
+            # trials are pure functions of their spec.  Mapping one tid
+            # to a single index would strand the other slots as None and
+            # spin the scheduling loop forever.
+            index_of: Dict[str, List[int]] = {}
             for index, spec in enumerate(specs):
                 tid = queue.enqueue(_task_payload(runner, index, spec))
-                index_of[tid] = index
+                index_of.setdefault(tid, []).append(index)
             self._plant_ghost_claims(queue, specs, journal)
         except (OSError, pickle.PicklingError, AttributeError, TypeError) as exc:
             # OSError: unusable directory.  The pickle family: specs that
@@ -1051,8 +1127,8 @@ class DirQueueBackend(ExecutionBackend):
                         continue
                     seen_stale.add(marker)
                     tid = marker.split(".g", 1)[0]
-                    index = index_of.get(tid)
-                    key = specs[index].key if index is not None else None
+                    indices = index_of.get(tid)
+                    key = specs[indices[0]].key if indices else None
                     runner._record_event(
                         "stale-commit-rejected", key=key, detail=marker
                     )
@@ -1122,7 +1198,7 @@ class DirQueueBackend(ExecutionBackend):
         which is exactly what ``repro journal inspect`` then prints.
         """
         runner = self.runner
-        for tid, index in index_of.items():
+        for tid, indices in index_of.items():
             claim = queue.read_claim(tid)
             if (
                 claim is None
@@ -1136,7 +1212,7 @@ class DirQueueBackend(ExecutionBackend):
                 continue
             previous = lease_mirror.get(tid)
             lease_mirror[tid] = signature
-            key = specs[index].key
+            key = specs[indices[0]].key
             if journal is not None:
                 journal.record_lease(
                     key,
@@ -1165,11 +1241,17 @@ class DirQueueBackend(ExecutionBackend):
         self, queue, specs, index_of, results, journal,
         seen_results, seen_quarantine, emit,
     ) -> bool:
-        """Fold new results/quarantines into outcomes; True if any did."""
+        """Fold new results/quarantines into outcomes; True if any did.
+
+        A tid covers every spec index whose key hashed to it (duplicate
+        keys share one task), so each decision fans out to all of them —
+        per-index records mirror what serial would have reported had it
+        run each occurrence itself.
+        """
         runner = self.runner
         progressed = False
-        for tid, index in index_of.items():
-            if results[index] is not None:
+        for tid, indices in index_of.items():
+            if all(results[index] is not None for index in indices):
                 continue
             if tid not in seen_results and queue.has_result(tid):
                 try:
@@ -1180,7 +1262,7 @@ class DirQueueBackend(ExecutionBackend):
                     queue.drop_result(tid)
                     runner._record_event(
                         "result-corrupt",
-                        key=specs[index].key,
+                        key=specs[indices[0]].key,
                         detail=repr(exc),
                     )
                     continue
@@ -1188,45 +1270,48 @@ class DirQueueBackend(ExecutionBackend):
                     continue
                 seen_results.add(tid)
                 progressed = True
-                spec = specs[index]
                 attempts = int(record.get("attempts", 1))
                 wall = float(record.get("wall_clock_s", 0.0))
-                if record.get("status") == "ok":
-                    runner._record(spec.key, attempts, "ok", wall)
-                    if journal is not None:
-                        journal.record_success(
-                            spec.key, record.get("value"), attempts, wall
+                for index in indices:
+                    spec = specs[index]
+                    if record.get("status") == "ok":
+                        runner._record(spec.key, attempts, "ok", wall)
+                        if journal is not None:
+                            journal.record_success(
+                                spec.key, record.get("value"), attempts,
+                                wall,
+                            )
+                        results[index] = TrialOutcome(
+                            key=spec.key,
+                            index=index,
+                            value=record.get("value"),
+                            attempts=attempts,
+                            wall_clock_s=wall,
                         )
-                    results[index] = TrialOutcome(
-                        key=spec.key,
-                        index=index,
-                        value=record.get("value"),
-                        attempts=attempts,
-                        wall_clock_s=wall,
-                    )
-                    if emit is not None:
-                        emit(results[index])
-                else:
-                    error = str(record.get("error", "unknown error"))
-                    runner._record(
-                        spec.key, attempts, "error", wall, error
-                    )
-                    if journal is not None:
-                        journal.record_failure(spec.key, error, attempts)
-                    results[index] = TrialOutcome(
-                        key=spec.key,
-                        index=index,
-                        error=error,
-                        attempts=attempts,
-                        wall_clock_s=wall,
-                    )
+                        if emit is not None:
+                            emit(results[index])
+                    else:
+                        error = str(record.get("error", "unknown error"))
+                        runner._record(
+                            spec.key, attempts, "error", wall, error
+                        )
+                        if journal is not None:
+                            journal.record_failure(
+                                spec.key, error, attempts
+                            )
+                        results[index] = TrialOutcome(
+                            key=spec.key,
+                            index=index,
+                            error=error,
+                            attempts=attempts,
+                            wall_clock_s=wall,
+                        )
             elif tid not in seen_quarantine and queue.has_quarantine(tid):
                 record = queue.read_quarantine(tid)
                 if record is None:
                     continue
                 seen_quarantine.add(tid)
                 progressed = True
-                spec = specs[index]
                 owners = list(record.get("owners", ()))
                 attempts = int(record.get("attempts", 1))
                 error = (
@@ -1234,23 +1319,25 @@ class DirQueueBackend(ExecutionBackend):
                     f"workers ({', '.join(owners)})\n"
                     f"{record.get('traceback', '')}"
                 )
-                runner._record(spec.key, attempts, "error", 0.0, error)
-                runner._record_event(
-                    "quarantined", key=spec.key,
-                    detail=f"{len(owners)} dead workers",
-                )
-                if journal is not None:
-                    journal.record_quarantine(
-                        spec.key, owners, attempts,
-                        record.get("traceback", ""),
+                for index in indices:
+                    spec = specs[index]
+                    runner._record(spec.key, attempts, "error", 0.0, error)
+                    runner._record_event(
+                        "quarantined", key=spec.key,
+                        detail=f"{len(owners)} dead workers",
                     )
-                results[index] = TrialOutcome(
-                    key=spec.key,
-                    index=index,
-                    error=error,
-                    attempts=attempts,
-                    infrastructure=True,
-                )
+                    if journal is not None:
+                        journal.record_quarantine(
+                            spec.key, owners, attempts,
+                            record.get("traceback", ""),
+                        )
+                    results[index] = TrialOutcome(
+                        key=spec.key,
+                        index=index,
+                        error=error,
+                        attempts=attempts,
+                        infrastructure=True,
+                    )
         return progressed
 
     def _plant_ghost_claims(self, queue, specs, journal) -> None:

@@ -23,9 +23,10 @@ Spool layout::
         job.json             resolved envelope + campaign fingerprint
         journal.jsonl        the per-trial journal — the source of truth
         queue/               dir-queue tasks; any host's worker may drain
-        results.jsonl        incremental outcome stream (rebuilt from the
-                             journal on resume, so tails never see a
-                             trial twice)
+        results.jsonl        incremental outcome stream (a resume renames
+                             a journal-rebuilt file over it; tails detect
+                             the swap and dedupe by key, so every trial
+                             is yielded exactly once)
         done                 terminal marker holding the job summary
 
 The job envelope is the declarative sweep form::
@@ -393,7 +394,14 @@ class CampaignServer:
             with open(path, "r", encoding="utf-8") as handle:
                 raw = json.load(handle)
             envelope = parse_envelope(raw)
-        except (OSError, ValueError, ConfigError) as exc:
+        except Exception as exc:
+            # Exception, not just ConfigError: a hand-dropped malformed
+            # envelope can raise anything out of parsing ("values": 5
+            # makes tuple() raise TypeError), and active/ is rescanned
+            # first on restart — an escape here would crash-loop the
+            # scheduler on the same envelope forever instead of parking
+            # it in failed/.  Submitters get early validation in
+            # submit_job; this path is the server's last line.
             self._finish(name, "failed", f"unusable job envelope: {exc}")
             return 1
         try:
@@ -416,10 +424,16 @@ class CampaignServer:
             resume=True,  # fresh file and crash recovery are the same path
         )
         results_path = os.path.join(job_dir, "results.jsonl")
-        # Truncate and rebuild: the runner re-emits journal-resumed
-        # outcomes before any fresh ones, so the stream file is always
-        # duplicate-free even though the scheduler may die mid-append.
-        stream = open(results_path, "w", encoding="utf-8")
+        # Rebuild into a *new* inode renamed over the old one (the runner
+        # re-emits journal-resumed outcomes before any fresh ones, so the
+        # rebuilt stream is duplicate-free).  Truncating in place would
+        # leave a concurrent ``repro attach`` holding a byte offset into
+        # rebuilt content — misaligned mid-record, silently skipping
+        # re-emitted trials.  With the rename, the tail sees the file
+        # shrink, resets to the start, and dedupes by record key.
+        rebuild = results_path + ".rebuild"
+        stream = open(rebuild, "w", encoding="utf-8")
+        os.replace(rebuild, results_path)
 
         def emit(outcome: TrialOutcome) -> None:
             stream.write(
@@ -529,6 +543,10 @@ def serve_spool(
 # -- attaching ----------------------------------------------------------------
 
 
+def _stat_size(path: str) -> int:
+    return os.stat(path).st_size
+
+
 def tail_results(
     job_dir: str,
     follow: bool = True,
@@ -539,8 +557,12 @@ def tail_results(
 
     The reader's torn-line discipline mirrors the journal's: only
     newline-terminated lines are consumed, so a record mid-append is
-    simply not there yet.  With ``follow`` the tail keeps polling until
-    the job's ``done`` marker exists *and* every complete line has been
+    simply not there yet.  A resumed scheduler renames a rebuilt stream
+    over the old one; the tail detects the file shrinking below its
+    offset, restarts from the beginning, and dedupes by record key — so
+    every trial is still yielded exactly once across any number of
+    scheduler crashes.  With ``follow`` the tail keeps polling until the
+    job's ``done`` marker exists *and* every complete line has been
     yielded; without it, the currently-available records are yielded and
     the generator ends.  ``timeout_s`` bounds a follow (``None`` = wait
     forever); hitting it raises :class:`ConfigError` so a wedged attach
@@ -551,12 +573,15 @@ def tail_results(
     """
     path = os.path.join(job_dir, "results.jsonl")
     offset = 0
+    seen_keys: set = set()
     deadline = None if timeout_s is None else time.monotonic() + timeout_s
     while True:
         # Order matters: check the marker *before* reading, so the final
         # read after "done" cannot miss lines appended in between.
         finished = os.path.exists(os.path.join(job_dir, _DONE_MARKER))
         try:
+            if _stat_size(path) < offset:
+                offset = 0  # rebuilt by a resumed scheduler: re-read
             with open(path, "r", encoding="utf-8") as handle:
                 handle.seek(offset)
                 chunk = handle.read()
@@ -570,9 +595,16 @@ def tail_results(
                 if not line:
                     continue
                 try:
-                    yield json.loads(line)
+                    record = json.loads(line)
                 except ValueError:
                     continue  # a corrupt line; later records still count
+                if not isinstance(record, dict):
+                    continue
+                key = json.dumps(record.get("key"), sort_keys=True)
+                if key in seen_keys:
+                    continue  # re-emitted after a rebuild
+                seen_keys.add(key)
+                yield record
         if finished or not follow:
             return
         if deadline is not None and time.monotonic() >= deadline:

@@ -131,6 +131,56 @@ def test_takeover_token_is_monotonic_and_exclusive(tmp_path):
     assert lost is None  # same generation marker: exactly one winner
 
 
+def test_orphaned_takeover_marker_does_not_wedge_the_trial(tmp_path):
+    """A reclaimer that dies between winning the generation marker and
+    rewriting the claim used to wedge the trial forever: every later
+    takeover computed ``claim.token + 1``, collided with the orphan
+    marker, and returned None.  The worker loop must skip past the
+    orphaned generation (after a full TTL of frozen signature) and
+    finish the trial."""
+    root = str(tmp_path / "q")
+    queue = _make_queue(root, ttl_s=0.2)
+    tid = queue.enqueue(_task(4))
+    queue.try_claim_fresh(tid, "corpse:1:1")
+    # The half-finished takeover: marker g2 allocated, claim never rewritten.
+    with open(os.path.join(root, "gen", f"{tid}.g2"), "wb") as handle:
+        handle.write(b"half-dead:2:2")
+    committed = run_worker_loop(root, poll_interval_s=0.02)
+    assert committed == 1
+    assert queue.read_result(tid)["value"] == 16
+    assert queue.read_claim(tid).token == 3  # arbitrated past the orphan
+
+
+def test_orphaned_takeover_of_released_claim_recovers(tmp_path):
+    """The same mid-takeover death on the *released* path (clean failure,
+    winner died before rewriting the claim) must also converge."""
+    root = str(tmp_path / "q")
+    queue = _make_queue(root, ttl_s=0.2, max_attempts=3)
+    tid = queue.enqueue(_task(5))
+    claim = queue.try_claim_fresh(tid, "a:1:1")
+    queue.release(tid, claim, "ValueError: transient")
+    with open(os.path.join(root, "gen", f"{tid}.g2"), "wb") as handle:
+        handle.write(b"half-dead:2:2")
+    committed = run_worker_loop(root, poll_interval_s=0.02)
+    assert committed == 1
+    assert queue.read_result(tid)["value"] == 25
+    assert queue.read_claim(tid).token == 3
+
+
+def test_fresh_marker_restarts_the_orphan_skip_window(tmp_path):
+    """A marker's appearance is part of the claim signature: an in-flight
+    takeover (marker won, claim about to be rewritten) must restart the
+    observer's TTL instead of being raced for the generation after."""
+    queue = _make_queue(tmp_path / "q", ttl_s=10.0)
+    tid = queue.enqueue(_task(1))
+    claim = queue.try_claim_fresh(tid, "a:1:1")
+    before = queue.claim_signature(tid, claim)
+    with open(os.path.join(str(tmp_path / "q"), "gen",
+                           f"{tid}.g2"), "wb") as handle:
+        handle.write(b"b:2:2")
+    assert queue.claim_signature(tid, claim) != before
+
+
 def test_release_bumps_attempt_and_keeps_token(tmp_path):
     queue = _make_queue(tmp_path / "q")
     tid = queue.enqueue(_task(1))
@@ -430,6 +480,54 @@ def test_dir_queue_bit_identical_under_chaos(tmp_path):
     assert "lease-reclaimed" in kinds
     assert "lease-contended" in kinds
     assert telemetry.claims_won >= 6
+
+
+def test_duplicate_trial_keys_complete_and_match_serial(tmp_path):
+    """Duplicate keys hash to one task id; the single execution must fan
+    out to every spec index instead of stranding the earlier slots as
+    None and spinning the scheduling loop forever."""
+    specs = [
+        TrialSpec(key=i % 2, fn=_square, args=(i % 2,)) for i in range(4)
+    ]
+    serial = TrialRunner().run(specs)
+    outcomes = TrialRunner(
+        max_workers=2,
+        backend="dir-queue",
+        queue_dir=str(tmp_path / "q"),
+        lease_ttl_s=5.0,
+    ).run(specs)
+    assert _values(outcomes) == _values(serial) == [0, 1, 0, 1]
+    assert [o.key for o in outcomes] == [0, 1, 0, 1]
+
+
+def test_corrupt_result_drop_releases_claim_without_charging_deaths(tmp_path):
+    """Dropping a corrupt result must not leave the committer's claim
+    live-but-heartbeatless: peers would reclaim it through the dead-owner
+    path and charge a healthy worker to the death ledger — a few corrupt
+    cycles could spuriously quarantine the trial.  The released claim
+    routes the reclaim down the no-death path instead."""
+    root = str(tmp_path / "q")
+    queue = _make_queue(root)
+    tid = queue.enqueue(_task(2))
+    claim = queue.try_claim_fresh(tid, "w:1:1")
+    queue.commit_result(
+        tid, "w:1:1", 1,
+        {"status": "ok", "value": 4, "attempts": 1, "wall_clock_s": 0.1},
+    )
+    with open(os.path.join(root, "results", f"{tid}.result"), "wb") as handle:
+        handle.write(b"\x80torn page")  # corrupt it on disk
+    with pytest.raises(Exception):
+        queue.read_result(tid)
+    queue.drop_result(tid)
+    after = queue.read_claim(tid)
+    assert after.released
+    assert after.token == claim.token
+    assert after.attempt == claim.attempt  # infra fault: attempt not charged
+    # The re-run takes the released path: no TTL wait, no death recorded.
+    committed = run_worker_loop(root, poll_interval_s=0.02)
+    assert committed == 1
+    assert queue.read_result(tid)["value"] == 4
+    assert queue.distinct_deaths(tid) == []
 
 
 def test_clean_trial_errors_bounded_by_max_attempts(tmp_path):

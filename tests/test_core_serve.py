@@ -233,6 +233,44 @@ def test_unusable_envelope_lands_in_failed_with_diagnosis(tmp_path):
         assert "unusable job envelope" in handle.read()
 
 
+@pytest.mark.parametrize("mutate", [
+    {"values": 5},                      # tuple(5) raises TypeError
+    {"scenario": "not-a-mapping"},      # nested non-mapping field
+    {"trials": None},                   # int(None) raises TypeError
+])
+def test_malformed_envelope_fields_park_in_failed_not_crash(tmp_path, mutate):
+    """A hand-dropped envelope whose fields raise TypeError (not just
+    ConfigError/ValueError) must land in failed/, not escape run_once —
+    active/ is rescanned first on restart, so an escape would crash-loop
+    the scheduler on the same envelope forever."""
+    spool = str(tmp_path / "spool")
+    server = CampaignServer(spool)
+    with open(os.path.join(spool, "active", "bad.json"), "w") as handle:
+        json.dump(_envelope(**mutate), handle)
+    assert server.run_once() == 1
+    assert os.path.exists(os.path.join(spool, "failed", "bad.json"))
+    with open(
+        os.path.join(spool, "failed", "bad.json.error.txt")
+    ) as handle:
+        assert "unusable job envelope" in handle.read()
+    assert not os.path.exists(os.path.join(spool, "active", "bad.json"))
+
+
+def test_envelope_with_repeated_sweep_values_completes(tmp_path):
+    """Repeated sweep values produce duplicate trial keys, which hash to
+    one dir-queue task — the job must still reach done/ (the duplicate
+    used to strand a results[] slot and hang the scheduler forever)."""
+    spool = str(tmp_path / "spool")
+    name = submit_job(spool, _envelope(values=[6, 6]))
+    assert serve_spool(spool, once=True) == 1
+    job_dir = os.path.join(spool, "jobs", name)
+    with open(os.path.join(job_dir, "done")) as handle:
+        summary = json.load(handle)
+    assert summary["trials"] == 2 and summary["ok"] == 2
+    records = list(tail_results(job_dir, follow=False))
+    assert [tuple(r["key"]) for r in records] == [(6, 0)]
+
+
 def test_job_dir_refuses_a_different_campaign(tmp_path):
     spool = str(tmp_path / "spool")
     server = CampaignServer(spool)
@@ -301,6 +339,39 @@ def test_tail_results_follows_until_done_marker(tmp_path):
     )
     thread.join()
     assert [r["key"] for r in records] == [0, 1, 2, 3, 4]
+
+
+def test_tail_survives_a_stream_rebuild_without_missing_trials(tmp_path):
+    """A resumed scheduler renames a journal-rebuilt results.jsonl over
+    the old one.  A tail holding a byte offset into the old file must
+    detect the shrink, restart from zero, and dedupe by key — yielding
+    the trials it had not seen rather than silently skipping them."""
+    job_dir = str(tmp_path / "job")
+    os.makedirs(job_dir)
+    path = os.path.join(job_dir, "results.jsonl")
+
+    def record(key, pad=""):
+        return json.dumps({"key": key, "ok": True, "pad": pad}) + "\n"
+
+    # The crashed run's stream: A plus a long B (so the rebuilt file
+    # below is strictly shorter than the tail's offset).
+    with open(path, "w") as handle:
+        handle.write(record([6, 0]) + record([6, 1], pad="x" * 256))
+    tail = tail_results(job_dir, follow=True, poll_interval_s=0.01,
+                        timeout_s=30.0)
+    assert [r["key"] for r in (next(tail), next(tail))] == [[6, 0], [6, 1]]
+
+    # The resume: a rebuilt stream (journal only held A) renamed over the
+    # old file, then the fresh trial C appended and the job finished.
+    rebuilt = path + ".rebuild"
+    with open(rebuilt, "w") as handle:
+        handle.write(record([6, 0]))
+    os.replace(rebuilt, path)
+    with open(path, "a") as handle:
+        handle.write(record([8, 0]))
+    with open(os.path.join(job_dir, "done"), "w") as marker:
+        marker.write("{}\n")
+    assert [r["key"] for r in tail] == [[8, 0]]  # C seen, A deduped
 
 
 def test_tail_results_timeout_raises_instead_of_hanging(tmp_path):
